@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark suite.
+
+Every file in this directory regenerates one table or figure of the paper.
+The common pattern is:
+
+1. build (or fetch from cache) the dataset stand-ins and query workloads at
+   the scaled-down sizes documented in DESIGN.md;
+2. run the measurement once inside ``benchmark.pedantic(..., rounds=1)`` so
+   pytest-benchmark records the end-to-end harness time;
+3. render the paper-shaped table/series with :mod:`repro.bench.reporting`,
+   print it and persist it under ``benchmarks/results/`` so the output
+   survives pytest's stdout capturing.
+
+The scaled measurement settings keep the whole suite in the minutes range on
+a laptop while preserving the paper's relative comparisons.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.runner import BenchmarkSettings
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import QuerySetting, generate_query_set
+
+#: Directory where every benchmark drops its rendered table/series.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The representative graphs of Section 7.2: ``ep`` (long-running queries)
+#: and ``gg`` (short-running queries).
+REPRESENTATIVE_DATASETS = ("ep", "gg")
+
+#: Hop-constraint sweep used by the per-k figures (the paper uses 3..8; the
+#: upper end is trimmed to keep pure-Python baselines inside the time budget).
+K_SWEEP = (3, 4, 5, 6)
+
+#: Default per-query measurement settings for the benchmark suite.
+BENCH_SETTINGS = BenchmarkSettings(time_limit_seconds=1.0, response_k=100, store_paths=False)
+
+#: Number of queries per workload (the paper uses 1 000).
+QUERIES_PER_WORKLOAD = 4
+
+_WORKLOAD_CACHE = {}
+
+
+def dataset(name: str):
+    """Load a dataset stand-in (cached across benchmarks)."""
+    return load_dataset(name)
+
+
+def workload(name: str, *, k: int = 6, count: int = QUERIES_PER_WORKLOAD):
+    """A hard (V' x V') query workload on the named dataset (cached)."""
+    key = (name, k, count)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = generate_query_set(
+            dataset(name),
+            count=count,
+            k=k,
+            setting=QuerySetting.HIGH_HIGH,
+            seed=2021,
+            graph_name=name,
+        )
+    return _WORKLOAD_CACHE[key]
+
+
+def persist(name: str, text: str) -> None:
+    """Print a rendered table/series and save it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation: optimizer-chosen cut position vs. the naive middle cut.
+
+BC-JOIN always splits the query at the middle position; IDX-JOIN lets the
+full-fledged estimator choose the cut that minimises the two sub-query
+sizes.  This ablation runs the index join at every cut position and compares
+the cost-model choice against the middle and against the measured best,
+quantifying how much the query optimizer contributes on its own.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, REPRESENTATIVE_DATASETS, dataset, persist, run_once, workload
+
+from repro.bench.reporting import format_table
+from repro.bench.spectrum import spectrum_analysis
+from repro.core.estimator import find_cut_position, full_estimate
+from repro.core.index import LightWeightIndex
+
+ABLATION_K = 6
+
+
+def _run_ablation():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        graph = dataset(name)
+        query = workload(name, k=ABLATION_K).queries[0]
+        index = LightWeightIndex.build(graph, query)
+        chosen_cut = find_cut_position(full_estimate(index))
+        analysis = spectrum_analysis(
+            graph, query, time_limit_seconds=BENCH_SETTINGS.time_limit_seconds
+        )
+        bushy = {p.cut_position: p.enumeration_ms for p in analysis.bushy_points()}
+        best_cut = min(bushy, key=bushy.get)
+        middle_cut = ABLATION_K // 2
+        rows.append(
+            {
+                "dataset": name,
+                "chosen_cut": chosen_cut,
+                "chosen_ms": bushy[chosen_cut],
+                "middle_cut": middle_cut,
+                "middle_ms": bushy.get(middle_cut),
+                "best_cut": best_cut,
+                "best_ms": bushy[best_cut],
+                "left_deep_ms": analysis.left_deep_points()[0].enumeration_ms,
+            }
+        )
+    return rows
+
+
+def test_ablation_cut_position(benchmark):
+    rows = run_once(benchmark, _run_ablation)
+    persist(
+        "ablation_cut_position",
+        format_table(rows, title=f"Ablation: cost-based cut vs. middle cut (k={ABLATION_K})"),
+    )
+    for row in rows:
+        assert 1 <= row["chosen_cut"] <= ABLATION_K - 1
+        assert row["best_ms"] <= row["chosen_ms"] + 1e-9

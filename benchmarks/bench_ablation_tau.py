@@ -1,0 +1,54 @@
+"""Ablation: the preliminary-estimator threshold tau (Section 6.2).
+
+PathEnum only pays for the full-fledged optimizer when the preliminary
+estimate exceeds tau.  This ablation sweeps tau from "always optimize"
+(tau = 0) to "never optimize" (tau = infinity) and reports the mean query
+time, showing the regime the paper describes: optimizing everything hurts
+the short queries, never optimizing hurts the heavy ones, and the default
+threshold sits between the two.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, REPRESENTATIVE_DATASETS, dataset, persist, run_once, workload
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_workload
+from repro.core.engine import PathEnum
+
+TAU_VALUES = (0.0, 1e2, 1e5, float("inf"))
+ABLATION_K = 5
+
+
+def _run_ablation():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        graph = dataset(name)
+        queries = workload(name, k=ABLATION_K)
+        for tau in TAU_VALUES:
+            results = run_workload(
+                PathEnum(tau=tau), graph, queries, settings=BENCH_SETTINGS
+            )
+            join_plans = sum(1 for r in results if r.stats.plan == "join")
+            rows.append(
+                {
+                    "dataset": name,
+                    "tau": tau,
+                    "query_ms": sum(r.query_millis for r in results) / len(results),
+                    "join_plans": join_plans,
+                    "dfs_plans": len(results) - join_plans,
+                }
+            )
+    return rows
+
+
+def test_ablation_preliminary_threshold(benchmark):
+    rows = run_once(benchmark, _run_ablation)
+    persist(
+        "ablation_tau",
+        format_table(rows, title=f"Ablation: preliminary-estimator threshold tau (k={ABLATION_K})"),
+    )
+    # tau = infinity never runs the optimizer, so it never picks a join plan.
+    for row in rows:
+        if row["tau"] == float("inf"):
+            assert row["join_plans"] == 0

@@ -1,0 +1,48 @@
+"""Figure 10: enumeration time vs. index size (log-log regression).
+
+Per-query scatter points of (index edges, enumeration milliseconds) for
+IDX-DFS on the representative graphs, plus the fitted log-log line.
+Expected shape (paper): a positive but weaker correlation than the one
+against the number of results (Figure 11).
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, REPRESENTATIVE_DATASETS, dataset, persist, run_once, workload
+
+from repro.bench.regression import index_size_vs_time
+from repro.bench.reporting import format_table
+
+FIG10_K = 5
+FIG10_QUERIES = 8
+
+
+def _run_fig10():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        points, fit = index_size_vs_time(
+            dataset(name),
+            workload(name, k=FIG10_K, count=FIG10_QUERIES),
+            settings=BENCH_SETTINGS,
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "points": fit.num_points,
+                "slope": fit.slope,
+                "intercept": fit.intercept,
+                "correlation": fit.correlation,
+                "min_index_edges": min(p[0] for p in points),
+                "max_index_edges": max(p[0] for p in points),
+            }
+        )
+    return rows
+
+
+def test_fig10_index_size_regression(benchmark):
+    rows = run_once(benchmark, _run_fig10)
+    persist(
+        "fig10_index_size",
+        format_table(rows, title="Figure 10: enumeration time vs. index size (log-log fit)"),
+    )
+    assert len(rows) == len(REPRESENTATIVE_DATASETS)

@@ -1,0 +1,48 @@
+"""Figure 11: enumeration time vs. number of results (log-log regression).
+
+Expected shape (paper): the correlation with the result count is stronger
+than the correlation with the index size (Figure 10) — the enumeration time
+is essentially output-bound, which is the point of the O(k x delta_W) bound.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, REPRESENTATIVE_DATASETS, dataset, persist, run_once, workload
+
+from repro.bench.regression import index_size_vs_time, result_count_vs_time
+from repro.bench.reporting import format_table
+
+FIG11_K = 5
+FIG11_QUERIES = 8
+
+
+def _run_fig11():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        graph = dataset(name)
+        queries = workload(name, k=FIG11_K, count=FIG11_QUERIES)
+        _, result_fit = result_count_vs_time(graph, queries, settings=BENCH_SETTINGS)
+        _, index_fit = index_size_vs_time(graph, queries, settings=BENCH_SETTINGS)
+        rows.append(
+            {
+                "dataset": name,
+                "points": result_fit.num_points,
+                "slope": result_fit.slope,
+                "correlation_vs_results": result_fit.correlation,
+                "correlation_vs_index_size": index_fit.correlation,
+            }
+        )
+    return rows
+
+
+def test_fig11_result_count_regression(benchmark):
+    rows = run_once(benchmark, _run_fig11)
+    persist(
+        "fig11_result_count",
+        format_table(
+            rows,
+            title="Figure 11: enumeration time vs. #results (log-log fit, vs. Figure 10)",
+        ),
+    )
+    # Shape check: enumeration time correlates positively with #results.
+    assert all(row["correlation_vs_results"] > 0.0 for row in rows)

@@ -1,0 +1,45 @@
+"""Figure 12: scalability on the largest graph (the ``tm`` stand-in).
+
+The paper's billion-edge Twitter graph is replaced by the largest synthetic
+graph of the registry.  For k = 3..6 the execution time of every individual
+technique (BFS, index construction, join-order optimization, DFS, join) and
+the throughput of IDX-DFS / IDX-JOIN are reported.  Expected shape: index
+construction (dominated by its BFS) is the fixed cost, and the enumeration
+throughput stays high once the index is built.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, persist, run_once, workload, dataset
+
+from repro.bench.breakdown import technique_breakdown
+from repro.bench.reporting import format_table
+
+SCALABILITY_DATASET = "tm"
+SCALABILITY_KS = (3, 4, 5, 6)
+
+
+def _run_fig12():
+    graph = dataset(SCALABILITY_DATASET)
+    breakdown = technique_breakdown(
+        graph,
+        workload(SCALABILITY_DATASET, k=max(SCALABILITY_KS), count=3),
+        ks=SCALABILITY_KS,
+        settings=BENCH_SETTINGS,
+    )
+    rows = []
+    for k, values in breakdown.items():
+        rows.append({"dataset": SCALABILITY_DATASET, "k": k, **values})
+    return rows
+
+
+def test_fig12_scalability(benchmark):
+    rows = run_once(benchmark, _run_fig12)
+    persist(
+        "fig12_scalability",
+        format_table(rows, title="Figure 12: scalability on the largest graph (tm stand-in)"),
+    )
+    for row in rows:
+        # BFS is part of index construction, never larger than it.
+        assert row["bfs_ms"] <= row["index_construction_ms"] + 1e-6
+        assert row["idx_dfs_throughput"] > 0.0

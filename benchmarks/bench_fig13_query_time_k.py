@@ -1,0 +1,53 @@
+"""Figure 13: mean query time of all five algorithms with k varied.
+
+Expected shape (paper): all curves grow with k; the index-based algorithms
+stay one to two orders of magnitude below BC-DFS / BC-JOIN on the hard graph
+and PathEnum tracks the better of IDX-DFS / IDX-JOIN.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.baselines.registry import PAPER_ALGORITHMS
+from repro.bench.comparison import sweep_k
+from repro.bench.reporting import format_series
+
+
+def _run_fig13():
+    per_dataset = {}
+    for name in REPRESENTATIVE_DATASETS:
+        sweep = sweep_k(
+            dataset(name), workload(name), PAPER_ALGORITHMS, ks=K_SWEEP,
+            settings=BENCH_SETTINGS,
+        )
+        series = {
+            algorithm: {k: sweep[k][algorithm].mean_query_ms for k in K_SWEEP}
+            for algorithm in PAPER_ALGORITHMS
+        }
+        per_dataset[name] = series
+    return per_dataset
+
+
+def test_fig13_query_time_vs_k(benchmark):
+    per_dataset = run_once(benchmark, _run_fig13)
+    text_blocks = []
+    for name, series in per_dataset.items():
+        text_blocks.append(
+            format_series(series, x_label="k", title=f"Figure 13 ({name}): query time (ms)")
+        )
+    persist("fig13_query_time_k", "\n\n".join(text_blocks))
+    # Shape check: on the hard graph IDX-DFS is never meaningfully slower
+    # than BC-DFS at any k (at the top of the sweep both can saturate the
+    # time limit, so a small tolerance absorbs measurement noise).
+    ep_series = per_dataset["ep"]
+    for k in K_SWEEP:
+        assert ep_series["IDX-DFS"][k] <= 1.10 * ep_series["BC-DFS"][k]

@@ -1,0 +1,50 @@
+"""Figure 14: throughput (results per second) of all five algorithms with k varied.
+
+Expected shape (paper): the index-based algorithms sustain a throughput that
+keeps rising (or stays flat) with k because preprocessing amortises over more
+results, while BC-DFS's throughput collapses as its per-step pruning cost
+grows.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.baselines.registry import PAPER_ALGORITHMS
+from repro.bench.comparison import sweep_k
+from repro.bench.reporting import format_series
+
+
+def _run_fig14():
+    per_dataset = {}
+    for name in REPRESENTATIVE_DATASETS:
+        sweep = sweep_k(
+            dataset(name), workload(name), PAPER_ALGORITHMS, ks=K_SWEEP,
+            settings=BENCH_SETTINGS,
+        )
+        per_dataset[name] = {
+            algorithm: {k: sweep[k][algorithm].mean_throughput for k in K_SWEEP}
+            for algorithm in PAPER_ALGORITHMS
+        }
+    return per_dataset
+
+
+def test_fig14_throughput_vs_k(benchmark):
+    per_dataset = run_once(benchmark, _run_fig14)
+    text_blocks = [
+        format_series(series, x_label="k", title=f"Figure 14 ({name}): throughput (results/s)")
+        for name, series in per_dataset.items()
+    ]
+    persist("fig14_throughput_k", "\n\n".join(text_blocks))
+    # Shape check: IDX-DFS reaches a higher throughput than BC-DFS at the
+    # largest k on the hard graph.
+    top = max(K_SWEEP)
+    assert per_dataset["ep"]["IDX-DFS"][top] >= per_dataset["ep"]["BC-DFS"][top]

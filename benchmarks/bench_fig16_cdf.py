@@ -1,0 +1,57 @@
+"""Figure 16: cumulative distribution of per-query time for all five algorithms.
+
+Expected shape (paper): the index-based curves reach 100% far to the left of
+BC-DFS / BC-JOIN; on the hard graph a visible fraction of BC-DFS queries
+only terminates at the time limit.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.baselines.registry import PAPER_ALGORITHMS
+from repro.bench.metrics import cumulative_distribution
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_workload
+
+CDF_K = 5
+CDF_POINTS = 6
+
+
+def _run_fig16():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        for algorithm in PAPER_ALGORITHMS:
+            results = run_workload(
+                algorithm, dataset(name), workload(name, k=CDF_K), settings=BENCH_SETTINGS
+            )
+            for query_ms, fraction in cumulative_distribution(results, points=CDF_POINTS):
+                rows.append(
+                    {
+                        "dataset": name,
+                        "algorithm": algorithm,
+                        "query_ms": query_ms,
+                        "fraction_completed": fraction,
+                    }
+                )
+    return rows
+
+
+def test_fig16_query_time_cdf(benchmark):
+    rows = run_once(benchmark, _run_fig16)
+    persist(
+        "fig16_cdf",
+        format_table(rows, title=f"Figure 16: cumulative distribution of query time (k={CDF_K})"),
+    )
+    # Every CDF ends at fraction 1.0.
+    final = {}
+    for row in rows:
+        final[(row["dataset"], row["algorithm"])] = row["fraction_completed"]
+    assert all(abs(value - 1.0) < 1e-9 for value in final.values())

@@ -1,0 +1,55 @@
+"""Figure 17: execution time of every individual technique with k varied.
+
+Reports BFS, index construction, join-order optimization, DFS enumeration
+and join enumeration separately.  Expected shape (paper): BFS dominates the
+index construction; the optimization cost is small and roughly constant;
+DFS is cheaper than the join for small k and the join catches up as the
+search space grows.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.bench.breakdown import technique_breakdown
+from repro.bench.reporting import format_table
+
+
+def _run_fig17():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        breakdown = technique_breakdown(
+            dataset(name), workload(name), ks=K_SWEEP, settings=BENCH_SETTINGS
+        )
+        for k, values in breakdown.items():
+            rows.append(
+                {
+                    "dataset": name,
+                    "k": k,
+                    "bfs_ms": values["bfs_ms"],
+                    "index_construction_ms": values["index_construction_ms"],
+                    "optimization_ms": values["optimization_ms"],
+                    "dfs_ms": values["dfs_ms"],
+                    "join_ms": values["join_ms"],
+                }
+            )
+    return rows
+
+
+def test_fig17_individual_techniques(benchmark):
+    rows = run_once(benchmark, _run_fig17)
+    persist(
+        "fig17_techniques",
+        format_table(rows, title="Figure 17: execution time of each individual technique (ms)"),
+    )
+    for row in rows:
+        assert row["bfs_ms"] <= row["index_construction_ms"] + 1e-6
+        assert row["optimization_ms"] >= 0.0

@@ -1,0 +1,49 @@
+"""Figure 18: cardinality-estimation accuracy with k varied.
+
+Compares the mean actual result count against the full-fledged estimate
+(the optimizer's walk count) and the preliminary estimate (Eq. 5).
+Expected shape (paper): the full-fledged estimator tracks the actual count
+closely for small k and over-estimates increasingly as k grows, because
+walks outnumber paths more and more.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.bench.cardinality import estimation_accuracy
+from repro.bench.reporting import format_table
+
+
+def _run_fig18():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        accuracy = estimation_accuracy(
+            dataset(name), workload(name), ks=K_SWEEP, settings=BENCH_SETTINGS
+        )
+        for k, row in accuracy.items():
+            rows.append({"dataset": name, **row.as_row(),
+                         "estimate/actual": row.full_fledged_ratio})
+    return rows
+
+
+def test_fig18_cardinality_estimation(benchmark):
+    rows = run_once(benchmark, _run_fig18)
+    persist(
+        "fig18_cardinality",
+        format_table(rows, title="Figure 18: cardinality estimation accuracy"),
+    )
+    # The walk-count estimate never under-estimates the (possibly truncated)
+    # actual count at the smallest k, where nothing times out.
+    smallest = min(K_SWEEP)
+    for row in rows:
+        if row["k"] == smallest:
+            assert row["full_fledged"] >= row["#results"] - 1e-9

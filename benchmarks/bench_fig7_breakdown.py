@@ -1,0 +1,55 @@
+"""Figure 7: query-time breakdown (preprocessing vs. enumeration) with k varied.
+
+Expected shape (paper): preprocessing (index construction / BFS) dominates
+for small k and short queries, while enumeration takes over as k grows and
+result counts explode; IDX-DFS is faster than BC-DFS on both components.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.bench.breakdown import phase_breakdown
+from repro.bench.reporting import format_table
+
+ALGORITHMS = ("BC-DFS", "IDX-DFS")
+
+
+def _run_fig7():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        breakdown = phase_breakdown(
+            dataset(name), workload(name), ALGORITHMS, ks=K_SWEEP, settings=BENCH_SETTINGS
+        )
+        for k, per_algorithm in breakdown.items():
+            for algorithm, timings in per_algorithm.items():
+                rows.append(
+                    {
+                        "dataset": name,
+                        "k": k,
+                        "algorithm": algorithm,
+                        "preprocessing_ms": timings["preprocessing_ms"],
+                        "enumeration_ms": timings["enumeration_ms"],
+                    }
+                )
+    return rows
+
+
+def test_fig7_query_time_breakdown(benchmark):
+    rows = run_once(benchmark, _run_fig7)
+    persist(
+        "fig7_breakdown",
+        format_table(rows, title="Figure 7: preprocessing vs. enumeration time (ms)"),
+    )
+    assert len(rows) == len(REPRESENTATIVE_DATASETS) * len(K_SWEEP) * len(ALGORITHMS)
+    # Enumeration grows with k on the hard graph for IDX-DFS.
+    idx_ep = {r["k"]: r for r in rows if r["dataset"] == "ep" and r["algorithm"] == "IDX-DFS"}
+    assert idx_ep[max(K_SWEEP)]["enumeration_ms"] >= idx_ep[min(K_SWEEP)]["enumeration_ms"]

@@ -1,0 +1,52 @@
+"""Figure 8: 99.9% response-time latency on dynamic graphs with k varied.
+
+10% of each representative graph's edges are replayed as insertions; every
+insertion triggers a cycle query and the tail latency of the response time
+is reported.  Expected shape (paper): IDX-DFS keeps the tail latency one to
+two orders of magnitude below BC-DFS because the per-query index needs no
+maintenance under updates.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+)
+
+from repro.bench.dynamic import dynamic_latency
+from repro.bench.reporting import format_table
+from repro.workloads.dynamic import build_dynamic_workload
+
+ALGORITHMS = ("BC-DFS", "IDX-DFS")
+UPDATES_PER_GRAPH = 5
+
+
+def _run_fig8():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        stream = build_dynamic_workload(
+            dataset(name), update_fraction=0.10, max_updates=UPDATES_PER_GRAPH, seed=2021
+        )
+        latency = dynamic_latency(
+            stream, ALGORITHMS, ks=K_SWEEP, settings=BENCH_SETTINGS, percentile=99.9
+        )
+        for k, per_algorithm in latency.items():
+            for algorithm, value in per_algorithm.items():
+                rows.append(
+                    {"dataset": name, "k": k, "algorithm": algorithm, "p99.9_ms": value}
+                )
+    return rows
+
+
+def test_fig8_dynamic_latency(benchmark):
+    rows = run_once(benchmark, _run_fig8)
+    persist(
+        "fig8_dynamic_latency",
+        format_table(rows, title="Figure 8: 99.9% response-time latency on dynamic graphs (ms)"),
+    )
+    assert len(rows) == len(REPRESENTATIVE_DATASETS) * len(K_SWEEP) * len(ALGORITHMS)

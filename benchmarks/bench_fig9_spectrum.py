@@ -1,0 +1,62 @@
+"""Figure 9: spectrum analysis of the join-plan space on one hard query.
+
+Every plan in PathEnum's search space — the left-deep index DFS and the
+bushy join at each cut position — is timed for a single k = 6 query on each
+representative graph, together with the optimizer's own cost and PathEnum's
+end-to-end time.  Expected shape (paper): on the long-running graph the
+optimization time is negligible and the chosen plan is close to the best
+measured one; on the short-running graph PathEnum's preliminary estimator
+skips the optimization entirely, so its total is below index + optimization
++ best plan.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, REPRESENTATIVE_DATASETS, dataset, persist, run_once, workload
+
+from repro.bench.reporting import format_table
+from repro.bench.spectrum import spectrum_analysis
+
+SPECTRUM_K = 6
+
+
+def _run_fig9():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        query = workload(name, k=SPECTRUM_K).queries[0]
+        analysis = spectrum_analysis(
+            dataset(name), query, time_limit_seconds=BENCH_SETTINGS.time_limit_seconds
+        )
+        for point in analysis.points:
+            rows.append({"dataset": name, **point.as_row()})
+        rows.append(
+            {
+                "dataset": name,
+                "plan": "optimization-only",
+                "cut": None,
+                "enumeration_ms": analysis.optimization_ms,
+                "results": 0,
+                "timed_out": False,
+            }
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "plan": f"PathEnum ({analysis.pathenum_plan})",
+                "cut": None,
+                "enumeration_ms": analysis.pathenum_total_ms,
+                "results": 0,
+                "timed_out": False,
+            }
+        )
+    return rows
+
+
+def test_fig9_spectrum_analysis(benchmark):
+    rows = run_once(benchmark, _run_fig9)
+    persist(
+        "fig9_spectrum",
+        format_table(rows, title=f"Figure 9: join-plan spectrum (k={SPECTRUM_K})"),
+    )
+    plans = {row["plan"] for row in rows}
+    assert "left-deep" in plans and "bushy" in plans

@@ -1,0 +1,44 @@
+"""Table 2: properties of the (synthetic stand-in) datasets.
+
+Prints, for every registered dataset, the paper's reported |V| / |E| / avg
+degree next to the measured properties of the scaled-down synthetic graph
+used throughout this benchmark suite.
+"""
+
+from __future__ import annotations
+
+from _bench_common import dataset, persist, run_once
+
+from repro.bench.reporting import format_table
+from repro.graph.properties import summarize
+from repro.workloads.datasets import registry
+
+
+def _collect_rows():
+    rows = []
+    for name, spec in registry().items():
+        summary = summarize(dataset(name))
+        rows.append(
+            {
+                "name": name,
+                "dataset": spec.full_name,
+                "type": spec.category,
+                "paper |V|": spec.paper_vertices,
+                "paper |E|": spec.paper_edges,
+                "paper d_avg": spec.paper_avg_degree,
+                "|V|": summary.num_vertices,
+                "|E|": summary.num_edges,
+                "d_avg": round(summary.avg_degree, 1),
+            }
+        )
+    return rows
+
+
+def test_table2_dataset_properties(benchmark):
+    rows = run_once(benchmark, _collect_rows)
+    persist(
+        "table2_datasets",
+        format_table(rows, title="Table 2: dataset properties (paper vs. stand-in)",
+                     scientific=False),
+    )
+    assert len(rows) == 15

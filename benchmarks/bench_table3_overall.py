@@ -1,0 +1,65 @@
+"""Table 3: overall comparison of all five algorithms on every dataset.
+
+For each dataset stand-in (excluding the scalability graph ``tm``, which has
+its own experiment in Figure 12), the hard query set (s, t in V') is
+evaluated with BC-DFS, BC-JOIN, IDX-DFS, IDX-JOIN and PathEnum, and the three
+paper metrics — query time, throughput, response time — are reported.
+
+Expected shape (paper): the index-based algorithms beat BC-DFS / BC-JOIN by
+one to two orders of magnitude on the hard graphs (``ep``, ``sl``, ``ye``,
+``da``), while PathEnum tracks the better of IDX-DFS / IDX-JOIN everywhere.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SETTINGS, dataset, persist, run_once, workload
+
+from repro.baselines.registry import PAPER_ALGORITHMS
+from repro.bench.comparison import overall_comparison
+from repro.bench.reporting import format_table
+from repro.workloads.datasets import dataset_names
+
+#: k used for the overall comparison (the paper uses 6; 4 keeps the pure
+#: Python baselines inside the per-query time limit on every dataset).
+TABLE3_K = 4
+
+
+def _run_table3():
+    rows = []
+    for name in dataset_names(include_scalability=False):
+        metrics = overall_comparison(
+            dataset(name),
+            workload(name, k=TABLE3_K),
+            PAPER_ALGORITHMS,
+            settings=BENCH_SETTINGS,
+        )
+        for algorithm in PAPER_ALGORITHMS:
+            metric = metrics[algorithm]
+            rows.append(
+                {
+                    "dataset": name,
+                    "algorithm": algorithm,
+                    "query_ms": metric.mean_query_ms,
+                    "throughput": metric.mean_throughput,
+                    "response_ms": metric.mean_response_ms,
+                    "timeout_frac": metric.timeout_fraction,
+                }
+            )
+    return rows
+
+
+def test_table3_overall_comparison(benchmark):
+    rows = run_once(benchmark, _run_table3)
+    persist(
+        "table3_overall",
+        format_table(
+            rows,
+            title=f"Table 3: overall comparison (k={TABLE3_K}, hard query set)",
+        ),
+    )
+    # Sanity: every dataset has one row per algorithm.
+    datasets = {row["dataset"] for row in rows}
+    assert len(rows) == len(datasets) * len(PAPER_ALGORITHMS)
+    # Shape check: on the hard social graph the index DFS beats BC-DFS.
+    ep_rows = {row["algorithm"]: row for row in rows if row["dataset"] == "ep"}
+    assert ep_rows["IDX-DFS"]["query_ms"] <= ep_rows["BC-DFS"]["query_ms"]

@@ -1,0 +1,61 @@
+"""Table 4: query-time distribution of BC-DFS vs. IDX-DFS with k varied.
+
+The paper buckets queries into "< 60 s" and "> 120 s" under a 120 s limit;
+this harness keeps the same 0.5x / 1.0x proportions of its scaled-down time
+limit.  Expected shape: the fraction of fast queries shrinks with k much
+more quickly for BC-DFS than for IDX-DFS, and IDX-DFS times out on far fewer
+queries.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.bench.breakdown import query_time_distribution
+from repro.bench.reporting import format_table
+
+ALGORITHMS = ("BC-DFS", "IDX-DFS")
+
+
+def _run_table4():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        distribution = query_time_distribution(
+            dataset(name), workload(name), ALGORITHMS, ks=K_SWEEP, settings=BENCH_SETTINGS
+        )
+        for k, per_algorithm in distribution.items():
+            for algorithm, buckets in per_algorithm.items():
+                rows.append(
+                    {
+                        "dataset": name,
+                        "k": k,
+                        "algorithm": algorithm,
+                        "fast_fraction": buckets["fast"],
+                        "timeout_fraction": buckets["slow"],
+                    }
+                )
+    return rows
+
+
+def test_table4_query_time_distribution(benchmark):
+    rows = run_once(benchmark, _run_table4)
+    persist(
+        "table4_distribution",
+        format_table(rows, title="Table 4: query-time distribution (fraction fast / timed out)"),
+    )
+    # Shape check: IDX-DFS never times out on more queries than BC-DFS.
+    by_key = {(r["dataset"], r["k"], r["algorithm"]): r for r in rows}
+    for name in REPRESENTATIVE_DATASETS:
+        for k in K_SWEEP:
+            assert (
+                by_key[(name, k, "IDX-DFS")]["timeout_fraction"]
+                <= by_key[(name, k, "BC-DFS")]["timeout_fraction"]
+            )

@@ -1,0 +1,57 @@
+"""Table 6: average and maximum number of results with k varied.
+
+Expected shape (paper): result counts grow by roughly two orders of
+magnitude per added hop on the hard graph and the hard graph (``ep``) has
+far more results than the easy one (``gg``) — which is why its queries take
+longer (Figure 7) and why some of them can only be truncated.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.bench.comparison import result_count_statistics
+from repro.bench.reporting import format_table
+
+
+def _run_table6():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        stats = result_count_statistics(
+            dataset(name), workload(name), ks=K_SWEEP, settings=BENCH_SETTINGS
+        )
+        for k, row in stats.items():
+            rows.append(
+                {
+                    "dataset": name,
+                    "k": k,
+                    "avg_results": row["avg"],
+                    "max_results": row["max"],
+                    "truncated": row["truncated"],
+                }
+            )
+    return rows
+
+
+def test_table6_result_counts(benchmark):
+    rows = run_once(benchmark, _run_table6)
+    persist(
+        "table6_result_counts",
+        format_table(rows, title="Table 6: average / maximum number of results"),
+    )
+    by_key = {(r["dataset"], r["k"]): r for r in rows}
+    # Counts grow from the smallest to the largest k (timeouts can flatten
+    # the curve near the top, so only the endpoints are compared).
+    smallest, top = min(K_SWEEP), max(K_SWEEP)
+    for name in REPRESENTATIVE_DATASETS:
+        assert by_key[(name, top)]["avg_results"] >= by_key[(name, smallest)]["avg_results"]
+    # The hard graph has more results than the easy one at the largest k.
+    assert by_key[("ep", top)]["avg_results"] >= by_key[("gg", top)]["avg_results"]

@@ -1,0 +1,51 @@
+"""Table 7: maximum memory of the index and of IDX-JOIN's partial results.
+
+Expected shape (paper): the index stays small (it is bounded by the filtered
+edge set) while the materialised partial results of IDX-JOIN grow with the
+result count and dominate at large k on the hard graph.
+"""
+
+from __future__ import annotations
+
+from _bench_common import (
+    BENCH_SETTINGS,
+    K_SWEEP,
+    REPRESENTATIVE_DATASETS,
+    dataset,
+    persist,
+    run_once,
+    workload,
+)
+
+from repro.bench.memory import memory_consumption
+from repro.bench.reporting import format_table
+
+
+def _run_table7():
+    rows = []
+    for name in REPRESENTATIVE_DATASETS:
+        footprints = memory_consumption(
+            dataset(name), workload(name), ks=K_SWEEP, settings=BENCH_SETTINGS
+        )
+        for k, footprint in footprints.items():
+            rows.append({"dataset": name, **footprint.as_row()})
+    return rows
+
+
+def test_table7_memory_consumption(benchmark):
+    rows = run_once(benchmark, _run_table7)
+    persist(
+        "table7_memory",
+        format_table(rows, title="Table 7: maximum memory consumption (MB)"),
+    )
+    by_key = {(r["dataset"], r["k"]): r for r in rows}
+    for name in REPRESENTATIVE_DATASETS:
+        ks = sorted(K_SWEEP)
+        for small, large in zip(ks, ks[1:]):
+            assert by_key[(name, large)]["index_mb"] >= by_key[(name, small)]["index_mb"]
+    # Partial results on the hard graph outgrow those on the easy graph.
+    top = max(K_SWEEP)
+    assert (
+        by_key[("ep", top)]["partial_results_mb"]
+        >= by_key[("gg", top)]["partial_results_mb"]
+    )

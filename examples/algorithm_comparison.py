@@ -1,0 +1,46 @@
+"""Compare PathEnum against the baselines on a synthetic workload.
+
+A miniature version of the paper's Table 3: generates a hard (hub-to-hub)
+query set on one of the registry datasets, evaluates it with every
+registered algorithm and prints query time, throughput and response time.
+Useful as a template for benchmarking the library on your own graphs.
+
+Run with:
+
+    python examples/algorithm_comparison.py [dataset] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.registry import PAPER_ALGORITHMS
+from repro.bench import BenchmarkSettings, overall_comparison, format_table
+from repro.workloads import QuerySetting, generate_query_set, load_dataset
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "gg"
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    graph = load_dataset(dataset_name)
+    print(f"dataset {dataset_name}: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    workload = generate_query_set(
+        graph, count=10, k=k, setting=QuerySetting.HIGH_HIGH, seed=0, graph_name=dataset_name
+    )
+    print(f"workload: {len(workload)} hub-to-hub queries, k={k}\n")
+
+    settings = BenchmarkSettings(time_limit_seconds=2.0, response_k=100, store_paths=False)
+    metrics = overall_comparison(graph, workload, PAPER_ALGORITHMS, settings=settings)
+    rows = [metric.as_row() for metric in metrics.values()]
+    print(format_table(rows, title=f"Overall comparison on {dataset_name} (k={k})"))
+
+    fastest = min(metrics.values(), key=lambda m: m.mean_query_ms)
+    slowest = max(metrics.values(), key=lambda m: m.mean_query_ms)
+    speedup = slowest.mean_query_ms / max(fastest.mean_query_ms, 1e-9)
+    print(f"\n{fastest.algorithm} is {speedup:.1f}x faster than {slowest.algorithm} "
+          f"on this workload")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""PathEnum reproduction: real-time hop-constrained s-t path enumeration.
+
+This package reimplements the system described in
+
+    Sun, Chen, He, Hooi.  "PathEnum: Towards Real-Time Hop-Constrained s-t
+    Path Enumeration."  SIGMOD 2021.
+
+in pure Python, together with the baselines it is evaluated against, the
+workload generators of its evaluation section and a benchmark harness that
+regenerates every table and figure of the paper.
+
+Quickstart
+----------
+
+>>> from repro import GraphBuilder, enumerate_paths
+>>> builder = GraphBuilder()
+>>> builder.add_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+4
+>>> enumerate_paths(builder.build(), "a", "d", k=3, external_ids=True)
+[('a', 'c', 'd'), ('a', 'b', 'c', 'd')]
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AccumulativeConstraint,
+    AutomatonConstraint,
+    IdxDfs,
+    IdxJoin,
+    LightWeightIndex,
+    PathEnum,
+    PredicateConstraint,
+    Query,
+    QueryResult,
+    RunConfig,
+    SequenceAutomaton,
+    count_paths,
+    enumerate_paths,
+)
+from repro.distance import LandmarkOracle
+from repro.errors import ReproError
+from repro.graph import DiGraph, DynamicGraph, GraphBuilder, read_edge_list
+
+__all__ = [
+    "__version__",
+    "DiGraph",
+    "GraphBuilder",
+    "DynamicGraph",
+    "read_edge_list",
+    "Query",
+    "QueryResult",
+    "RunConfig",
+    "PathEnum",
+    "IdxDfs",
+    "IdxJoin",
+    "LightWeightIndex",
+    "enumerate_paths",
+    "count_paths",
+    "PredicateConstraint",
+    "AccumulativeConstraint",
+    "AutomatonConstraint",
+    "SequenceAutomaton",
+    "LandmarkOracle",
+    "ReproError",
+]

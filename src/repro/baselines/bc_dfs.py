@@ -1,0 +1,136 @@
+"""BC-DFS: the barrier-based polynomial-delay algorithm of Peng et al. [29].
+
+The algorithm refines the generic backtracking framework with *barriers*.
+Every vertex ``v`` carries a barrier ``bar(v)``, a lower bound on the number
+of hops still needed to reach ``t`` from ``v`` while avoiding the vertices
+currently on the search stack.  Initially ``bar(v) = S(v, t | G)``.  When the
+subtree explored below ``v`` with remaining budget ``b`` produces no result,
+the algorithm learns that ``v`` cannot reach ``t`` within ``b`` hops while
+the current stack is in place, so it raises ``bar(v)`` to ``b + 1`` and will
+skip ``v`` the next time it is offered with a budget of at most ``b``.
+
+Raised barriers are only valid while the stack prefix that caused the
+failure is still in place.  Because DFS stacks are prefixes of one another,
+attributing each raise to the depth of the vertex that was on top of the
+stack at raise time and rolling the raises back when that vertex is popped
+keeps the pruning sound: a barrier is consulted only while the blocking
+prefix is guaranteed to be a subset of the current stack.
+
+This reimplementation follows the description in [29] and in Appendix D of
+the PathEnum paper; the original C++ sources are not redistributable here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import Algorithm, timed_run
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.query import Query
+from repro.core.result import EnumerationStats, Phase, QueryResult
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
+
+__all__ = ["BcDfs"]
+
+#: Barrier value meaning "cannot reach the target at all".
+_INFINITE_BARRIER = 1 << 30
+
+
+class BcDfs(Algorithm):
+    """Barrier-based hop-constrained path enumeration (the paper's BC-DFS)."""
+
+    name = "BC-DFS"
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        config = config if config is not None else RunConfig()
+        query.validate(graph)
+
+        def body(collector: ResultCollector, deadline: Deadline, stats: EnumerationStats) -> None:
+            bfs_started = time.perf_counter()
+            dist_to_t = bfs_distances_bounded(graph, query.target, cutoff=query.k, reverse=True)
+            stats.add_phase(Phase.BFS, time.perf_counter() - bfs_started)
+
+            enumeration_started = time.perf_counter()
+            try:
+                _BarrierSearch(graph, query, dist_to_t, collector, deadline, stats).run()
+            finally:
+                stats.add_phase(Phase.ENUMERATION, time.perf_counter() - enumeration_started)
+
+        return timed_run(self.name, query, config, body)
+
+
+class _BarrierSearch:
+    """One BC-DFS run; keeps the barrier bookkeeping together."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        query: Query,
+        dist_to_t: np.ndarray,
+        collector: ResultCollector,
+        deadline: Deadline,
+        stats: EnumerationStats,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.collector = collector
+        self.deadline = deadline
+        self.stats = stats
+        self.barrier = np.where(
+            dist_to_t == UNREACHABLE, _INFINITE_BARRIER, dist_to_t
+        ).astype(np.int64)
+        self.path: List[int] = [query.source]
+        self.on_path = {query.source}
+        # raised_under[d] holds (vertex, previous_barrier) pairs whose raise
+        # is only valid while the vertex at stack depth d remains on the path.
+        self.raised_under: List[List[Tuple[int, int]]] = [[]]
+
+    def run(self) -> None:
+        self._search()
+
+    def _search(self) -> int:
+        self.deadline.check()
+        v = self.path[-1]
+        t, k = self.query.target, self.query.k
+        if v == t:
+            self.collector.emit(self.path)
+            return 1
+        depth = len(self.path) - 1
+        budget = k - depth - 1  # hops available after moving to a neighbour
+        found = 0
+        neighbors = self.graph.neighbors(v)
+        self.stats.edges_accessed += len(neighbors)
+        for v_next in neighbors:
+            v_next = int(v_next)
+            if v_next in self.on_path:
+                continue
+            if int(self.barrier[v_next]) > budget:
+                continue
+            self.stats.partial_results_generated += 1
+            self.path.append(v_next)
+            self.on_path.add(v_next)
+            self.raised_under.append([])
+            try:
+                sub_found = self._search()
+            finally:
+                frame_raises = self.raised_under.pop()
+                for vertex, previous in frame_raises:
+                    self.barrier[vertex] = previous
+                self.path.pop()
+                self.on_path.discard(v_next)
+            if sub_found == 0:
+                self.stats.invalid_partial_results += 1
+                # The failure happened while the current vertex v (depth
+                # ``depth``) was the deepest stack entry: raise the barrier
+                # and remember to roll it back when v is popped.
+                previous = int(self.barrier[v_next])
+                new_barrier = budget + 1
+                if new_barrier > previous:
+                    self.raised_under[depth].append((v_next, previous))
+                    self.barrier[v_next] = new_barrier
+            found += sub_found
+        return found

@@ -1,0 +1,230 @@
+"""BC-JOIN: the join-oriented variant of BC-DFS (Peng et al. [29]).
+
+BC-JOIN splits every result path at the middle position ``m = ceil(k / 2)``:
+
+1. compute the set of vertices that can appear at position ``m`` of a result
+   (within ``m`` hops of ``s`` and ``k - m`` hops of ``t``);
+2. enumerate the *left* partial paths from ``s`` — either exactly ``m`` edges
+   long and ending at a middle vertex, or shorter paths that already reach
+   ``t`` (these are complete results on their own);
+3. enumerate the *right* partial paths from every middle vertex to ``t`` with
+   at most ``k - m`` edges;
+4. hash-join the two sides on the middle vertex, discarding combinations
+   that share a vertex.
+
+Unlike IDX-JOIN there is no query-dependent index and no cost-based cut
+selection — the cut is always the middle — which is exactly the contrast the
+paper draws in Appendix D.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import Algorithm, timed_run
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.query import Query
+from repro.core.result import EnumerationStats, Phase, QueryResult
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
+
+__all__ = ["BcJoin"]
+
+Walk = Tuple[int, ...]
+
+
+class BcJoin(Algorithm):
+    """Middle-vertex join enumeration (the paper's BC-JOIN)."""
+
+    name = "BC-JOIN"
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        config = config if config is not None else RunConfig()
+        query.validate(graph)
+
+        def body(collector: ResultCollector, deadline: Deadline, stats: EnumerationStats) -> None:
+            s, t, k = query.source, query.target, query.k
+            bfs_started = time.perf_counter()
+            dist_to_t = bfs_distances_bounded(graph, t, cutoff=k, reverse=True)
+            dist_from_s = bfs_distances_bounded(graph, s, cutoff=k)
+            stats.add_phase(Phase.BFS, time.perf_counter() - bfs_started)
+
+            join_started = time.perf_counter()
+            middle = math.ceil(k / 2)
+
+            # Left side: paths from s with exactly `middle` edges, or shorter
+            # paths that terminate at t (complete results).
+            left_paths: List[Walk] = []
+            short_results: List[Walk] = []
+            _enumerate_partials(
+                graph,
+                start=s,
+                max_length=middle,
+                stop_at=t,
+                distance_bound=lambda v, used: int(dist_to_t[v]) != UNREACHABLE
+                and used + int(dist_to_t[v]) <= k,
+                sink_exact=left_paths,
+                sink_terminal=short_results,
+                terminal=t,
+                deadline=deadline,
+                stats=stats,
+            )
+            for path in short_results:
+                collector.emit(path)
+
+            middle_vertices = {p[-1] for p in left_paths if p[-1] != t}
+            # Right side: paths from each middle vertex to t with at most
+            # k - middle edges.
+            right_by_head: Dict[int, List[Walk]] = {}
+            right_count = 0
+            for v in sorted(middle_vertices):
+                paths_from_v: List[Walk] = []
+                _enumerate_to_target(
+                    graph,
+                    start=v,
+                    target=t,
+                    max_length=k - middle,
+                    dist_to_t=dist_to_t,
+                    forbidden=(s,),
+                    sink=paths_from_v,
+                    deadline=deadline,
+                    stats=stats,
+                )
+                if paths_from_v:
+                    right_by_head[v] = paths_from_v
+                    right_count += len(paths_from_v)
+
+            stats.peak_partial_result_tuples = max(
+                stats.peak_partial_result_tuples, len(left_paths) + right_count
+            )
+            stats.peak_partial_result_bytes = max(
+                stats.peak_partial_result_bytes,
+                8 * ((middle + 1) * len(left_paths) + (k - middle + 1) * right_count),
+            )
+
+            # Join on the middle vertex with a vertex-disjointness check.
+            for left in left_paths:
+                deadline.check()
+                if left[-1] == t:
+                    # Exactly-middle-length path that already ends at t.
+                    collector.emit(left)
+                    continue
+                matches = right_by_head.get(left[-1], ())
+                left_set = set(left)
+                produced = 0
+                for right in matches:
+                    if any(v in left_set for v in right[1:]):
+                        continue
+                    collector.emit(left + right[1:])
+                    produced += 1
+                if produced == 0:
+                    stats.invalid_partial_results += 1
+            stats.add_phase(Phase.JOIN, time.perf_counter() - join_started)
+
+        return timed_run(self.name, query, config, body)
+
+
+def _enumerate_partials(
+    graph: DiGraph,
+    *,
+    start: int,
+    max_length: int,
+    stop_at: int,
+    distance_bound,
+    sink_exact: List[Walk],
+    sink_terminal: List[Walk],
+    terminal: int,
+    deadline: Deadline,
+    stats: EnumerationStats,
+) -> None:
+    """Enumerate simple paths from ``start`` used as the join's left side.
+
+    Paths of exactly ``max_length`` edges go to ``sink_exact``; shorter paths
+    that reach ``terminal`` early go to ``sink_terminal``.
+    """
+    path = [start]
+    on_path = {start}
+
+    def recurse() -> None:
+        deadline.check()
+        v = path[-1]
+        used = len(path) - 1
+        if v == terminal:
+            if used < max_length:
+                sink_terminal.append(tuple(path))
+            else:
+                sink_exact.append(tuple(path))
+            return
+        if used == max_length:
+            sink_exact.append(tuple(path))
+            return
+        neighbors = graph.neighbors(v)
+        stats.edges_accessed += len(neighbors)
+        for v_next in neighbors:
+            v_next = int(v_next)
+            if v_next in on_path:
+                continue
+            if not distance_bound(v_next, used + 1):
+                continue
+            stats.partial_results_generated += 1
+            path.append(v_next)
+            on_path.add(v_next)
+            try:
+                recurse()
+            finally:
+                path.pop()
+                on_path.discard(v_next)
+
+    recurse()
+
+
+def _enumerate_to_target(
+    graph: DiGraph,
+    *,
+    start: int,
+    target: int,
+    max_length: int,
+    dist_to_t: np.ndarray,
+    forbidden: Tuple[int, ...],
+    sink: List[Walk],
+    deadline: Deadline,
+    stats: EnumerationStats,
+) -> None:
+    """Enumerate simple paths ``start -> target`` with at most ``max_length`` edges."""
+    path = [start]
+    on_path = {start}
+    banned = set(forbidden)
+
+    def recurse() -> None:
+        deadline.check()
+        v = path[-1]
+        used = len(path) - 1
+        if v == target:
+            sink.append(tuple(path))
+            return
+        if used == max_length:
+            return
+        neighbors = graph.neighbors(v)
+        stats.edges_accessed += len(neighbors)
+        remaining_budget = max_length - (used + 1)
+        for v_next in neighbors:
+            v_next = int(v_next)
+            if v_next in on_path or v_next in banned:
+                continue
+            barrier = int(dist_to_t[v_next])
+            if barrier == UNREACHABLE or barrier > remaining_budget:
+                continue
+            stats.partial_results_generated += 1
+            path.append(v_next)
+            on_path.add(v_next)
+            try:
+                recurse()
+            finally:
+                path.pop()
+                on_path.discard(v_next)
+
+    recurse()

@@ -1,0 +1,94 @@
+"""Chain-join evaluation on the fully-reduced relations (Algorithm 2 + left-deep join).
+
+This baseline takes the join-based model literally: it materialises the
+relations ``R_1 .. R_k`` of Section 3.1, removes dangling tuples with the
+full reducer and then evaluates the chain join with a left-deep strategy,
+emitting every tuple that corresponds to a simple path (Theorem 3.1).
+
+It exists to quantify the cost of relation construction that motivates the
+light-weight index (Section 4.2): pruning power is essentially identical to
+the index (Appendix B), but the construction scans the graph and every
+relation several times.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.algorithm import Algorithm, timed_run
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.query import Query
+from repro.core.relations import ChainRelations, build_relations
+from repro.core.result import EnumerationStats, Phase, QueryResult
+from repro.graph.digraph import DiGraph
+
+__all__ = ["FullJoin"]
+
+
+class FullJoin(Algorithm):
+    """Left-deep evaluation of the fully-reduced chain join."""
+
+    name = "FullJoin"
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        config = config if config is not None else RunConfig()
+        query.validate(graph)
+
+        def body(collector: ResultCollector, deadline: Deadline, stats: EnumerationStats) -> None:
+            build_started = time.perf_counter()
+            relations = build_relations(graph, query, deadline=deadline)
+            stats.add_phase(Phase.INDEX, time.perf_counter() - build_started)
+            stats.index_edges = relations.total_tuples()
+
+            enumeration_started = time.perf_counter()
+            try:
+                _evaluate(relations, query, collector, deadline, stats)
+            finally:
+                stats.add_phase(Phase.ENUMERATION, time.perf_counter() - enumeration_started)
+
+        return timed_run(self.name, query, config, body)
+
+
+def _evaluate(
+    relations: ChainRelations,
+    query: Query,
+    collector: ResultCollector,
+    deadline: Deadline,
+    stats: EnumerationStats,
+) -> None:
+    """Left-deep join emitting simple paths directly.
+
+    The join variable ordering is the natural chain order ``u_0, ..., u_k``;
+    because relation ``R_i`` is grouped by its source attribute the evaluation
+    is a DFS over the reduced relations, with the duplicate-vertex check
+    applied on the fly (only the ``(t, t)`` padding may repeat).
+    """
+    s, t, k = query.source, query.target, query.k
+    adjacency: List[Dict[int, List[int]]] = [relations[i].adjacency() for i in range(1, k + 1)]
+    path = [s]
+    on_path = {s}
+
+    def recurse(position: int) -> None:
+        deadline.check()
+        v = path[-1]
+        if v == t:
+            collector.emit(path)
+            return
+        if position > k:
+            return
+        candidates = adjacency[position - 1].get(v, ())
+        stats.edges_accessed += len(candidates)
+        for v_next in candidates:
+            if v_next in on_path:
+                continue
+            stats.partial_results_generated += 1
+            path.append(v_next)
+            on_path.add(v_next)
+            try:
+                recurse(position + 1)
+            finally:
+                path.pop()
+                on_path.discard(v_next)
+
+    recurse(1)

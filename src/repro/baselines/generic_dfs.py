@@ -1,0 +1,98 @@
+"""The generic backtracking framework (Algorithm 1 of the paper).
+
+Before enumeration a single reverse BFS from ``t`` fills ``B(v)``, the
+distance from every vertex to the target.  The search then extends the
+partial result ``M`` over the raw adjacency lists of ``G``, pruning a
+candidate ``v'`` when it is already on the path or when
+``L(M) + 1 + B(v') > k``.
+
+This is the common skeleton that BC-DFS and T-DFS refine with extra pruning;
+on its own it is complete and correct but offers no polynomial-delay
+guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.algorithm import Algorithm, timed_run
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.query import Query
+from repro.core.result import EnumerationStats, Phase, QueryResult
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
+
+__all__ = ["GenericDfs"]
+
+
+class GenericDfs(Algorithm):
+    """Algorithm 1: DFS with static distance-to-target pruning."""
+
+    name = "GenericDFS"
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        config = config if config is not None else RunConfig()
+        query.validate(graph)
+
+        def body(collector: ResultCollector, deadline: Deadline, stats: EnumerationStats) -> None:
+            bfs_started = time.perf_counter()
+            dist_to_t = bfs_distances_bounded(
+                graph, query.target, cutoff=query.k, reverse=True
+            )
+            stats.add_phase(Phase.BFS, time.perf_counter() - bfs_started)
+
+            enumeration_started = time.perf_counter()
+            try:
+                _search(graph, query, dist_to_t, collector, deadline, stats)
+            finally:
+                stats.add_phase(Phase.ENUMERATION, time.perf_counter() - enumeration_started)
+
+        return timed_run(self.name, query, config, body)
+
+
+def _search(
+    graph: DiGraph,
+    query: Query,
+    dist_to_t: np.ndarray,
+    collector: ResultCollector,
+    deadline: Deadline,
+    stats: EnumerationStats,
+) -> None:
+    s, t, k = query.source, query.target, query.k
+    path = [s]
+    on_path = {s}
+
+    def recurse() -> int:
+        deadline.check()
+        v = path[-1]
+        if v == t:
+            collector.emit(path)
+            return 1
+        length = len(path) - 1
+        found = 0
+        neighbors = graph.neighbors(v)
+        stats.edges_accessed += len(neighbors)
+        for v_next in neighbors:
+            v_next = int(v_next)
+            if v_next in on_path:
+                continue
+            barrier = int(dist_to_t[v_next])
+            if barrier == UNREACHABLE or length + 1 + barrier > k:
+                continue
+            stats.partial_results_generated += 1
+            path.append(v_next)
+            on_path.add(v_next)
+            try:
+                sub_found = recurse()
+            finally:
+                path.pop()
+                on_path.discard(v_next)
+            if sub_found == 0:
+                stats.invalid_partial_results += 1
+            found += sub_found
+        return found
+
+    recurse()

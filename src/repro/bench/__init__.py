@@ -1,0 +1,76 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+The modules here do the measuring and aggregating; the runnable entry points
+live in the repository's ``benchmarks/`` directory (one pytest-benchmark
+file per table/figure) and in the CLI (``pathenum bench``).
+"""
+
+from repro.bench.breakdown import (
+    detailed_metrics,
+    phase_breakdown,
+    query_time_distribution,
+    technique_breakdown,
+)
+from repro.bench.cardinality import EstimationAccuracy, estimation_accuracy
+from repro.bench.comparison import (
+    OutlierMetrics,
+    outlier_split,
+    overall_comparison,
+    result_count_statistics,
+    sweep_k,
+)
+from repro.bench.dynamic import dynamic_latency
+from repro.bench.memory import MemoryFootprint, memory_consumption
+from repro.bench.metrics import (
+    WorkloadMetrics,
+    aggregate,
+    cumulative_distribution,
+    latency_percentile,
+    time_distribution,
+)
+from repro.bench.regression import LogLogFit, index_size_vs_time, loglog_fit, result_count_vs_time
+from repro.bench.reporting import format_series, format_table, print_series, print_table
+from repro.bench.runner import (
+    DEFAULT_SETTINGS,
+    BenchmarkSettings,
+    run_algorithms,
+    run_workload,
+)
+from repro.bench.spectrum import SpectrumAnalysis, SpectrumPoint, spectrum_analysis
+
+__all__ = [
+    "BenchmarkSettings",
+    "DEFAULT_SETTINGS",
+    "run_workload",
+    "run_algorithms",
+    "WorkloadMetrics",
+    "aggregate",
+    "latency_percentile",
+    "time_distribution",
+    "cumulative_distribution",
+    "overall_comparison",
+    "sweep_k",
+    "outlier_split",
+    "OutlierMetrics",
+    "result_count_statistics",
+    "phase_breakdown",
+    "technique_breakdown",
+    "detailed_metrics",
+    "query_time_distribution",
+    "LogLogFit",
+    "loglog_fit",
+    "index_size_vs_time",
+    "result_count_vs_time",
+    "SpectrumAnalysis",
+    "SpectrumPoint",
+    "spectrum_analysis",
+    "EstimationAccuracy",
+    "estimation_accuracy",
+    "MemoryFootprint",
+    "memory_consumption",
+    "dynamic_latency",
+    "format_table",
+    "format_series",
+    "print_table",
+    "print_series",
+]

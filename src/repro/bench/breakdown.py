@@ -1,0 +1,147 @@
+"""Per-phase and per-technique breakdowns: Figures 6, 7, 12, 17 and Table 4.
+
+These harnesses look inside :class:`~repro.core.result.EnumerationStats`
+rather than only at end-to-end times: preprocessing vs. enumeration
+(Figure 7), the execution time of each individual technique — BFS, index
+construction, join-order optimization, DFS, join — (Figures 12 and 17), the
+detailed pruning metrics (Figure 6) and the query-time distribution buckets
+(Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.bench.metrics import time_distribution
+from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS, run_workload
+from repro.core.result import Phase, QueryResult
+from repro.graph.digraph import DiGraph
+from repro.workloads.queries import QueryWorkload
+
+__all__ = [
+    "phase_breakdown",
+    "technique_breakdown",
+    "detailed_metrics",
+    "query_time_distribution",
+]
+
+
+def phase_breakdown(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, Dict[str, Mapping[str, float]]]:
+    """Preprocessing vs. enumeration time per algorithm and ``k`` (Figure 7).
+
+    Returns ``{k: {algorithm: {"preprocessing_ms": .., "enumeration_ms": ..}}}``
+    with arithmetic means over the workload.
+    """
+    breakdown: Dict[int, Dict[str, Mapping[str, float]]] = {}
+    for k in ks:
+        rescoped = workload.with_k(k)
+        per_algorithm: Dict[str, Mapping[str, float]] = {}
+        for name in algorithms:
+            results = run_workload(name, graph, rescoped, settings=settings)
+            per_algorithm[name] = {
+                "preprocessing_ms": 1e3 * float(
+                    np.mean([r.stats.preprocessing_seconds for r in results])
+                ),
+                "enumeration_ms": 1e3 * float(
+                    np.mean([r.stats.enumeration_seconds for r in results])
+                ),
+            }
+        breakdown[k] = per_algorithm
+    return breakdown
+
+
+def technique_breakdown(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, Mapping[str, float]]:
+    """Execution time of every individual technique per ``k`` (Figures 12, 17).
+
+    Runs IDX-DFS and IDX-JOIN over the workload and reports mean milliseconds
+    for: BFS, index construction, join-order optimization, DFS enumeration and
+    join enumeration, plus the IDX-DFS / IDX-JOIN throughput.
+    """
+    breakdown: Dict[int, Mapping[str, float]] = {}
+    for k in ks:
+        rescoped = workload.with_k(k)
+        dfs_results = run_workload("IDX-DFS", graph, rescoped, settings=settings)
+        join_results = run_workload("IDX-JOIN", graph, rescoped, settings=settings)
+
+        def _mean_phase(results: Sequence[QueryResult], phase: str) -> float:
+            return 1e3 * float(np.mean([r.stats.phase(phase) for r in results]))
+
+        breakdown[k] = {
+            "bfs_ms": _mean_phase(dfs_results, Phase.BFS),
+            "index_construction_ms": _mean_phase(dfs_results, Phase.INDEX),
+            "optimization_ms": _mean_phase(join_results, Phase.OPTIMIZATION),
+            "dfs_ms": _mean_phase(dfs_results, Phase.ENUMERATION),
+            "join_ms": _mean_phase(join_results, Phase.JOIN),
+            "idx_dfs_throughput": float(np.mean([r.throughput for r in dfs_results])),
+            "idx_join_throughput": float(np.mean([r.throughput for r in join_results])),
+        }
+    return breakdown
+
+
+def detailed_metrics(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, Dict[str, Mapping[str, float]]]:
+    """Edges accessed, invalid partial results and results per ``k`` (Figure 6)."""
+    metrics: Dict[int, Dict[str, Mapping[str, float]]] = {}
+    for k in ks:
+        rescoped = workload.with_k(k)
+        per_algorithm: Dict[str, Mapping[str, float]] = {}
+        for name in algorithms:
+            results = run_workload(name, graph, rescoped, settings=settings)
+            per_algorithm[name] = {
+                "edges": float(np.mean([r.stats.edges_accessed for r in results])),
+                "invalid": float(np.mean([r.stats.invalid_partial_results for r in results])),
+                "results": float(np.mean([r.count for r in results])),
+            }
+        metrics[k] = per_algorithm
+    return metrics
+
+
+def query_time_distribution(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+    fast_fraction_of_limit: float = 0.5,
+) -> Dict[int, Dict[str, Mapping[str, float]]]:
+    """Fractions of fast (< half the limit) and timed-out queries (Table 4).
+
+    The paper buckets at 60 s and 120 s with a 120 s limit; the harness keeps
+    the same 0.5 / 1.0 proportions of whatever limit the settings use.
+    """
+    limit_ms = settings.time_limit_seconds * 1e3
+    distribution: Dict[int, Dict[str, Mapping[str, float]]] = {}
+    for k in ks:
+        rescoped = workload.with_k(k)
+        per_algorithm: Dict[str, Mapping[str, float]] = {}
+        for name in algorithms:
+            results = run_workload(name, graph, rescoped, settings=settings)
+            per_algorithm[name] = time_distribution(
+                results,
+                fast_threshold_ms=fast_fraction_of_limit * limit_ms,
+                slow_threshold_ms=limit_ms,
+            )
+        distribution[k] = per_algorithm
+    return distribution

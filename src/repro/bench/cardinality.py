@@ -1,0 +1,84 @@
+"""Cardinality-estimation accuracy (Figure 18).
+
+For each hop constraint the harness compares three numbers averaged over a
+query workload: the actual result count (from IDX-DFS), the full-fledged
+estimate (the walk count produced by Algorithm 5's dynamic programs) and the
+preliminary estimate (Eq. 5).  The paper's observation — the full-fledged
+estimator tracks the truth closely while the gap widens with ``k`` because
+walks increasingly outnumber paths — falls out of the same comparison here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS
+from repro.core.estimator import full_estimate, preliminary_estimate
+from repro.core.index import LightWeightIndex
+from repro.core.listener import RunConfig
+from repro.core.engine import IdxDfs
+from repro.graph.digraph import DiGraph
+from repro.workloads.queries import QueryWorkload
+
+__all__ = ["EstimationAccuracy", "estimation_accuracy"]
+
+
+@dataclass(frozen=True)
+class EstimationAccuracy:
+    """Mean actual / estimated result counts for one hop constraint."""
+
+    k: int
+    actual: float
+    full_fledged: float
+    preliminary: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "#results": self.actual,
+            "full_fledged": self.full_fledged,
+            "preliminary": self.preliminary,
+        }
+
+    @property
+    def full_fledged_ratio(self) -> float:
+        """Estimate / actual ratio of the full-fledged estimator (1.0 = exact)."""
+        if self.actual == 0:
+            return float("inf") if self.full_fledged > 0 else 1.0
+        return self.full_fledged / self.actual
+
+
+def estimation_accuracy(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, EstimationAccuracy]:
+    """Compute Figure 18's three series over the workload for each ``k``."""
+    algorithm = IdxDfs()
+    config = RunConfig(
+        store_paths=False,
+        time_limit_seconds=settings.time_limit_seconds,
+        response_k=settings.response_k,
+    )
+    accuracy: Dict[int, EstimationAccuracy] = {}
+    for k in ks:
+        actual_counts = []
+        full_estimates = []
+        preliminary_estimates = []
+        for query in workload.with_k(k):
+            index = LightWeightIndex.build(graph, query)
+            preliminary_estimates.append(preliminary_estimate(index))
+            full_estimates.append(float(full_estimate(index).walk_count))
+            actual_counts.append(algorithm.run(graph, query, config).count)
+        accuracy[k] = EstimationAccuracy(
+            k=k,
+            actual=float(np.mean(actual_counts)),
+            full_fledged=float(np.mean(full_estimates)),
+            preliminary=float(np.mean(preliminary_estimates)),
+        )
+    return accuracy

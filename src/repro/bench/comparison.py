@@ -1,0 +1,146 @@
+"""Algorithm comparison harnesses: Table 3, Table 5, Table 6, Figures 13-15.
+
+The functions here evaluate several algorithms over the same workload and
+aggregate the paper's three metrics (query time, throughput, response time),
+either per dataset (the overall comparison) or as a sweep over the hop
+constraint ``k`` (the supplementary figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.metrics import WorkloadMetrics, aggregate
+from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS, run_workload
+from repro.core.result import QueryResult
+from repro.graph.digraph import DiGraph
+from repro.workloads.queries import QueryWorkload
+
+__all__ = [
+    "overall_comparison",
+    "sweep_k",
+    "outlier_split",
+    "result_count_statistics",
+    "OutlierMetrics",
+]
+
+
+def overall_comparison(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    algorithms: Sequence[str],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[str, WorkloadMetrics]:
+    """One Table 3 row: every algorithm over the same query set on one graph."""
+    metrics: Dict[str, WorkloadMetrics] = {}
+    for name in algorithms:
+        results = run_workload(name, graph, workload, settings=settings)
+        metrics[name] = aggregate(results, algorithm=name)
+    return metrics
+
+
+def sweep_k(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, Dict[str, WorkloadMetrics]]:
+    """Re-run the same endpoint pairs for every ``k`` (Figures 13, 14, 15)."""
+    sweep: Dict[int, Dict[str, WorkloadMetrics]] = {}
+    for k in ks:
+        rescoped = workload.with_k(k)
+        sweep[k] = overall_comparison(graph, rescoped, algorithms, settings=settings)
+    return sweep
+
+
+@dataclass(frozen=True)
+class OutlierMetrics:
+    """Throughput / response time split into short- and long-running queries (Table 5)."""
+
+    algorithm: str
+    short_throughput: Optional[float]
+    long_throughput: Optional[float]
+    short_response_ms: Optional[float]
+    long_response_ms: Optional[float]
+    num_short: int
+    num_long: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "throughput_short": self.short_throughput,
+            "throughput_long": self.long_throughput,
+            "response_ms_short": self.short_response_ms,
+            "response_ms_long": self.long_response_ms,
+            "#short": self.num_short,
+            "#long": self.num_long,
+        }
+
+
+def outlier_split(
+    results: Sequence[QueryResult], *, short_threshold_ms: float
+) -> OutlierMetrics:
+    """Split per-query results into short vs long running (Table 5).
+
+    The paper uses 60 s as the short threshold and the 120 s timeout as the
+    long class; with scaled-down time limits the threshold scales too, and
+    the long class is "timed out or slower than the threshold".
+    """
+    if not results:
+        raise ValueError("cannot split an empty result sequence")
+    short = [r for r in results if r.query_millis < short_threshold_ms and not r.stats.timed_out]
+    long = [r for r in results if r.stats.timed_out or r.query_millis >= short_threshold_ms]
+
+    def _mean_throughput(group: Sequence[QueryResult]) -> Optional[float]:
+        return float(np.mean([r.throughput for r in group])) if group else None
+
+    def _mean_response(group: Sequence[QueryResult]) -> Optional[float]:
+        if not group:
+            return None
+        values = [
+            (r.response_seconds if r.response_seconds is not None else r.query_seconds) * 1e3
+            for r in group
+        ]
+        return float(np.mean(values))
+
+    return OutlierMetrics(
+        algorithm=results[0].algorithm,
+        short_throughput=_mean_throughput(short),
+        long_throughput=_mean_throughput(long),
+        short_response_ms=_mean_response(short),
+        long_response_ms=_mean_response(long),
+        num_short=len(short),
+        num_long=len(long),
+    )
+
+
+def result_count_statistics(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    ks: Sequence[int],
+    *,
+    algorithm: str = "IDX-DFS",
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, Mapping[str, float]]:
+    """Average and maximum number of results per ``k`` (Table 6).
+
+    Counts come from the fastest enumeration available (IDX-DFS by default);
+    timed-out queries contribute the results found before the deadline, as
+    marked with a star in the paper.
+    """
+    statistics: Dict[int, Mapping[str, float]] = {}
+    for k in ks:
+        results = run_workload(algorithm, graph, workload.with_k(k), settings=settings)
+        counts = [r.count for r in results]
+        statistics[k] = {
+            "avg": float(np.mean(counts)),
+            "max": float(np.max(counts)),
+            "truncated": any(r.stats.timed_out for r in results),
+        }
+    return statistics

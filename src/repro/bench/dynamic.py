@@ -1,0 +1,52 @@
+"""Dynamic-graph benchmark: tail latency under a stream of edge insertions (Figure 8).
+
+Each held-out edge is applied to the graph and the cycle query it triggers is
+evaluated with the requested algorithms; the 99.9 % (configurable) percentile
+of the per-query response time is reported per hop constraint, exactly the
+series of Figure 8.  Because PathEnum builds its index per query, no
+persistent structure needs maintenance between updates — which is the point
+the experiment makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.metrics import latency_percentile
+from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS
+from repro.baselines.registry import get_algorithm
+from repro.core.result import QueryResult
+from repro.workloads.dynamic import DynamicWorkload
+
+__all__ = ["dynamic_latency"]
+
+
+def dynamic_latency(
+    workload: DynamicWorkload,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+    percentile: float = 99.9,
+) -> Dict[int, Dict[str, float]]:
+    """Tail response-time latency (ms) per algorithm and hop constraint."""
+    latencies: Dict[int, Dict[str, float]] = {}
+    config = settings.to_run_config()
+    for k in ks:
+        per_algorithm: Dict[str, float] = {}
+        for name in algorithms:
+            algorithm = get_algorithm(name)
+            results: List[QueryResult] = []
+            rescoped = DynamicWorkload(
+                initial_graph=workload.initial_graph,
+                updates=list(workload.updates),
+                k=k,
+            )
+            for snapshot, _edge, query in rescoped.replay():
+                if query is None:
+                    continue
+                results.append(algorithm.run(snapshot, query, config))
+            if results:
+                per_algorithm[name] = latency_percentile(results, percentile)
+        latencies[k] = per_algorithm
+    return latencies

@@ -1,0 +1,57 @@
+"""Memory accounting for the index and the join's partial results (Table 7).
+
+The paper reports the maximum memory consumed by (a) the light-weight index
+and (b) IDX-JOIN's materialised partial results, per hop constraint.  The
+same quantities are derived here from the byte estimates every run records
+in :class:`~repro.core.result.EnumerationStats` (8 bytes per stored vertex
+id), so the numbers are deterministic and do not depend on allocator
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS, run_workload
+from repro.graph.digraph import DiGraph
+from repro.workloads.queries import QueryWorkload
+
+__all__ = ["MemoryFootprint", "memory_consumption"]
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Peak index and partial-result memory for one hop constraint."""
+
+    k: int
+    index_mb: float
+    partial_results_mb: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "index_mb": self.index_mb,
+            "partial_results_mb": self.partial_results_mb,
+        }
+
+
+def memory_consumption(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    ks: Sequence[int],
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Dict[int, MemoryFootprint]:
+    """Maximum index / partial-result memory of IDX-JOIN per ``k`` (Table 7)."""
+    footprints: Dict[int, MemoryFootprint] = {}
+    for k in ks:
+        results = run_workload("IDX-JOIN", graph, workload.with_k(k), settings=settings)
+        index_bytes = max(r.stats.index_bytes for r in results)
+        partial_bytes = max(r.stats.peak_partial_result_bytes for r in results)
+        footprints[k] = MemoryFootprint(
+            k=k,
+            index_mb=index_bytes / (1024 * 1024),
+            partial_results_mb=partial_bytes / (1024 * 1024),
+        )
+    return footprints

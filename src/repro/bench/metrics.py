@@ -1,0 +1,133 @@
+"""Aggregate metrics over a set of per-query results (Section 7.1).
+
+The paper reports three metrics per algorithm and query set:
+
+* **query time** — arithmetic-mean wall clock per query, in milliseconds,
+  with timed-out queries clamped to the time limit;
+* **throughput** — results found per second, computed from the results found
+  before the deadline even for timed-out queries;
+* **response time** — time until the first 1 000 results (or all of them,
+  when a query has fewer).
+
+This module also provides the latency percentiles (Figure 8), the query-time
+distribution buckets (Table 4) and the cumulative distribution (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import QueryResult
+
+__all__ = [
+    "WorkloadMetrics",
+    "aggregate",
+    "latency_percentile",
+    "time_distribution",
+    "cumulative_distribution",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadMetrics:
+    """Aggregate metrics of one algorithm over one query set."""
+
+    algorithm: str
+    num_queries: int
+    #: Arithmetic mean query time in milliseconds.
+    mean_query_ms: float
+    #: Mean throughput (results per second).
+    mean_throughput: float
+    #: Mean response time in milliseconds (queries with a recorded probe).
+    mean_response_ms: Optional[float]
+    #: Fraction of queries that hit the time limit.
+    timeout_fraction: float
+    #: Total number of results found across the query set.
+    total_results: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat representation used by the reporting layer."""
+        return {
+            "algorithm": self.algorithm,
+            "queries": self.num_queries,
+            "query_ms": self.mean_query_ms,
+            "throughput": self.mean_throughput,
+            "response_ms": self.mean_response_ms,
+            "timeout_frac": self.timeout_fraction,
+            "results": self.total_results,
+        }
+
+
+def aggregate(results: Sequence[QueryResult], *, algorithm: Optional[str] = None) -> WorkloadMetrics:
+    """Compute :class:`WorkloadMetrics` over ``results``.
+
+    ``algorithm`` overrides the name when aggregating a mixed sequence.
+    """
+    if not results:
+        raise ValueError("cannot aggregate an empty result sequence")
+    name = algorithm if algorithm is not None else results[0].algorithm
+    query_ms = [r.query_millis for r in results]
+    throughput = [r.throughput for r in results]
+    responses = [r.response_seconds * 1e3 for r in results if r.response_seconds is not None]
+    # Queries with fewer than response_k results respond as soon as they are
+    # complete; use the total query time for them, as the paper does.
+    responses.extend(
+        r.query_millis for r in results if r.response_seconds is None
+    )
+    timeouts = sum(1 for r in results if r.stats.timed_out)
+    return WorkloadMetrics(
+        algorithm=name,
+        num_queries=len(results),
+        mean_query_ms=float(np.mean(query_ms)),
+        mean_throughput=float(np.mean(throughput)),
+        mean_response_ms=float(np.mean(responses)) if responses else None,
+        timeout_fraction=timeouts / len(results),
+        total_results=sum(r.count for r in results),
+    )
+
+
+def latency_percentile(results: Sequence[QueryResult], percentile: float = 99.9) -> float:
+    """The ``percentile``-th percentile of response time in milliseconds (Figure 8)."""
+    if not results:
+        raise ValueError("cannot compute a percentile over no results")
+    values = [
+        (r.response_seconds if r.response_seconds is not None else r.query_seconds) * 1e3
+        for r in results
+    ]
+    return float(np.percentile(values, percentile))
+
+
+def time_distribution(
+    results: Sequence[QueryResult],
+    *,
+    fast_threshold_ms: float,
+    slow_threshold_ms: float,
+) -> Dict[str, float]:
+    """Fractions of queries faster than / slower than the thresholds (Table 4).
+
+    The paper uses 60 s and 120 s; the benchmark harness passes scaled-down
+    thresholds matching its scaled-down time limit.
+    """
+    if not results:
+        raise ValueError("cannot compute a distribution over no results")
+    total = len(results)
+    fast = sum(1 for r in results if r.query_millis < fast_threshold_ms)
+    slow = sum(1 for r in results if r.stats.timed_out or r.query_millis >= slow_threshold_ms)
+    return {"fast": fast / total, "slow": slow / total}
+
+
+def cumulative_distribution(
+    results: Sequence[QueryResult], *, points: int = 50
+) -> List[Tuple[float, float]]:
+    """The CDF of query time as ``(query_ms, fraction_completed)`` pairs (Figure 16)."""
+    if not results:
+        raise ValueError("cannot compute a CDF over no results")
+    times = np.sort(np.asarray([r.query_millis for r in results], dtype=np.float64))
+    fractions = np.arange(1, len(times) + 1) / len(times)
+    if len(times) <= points:
+        return list(zip(times.tolist(), fractions.tolist()))
+    positions = np.linspace(0, len(times) - 1, points).astype(int)
+    return list(zip(times[positions].tolist(), fractions[positions].tolist()))

@@ -1,0 +1,103 @@
+"""Log-log regression of enumeration time against index size and result count.
+
+Figures 10 and 11 of the paper fit a linear model on the logarithms of the
+per-query metrics to show that the enumeration time correlates more strongly
+with the number of results than with the index size.  The same analysis is
+reproduced here with a least-squares fit (numpy) and the Pearson correlation
+of the log-transformed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS, run_workload
+from repro.core.result import QueryResult
+from repro.graph.digraph import DiGraph
+from repro.workloads.queries import QueryWorkload
+
+__all__ = ["LogLogFit", "loglog_fit", "index_size_vs_time", "result_count_vs_time"]
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """A least-squares fit of ``log(y) = slope * log(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    correlation: float
+    num_points: int
+
+    def as_row(self) -> dict:
+        return {
+            "slope": self.slope,
+            "intercept": self.intercept,
+            "correlation": self.correlation,
+            "points": self.num_points,
+        }
+
+
+def loglog_fit(xs: Sequence[float], ys: Sequence[float]) -> LogLogFit:
+    """Fit a line through ``(log x, log y)`` pairs, dropping non-positive values."""
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive (x, y) pairs for a regression")
+    log_x = np.log10([p[0] for p in pairs])
+    log_y = np.log10([p[1] for p in pairs])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    if np.std(log_x) == 0.0 or np.std(log_y) == 0.0:
+        correlation = 0.0
+    else:
+        correlation = float(np.corrcoef(log_x, log_y)[0, 1])
+    return LogLogFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        correlation=correlation,
+        num_points=len(pairs),
+    )
+
+
+def _collect(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    *,
+    settings: BenchmarkSettings,
+) -> List[QueryResult]:
+    return run_workload("IDX-DFS", graph, workload, settings=settings)
+
+
+def index_size_vs_time(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Tuple[List[Tuple[float, float]], LogLogFit]:
+    """Per-query (index edges, enumeration ms) points and their log-log fit (Figure 10)."""
+    results = _collect(graph, workload, settings=settings)
+    points = [
+        (float(r.stats.index_edges), r.stats.enumeration_seconds * 1e3)
+        for r in results
+        if r.stats.index_edges > 0 and r.stats.enumeration_seconds > 0
+    ]
+    fit = loglog_fit([p[0] for p in points], [p[1] for p in points])
+    return points, fit
+
+
+def result_count_vs_time(
+    graph: DiGraph,
+    workload: QueryWorkload,
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+) -> Tuple[List[Tuple[float, float]], LogLogFit]:
+    """Per-query (#results, enumeration ms) points and their log-log fit (Figure 11)."""
+    results = _collect(graph, workload, settings=settings)
+    points = [
+        (float(r.count), r.stats.enumeration_seconds * 1e3)
+        for r in results
+        if r.count > 0 and r.stats.enumeration_seconds > 0
+    ]
+    fit = loglog_fit([p[0] for p in points], [p[1] for p in points])
+    return points, fit

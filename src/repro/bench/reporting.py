@@ -1,0 +1,94 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The paper reports numbers in scientific notation (e.g. ``2.28e-1`` ms); the
+formatters here do the same so the regenerated tables can be compared to the
+originals side by side.  Output goes to stdout, which pytest-benchmark
+captures with ``-s`` and the EXPERIMENTS.md workflow copies verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_value", "format_table", "format_series", "print_table", "print_series"]
+
+
+def format_value(value: object, *, scientific: bool = True) -> str:
+    """Render one cell the way the paper's tables do."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if scientific:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    scientific: bool = True,
+) -> str:
+    """Render rows of dicts as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([format_value(row.get(c), scientific=scientific) for c in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row_cells in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, object]],
+    *,
+    x_label: str = "k",
+    title: Optional[str] = None,
+    scientific: bool = True,
+) -> str:
+    """Render named series (figure data) as a table with one column per series.
+
+    ``series`` maps a series name (e.g. algorithm) to ``{x: y}`` points; the
+    x values of the first series define the row order.
+    """
+    if not series:
+        return f"{title}\n(no series)" if title else "(no series)"
+    names = list(series)
+    xs: List[object] = []
+    for points in series.values():
+        for x in points:
+            if x not in xs:
+                xs.append(x)
+    rows: List[Dict[str, object]] = []
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name in names:
+            row[name] = series[name].get(x)
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *names], title=title, scientific=scientific)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], **kwargs) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(rows, **kwargs))
+    print()
+
+
+def print_series(series: Mapping[str, Mapping[object, object]], **kwargs) -> None:
+    """Print :func:`format_series` output followed by a blank line."""
+    print(format_series(series, **kwargs))
+    print()

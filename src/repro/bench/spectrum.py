@@ -1,0 +1,135 @@
+"""Spectrum analysis of the join-plan space (Figure 9).
+
+For one query the harness measures the enumeration time of every plan in the
+space the paper's optimizer searches:
+
+* the left-deep plan — the index DFS from ``s`` (Algorithm 4);
+* every bushy plan — the index join (Algorithm 6) at each interior cut
+  position ``1 <= i <= k - 1``;
+
+plus the time spent by the join-order optimizer itself (Algorithm 5) and the
+end-to-end time of PathEnum's actual choice.  The paper's conclusion — the
+optimizer picks a near-optimal plan and its overhead only matters for short
+queries — can then be read directly off the returned numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.dfs import run_idx_dfs
+from repro.core.engine import PathEnum
+from repro.core.estimator import full_estimate, find_cut_position
+from repro.core.index import LightWeightIndex
+from repro.core.join import run_idx_join
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.query import Query
+from repro.core.result import EnumerationStats
+from repro.errors import EnumerationTimeout
+from repro.graph.digraph import DiGraph
+
+__all__ = ["SpectrumPoint", "SpectrumAnalysis", "spectrum_analysis"]
+
+
+@dataclass(frozen=True)
+class SpectrumPoint:
+    """One evaluated plan of the spectrum."""
+
+    plan: str
+    cut_position: Optional[int]
+    enumeration_ms: float
+    results: int
+    timed_out: bool
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan,
+            "cut": self.cut_position,
+            "enumeration_ms": self.enumeration_ms,
+            "results": self.results,
+            "timed_out": self.timed_out,
+        }
+
+
+@dataclass
+class SpectrumAnalysis:
+    """All plan timings for one query plus the optimizer's behaviour."""
+
+    query: Query
+    index_ms: float
+    optimization_ms: float
+    pathenum_total_ms: float
+    pathenum_plan: str
+    points: List[SpectrumPoint] = field(default_factory=list)
+
+    def best_point(self) -> SpectrumPoint:
+        """The fastest plan actually measured."""
+        return min(self.points, key=lambda p: p.enumeration_ms)
+
+    def left_deep_points(self) -> List[SpectrumPoint]:
+        return [p for p in self.points if p.plan == "left-deep"]
+
+    def bushy_points(self) -> List[SpectrumPoint]:
+        return [p for p in self.points if p.plan == "bushy"]
+
+
+def spectrum_analysis(
+    graph: DiGraph,
+    query: Query,
+    *,
+    time_limit_seconds: Optional[float] = None,
+) -> SpectrumAnalysis:
+    """Measure every plan in the optimizer's search space for one query."""
+    index_started = time.perf_counter()
+    index = LightWeightIndex.build(graph, query)
+    index_ms = 1e3 * (time.perf_counter() - index_started)
+
+    optimization_started = time.perf_counter()
+    estimate = full_estimate(index)
+    find_cut_position(estimate)
+    optimization_ms = 1e3 * (time.perf_counter() - optimization_started)
+
+    points: List[SpectrumPoint] = []
+
+    def _measure(plan: str, cut: Optional[int]) -> None:
+        collector = ResultCollector(store_paths=False, response_k=1 << 60)
+        deadline = Deadline(time_limit_seconds)
+        stats = EnumerationStats()
+        started = time.perf_counter()
+        timed_out = False
+        try:
+            if plan == "left-deep":
+                run_idx_dfs(index, collector, deadline=deadline, stats=stats)
+            else:
+                run_idx_join(index, cut, collector, deadline=deadline, stats=stats)
+        except EnumerationTimeout:
+            timed_out = True
+        elapsed_ms = 1e3 * (time.perf_counter() - started)
+        points.append(
+            SpectrumPoint(
+                plan=plan,
+                cut_position=cut,
+                enumeration_ms=elapsed_ms,
+                results=collector.count,
+                timed_out=timed_out,
+            )
+        )
+
+    _measure("left-deep", None)
+    for cut in range(1, query.k):
+        _measure("bushy", cut)
+
+    engine = PathEnum()
+    config = RunConfig(store_paths=False, time_limit_seconds=time_limit_seconds)
+    pathenum_result = engine.run(graph, query, config)
+
+    return SpectrumAnalysis(
+        query=query,
+        index_ms=index_ms,
+        optimization_ms=optimization_ms,
+        pathenum_total_ms=pathenum_result.query_millis,
+        pathenum_plan=pathenum_result.stats.plan or "dfs",
+        points=points,
+    )

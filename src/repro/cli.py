@@ -1,0 +1,170 @@
+"""Command-line interface: ``pathenum`` (or ``python -m repro``).
+
+Sub-commands
+------------
+
+``query``
+    Evaluate a single HcPE query on an edge-list file or a named synthetic
+    dataset and print the paths (or just the count).
+
+``datasets``
+    List the synthetic dataset registry with Table 2 style properties.
+
+``bench``
+    Run the overall comparison (a Table 3 row) on one dataset and print the
+    aggregated metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.registry import PAPER_ALGORITHMS, available_algorithms, get_algorithm
+from repro.bench.comparison import overall_comparison
+from repro.bench.reporting import format_table
+from repro.bench.runner import BenchmarkSettings
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.graph.io import read_edge_list
+from repro.graph.properties import summarize
+from repro.workloads.datasets import dataset_names, load_dataset, registry
+from repro.workloads.queries import QuerySetting, generate_query_set
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pathenum",
+        description="Hop-constrained s-t path enumeration (PathEnum, SIGMOD 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query_parser = subparsers.add_parser("query", help="evaluate a single HcPE query")
+    source_group = query_parser.add_mutually_exclusive_group(required=True)
+    source_group.add_argument("--edge-list", help="path to a SNAP-style edge list file")
+    source_group.add_argument(
+        "--dataset", choices=dataset_names(), help="name of a synthetic dataset"
+    )
+    query_parser.add_argument("--source", required=True, help="source vertex id")
+    query_parser.add_argument("--target", required=True, help="target vertex id")
+    query_parser.add_argument("-k", "--hops", type=int, required=True, help="hop constraint")
+    query_parser.add_argument(
+        "--algorithm",
+        default="PathEnum",
+        help=f"algorithm to use (default PathEnum; available: {', '.join(sorted(available_algorithms()))})",
+    )
+    query_parser.add_argument("--count-only", action="store_true", help="print only the count")
+    query_parser.add_argument("--limit", type=int, default=None, help="stop after N results")
+    query_parser.add_argument(
+        "--time-limit", type=float, default=None, help="per-query time limit in seconds"
+    )
+
+    datasets_parser = subparsers.add_parser("datasets", help="list the synthetic dataset registry")
+    datasets_parser.add_argument(
+        "--build", action="store_true", help="build each graph and report measured properties"
+    )
+
+    bench_parser = subparsers.add_parser("bench", help="run the overall comparison on one dataset")
+    bench_parser.add_argument("--dataset", default="gg", choices=dataset_names())
+    bench_parser.add_argument("-k", "--hops", type=int, default=4)
+    bench_parser.add_argument("--queries", type=int, default=20, help="number of queries")
+    bench_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(PAPER_ALGORITHMS),
+        help="algorithms to compare",
+    )
+    bench_parser.add_argument("--time-limit", type=float, default=2.0)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.edge_list:
+        graph = read_edge_list(args.edge_list)
+    else:
+        graph = load_dataset(args.dataset)
+    try:
+        source = graph.to_internal(int(args.source))
+        target = graph.to_internal(int(args.target))
+    except (ValueError, KeyError):
+        source = graph.to_internal(args.source)
+        target = graph.to_internal(args.target)
+    query = Query(source, target, args.hops)
+    algorithm = get_algorithm(args.algorithm)
+    config = RunConfig(
+        store_paths=not args.count_only,
+        result_limit=args.limit,
+        time_limit_seconds=args.time_limit,
+    )
+    result = algorithm.run(graph, query, config)
+    print(f"algorithm: {result.algorithm}")
+    print(f"query: q({args.source}, {args.target}, {args.hops})")
+    print(f"paths: {result.count}")
+    print(f"query time: {result.query_millis:.3f} ms")
+    if result.stats.plan:
+        print(f"plan: {result.stats.plan}")
+    if not args.count_only and result.paths is not None:
+        for path in result.paths:
+            print(" -> ".join(str(graph.to_external(v)) for v in path))
+    return 0
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in registry().items():
+        row = {
+            "name": name,
+            "dataset": spec.full_name,
+            "type": spec.category,
+            "paper |V|": spec.paper_vertices,
+            "paper |E|": spec.paper_edges,
+            "paper d_avg": spec.paper_avg_degree,
+        }
+        if args.build:
+            summary = summarize(load_dataset(name))
+            row.update({"|V|": summary.num_vertices, "|E|": summary.num_edges,
+                        "d_avg": round(summary.avg_degree, 1)})
+        rows.append(row)
+    print(format_table(rows, title="Synthetic dataset registry (Table 2 stand-ins)",
+                       scientific=False))
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    workload = generate_query_set(
+        graph,
+        count=args.queries,
+        k=args.hops,
+        setting=QuerySetting.HIGH_HIGH,
+        seed=args.seed,
+        graph_name=args.dataset,
+    )
+    settings = BenchmarkSettings(time_limit_seconds=args.time_limit)
+    metrics = overall_comparison(graph, workload, args.algorithms, settings=settings)
+    rows = [m.as_row() for m in metrics.values()]
+    print(format_table(rows, title=f"Overall comparison on {args.dataset} (k={args.hops})"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    if args.command == "bench":
+        return _command_bench(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""Constraint extensions for HcPE queries (Appendix E of the paper).
+
+Three kinds of constraints are supported, matching the paper's motivating
+applications:
+
+* :class:`PredicateConstraint` — every edge of a result path must satisfy a
+  user predicate (e.g. "only high-value transactions").  Applied while the
+  index is built, so constrained queries get *more* pruning, not less.
+* :class:`AccumulativeConstraint` — a commutative/associative binary
+  operation folds a per-edge value along the path and the final value must
+  satisfy an acceptance predicate (Algorithm 7), e.g. "total risk above a
+  threshold".  An optional monotone pruning bound cuts branches early.
+* :class:`AutomatonConstraint` — edge labels must spell a word accepted by a
+  finite automaton (Algorithm 8), e.g. the action sequence
+  ``write -> mention`` in knowledge-graph completion.
+
+All three implement the small :class:`PathConstraint` protocol used by the
+DFS enumerator; the join enumerator applies :meth:`PathConstraint.accepts_path`
+to each final result instead, as described in Appendix E.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "PathConstraint",
+    "PredicateConstraint",
+    "AccumulativeConstraint",
+    "AutomatonConstraint",
+    "SequenceAutomaton",
+]
+
+
+class PathConstraint:
+    """Protocol for per-path constraints carried through the DFS.
+
+    Subclasses provide an initial state, a transition applied for every edge
+    added to the partial result, an acceptance test applied when the partial
+    result reaches ``t`` and a whole-path re-check used by join-based
+    enumeration.  The sentinel :data:`REJECT` returned from ``transition``
+    prunes the branch immediately.
+    """
+
+    #: Sentinel returned by ``transition`` to prune the current branch.
+    REJECT = object()
+
+    def initial_state(self):
+        """State attached to the partial result ``(s)``."""
+        raise NotImplementedError
+
+    def transition(self, state, source: int, target: int):
+        """State after appending edge ``(source, target)``, or :data:`REJECT`."""
+        raise NotImplementedError
+
+    def accepts(self, state) -> bool:
+        """Whether a complete path with final ``state`` satisfies the constraint."""
+        raise NotImplementedError
+
+    def accepts_path(self, path: Sequence[int]) -> bool:
+        """Re-evaluate the constraint on a complete path (join-based plans)."""
+        state = self.initial_state()
+        for source, target in zip(path, path[1:]):
+            state = self.transition(state, source, target)
+            if state is PathConstraint.REJECT:
+                return False
+        return self.accepts(state)
+
+    def edge_filter(self) -> Optional[Callable[[int, int], bool]]:
+        """Edge filter applied during index construction, if any."""
+        return None
+
+
+class PredicateConstraint(PathConstraint):
+    """Every edge of the path must satisfy ``predicate(u, v, weight, label)``.
+
+    The constraint is enforced during index construction (the filtered edges
+    never enter the index) which is how the paper integrates predicates
+    without materialising a subgraph.
+    """
+
+    def __init__(self, predicate: Callable[[int, int, float, Optional[str]], bool], graph: DiGraph):
+        if not callable(predicate):
+            raise ConstraintError("predicate must be callable")
+        self._predicate = predicate
+        self._graph = graph
+
+    def initial_state(self):
+        return None
+
+    def transition(self, state, source: int, target: int):
+        # Index construction already filtered edges; re-check defensively so
+        # the constraint also works when applied to an unfiltered algorithm.
+        weight = self._graph.edge_weight(source, target, default=1.0)
+        label = self._graph.edge_label(source, target, default=None)
+        if self._predicate(source, target, weight, label):
+            return None
+        return PathConstraint.REJECT
+
+    def accepts(self, state) -> bool:
+        return True
+
+    def edge_filter(self) -> Callable[[int, int], bool]:
+        graph = self._graph
+        predicate = self._predicate
+
+        def _filter(u: int, v: int) -> bool:
+            return predicate(u, v, graph.edge_weight(u, v, default=1.0), graph.edge_label(u, v, default=None))
+
+        return _filter
+
+
+class AccumulativeConstraint(PathConstraint):
+    """Fold a per-edge value along the path and test the total (Algorithm 7).
+
+    Parameters
+    ----------
+    graph:
+        Graph whose edge weights provide the per-edge values (unless
+        ``edge_value`` overrides them).
+    accept:
+        Predicate on the accumulated value evaluated at the target.
+    operation:
+        Commutative/associative binary operation; defaults to addition.
+    initial:
+        Identity element of ``operation``; defaults to 0.0.
+    edge_value:
+        Optional ``f(u, v) -> float`` overriding the edge weight.
+    upper_bound_prune:
+        When set, branches whose accumulated value already exceeds this bound
+        are pruned (sound only for non-negative edge values and monotone
+        operations, as discussed in Appendix E).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        accept: Callable[[float], bool],
+        *,
+        operation: Callable[[float, float], float] = lambda a, b: a + b,
+        initial: float = 0.0,
+        edge_value: Optional[Callable[[int, int], float]] = None,
+        upper_bound_prune: Optional[float] = None,
+    ) -> None:
+        if not callable(accept):
+            raise ConstraintError("accept must be callable")
+        self._graph = graph
+        self._accept = accept
+        self._operation = operation
+        self._initial = initial
+        self._edge_value = edge_value
+        self._upper_bound = upper_bound_prune
+
+    def initial_state(self) -> float:
+        return self._initial
+
+    def transition(self, state: float, source: int, target: int):
+        value = (
+            self._edge_value(source, target)
+            if self._edge_value is not None
+            else self._graph.edge_weight(source, target, default=1.0)
+        )
+        accumulated = self._operation(state, value)
+        if self._upper_bound is not None and accumulated > self._upper_bound:
+            return PathConstraint.REJECT
+        return accumulated
+
+    def accepts(self, state: float) -> bool:
+        return bool(self._accept(state))
+
+
+class SequenceAutomaton:
+    """Deterministic finite automaton over edge labels.
+
+    The transition table maps ``(state, label) -> state``.  Missing entries
+    reject.  :meth:`from_label_sequence` builds the automaton accepting
+    exactly the given label sequence, optionally as a subsequence pattern in
+    which unrelated labels are allowed in between.
+    """
+
+    def __init__(
+        self,
+        start: Hashable,
+        accepting: Iterable[Hashable],
+        transitions: Dict[Tuple[Hashable, str], Hashable],
+    ) -> None:
+        self.start = start
+        self.accepting = frozenset(accepting)
+        self.transitions = dict(transitions)
+        if not self.transitions and not self.accepting:
+            raise ConstraintError("automaton must have at least one accepting state")
+
+    def step(self, state: Hashable, label: Optional[str]) -> Optional[Hashable]:
+        """Next state or ``None`` when the label is not accepted from ``state``."""
+        if label is None:
+            return None
+        return self.transitions.get((state, label))
+
+    def is_accepting(self, state: Hashable) -> bool:
+        """Whether ``state`` is an accepting state."""
+        return state in self.accepting
+
+    @classmethod
+    def from_label_sequence(
+        cls, labels: Sequence[str], *, allow_gaps: bool = False
+    ) -> "SequenceAutomaton":
+        """Automaton accepting paths whose labels spell ``labels`` in order.
+
+        With ``allow_gaps`` the required labels may be interleaved with other
+        labels (a subsequence match); otherwise the path labels must equal the
+        sequence exactly.
+        """
+        if not labels:
+            raise ConstraintError("label sequence must not be empty")
+        transitions: Dict[Tuple[Hashable, str], Hashable] = {}
+        for i, label in enumerate(labels):
+            transitions[(i, label)] = i + 1
+        if allow_gaps:
+            alphabet = set(labels)
+            for i in range(len(labels) + 1):
+                for label in alphabet:
+                    transitions.setdefault((i, label), i)
+            # Gap transitions for labels outside the alphabet are handled by
+            # ``step`` returning the same state via the wildcard below.
+            automaton = cls(0, {len(labels)}, transitions)
+            automaton._allow_gaps = True  # type: ignore[attr-defined]
+            return automaton
+        return cls(0, {len(labels)}, transitions)
+
+
+class AutomatonConstraint(PathConstraint):
+    """The label sequence of the path must be accepted by an automaton."""
+
+    def __init__(self, graph: DiGraph, automaton: SequenceAutomaton) -> None:
+        self._graph = graph
+        self._automaton = automaton
+        self._allow_gaps = bool(getattr(automaton, "_allow_gaps", False))
+
+    def initial_state(self):
+        return self._automaton.start
+
+    def transition(self, state, source: int, target: int):
+        label = self._graph.edge_label(source, target, default=None)
+        next_state = self._automaton.step(state, label)
+        if next_state is None:
+            if self._allow_gaps:
+                return state
+            return PathConstraint.REJECT
+        return next_state
+
+    def accepts(self, state) -> bool:
+        return self._automaton.is_accepting(state)

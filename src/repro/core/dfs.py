@@ -1,0 +1,124 @@
+"""Depth-first search on the light-weight index (Algorithm 4, IDX-DFS).
+
+The search extends the partial result ``M`` one vertex at a time.  At every
+step only the neighbours returned by ``I_t(v, k - L(M) - 1)`` are considered,
+so the hop constraint never has to be re-checked against a distance oracle —
+that is the whole point of the index.
+
+The implementation additionally supports the constraint extensions of
+Appendix E: an accumulative value carried along the partial result
+(Algorithm 7) and a finite-automaton state driven by edge labels
+(Algorithm 8).  Both are provided through the :mod:`repro.core.constraints`
+protocol and add a single state object per recursion level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constraints import PathConstraint
+from repro.core.index import LightWeightIndex
+from repro.core.listener import Deadline, ResultCollector
+from repro.core.result import EnumerationStats
+
+__all__ = ["run_idx_dfs"]
+
+
+def run_idx_dfs(
+    index: LightWeightIndex,
+    collector: ResultCollector,
+    *,
+    deadline: Optional[Deadline] = None,
+    stats: Optional[EnumerationStats] = None,
+    constraint: Optional[PathConstraint] = None,
+) -> int:
+    """Enumerate all hop-constrained s-t paths via DFS on ``index``.
+
+    Returns the number of results emitted.  Deadline expiry and result
+    limits propagate as :class:`EnumerationTimeout` / ``ResultLimitReached``
+    and are handled by the caller (the engine), so this function stays close
+    to the paper's pseudocode.
+    """
+    stats = stats if stats is not None else EnumerationStats()
+    query = index.query
+    s, t, k = query.source, query.target, query.k
+    if index.is_empty:
+        return 0
+
+    path = [s]
+    on_path = {s}
+    initial_state = None if constraint is None else constraint.initial_state()
+    emitted = _search(
+        index,
+        t,
+        k,
+        path,
+        on_path,
+        collector,
+        deadline,
+        stats,
+        constraint,
+        initial_state,
+    )
+    stats.results_emitted += emitted
+    return emitted
+
+
+def _search(
+    index: LightWeightIndex,
+    t: int,
+    k: int,
+    path: list,
+    on_path: set,
+    collector: ResultCollector,
+    deadline: Optional[Deadline],
+    stats: EnumerationStats,
+    constraint: Optional[PathConstraint],
+    state,
+) -> int:
+    """Recursive Search procedure; returns the number of results in this subtree."""
+    if deadline is not None:
+        deadline.check()
+    v = path[-1]
+    if v == t:
+        if constraint is None or constraint.accepts(state):
+            collector.emit(path)
+            return 1
+        return 0
+
+    budget = k - (len(path) - 1) - 1
+    candidates = index.neighbors_within(v, budget)
+    stats.edges_accessed += len(candidates)
+    found = 0
+    for v_next in candidates:
+        if v_next in on_path:
+            continue
+        if constraint is not None:
+            next_state = constraint.transition(state, v, v_next)
+            if next_state is constraint.REJECT:
+                continue
+        else:
+            next_state = None
+        stats.partial_results_generated += 1
+        path.append(v_next)
+        on_path.add(v_next)
+        try:
+            sub_found = _search(
+                index,
+                t,
+                k,
+                path,
+                on_path,
+                collector,
+                deadline,
+                stats,
+                constraint,
+                next_state,
+            )
+        finally:
+            path.pop()
+            on_path.discard(v_next)
+        if sub_found == 0:
+            stats.invalid_partial_results += 1
+        found += sub_found
+    return found

@@ -1,0 +1,199 @@
+"""The PathEnum engine and its fixed-plan variants (Figure 2).
+
+Three public algorithms are defined here:
+
+* :class:`IdxDfs` — always evaluates with the index DFS (Algorithm 4); the
+  paper's IDX-DFS.
+* :class:`IdxJoin` — always runs the full-fledged optimizer and evaluates
+  with the bushy join (Algorithms 5 and 6); the paper's IDX-JOIN.
+* :class:`PathEnum` — the complete system: light-weight index, preliminary
+  estimation, optional full optimization and cost-based selection between
+  the two evaluation strategies.
+
+All three accept the uniform :class:`~repro.core.listener.RunConfig` and can
+therefore be driven by the same benchmark harness as the baselines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.algorithm import Algorithm, timed_run
+from repro.core.constraints import PathConstraint
+from repro.core.dfs import run_idx_dfs
+from repro.core.index import LightWeightIndex
+from repro.core.join import run_idx_join
+from repro.core.listener import RunConfig
+from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
+from repro.core.query import Query
+from repro.core.result import Phase, QueryResult
+from repro.graph.digraph import DiGraph
+
+__all__ = ["PathEnum", "IdxDfs", "IdxJoin", "enumerate_paths", "count_paths"]
+
+
+class _IndexedAlgorithm(Algorithm):
+    """Shared machinery of the three index-based algorithms."""
+
+    #: Plan forcing: ``None`` (cost-based), ``"dfs"`` or ``"join"``.
+    _force: Optional[str] = None
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        config = config if config is not None else RunConfig()
+        constraint = config.constraint
+        if constraint is not None and not isinstance(constraint, PathConstraint):
+            raise TypeError("config.constraint must be a PathConstraint instance")
+
+        def body(collector, deadline, stats) -> None:
+            edge_filter = constraint.edge_filter() if constraint is not None else None
+            index = LightWeightIndex.build(
+                graph, query, edge_filter=edge_filter, deadline=deadline, stats=stats
+            )
+            plan = choose_plan(
+                index, tau=config.tau, deadline=deadline, stats=stats, force=self._force
+            )
+            stats.plan = plan.kind
+            # The enumeration phase is recorded in a ``finally`` block so that
+            # queries interrupted by the deadline or a result limit still
+            # report how long they enumerated (Figure 7 / Figure 17 depend on
+            # this for timed-out queries).
+            enumeration_started = time.perf_counter()
+            if plan.kind == "join":
+                cut = plan.cut_position if plan.cut_position is not None else max(1, query.k // 2)
+                try:
+                    run_idx_join(
+                        index,
+                        cut,
+                        collector,
+                        deadline=deadline,
+                        stats=stats,
+                        constraint=constraint,
+                    )
+                finally:
+                    stats.add_phase(Phase.JOIN, time.perf_counter() - enumeration_started)
+            else:
+                try:
+                    run_idx_dfs(
+                        index,
+                        collector,
+                        deadline=deadline,
+                        stats=stats,
+                        constraint=constraint,
+                    )
+                finally:
+                    stats.add_phase(
+                        Phase.ENUMERATION, time.perf_counter() - enumeration_started
+                    )
+
+        return timed_run(self.name, query, config, body)
+
+    # ------------------------------------------------------------------ #
+    # convenience entry points accepting external ids
+    # ------------------------------------------------------------------ #
+    def run_external(
+        self,
+        graph: DiGraph,
+        source: Hashable,
+        target: Hashable,
+        k: int,
+        config: Optional[RunConfig] = None,
+    ) -> QueryResult:
+        """Evaluate a query given external vertex ids."""
+        query = Query.from_external(graph, source, target, k)
+        return self.run(graph, query, config)
+
+
+class IdxDfs(_IndexedAlgorithm):
+    """Index-based depth-first search (the paper's IDX-DFS)."""
+
+    name = "IDX-DFS"
+    _force = "dfs"
+
+
+class IdxJoin(_IndexedAlgorithm):
+    """Index-based bushy join (the paper's IDX-JOIN)."""
+
+    name = "IDX-JOIN"
+    _force = "join"
+
+
+class PathEnum(_IndexedAlgorithm):
+    """The full PathEnum system with cost-based plan selection."""
+
+    name = "PathEnum"
+    _force = None
+
+    def __init__(self, *, tau: float = DEFAULT_TAU) -> None:
+        self._tau = tau
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        config = config if config is not None else RunConfig()
+        if config.tau == DEFAULT_TAU and self._tau != DEFAULT_TAU:
+            config = config.replace(tau=self._tau)
+        return super().run(graph, query, config)
+
+    def explain(self, graph: DiGraph, query: Query, *, tau: Optional[float] = None) -> Plan:
+        """Return the plan PathEnum would choose for ``query`` without running it."""
+        index = LightWeightIndex.build(graph, query)
+        return choose_plan(index, tau=self._tau if tau is None else tau)
+
+
+# --------------------------------------------------------------------- #
+# module-level convenience functions (the quickstart API)
+# --------------------------------------------------------------------- #
+def enumerate_paths(
+    graph: DiGraph,
+    source: Hashable,
+    target: Hashable,
+    k: int,
+    *,
+    external_ids: bool = False,
+    constraint: Optional[PathConstraint] = None,
+    result_limit: Optional[int] = None,
+    time_limit_seconds: Optional[float] = None,
+) -> List[Tuple[int, ...]]:
+    """Enumerate all hop-constrained s-t paths with PathEnum.
+
+    This is the one-call API used by the examples: it builds the query (from
+    external ids when requested), runs the full PathEnum pipeline and returns
+    the list of paths (as internal-id tuples, or external ids when
+    ``external_ids`` is set).
+    """
+    engine = PathEnum()
+    query = (
+        Query.from_external(graph, source, target, k)
+        if external_ids
+        else Query(int(source), int(target), k)
+    )
+    config = RunConfig(
+        store_paths=True,
+        constraint=constraint,
+        result_limit=result_limit,
+        time_limit_seconds=time_limit_seconds,
+    )
+    result = engine.run(graph, query, config)
+    paths = result.paths or []
+    if external_ids:
+        return [graph.translate_path(p) for p in paths]
+    return paths
+
+
+def count_paths(
+    graph: DiGraph,
+    source: Hashable,
+    target: Hashable,
+    k: int,
+    *,
+    external_ids: bool = False,
+    time_limit_seconds: Optional[float] = None,
+) -> int:
+    """Count hop-constrained s-t paths without materialising them."""
+    engine = PathEnum()
+    query = (
+        Query.from_external(graph, source, target, k)
+        if external_ids
+        else Query(int(source), int(target), k)
+    )
+    config = RunConfig(store_paths=False, time_limit_seconds=time_limit_seconds)
+    return engine.run(graph, query, config).count

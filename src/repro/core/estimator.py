@@ -1,0 +1,162 @@
+"""Cardinality estimation and join-order optimization (Section 6).
+
+Two estimators drive PathEnum's optimizer:
+
+* the **preliminary estimator** (Eq. 5) multiplies the average branching
+  factors ``gamma_hat_i`` collected during index construction — an O(k²)
+  guess of the search-space size used only to decide whether spending time
+  on real optimization is worthwhile;
+* the **full-fledged estimator** (Eqs. 6-7, Algorithm 5) runs two dynamic
+  programs over the index — walk counts from ``s`` (forward) and walk counts
+  to ``t`` (backward) — from which the sizes of every sub-chain ``Q[0:i]``
+  and ``Q[i:k]`` follow, the best cut position ``i*`` is the argmin of their
+  sum, and the costs of the left-deep (DFS) and bushy (join) plans are
+  computed with the cost model of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.index import LightWeightIndex
+from repro.core.listener import Deadline
+
+__all__ = [
+    "preliminary_estimate",
+    "CardinalityEstimate",
+    "full_estimate",
+    "find_cut_position",
+    "dfs_cost",
+    "join_cost",
+]
+
+
+def preliminary_estimate(index: LightWeightIndex) -> float:
+    """Rough search-space size ``T_hat`` of Eq. 5.
+
+    ``T_hat = sum_{i=1..k} prod_{j=0..i-1} gamma_hat_j`` where
+    ``gamma_hat_j`` is the average number of index neighbours within the
+    remaining budget for vertices in ``C_j``.  Runs in O(k²) time on
+    statistics already collected by the index builder.
+    """
+    k = index.k
+    total = 0.0
+    product = 1.0
+    for i in range(k):
+        product *= index.gamma(i)
+        total += product
+        if product == 0.0:
+            break
+    return total
+
+
+@dataclass
+class CardinalityEstimate:
+    """Output of the full-fledged estimator (Algorithm 5's two DP passes)."""
+
+    #: ``forward[i][v]`` — number of index walks of exactly ``i`` edges from ``s`` to ``v``.
+    forward: List[Dict[int, int]] = field(default_factory=list)
+    #: ``backward[i][v]`` — number of index walks from ``v`` (at position ``i``) to ``t``.
+    backward: List[Dict[int, int]] = field(default_factory=list)
+    #: ``prefix_sizes[i] = |Q[0:i]|`` for ``i`` in ``0..k``.
+    prefix_sizes: List[int] = field(default_factory=list)
+    #: ``suffix_sizes[i] = |Q[i:k]|`` for ``i`` in ``0..k``.
+    suffix_sizes: List[int] = field(default_factory=list)
+    #: ``|Q|`` — the estimated number of walks from ``s`` to ``t`` (with padding).
+    walk_count: int = 0
+
+    @property
+    def k(self) -> int:
+        """Hop constraint implied by the DP tables."""
+        return len(self.prefix_sizes) - 1
+
+
+def full_estimate(
+    index: LightWeightIndex, *, deadline: Optional[Deadline] = None
+) -> CardinalityEstimate:
+    """Run the forward/backward dynamic programs of Algorithm 5."""
+    k = index.k
+    s = index.query.source
+
+    # Backward pass: c^i_k(v) — number of walks from v at position i to t.
+    backward: List[Dict[int, int]] = [dict() for _ in range(k + 1)]
+    for v in index.members(k):
+        backward[k][v] = 1
+    for i in range(k - 1, -1, -1):
+        if deadline is not None:
+            deadline.check()
+        level: Dict[int, int] = {}
+        nxt = backward[i + 1]
+        budget = k - i - 1
+        for v in index.members(i):
+            total = 0
+            for v_next in index.neighbors_within(v, budget):
+                total += nxt.get(v_next, 0)
+            if total:
+                level[v] = total
+        backward[i] = level
+
+    # Forward pass: c^0_i(v) — number of walks of exactly i edges from s to v.
+    forward: List[Dict[int, int]] = [dict() for _ in range(k + 1)]
+    forward[0] = {s: 1} if index.contains(s) else {}
+    for i in range(1, k + 1):
+        if deadline is not None:
+            deadline.check()
+        level = {}
+        budget = k - i
+        for u, count in forward[i - 1].items():
+            for v_next in index.neighbors_within(u, budget):
+                level[v_next] = level.get(v_next, 0) + count
+        forward[i] = level
+
+    prefix_sizes = [sum(level.values()) for level in forward]
+    suffix_sizes = [sum(level.values()) for level in backward]
+    walk_count = backward[0].get(s, 0)
+    return CardinalityEstimate(
+        forward=forward,
+        backward=backward,
+        prefix_sizes=prefix_sizes,
+        suffix_sizes=suffix_sizes,
+        walk_count=walk_count,
+    )
+
+
+def find_cut_position(estimate: CardinalityEstimate) -> int:
+    """Best cut position ``i*`` (Line 11 of Algorithm 5).
+
+    Minimises ``|Q[0:i]| + |Q[i:k]|`` over the interior positions
+    ``1 <= i <= k - 1``; ties break towards the middle of the chain, which
+    keeps the two DFS evaluations balanced.
+    """
+    k = estimate.k
+    if k < 2:
+        return max(1, k - 1)
+    middle = k / 2.0
+    best_position = 1
+    best_cost: Optional[float] = None
+    for i in range(1, k):
+        cost = estimate.prefix_sizes[i] + estimate.suffix_sizes[i]
+        distance_to_middle = abs(i - middle)
+        key = (cost, distance_to_middle)
+        if best_cost is None or key < best_cost:
+            best_cost = key
+            best_position = i
+    return best_position
+
+
+def dfs_cost(estimate: CardinalityEstimate) -> float:
+    """Cost of the left-deep plan: ``T_DFS = sum_{1<=i<=k} |Q[0:i]|``."""
+    return float(sum(estimate.prefix_sizes[1:]))
+
+
+def join_cost(estimate: CardinalityEstimate, cut_position: int) -> float:
+    """Cost of the bushy plan cut at ``cut_position`` (Section 6.3).
+
+    ``T_JOIN = |Q| + sum_{1<=i<=i*} |Q[0:i]| + sum_{i*<=i<=k} |Q[i:k]|``
+    following the paper's expression in terms of the DP tables.
+    """
+    k = estimate.k
+    left = sum(estimate.prefix_sizes[1 : cut_position + 1])
+    right = sum(estimate.suffix_sizes[cut_position : k + 1])
+    return float(estimate.walk_count + left + right)

@@ -1,0 +1,360 @@
+"""The light-weight, query-dependent index of PathEnum (Algorithm 3).
+
+Given a query ``q(s, t, k)`` the index stores, for every vertex ``v`` that
+can possibly appear on a result path (Proposition 4.3):
+
+* ``v.s`` — the length of the shortest walk from ``s`` to ``v`` that does
+  not pass through ``t`` as an intermediate vertex;
+* ``v.t`` — the length of the shortest walk from ``v`` to ``t`` that does
+  not pass through ``s`` as an intermediate vertex;
+* the out-neighbours ``v'`` of ``v`` with ``v.s + v'.t + 1 <= k``, sorted by
+  ascending ``v'.t`` together with an offset array indexed by distance —
+  the Neighbors / Offset / Hash-Table layout of Figure 4.
+
+The two lookup operations of the paper are then O(1):
+
+* :meth:`LightWeightIndex.members` — ``I(i)``, the candidate set ``C_i`` of
+  vertices that may appear at position ``i`` of a result;
+* :meth:`LightWeightIndex.neighbors_within` — ``I_t(v, b)``, the neighbours
+  of ``v`` whose distance to ``t`` is at most ``b`` (returned as a list
+  slice backed by the sorted neighbour array).
+
+Following the join model of Section 3.1 the target ``t`` carries a single
+self-loop (``H[t] = {t}``) so that join-based enumeration can pad walks
+shorter than ``k`` up to full length.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.listener import Deadline
+from repro.core.query import Query
+from repro.core.result import EnumerationStats, Phase
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
+
+__all__ = ["LightWeightIndex"]
+
+EdgeFilter = Callable[[int, int], bool]
+
+
+class LightWeightIndex:
+    """Query-dependent index over the vertices that can appear on a result."""
+
+    __slots__ = (
+        "graph",
+        "query",
+        "dist_from_s",
+        "dist_to_t",
+        "_neighbors",
+        "_ends",
+        "_in_neighbors",
+        "_in_ends",
+        "_partitions",
+        "_gamma",
+        "num_index_edges",
+        "build_seconds",
+        "bfs_seconds",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        query: Query,
+        dist_from_s: np.ndarray,
+        dist_to_t: np.ndarray,
+        neighbors: Dict[int, List[int]],
+        ends: Dict[int, List[int]],
+        partitions: List[List[int]],
+        gamma: List[float],
+        num_index_edges: int,
+        build_seconds: float,
+        bfs_seconds: float,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.dist_from_s = dist_from_s
+        self.dist_to_t = dist_to_t
+        self._neighbors = neighbors
+        self._ends = ends
+        self._in_neighbors: Optional[Dict[int, List[int]]] = None
+        self._in_ends: Optional[Dict[int, List[int]]] = None
+        self._partitions = partitions
+        self._gamma = gamma
+        self.num_index_edges = num_index_edges
+        self.build_seconds = build_seconds
+        self.bfs_seconds = bfs_seconds
+
+    # ------------------------------------------------------------------ #
+    # construction (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        query: Query,
+        *,
+        edge_filter: Optional[EdgeFilter] = None,
+        deadline: Optional[Deadline] = None,
+        stats: Optional[EnumerationStats] = None,
+    ) -> "LightWeightIndex":
+        """Build the index for ``query`` on ``graph``.
+
+        ``edge_filter(u, v)`` restricts the graph on the fly (predicate
+        constraints, Appendix E).  When ``stats`` is given the BFS and index
+        construction phases are recorded in it.
+        """
+        query.validate(graph)
+        started = time.perf_counter()
+        s, t, k = query.source, query.target, query.k
+
+        bfs_started = time.perf_counter()
+        dist_from_s = bfs_distances_bounded(
+            graph, s, cutoff=k, no_expand=t, edge_filter=edge_filter
+        )
+        dist_to_t = bfs_distances_bounded(
+            graph, t, cutoff=k, reverse=True, no_expand=s, edge_filter=edge_filter
+        )
+        bfs_seconds = time.perf_counter() - bfs_started
+        if deadline is not None:
+            deadline.check()
+
+        # Partition X: vertices with v.s + v.t <= k (Lines 2-4 of Algorithm 3).
+        ds = dist_from_s
+        dt = dist_to_t
+        in_x = (ds != UNREACHABLE) & (dt != UNREACHABLE) & (ds + dt <= k)
+        members = np.flatnonzero(in_x)
+
+        neighbors: Dict[int, List[int]] = {}
+        ends: Dict[int, List[int]] = {}
+        num_index_edges = 0
+        dt_list = dt  # local alias for the hot loop
+        for v in members:
+            v = int(v)
+            if deadline is not None:
+                deadline.check()
+            if v == t:
+                continue
+            budget = k - int(ds[v]) - 1
+            if budget < 0:
+                continue
+            collected: List[int] = []
+            for v_next in graph.neighbors(v):
+                v_next = int(v_next)
+                if v_next == s:
+                    continue
+                d_next = int(dt_list[v_next])
+                if d_next == UNREACHABLE or d_next > budget:
+                    continue
+                if edge_filter is not None and not edge_filter(v, v_next):
+                    continue
+                collected.append(v_next)
+            if not collected:
+                neighbors[v] = []
+                ends[v] = [0] * (k + 1)
+                continue
+            collected.sort(key=lambda w: int(dt_list[w]))
+            neighbors[v] = collected
+            # Offset array: ends[b] = number of neighbours with distance <= b.
+            end_positions = [0] * (k + 1)
+            position = 0
+            for b in range(k + 1):
+                while position < len(collected) and int(dt_list[collected[position]]) <= b:
+                    position += 1
+                end_positions[b] = position
+            ends[v] = end_positions
+            num_index_edges += len(collected)
+
+        # The target keeps a single self-loop so that join padding works
+        # (Line 10 of Algorithm 3, property (3) of the join model).
+        if bool(in_x[t]) if graph.has_vertex(t) else False:
+            neighbors[t] = [t]
+            ends[t] = [1] * (k + 1)
+            num_index_edges += 1
+
+        # Candidate partitions C_i (the I(i) lookup).
+        partitions: List[List[int]] = [[] for _ in range(k + 1)]
+        for v in members:
+            v = int(v)
+            for i in range(int(ds[v]), k - int(dt[v]) + 1):
+                partitions[i].append(v)
+
+        # gamma_hat_i statistics for the preliminary estimator (Eq. 5).
+        gamma: List[float] = []
+        for i in range(k):
+            candidates = partitions[i]
+            if not candidates:
+                gamma.append(0.0)
+                continue
+            budget = k - i - 1
+            total = 0
+            for v in candidates:
+                end_positions = ends.get(v)
+                if end_positions is not None and budget >= 0:
+                    total += end_positions[budget]
+            gamma.append(total / len(candidates))
+
+        build_seconds = time.perf_counter() - started
+        index = cls(
+            graph,
+            query,
+            dist_from_s,
+            dist_to_t,
+            neighbors,
+            ends,
+            partitions,
+            gamma,
+            num_index_edges,
+            build_seconds,
+            bfs_seconds,
+        )
+        if stats is not None:
+            stats.add_phase(Phase.BFS, bfs_seconds)
+            stats.add_phase(Phase.INDEX, build_seconds)
+            stats.index_edges = num_index_edges
+            stats.index_vertices = index.num_index_vertices
+            stats.index_bytes = index.estimated_bytes()
+        return index
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        """The hop constraint of the indexed query."""
+        return self.query.k
+
+    @property
+    def num_index_vertices(self) -> int:
+        """Number of vertices retained by the index (|X|)."""
+        return len(self._neighbors) if self._neighbors else 0
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the query provably has no results.
+
+        The index is empty exactly when ``t`` is further than ``k`` hops from
+        ``s`` (or unreachable), in which case no path can satisfy the hop
+        constraint.
+        """
+        t = self.query.target
+        d = int(self.dist_from_s[t])
+        return d == UNREACHABLE or d > self.k
+
+    def contains(self, v: int) -> bool:
+        """``True`` when ``v`` survived the distance-based pruning."""
+        return v in self._ends
+
+    def members(self, i: int) -> List[int]:
+        """``I(i)``: vertices that may appear at position ``i`` of a result."""
+        if i < 0 or i > self.k:
+            return []
+        return self._partitions[i]
+
+    def neighbors_within(self, v: int, budget: int) -> List[int]:
+        """``I_t(v, b)``: neighbours of ``v`` with distance to ``t`` at most ``b``.
+
+        Returns a list slice; callers must not mutate it.  Vertices outside
+        the index and negative budgets yield an empty list.
+        """
+        end_positions = self._ends.get(v)
+        if end_positions is None or budget < 0:
+            return []
+        if budget > self.k:
+            budget = self.k
+        return self._neighbors[v][: end_positions[budget]]
+
+    def count_neighbors_within(self, v: int, budget: int) -> int:
+        """``|I_t(v, b)|`` without materialising the slice."""
+        end_positions = self._ends.get(v)
+        if end_positions is None or budget < 0:
+            return 0
+        if budget > self.k:
+            budget = self.k
+        return end_positions[budget]
+
+    def in_neighbors_within(self, v: int, budget: int) -> List[int]:
+        """``I_s(v, b)``: in-neighbours of ``v`` with distance from ``s`` at most ``b``.
+
+        Built lazily because only the reverse-direction enumeration and a few
+        tests need it; the optimizer's forward DP works on ``I_t`` instead.
+        """
+        if self._in_neighbors is None:
+            self._build_in_index()
+        assert self._in_neighbors is not None and self._in_ends is not None
+        end_positions = self._in_ends.get(v)
+        if end_positions is None or budget < 0:
+            return []
+        if budget > self.k:
+            budget = self.k
+        return self._in_neighbors[v][: end_positions[budget]]
+
+    def _build_in_index(self) -> None:
+        ds = self.dist_from_s
+        in_neighbors: Dict[int, List[int]] = {v: [] for v in self._ends}
+        for u, targets in self._neighbors.items():
+            for v in targets:
+                if v == u:
+                    continue  # the t self-loop has no reverse counterpart
+                in_neighbors.setdefault(v, []).append(u)
+        in_ends: Dict[int, List[int]] = {}
+        for v, sources in in_neighbors.items():
+            sources.sort(key=lambda w: int(ds[w]))
+            end_positions = [0] * (self.k + 1)
+            position = 0
+            for b in range(self.k + 1):
+                while position < len(sources) and int(ds[sources[position]]) <= b:
+                    position += 1
+                end_positions[b] = position
+            in_ends[v] = end_positions
+        self._in_neighbors = in_neighbors
+        self._in_ends = in_ends
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def gamma(self, i: int) -> float:
+        """Average branching factor at position ``i`` (preliminary estimator)."""
+        if i < 0 or i >= len(self._gamma):
+            return 0.0
+        return self._gamma[i]
+
+    def candidate_counts(self) -> List[int]:
+        """``|C_i|`` for ``i`` in ``0..k``."""
+        return [len(p) for p in self._partitions]
+
+    def distance_from_s(self, v: int) -> int:
+        """``v.s`` — shortest distance from ``s`` avoiding ``t`` as intermediate."""
+        return int(self.dist_from_s[v])
+
+    def distance_to_t(self, v: int) -> int:
+        """``v.t`` — shortest distance to ``t`` avoiding ``s`` as intermediate."""
+        return int(self.dist_to_t[v])
+
+    def index_edge_list(self) -> List[tuple]:
+        """Materialise the index edges as ``(u, v)`` pairs (tests, ablation)."""
+        edges = []
+        for u, targets in self._neighbors.items():
+            for v in targets:
+                edges.append((u, v))
+        return edges
+
+    def estimated_bytes(self) -> int:
+        """Approximate memory footprint of the index structures (Table 7).
+
+        Counts 8 bytes per stored integer: neighbour entries, offset slots
+        and partition membership.  The distance arrays are excluded because
+        the paper's index-size accounting is per surviving vertex/edge.
+        """
+        neighbor_ints = sum(len(v) for v in self._neighbors.values())
+        offset_ints = len(self._ends) * (self.k + 1)
+        partition_ints = sum(len(p) for p in self._partitions)
+        return 8 * (neighbor_ints + offset_ints + partition_ints)
+
+    def degree_sequence(self) -> Sequence[int]:
+        """Index out-degrees, handy for ablation analysis."""
+        return [len(v) for v in self._neighbors.values()]

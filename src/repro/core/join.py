@@ -1,0 +1,176 @@
+"""Join-based enumeration on the light-weight index (Algorithm 6, IDX-JOIN).
+
+The query ``Q`` is cut at position ``i*``:
+
+* the *left* sub-query ``Q[0:i*]`` is evaluated with a DFS from ``s`` that
+  produces walks of exactly ``i*`` edges (the target's self-loop pads walks
+  that reach ``t`` early);
+* the *right* sub-query ``Q[i*:k]`` is evaluated with a DFS from every cut
+  vertex (the distinct last vertices of the left tuples), producing walks of
+  exactly ``k - i*`` edges that necessarily end at ``t``;
+* a hash join on the shared cut attribute combines the two sides, and every
+  joined tuple is converted back into a simple path (trailing ``t`` padding
+  stripped, duplicate vertices rejected) before being emitted.
+
+Partial results are materialised, so the peak tuple counts feeding the
+paper's memory experiment (Table 7) are tracked here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.constraints import PathConstraint
+from repro.core.index import LightWeightIndex
+from repro.core.listener import Deadline, ResultCollector
+from repro.core.result import EnumerationStats
+
+__all__ = ["run_idx_join", "evaluate_subquery"]
+
+Walk = Tuple[int, ...]
+
+
+def run_idx_join(
+    index: LightWeightIndex,
+    cut_position: int,
+    collector: ResultCollector,
+    *,
+    deadline: Optional[Deadline] = None,
+    stats: Optional[EnumerationStats] = None,
+    constraint: Optional[PathConstraint] = None,
+) -> int:
+    """Enumerate all hop-constrained s-t paths by joining two sub-queries.
+
+    ``cut_position`` must satisfy ``1 <= cut_position <= k - 1``; it is
+    normally produced by the join-order optimizer (Algorithm 5).
+    """
+    stats = stats if stats is not None else EnumerationStats()
+    query = index.query
+    s, t, k = query.source, query.target, query.k
+    if not 1 <= cut_position <= k - 1:
+        raise ValueError(f"cut position must lie in [1, {k - 1}], got {cut_position}")
+    if index.is_empty:
+        return 0
+    stats.cut_position = cut_position
+
+    # Left sub-query Q[0:i*]: walks from s with exactly i* edges.
+    left = evaluate_subquery(
+        index,
+        start=s,
+        offset=0,
+        length=cut_position,
+        deadline=deadline,
+        stats=stats,
+    )
+
+    # Right sub-query Q[i*:k]: walks from each cut vertex with k - i* edges.
+    cut_vertices = {walk[-1] for walk in left}
+    right: List[Walk] = []
+    for v in sorted(cut_vertices):
+        right.extend(
+            evaluate_subquery(
+                index,
+                start=v,
+                offset=cut_position,
+                length=k - cut_position,
+                deadline=deadline,
+                stats=stats,
+            )
+        )
+
+    peak_tuples = len(left) + len(right)
+    stats.peak_partial_result_tuples = max(stats.peak_partial_result_tuples, peak_tuples)
+    stats.peak_partial_result_bytes = max(
+        stats.peak_partial_result_bytes,
+        8 * (len(left) * (cut_position + 1) + len(right) * (k - cut_position + 1)),
+    )
+
+    # Hash join on the cut vertex, followed by the path-validity filter.
+    right_by_head: Dict[int, List[Walk]] = {}
+    for walk in right:
+        right_by_head.setdefault(walk[0], []).append(walk)
+
+    emitted = 0
+    used_right: set = set()
+    for left_walk in left:
+        if deadline is not None:
+            deadline.check()
+        matches = right_by_head.get(left_walk[-1], ())
+        produced_from_left = 0
+        for right_walk in matches:
+            full = left_walk + right_walk[1:]
+            path = _tuple_to_path(full, t)
+            if path is None:
+                continue
+            if constraint is not None and not constraint.accepts_path(path):
+                continue
+            collector.emit(path)
+            emitted += 1
+            produced_from_left += 1
+            used_right.add(right_walk)
+        if produced_from_left == 0:
+            stats.invalid_partial_results += 1
+    stats.invalid_partial_results += len(right) - len(used_right)
+    stats.results_emitted += emitted
+    return emitted
+
+
+def evaluate_subquery(
+    index: LightWeightIndex,
+    *,
+    start: int,
+    offset: int,
+    length: int,
+    deadline: Optional[Deadline] = None,
+    stats: Optional[EnumerationStats] = None,
+) -> List[Walk]:
+    """Evaluate the sub-query ``Q[offset : offset + length]`` from ``start``.
+
+    Returns the list of walks with exactly ``length`` edges (``length + 1``
+    vertices).  The per-step budget mirrors the Search procedure of
+    Algorithm 6: after ``L(M)`` edges the next vertex must lie within
+    ``k - offset - L(M) - 1`` hops of ``t``.
+    """
+    stats = stats if stats is not None else EnumerationStats()
+    k = index.k
+    results: List[Walk] = []
+    walk = [start]
+
+    def _extend() -> None:
+        if deadline is not None:
+            deadline.check()
+        if len(walk) == length + 1:
+            results.append(tuple(walk))
+            return
+        v = walk[-1]
+        budget = k - offset - (len(walk) - 1) - 1
+        candidates = index.neighbors_within(v, budget)
+        stats.edges_accessed += len(candidates)
+        for v_next in candidates:
+            stats.partial_results_generated += 1
+            walk.append(v_next)
+            try:
+                _extend()
+            finally:
+                walk.pop()
+
+    _extend()
+    return results
+
+
+def _tuple_to_path(vertices: Walk, target: int) -> Optional[Walk]:
+    """Convert a padded join tuple into a simple path, or ``None`` if invalid.
+
+    The tuple ends with one or more copies of ``target`` (the self-loop
+    padding of the join model).  The path is the prefix up to the first
+    occurrence of ``target``; it is valid when all of its vertices are
+    distinct (Theorem 3.1).
+    """
+    try:
+        first_target = vertices.index(target)
+    except ValueError:
+        return None
+    path = vertices[: first_target + 1]
+    if len(set(path)) != len(path):
+        return None
+    return path

@@ -1,0 +1,185 @@
+"""Emission handling: collectors, deadlines and run configuration.
+
+Every enumeration algorithm in the package reports results through a
+:class:`ResultCollector` and periodically polls a :class:`Deadline`.  This is
+how the paper's measurement protocol is expressed:
+
+* *query time* — wall-clock until the algorithm finishes or the deadline
+  (the paper's two-minute limit) fires;
+* *response time* — the collector records the instant the 1 000-th result is
+  emitted;
+* *throughput* — results emitted before the deadline divided by elapsed time.
+
+Keeping this logic out of the algorithms keeps each of them close to the
+paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import EnumerationTimeout, ResultLimitReached
+
+__all__ = ["Deadline", "ResultCollector", "RunConfig"]
+
+Path = Tuple[int, ...]
+
+
+class Deadline:
+    """Cooperative deadline checked inside enumeration loops.
+
+    ``check()`` is cheap enough to call per search-tree node: it only reads
+    the clock every ``poll_interval`` calls.  A ``None`` time limit produces
+    a deadline that never fires.
+    """
+
+    __slots__ = ("_expires_at", "_poll_interval", "_countdown", "started_at")
+
+    def __init__(self, time_limit_seconds: Optional[float], *, poll_interval: int = 256) -> None:
+        self.started_at = time.perf_counter()
+        self._poll_interval = max(1, poll_interval)
+        self._countdown = self._poll_interval
+        self._expires_at = (
+            None if time_limit_seconds is None else self.started_at + time_limit_seconds
+        )
+
+    @property
+    def expired(self) -> bool:
+        """Non-raising check of whether the deadline has passed."""
+        return self._expires_at is not None and time.perf_counter() >= self._expires_at
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since the deadline was created."""
+        return time.perf_counter() - self.started_at
+
+    def check(self) -> None:
+        """Raise :class:`EnumerationTimeout` when the deadline has passed."""
+        if self._expires_at is None:
+            return
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self._poll_interval
+        if time.perf_counter() >= self._expires_at:
+            raise EnumerationTimeout()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before expiry, or ``None`` for unlimited deadlines."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.perf_counter())
+
+
+class ResultCollector:
+    """Receives emitted paths and records the response-time probe.
+
+    Parameters
+    ----------
+    store_paths:
+        Keep the emitted paths in memory.  Benchmarks over huge result sets
+        disable this and only count.
+    result_limit:
+        Stop the enumeration (via :class:`ResultLimitReached`) after this
+        many results; ``None`` means unlimited.
+    response_k:
+        Record the elapsed time when the ``response_k``-th result arrives —
+        the paper uses 1 000.
+    on_result:
+        Optional callback invoked with every emitted path (streaming use).
+    """
+
+    __slots__ = ("store_paths", "result_limit", "response_k", "on_result", "paths", "count",
+                 "_started_at", "response_seconds")
+
+    def __init__(
+        self,
+        *,
+        store_paths: bool = True,
+        result_limit: Optional[int] = None,
+        response_k: int = 1000,
+        on_result: Optional[Callable[[Path], None]] = None,
+    ) -> None:
+        self.store_paths = store_paths
+        self.result_limit = result_limit
+        self.response_k = response_k
+        self.on_result = on_result
+        self.paths: List[Path] = []
+        self.count = 0
+        self._started_at = time.perf_counter()
+        self.response_seconds: Optional[float] = None
+
+    def restart_clock(self) -> None:
+        """Reset the response-time clock (called when the query actually starts)."""
+        self._started_at = time.perf_counter()
+
+    def emit(self, path: Sequence[int]) -> None:
+        """Record one result path.
+
+        Raises :class:`ResultLimitReached` once the configured limit is hit;
+        the raising call is still counted, so a limit of ``n`` yields exactly
+        ``n`` results.
+        """
+        self.count += 1
+        materialised = tuple(path)
+        if self.store_paths:
+            self.paths.append(materialised)
+        if self.on_result is not None:
+            self.on_result(materialised)
+        if self.response_seconds is None and self.count >= self.response_k:
+            self.response_seconds = time.perf_counter() - self._started_at
+        if self.result_limit is not None and self.count >= self.result_limit:
+            raise ResultLimitReached()
+
+    def stored_paths(self) -> Optional[List[Path]]:
+        """The stored paths, or ``None`` when storage was disabled."""
+        return self.paths if self.store_paths else None
+
+
+@dataclass
+class RunConfig:
+    """Options shared by every algorithm's ``run`` entry point."""
+
+    #: Keep the full list of paths in the result object.
+    store_paths: bool = True
+    #: Stop after this many results (``None`` = enumerate everything).
+    result_limit: Optional[int] = None
+    #: Cooperative time limit in seconds (``None`` = no limit).  The paper
+    #: uses 120 s; the benchmark harness scales this down.
+    time_limit_seconds: Optional[float] = None
+    #: Record the response time at this many results (the paper uses 1000).
+    response_k: int = 1000
+    #: Threshold tau of the preliminary estimator (Section 6.2).
+    tau: float = 1e5
+    #: Optional path constraint (predicate / accumulative / automaton).
+    constraint: Optional[object] = None
+    #: Streaming callback for each result.
+    on_result: Optional[Callable[[Path], None]] = None
+
+    def make_collector(self) -> ResultCollector:
+        """Build a collector matching this configuration."""
+        return ResultCollector(
+            store_paths=self.store_paths,
+            result_limit=self.result_limit,
+            response_k=self.response_k,
+            on_result=self.on_result,
+        )
+
+    def make_deadline(self) -> Deadline:
+        """Build a deadline matching this configuration."""
+        return Deadline(self.time_limit_seconds)
+
+    def replace(self, **changes) -> "RunConfig":
+        """Return a copy with the given fields changed."""
+        data = {
+            "store_paths": self.store_paths,
+            "result_limit": self.result_limit,
+            "time_limit_seconds": self.time_limit_seconds,
+            "response_k": self.response_k,
+            "tau": self.tau,
+            "constraint": self.constraint,
+            "on_result": self.on_result,
+        }
+        data.update(changes)
+        return RunConfig(**data)

@@ -1,0 +1,61 @@
+"""HcPE query objects.
+
+A query ``q(s, t, k)`` asks for every simple path from ``s`` to ``t`` whose
+length (number of edges) is at most ``k``.  The paper assumes ``k >= 2`` and
+``s != t``; :class:`Query` enforces both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import InvalidQueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["Query", "MIN_HOP_CONSTRAINT"]
+
+#: The paper's problem statement assumes a hop constraint of at least two.
+MIN_HOP_CONSTRAINT = 2
+
+
+@dataclass(frozen=True)
+class Query:
+    """A hop-constrained s-t path enumeration query ``q(s, t, k)``.
+
+    ``source`` and ``target`` are internal vertex ids; use
+    :meth:`Query.from_external` to construct a query from external ids.
+    """
+
+    source: int
+    target: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise InvalidQueryError("source and target must be distinct vertices")
+        if self.k < MIN_HOP_CONSTRAINT:
+            raise InvalidQueryError(
+                f"hop constraint must be at least {MIN_HOP_CONSTRAINT}, got {self.k}"
+            )
+
+    def validate(self, graph: DiGraph) -> None:
+        """Check that both endpoints exist in ``graph``."""
+        if not graph.has_vertex(self.source):
+            raise InvalidQueryError(f"source vertex {self.source} is not in the graph")
+        if not graph.has_vertex(self.target):
+            raise InvalidQueryError(f"target vertex {self.target} is not in the graph")
+
+    @classmethod
+    def from_external(
+        cls, graph: DiGraph, source: Hashable, target: Hashable, k: int
+    ) -> "Query":
+        """Build a query from external vertex ids using the graph's mapping."""
+        return cls(graph.to_internal(source), graph.to_internal(target), k)
+
+    def with_k(self, k: int) -> "Query":
+        """Return a copy of this query with a different hop constraint."""
+        return Query(self.source, self.target, k)
+
+    def __str__(self) -> str:
+        return f"q({self.source}, {self.target}, {self.k})"

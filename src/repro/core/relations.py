@@ -1,0 +1,155 @@
+"""The join-based model: chain-join relations and the full reducer (Section 3.1, Algorithm 2).
+
+A HcPE query ``q(s, t, k)`` is modelled as the chain join
+
+``Q = R_1(u_0, u_1) ⋈ R_2(u_1, u_2) ⋈ ... ⋈ R_k(u_{k-1}, u_k)``
+
+whose relations are derived from the edge list:
+
+1. ``R_1`` contains the out-edges of ``s``; ``R_k`` contains the in-edges of
+   ``t`` that do not start at ``s``.
+2. Interior relations contain every edge that neither starts at ``s``/``t``
+   nor ends at... (formally ``E(G - {s})`` minus edges leaving ``t``).
+3. Every relation except ``R_1`` additionally contains the padding tuple
+   ``(t, t)`` so that paths shorter than ``k`` survive the join (Theorem 3.1).
+
+Algorithm 2 then removes dangling tuples with a classical full reducer: a
+forward semi-join sweep followed by a backward sweep.  PathEnum replaces
+this relatively expensive construction with the light-weight index, but the
+relations remain useful as a baseline (:mod:`repro.baselines.full_join`) and
+for the pruning-power comparison of Appendix B, which the test-suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.listener import Deadline
+from repro.core.query import Query
+from repro.graph.digraph import DiGraph
+
+__all__ = ["Relation", "ChainRelations", "build_relations"]
+
+EdgeTuple = Tuple[int, int]
+
+
+@dataclass
+class Relation:
+    """One binary relation ``R_i(u_{i-1}, u_i)`` of the chain join."""
+
+    #: 1-based position of the relation in the chain.
+    position: int
+    #: The tuples of the relation (directed edges, plus the (t, t) padding).
+    tuples: Set[EdgeTuple]
+
+    def sources(self) -> Set[int]:
+        """Distinct values of the left attribute ``u_{i-1}``."""
+        return {u for u, _ in self.tuples}
+
+    def targets(self) -> Set[int]:
+        """Distinct values of the right attribute ``u_i``."""
+        return {v for _, v in self.tuples}
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Group the tuples by source vertex for DFS-style evaluation."""
+        grouped: Dict[int, List[int]] = {}
+        for u, v in self.tuples:
+            grouped.setdefault(u, []).append(v)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+@dataclass
+class ChainRelations:
+    """The k relations of the chain join together with the query."""
+
+    query: Query
+    relations: List[Relation]
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __getitem__(self, position: int) -> Relation:
+        """1-based access mirroring the paper's ``R_i`` notation."""
+        if not 1 <= position <= len(self.relations):
+            raise IndexError(f"relation index must lie in [1, {len(self.relations)}]")
+        return self.relations[position - 1]
+
+    def total_tuples(self) -> int:
+        """Total number of tuples over all relations (the reducer's footprint)."""
+        return sum(len(r) for r in self.relations)
+
+    def neighbors_at(self, position: int, vertex: int) -> List[int]:
+        """Values ``v`` with ``(vertex, v)`` in ``R_position`` (used by FullJoin)."""
+        return [v for (u, v) in self[position].tuples if u == vertex]
+
+
+def build_relations(
+    graph: DiGraph,
+    query: Query,
+    *,
+    apply_full_reducer: bool = True,
+    deadline: Optional[Deadline] = None,
+) -> ChainRelations:
+    """Build the chain-join relations of ``query`` (Algorithm 2).
+
+    With ``apply_full_reducer=False`` the raw relations of Section 3.1 are
+    returned, which is what the dangling-tuple-elimination tests compare
+    against.
+    """
+    query.validate(graph)
+    s, t, k = query.source, query.target, query.k
+
+    relations: List[Set[EdgeTuple]] = []
+    # R_1: edges leaving s.
+    r1 = {(s, int(v)) for v in graph.neighbors(s)}
+    relations.append(r1)
+    # Interior relations: edges of G - {s} that do not leave t, plus (t, t).
+    if k > 2:
+        interior = set()
+        for u in graph.vertices():
+            if u == s or u == t:
+                continue
+            for v in graph.neighbors(u):
+                v = int(v)
+                if v == s:
+                    continue
+                interior.add((u, v))
+        interior_with_padding = set(interior)
+        interior_with_padding.add((t, t))
+        for _ in range(2, k):
+            relations.append(set(interior_with_padding))
+    # R_k: edges entering t that do not start at s, plus (t, t).
+    rk = {(int(u), t) for u in graph.in_neighbors(t) if int(u) != s}
+    rk.add((t, t))
+    relations.append(rk)
+
+    if apply_full_reducer:
+        _full_reducer(relations, deadline=deadline)
+
+    return ChainRelations(
+        query=query,
+        relations=[Relation(position=i + 1, tuples=r) for i, r in enumerate(relations)],
+    )
+
+
+def _full_reducer(relations: List[Set[EdgeTuple]], *, deadline: Optional[Deadline] = None) -> None:
+    """Remove dangling tuples with forward and backward semi-join sweeps."""
+    k = len(relations)
+    # Forward sweep (Lines 5-8): R_{i+1} keeps tuples whose source appears
+    # among the targets of R_i.
+    for i in range(k - 1):
+        if deadline is not None:
+            deadline.check()
+        reachable = {v for _, v in relations[i]}
+        relations[i + 1] = {(u, v) for (u, v) in relations[i + 1] if u in reachable}
+    # Backward sweep (Lines 9-12): R_i keeps tuples whose target appears
+    # among the sources of R_{i+1}.
+    for i in range(k - 2, -1, -1):
+        if deadline is not None:
+            deadline.check()
+        alive = {u for u, _ in relations[i + 1]}
+        relations[i] = {(u, v) for (u, v) in relations[i] if v in alive}

@@ -1,0 +1,221 @@
+"""Result and statistics containers shared by every enumeration algorithm.
+
+The paper's evaluation reports, per query, far more than the set of paths:
+query time, preprocessing vs. enumeration breakdown, throughput, response
+time (time to the first 1 000 results), number of edges accessed, number of
+invalid partial results, and peak memory of the materialised partial
+results.  :class:`EnumerationStats` collects all of those counters so the
+benchmark harness never needs external profiling, and :class:`QueryResult`
+bundles the stats with the (optional) list of discovered paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["EnumerationStats", "QueryResult", "Phase"]
+
+Path = Tuple[int, ...]
+
+
+class Phase:
+    """Canonical names of the timing phases reported by the paper."""
+
+    BFS = "bfs"
+    INDEX = "index_construction"
+    PRELIMINARY = "preliminary_estimation"
+    OPTIMIZATION = "join_order_optimization"
+    ENUMERATION = "enumeration"
+    JOIN = "join"
+    TOTAL = "total"
+
+    ALL = (BFS, INDEX, PRELIMINARY, OPTIMIZATION, ENUMERATION, JOIN, TOTAL)
+
+
+@dataclass
+class EnumerationStats:
+    """Counters and timings gathered while evaluating one query."""
+
+    #: Number of directed edges touched by the enumeration loops (Figure 6).
+    edges_accessed: int = 0
+    #: Partial results that do not appear in any final path (Figure 6).
+    invalid_partial_results: int = 0
+    #: Total partial results generated (internal nodes of the search tree).
+    partial_results_generated: int = 0
+    #: Number of results emitted.
+    results_emitted: int = 0
+    #: Peak number of materialised partial-result tuples (IDX-JOIN, BC-JOIN).
+    peak_partial_result_tuples: int = 0
+    #: Estimated peak bytes of materialised partial results.
+    peak_partial_result_bytes: int = 0
+    #: Number of edges stored in the light-weight index (Figure 10).
+    index_edges: int = 0
+    #: Number of vertices stored in the light-weight index.
+    index_vertices: int = 0
+    #: Estimated bytes used by the index (Table 7).
+    index_bytes: int = 0
+    #: Search-space size predicted by the preliminary estimator (Eq. 5).
+    preliminary_estimate: Optional[float] = None
+    #: Result-count estimate from the full-fledged estimator.
+    full_estimate: Optional[float] = None
+    #: The plan executed: ``"dfs"`` or ``"join"``.
+    plan: Optional[str] = None
+    #: The cut position chosen by Algorithm 5 (join plans only).
+    cut_position: Optional[int] = None
+    #: Whether the cooperative deadline expired before completion.
+    timed_out: bool = False
+    #: Whether enumeration stopped early because of a result limit.
+    truncated: bool = False
+    #: Wall-clock seconds per phase (:class:`Phase` names).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # phase helpers
+    # ------------------------------------------------------------------ #
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the named timing phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def phase(self, name: str) -> float:
+        """Seconds spent in phase ``name`` (0.0 when the phase never ran)."""
+        return self.phase_seconds.get(name, 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total query time in seconds."""
+        return self.phase_seconds.get(Phase.TOTAL, 0.0)
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        """Preprocessing time as reported in Figure 7.
+
+        For index-based algorithms this is the index-construction phase
+        (which already includes its BFS sub-phase); baselines that only run
+        a BFS report that instead.
+        """
+        index_seconds = self.phase(Phase.INDEX)
+        return index_seconds if index_seconds > 0.0 else self.phase(Phase.BFS)
+
+    @property
+    def enumeration_seconds(self) -> float:
+        """Enumeration time (DFS or join), as reported in Figure 7."""
+        return self.phase(Phase.ENUMERATION) + self.phase(Phase.JOIN)
+
+    def merge(self, other: "EnumerationStats") -> None:
+        """Accumulate the counters of ``other`` into this object (in place)."""
+        self.edges_accessed += other.edges_accessed
+        self.invalid_partial_results += other.invalid_partial_results
+        self.partial_results_generated += other.partial_results_generated
+        self.results_emitted += other.results_emitted
+        self.peak_partial_result_tuples = max(
+            self.peak_partial_result_tuples, other.peak_partial_result_tuples
+        )
+        self.peak_partial_result_bytes = max(
+            self.peak_partial_result_bytes, other.peak_partial_result_bytes
+        )
+        self.index_edges = max(self.index_edges, other.index_edges)
+        self.index_vertices = max(self.index_vertices, other.index_vertices)
+        self.index_bytes = max(self.index_bytes, other.index_bytes)
+        self.timed_out = self.timed_out or other.timed_out
+        self.truncated = self.truncated or other.truncated
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase(name, seconds)
+
+
+@dataclass
+class QueryResult:
+    """The outcome of evaluating a single HcPE query."""
+
+    #: The query that was evaluated (kept as plain ints to avoid import cycles).
+    source: int
+    target: int
+    k: int
+    #: Name of the algorithm that produced the result.
+    algorithm: str
+    #: Number of paths found (always populated, even when paths are not stored).
+    count: int
+    #: The discovered paths when path storage was enabled, otherwise ``None``.
+    paths: Optional[List[Path]]
+    #: Per-query statistics.
+    stats: EnumerationStats
+    #: Seconds from query start until the first ``response_k`` results were
+    #: found (the paper's response time); ``None`` when fewer results exist.
+    response_seconds: Optional[float] = None
+    #: The number of results the response time refers to.
+    response_k: int = 1000
+
+    @property
+    def query_seconds(self) -> float:
+        """Total query time in seconds."""
+        return self.stats.total_seconds
+
+    @property
+    def query_millis(self) -> float:
+        """Total query time in milliseconds, the unit used by the paper."""
+        return self.stats.total_seconds * 1e3
+
+    @property
+    def throughput(self) -> float:
+        """Results found per second (the paper's throughput metric).
+
+        Timed-out queries still report throughput based on the results found
+        before the deadline, mirroring Section 7.1.
+        """
+        seconds = self.stats.total_seconds
+        if seconds <= 0.0:
+            return float(self.count)
+        return self.count / seconds
+
+    @property
+    def completed(self) -> bool:
+        """``True`` when the query ran to completion (no timeout, no truncation)."""
+        return not self.stats.timed_out and not self.stats.truncated
+
+    def path_lengths(self) -> List[int]:
+        """Lengths (edge counts) of the stored paths."""
+        if self.paths is None:
+            return []
+        return [len(p) - 1 for p in self.paths]
+
+    def paths_as_external(self, graph) -> List[Tuple[object, ...]]:
+        """Translate stored paths back to external vertex ids."""
+        if self.paths is None:
+            return []
+        return [graph.translate_path(p) for p in self.paths]
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict used by the benchmark reporting layer."""
+        return {
+            "algorithm": self.algorithm,
+            "source": self.source,
+            "target": self.target,
+            "k": self.k,
+            "count": self.count,
+            "query_ms": self.query_millis,
+            "throughput": self.throughput,
+            "response_ms": None if self.response_seconds is None else self.response_seconds * 1e3,
+            "timed_out": self.stats.timed_out,
+            "plan": self.stats.plan,
+        }
+
+
+def paths_are_valid(paths: Sequence[Path], source: int, target: int, k: int) -> bool:
+    """Check the HcPE invariants on a set of paths (used by tests and examples).
+
+    Every path must start at ``source``, end at ``target``, contain no
+    duplicate vertices and have at most ``k`` edges; the collection must not
+    contain duplicates.
+    """
+    seen = set()
+    for path in paths:
+        if len(path) < 2 or path[0] != source or path[-1] != target:
+            return False
+        if len(path) - 1 > k:
+            return False
+        if len(set(path)) != len(path):
+            return False
+        if path in seen:
+            return False
+        seen.add(path)
+    return True

@@ -1,0 +1,21 @@
+"""Offline distance oracles (the global-index direction of Section 7.5).
+
+The paper's discussion section points out that on very large graphs the
+per-query index construction — dominated by its two BFS traversals — becomes
+the bottleneck, and suggests an *offline global index* that serves every
+query as future work.  :class:`~repro.distance.landmark.LandmarkOracle` is a
+light-weight instance of that idea: it precomputes forward and backward BFS
+distances from a small set of landmark vertices and answers, without
+touching the graph again,
+
+* lower bounds on the s-t distance (triangle inequality on the landmarks);
+* a sound ``might_reach_within(s, t, k)`` filter that rejects queries whose
+  hop constraint provably cannot be met.
+
+PathEnum itself is unchanged — the oracle sits in front of it and lets an
+application skip index construction for hopeless queries.
+"""
+
+from repro.distance.landmark import LandmarkOracle, select_landmarks
+
+__all__ = ["LandmarkOracle", "select_landmarks"]

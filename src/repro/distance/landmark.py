@@ -1,0 +1,170 @@
+"""Landmark-based distance oracle (offline global index, Section 7.5).
+
+For a set of landmark vertices ``L`` the oracle stores, per landmark, the
+forward distances ``d(l, v)`` and the backward distances ``d(v, l)`` for all
+``v``.  Two classical consequences of the triangle inequality on directed
+graphs then give query-time bounds without touching the graph:
+
+* **upper bound** — ``d(s, t) <= d(s, l) + d(l, t)`` for every landmark;
+* **lower bound** — ``d(s, t) >= d(l, t) - d(l, s)`` and
+  ``d(s, t) >= d(s, l) - d(t, l)``.
+
+The lower bound is what HcPE needs: when it already exceeds the hop
+constraint ``k`` the query provably has no results, so the application can
+skip the per-query index construction entirely.  When the upper bound is at
+most ``k`` the query is guaranteed to have at least one result (the
+concatenated shortest paths may repeat vertices, so this direction is only
+used as a hint, never to skip enumeration).
+
+Construction costs ``O(|L| * (|V| + |E|))`` — one forward and one backward
+BFS per landmark — and is meant to run once per graph, offline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+
+__all__ = ["LandmarkOracle", "select_landmarks"]
+
+#: Internal sentinel for "unreachable" stored as a large finite value so the
+#: numpy min/max arithmetic below stays branch-free.
+_INF = np.int64(1 << 40)
+
+
+def select_landmarks(graph: DiGraph, count: int, *, strategy: str = "degree") -> List[int]:
+    """Pick ``count`` landmark vertices.
+
+    ``"degree"`` picks the vertices with the highest total degree (the usual
+    heuristic: hubs cover many shortest paths); ``"random"`` picks a
+    reproducible random sample and exists mostly for comparison in tests.
+    """
+    if count < 1:
+        raise GraphError("at least one landmark is required")
+    count = min(count, graph.num_vertices)
+    if strategy == "degree":
+        degrees = graph.out_degrees() + graph.in_degrees()
+        order = np.lexsort((np.arange(graph.num_vertices), -degrees))
+        return [int(v) for v in order[:count]]
+    if strategy == "random":
+        rng = np.random.default_rng(count)
+        return [int(v) for v in rng.choice(graph.num_vertices, size=count, replace=False)]
+    raise GraphError(f"unknown landmark selection strategy {strategy!r}")
+
+
+class LandmarkOracle:
+    """Precomputed forward/backward landmark distances for one graph."""
+
+    def __init__(self, graph: DiGraph, landmarks: Sequence[int]) -> None:
+        if not landmarks:
+            raise GraphError("LandmarkOracle requires at least one landmark")
+        for landmark in landmarks:
+            graph._check_vertex(landmark)
+        self.graph = graph
+        self.landmarks = [int(v) for v in landmarks]
+        forward_rows = []
+        backward_rows = []
+        for landmark in self.landmarks:
+            forward = bfs_distances(graph, landmark)
+            backward = bfs_distances(graph, landmark, reverse=True)
+            forward_rows.append(np.where(forward == UNREACHABLE, _INF, forward))
+            backward_rows.append(np.where(backward == UNREACHABLE, _INF, backward))
+        #: ``_forward[i][v]`` — distance from landmark i to v.
+        self._forward = np.vstack(forward_rows)
+        #: ``_backward[i][v]`` — distance from v to landmark i.
+        self._backward = np.vstack(backward_rows)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        *,
+        num_landmarks: int = 16,
+        strategy: str = "degree",
+        landmarks: Optional[Sequence[int]] = None,
+    ) -> "LandmarkOracle":
+        """Build an oracle, selecting landmarks unless they are given explicitly."""
+        chosen = list(landmarks) if landmarks is not None else select_landmarks(
+            graph, num_landmarks, strategy=strategy
+        )
+        return cls(graph, chosen)
+
+    @property
+    def num_landmarks(self) -> int:
+        """Number of landmark vertices."""
+        return len(self.landmarks)
+
+    def estimated_bytes(self) -> int:
+        """Memory footprint of the two distance matrices."""
+        return int(self._forward.nbytes + self._backward.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # bounds
+    # ------------------------------------------------------------------ #
+    def upper_bound(self, source: int, target: int) -> Optional[int]:
+        """An upper bound on ``d(source, target)``, or ``None`` when unknown.
+
+        ``min over landmarks of d(source, l) + d(l, target)``; the true
+        distance can be smaller but never larger.  ``None`` means no landmark
+        connects the two vertices, which says nothing about reachability.
+        """
+        self.graph._check_vertex(source)
+        self.graph._check_vertex(target)
+        if source == target:
+            return 0
+        totals = self._backward[:, source] + self._forward[:, target]
+        best = int(totals.min())
+        return None if best >= int(_INF) else best
+
+    def lower_bound(self, source: int, target: int) -> int:
+        """A lower bound on ``d(source, target)`` (0 when nothing better is known)."""
+        self.graph._check_vertex(source)
+        self.graph._check_vertex(target)
+        if source == target:
+            return 0
+        forward_to_target = self._forward[:, target]
+        forward_to_source = self._forward[:, source]
+        backward_from_source = self._backward[:, source]
+        backward_from_target = self._backward[:, target]
+        # d(s,t) >= d(l,t) - d(l,s) whenever d(l,t) is finite.
+        candidates = []
+        finite = forward_to_target < _INF
+        if finite.any():
+            candidates.append((forward_to_target[finite] - forward_to_source[finite]).max())
+        # d(s,t) >= d(s,l) - d(t,l) whenever d(s,l) is finite.
+        finite = backward_from_source < _INF
+        if finite.any():
+            candidates.append((backward_from_source[finite] - backward_from_target[finite]).max())
+        # If the target is unreachable from every landmark that reaches the
+        # source, the bounds above may be negative; clamp at zero.
+        if not candidates:
+            return 0
+        bound = int(max(candidates))
+        if bound >= int(_INF) // 2:
+            # The source reaches a landmark (or a landmark reaches the target)
+            # from which the other endpoint is unreachable in the relevant
+            # direction; that alone does not prove t is unreachable from s,
+            # so fall back to the trivial bound.
+            return 0
+        return max(0, bound)
+
+    def might_reach_within(self, source: int, target: int, k: int) -> bool:
+        """Sound filter: ``False`` only when no path of length <= k can exist.
+
+        Returning ``True`` does not guarantee a result — it only means the
+        landmark bounds cannot rule one out.
+        """
+        return self.lower_bound(source, target) <= k
+
+    def definitely_reaches_within(self, source: int, target: int, k: int) -> bool:
+        """``True`` when a walk of length <= k certainly exists (upper bound <= k)."""
+        upper = self.upper_bound(source, target)
+        return upper is not None and upper <= k

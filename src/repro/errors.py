@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+a single base class.  More specific subclasses are raised where the caller
+can reasonably recover or report a precise message.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "QueryError",
+    "InvalidQueryError",
+    "EnumerationTimeout",
+    "ResultLimitReached",
+    "DatasetError",
+    "WorkloadError",
+    "ConstraintError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Problems constructing or manipulating a graph."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge is not present in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class QueryError(ReproError):
+    """Problems with a HcPE query."""
+
+
+class InvalidQueryError(QueryError, ValueError):
+    """The query parameters violate the problem statement (e.g. s == t, k < 2)."""
+
+
+class EnumerationTimeout(ReproError):
+    """The cooperative deadline of an enumeration run expired.
+
+    The exception carries the partial statistics gathered so far so the
+    harness can still report throughput for timed-out queries, mirroring the
+    paper's treatment of queries hitting the two-minute limit.
+    """
+
+    def __init__(self, message: str = "enumeration deadline expired", *, stats=None) -> None:
+        super().__init__(message)
+        self.stats = stats
+
+
+class ResultLimitReached(ReproError):
+    """Internal control-flow signal used to stop after the N-th result.
+
+    Never escapes the public API: the enumerators catch it and return
+    normally with ``truncated=True`` in the result.
+    """
+
+
+class DatasetError(ReproError):
+    """A named dataset cannot be generated or loaded."""
+
+
+class WorkloadError(ReproError):
+    """A query workload cannot be generated with the requested properties."""
+
+
+class ConstraintError(ReproError, ValueError):
+    """A path constraint (predicate / accumulative / automaton) is ill-formed."""

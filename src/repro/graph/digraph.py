@@ -1,0 +1,330 @@
+"""Immutable CSR-encoded directed graph.
+
+The paper's algorithms traverse the graph in two directions: forwards during
+enumeration and backwards (on the reversed graph) when computing distances to
+the target.  :class:`DiGraph` therefore stores both the out-adjacency and the
+in-adjacency in compressed sparse row (CSR) form:
+
+* ``out_indptr`` / ``out_indices`` — for vertex ``v`` the out-neighbours are
+  ``out_indices[out_indptr[v]:out_indptr[v + 1]]``;
+* ``in_indptr`` / ``in_indices`` — likewise for in-neighbours.
+
+Vertices are dense integers ``0 .. n - 1``.  The optional ``vertex_ids``
+sequence maps internal ids back to the external ids used when the graph was
+built (account numbers, entity names, ...), and :meth:`DiGraph.to_internal` /
+:meth:`DiGraph.to_external` translate between the two.
+
+Edges may carry a float weight and a string label; both are optional and are
+stored aligned with ``out_indices`` so that constraint-aware enumeration
+(Appendix E of the paper) can read them without a hash lookup per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """An immutable directed graph in CSR form.
+
+    Instances are normally produced by :class:`repro.graph.builder.GraphBuilder`
+    or by the generators; the constructor below accepts already validated CSR
+    arrays and is considered an implementation detail of those factories.
+    """
+
+    __slots__ = (
+        "_num_vertices",
+        "_out_indptr",
+        "_out_indices",
+        "_in_indptr",
+        "_in_indices",
+        "_edge_weights",
+        "_edge_labels",
+        "_vertex_ids",
+        "_id_index",
+        "_edge_position",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        *,
+        edge_weights: Optional[np.ndarray] = None,
+        edge_labels: Optional[Sequence[Optional[str]]] = None,
+        vertex_ids: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError("number of vertices must be non-negative")
+        if len(out_indptr) != num_vertices + 1 or len(in_indptr) != num_vertices + 1:
+            raise GraphError("indptr arrays must have length num_vertices + 1")
+        if out_indptr[-1] != len(out_indices):
+            raise GraphError("out_indptr is inconsistent with out_indices")
+        if in_indptr[-1] != len(in_indices):
+            raise GraphError("in_indptr is inconsistent with in_indices")
+        if len(out_indices) != len(in_indices):
+            raise GraphError("out and in adjacency encode different edge counts")
+        if edge_weights is not None and len(edge_weights) != len(out_indices):
+            raise GraphError("edge_weights must align with out_indices")
+        if edge_labels is not None and len(edge_labels) != len(out_indices):
+            raise GraphError("edge_labels must align with out_indices")
+        if vertex_ids is not None and len(vertex_ids) != num_vertices:
+            raise GraphError("vertex_ids must have one entry per vertex")
+
+        self._num_vertices = int(num_vertices)
+        self._out_indptr = np.asarray(out_indptr, dtype=np.int64)
+        self._out_indices = np.asarray(out_indices, dtype=np.int64)
+        self._in_indptr = np.asarray(in_indptr, dtype=np.int64)
+        self._in_indices = np.asarray(in_indices, dtype=np.int64)
+        self._edge_weights = (
+            None if edge_weights is None else np.asarray(edge_weights, dtype=np.float64)
+        )
+        self._edge_labels = None if edge_labels is None else list(edge_labels)
+        self._vertex_ids = None if vertex_ids is None else list(vertex_ids)
+        self._id_index: Optional[Dict[Hashable, int]] = None
+        if self._vertex_ids is not None:
+            self._id_index = {vid: i for i, vid in enumerate(self._vertex_ids)}
+        self._edge_position: Optional[Dict[Tuple[int, int], int]] = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V(G)|``."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E(G)|``."""
+        return int(self._out_indptr[-1])
+
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
+
+    def vertices(self) -> range:
+        """Iterate over the internal vertex ids ``0 .. n - 1``."""
+        return range(self._num_vertices)
+
+    def has_vertex(self, v: int) -> bool:
+        """Return ``True`` when ``v`` is a valid internal vertex id."""
+        return 0 <= v < self._num_vertices
+
+    def _check_vertex(self, v: int) -> None:
+        if not self.has_vertex(v):
+            raise VertexNotFoundError(v)
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbours ``N(v)`` as a read-only numpy view."""
+        self._check_vertex(v)
+        return self._out_indices[self._out_indptr[v] : self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbours of ``v`` (out-neighbours in the reversed graph)."""
+        self._check_vertex(v)
+        return self._in_indices[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree ``d(v)``."""
+        self._check_vertex(v)
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of ``v``."""
+        self._check_vertex(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def degree(self, v: int) -> int:
+        """Total degree (in + out) of ``v``."""
+        return self.out_degree(v) + self.in_degree(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the directed edge ``(u, v)`` exists."""
+        if not self.has_vertex(u) or not self.has_vertex(v):
+            return False
+        return self._edge_index(u, v) is not None
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all directed edges as ``(u, v)`` pairs."""
+        indptr = self._out_indptr
+        indices = self._out_indices
+        for u in range(self._num_vertices):
+            for pos in range(indptr[u], indptr[u + 1]):
+                yield u, int(indices[pos])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for every vertex."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for every vertex."""
+        return np.diff(self._in_indptr)
+
+    # ------------------------------------------------------------------ #
+    # edge attributes
+    # ------------------------------------------------------------------ #
+    def _build_edge_position(self) -> Dict[Tuple[int, int], int]:
+        positions: Dict[Tuple[int, int], int] = {}
+        indptr = self._out_indptr
+        indices = self._out_indices
+        for u in range(self._num_vertices):
+            for pos in range(int(indptr[u]), int(indptr[u + 1])):
+                positions[(u, int(indices[pos]))] = pos
+        return positions
+
+    def _edge_index(self, u: int, v: int) -> Optional[int]:
+        if self._edge_position is None:
+            self._edge_position = self._build_edge_position()
+        return self._edge_position.get((u, v))
+
+    @property
+    def has_edge_weights(self) -> bool:
+        """``True`` when the graph was built with per-edge weights."""
+        return self._edge_weights is not None
+
+    @property
+    def has_edge_labels(self) -> bool:
+        """``True`` when the graph was built with per-edge labels."""
+        return self._edge_labels is not None
+
+    def edge_weight(self, u: int, v: int, default: Optional[float] = None) -> float:
+        """Weight of edge ``(u, v)``.
+
+        Raises :class:`EdgeNotFoundError` when the edge does not exist and no
+        ``default`` is given.  Unweighted graphs report a weight of ``1.0``
+        for every existing edge so accumulative-value constraints degrade
+        gracefully to hop counting.
+        """
+        pos = self._edge_index(u, v) if (self.has_vertex(u) and self.has_vertex(v)) else None
+        if pos is None:
+            if default is not None:
+                return default
+            raise EdgeNotFoundError(u, v)
+        if self._edge_weights is None:
+            return 1.0
+        return float(self._edge_weights[pos])
+
+    def edge_label(self, u: int, v: int, default: Optional[str] = None) -> Optional[str]:
+        """Label of edge ``(u, v)`` or ``default`` / ``None`` when unlabelled."""
+        pos = self._edge_index(u, v) if (self.has_vertex(u) and self.has_vertex(v)) else None
+        if pos is None:
+            if default is not None:
+                return default
+            raise EdgeNotFoundError(u, v)
+        if self._edge_labels is None:
+            return default
+        return self._edge_labels[pos]
+
+    def edge_weight_by_position(self, position: int) -> float:
+        """Weight of the edge stored at CSR ``position`` (fast path for hot loops)."""
+        if self._edge_weights is None:
+            return 1.0
+        return float(self._edge_weights[position])
+
+    # ------------------------------------------------------------------ #
+    # external ids
+    # ------------------------------------------------------------------ #
+    @property
+    def has_external_ids(self) -> bool:
+        """``True`` when the builder recorded external vertex identifiers."""
+        return self._vertex_ids is not None
+
+    def to_internal(self, external_id: Hashable) -> int:
+        """Translate an external vertex id into the internal dense id."""
+        if self._id_index is None:
+            if isinstance(external_id, (int, np.integer)) and self.has_vertex(int(external_id)):
+                return int(external_id)
+            raise VertexNotFoundError(external_id)
+        try:
+            return self._id_index[external_id]
+        except KeyError:
+            raise VertexNotFoundError(external_id) from None
+
+    def to_external(self, internal_id: int) -> Hashable:
+        """Translate an internal dense id back to the external id."""
+        self._check_vertex(internal_id)
+        if self._vertex_ids is None:
+            return internal_id
+        return self._vertex_ids[internal_id]
+
+    def translate_path(self, path: Sequence[int]) -> Tuple[Hashable, ...]:
+        """Translate a path of internal ids into external ids."""
+        return tuple(self.to_external(v) for v in path)
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "DiGraph":
+        """Return ``G^r``, the graph with every edge direction flipped.
+
+        Edge weights and labels are dropped: the reverse graph is only used
+        for distance computations, which do not consult them.
+        """
+        return DiGraph(
+            self._num_vertices,
+            self._in_indptr.copy(),
+            self._in_indices.copy(),
+            self._out_indptr.copy(),
+            self._out_indices.copy(),
+            vertex_ids=None if self._vertex_ids is None else list(self._vertex_ids),
+        )
+
+    def filter_edges(self, predicate) -> "DiGraph":
+        """Return a copy that keeps only edges for which ``predicate`` is true.
+
+        ``predicate(u, v, weight, label)`` is evaluated for every edge with
+        internal ids.  Vertex ids and external-id mapping are preserved so
+        queries keep working on the filtered graph — this is the materialised
+        form of the predicate-constrained evaluation of Appendix E.
+        """
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        for v in range(self._num_vertices):
+            builder.add_vertex(self.to_external(v) if self._vertex_ids is not None else v)
+        for u in range(self._num_vertices):
+            start, stop = int(self._out_indptr[u]), int(self._out_indptr[u + 1])
+            for pos in range(start, stop):
+                v = int(self._out_indices[pos])
+                weight = None if self._edge_weights is None else float(self._edge_weights[pos])
+                label = None if self._edge_labels is None else self._edge_labels[pos]
+                if predicate(u, v, 1.0 if weight is None else weight, label):
+                    builder.add_edge(
+                        self.to_external(u) if self._vertex_ids is not None else u,
+                        self.to_external(v) if self._vertex_ids is not None else v,
+                        weight=weight,
+                        label=label,
+                    )
+        return builder.build()
+
+    def edge_list(self) -> Iterable[Tuple[int, int]]:
+        """Materialise the edge list as a list of ``(u, v)`` tuples."""
+        return list(self.edges())
+
+    def copy_with_edges(self, extra_edges: Iterable[Tuple[int, int]]) -> "DiGraph":
+        """Return a new graph with ``extra_edges`` added (ids are internal)."""
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        for v in range(self._num_vertices):
+            builder.add_vertex(v)
+        for u, v in self.edges():
+            builder.add_edge(u, v)
+        for u, v in extra_edges:
+            builder.add_edge(int(u), int(v))
+        return builder.build()

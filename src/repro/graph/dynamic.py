@@ -1,0 +1,201 @@
+"""Mutable directed graph used for the dynamic-graph experiments.
+
+The paper's Figure 8 workload holds out 10 % of a dataset's edges, treats the
+remaining 90 % as the initial graph and replays the held-out edges as
+insertions, issuing a HcPE query per insertion to detect the cycles the new
+edge closes.  Because PathEnum builds its index per query it needs no
+persistent structure to maintain — the dynamic graph only has to support
+cheap edge insertion/removal and snapshotting into the immutable CSR form
+that the enumeration algorithms consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Adjacency-set directed graph supporting insertions and deletions."""
+
+    def __init__(self) -> None:
+        self._out: Dict[Hashable, Set[Hashable]] = {}
+        self._in: Dict[Hashable, Set[Hashable]] = {}
+        self._num_edges = 0
+        self._weights: Dict[Tuple[Hashable, Hashable], float] = {}
+        self._labels: Dict[Tuple[Hashable, Hashable], str] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: DiGraph) -> "DynamicGraph":
+        """Copy an immutable graph into a mutable one (external ids preserved)."""
+        dynamic = cls()
+        for v in graph.vertices():
+            dynamic.add_vertex(graph.to_external(v))
+        for u, v in graph.edges():
+            dynamic.add_edge(graph.to_external(u), graph.to_external(v))
+        return dynamic
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Hashable, Hashable]]) -> "DynamicGraph":
+        """Build a dynamic graph directly from an edge iterable."""
+        dynamic = cls()
+        for u, v in edges:
+            dynamic.add_edge(u, v)
+        return dynamic
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Hashable) -> bool:
+        """Register ``vertex``; return ``False`` when it already existed."""
+        if vertex in self._out:
+            return False
+        self._out[vertex] = set()
+        self._in[vertex] = set()
+        return True
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        *,
+        weight: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> bool:
+        """Insert a directed edge; return ``False`` for duplicates/self-loops.
+
+        The endpoints are registered as vertices even when the edge itself is
+        rejected, mirroring :class:`~repro.graph.builder.GraphBuilder`.
+        """
+        self.add_vertex(source)
+        self.add_vertex(target)
+        if source == target:
+            return False
+        if target in self._out[source]:
+            return False
+        self._out[source].add(target)
+        self._in[target].add(source)
+        self._num_edges += 1
+        if weight is not None:
+            self._weights[(source, target)] = float(weight)
+        if label is not None:
+            self._labels[(source, target)] = label
+        return True
+
+    def remove_edge(self, source: Hashable, target: Hashable) -> None:
+        """Delete a directed edge; raise :class:`EdgeNotFoundError` if absent."""
+        if source not in self._out or target not in self._out[source]:
+            raise EdgeNotFoundError(source, target)
+        self._out[source].discard(target)
+        self._in[target].discard(source)
+        self._num_edges -= 1
+        self._weights.pop((source, target), None)
+        self._labels.pop((source, target), None)
+
+    def remove_vertex(self, vertex: Hashable) -> None:
+        """Delete a vertex together with all incident edges."""
+        if vertex not in self._out:
+            raise VertexNotFoundError(vertex)
+        for target in list(self._out[vertex]):
+            self.remove_edge(vertex, target)
+        for source in list(self._in[vertex]):
+            self.remove_edge(source, vertex)
+        del self._out[vertex]
+        del self._in[vertex]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Current number of vertices."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of edges."""
+        return self._num_edges
+
+    def has_vertex(self, vertex: Hashable) -> bool:
+        """Return ``True`` when the vertex is present."""
+        return vertex in self._out
+
+    def has_edge(self, source: Hashable, target: Hashable) -> bool:
+        """Return ``True`` when the directed edge is present."""
+        return source in self._out and target in self._out[source]
+
+    def neighbors(self, vertex: Hashable) -> Set[Hashable]:
+        """Out-neighbour set of ``vertex``."""
+        if vertex not in self._out:
+            raise VertexNotFoundError(vertex)
+        return set(self._out[vertex])
+
+    def in_neighbors(self, vertex: Hashable) -> Set[Hashable]:
+        """In-neighbour set of ``vertex``."""
+        if vertex not in self._in:
+            raise VertexNotFoundError(vertex)
+        return set(self._in[vertex])
+
+    def vertices(self) -> Iterator[Hashable]:
+        """Iterate over vertex ids (insertion order)."""
+        return iter(self._out)
+
+    def edges(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        """Iterate over all edges as ``(source, target)`` pairs."""
+        for source, targets in self._out.items():
+            for target in targets:
+                yield source, target
+
+    # ------------------------------------------------------------------ #
+    # snapshot
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> DiGraph:
+        """Freeze the current state into an immutable :class:`DiGraph`.
+
+        Vertex insertion order determines internal ids, so repeated snapshots
+        of a growing graph keep stable ids for existing vertices — queries
+        formulated against an earlier snapshot remain valid.
+        """
+        if self.num_vertices == 0:
+            raise GraphError("cannot snapshot an empty dynamic graph")
+        builder = GraphBuilder()
+        for vertex in self._out:
+            builder.add_vertex(vertex)
+        for source, target in self.edges():
+            builder.add_edge(
+                source,
+                target,
+                weight=self._weights.get((source, target)),
+                label=self._labels.get((source, target)),
+            )
+        return builder.build()
+
+    def apply_updates(
+        self, updates: Iterable[Tuple[str, Hashable, Hashable]]
+    ) -> List[Tuple[str, Hashable, Hashable]]:
+        """Apply a batch of ``("add" | "remove", u, v)`` updates.
+
+        Returns the updates that actually changed the graph (duplicates and
+        missing edges are skipped rather than raising, because replayed
+        streams routinely contain both).
+        """
+        applied: List[Tuple[str, Hashable, Hashable]] = []
+        for action, u, v in updates:
+            if action == "add":
+                if self.add_edge(u, v):
+                    applied.append((action, u, v))
+            elif action == "remove":
+                if self.has_edge(u, v):
+                    self.remove_edge(u, v)
+                    applied.append((action, u, v))
+            else:
+                raise GraphError(f"unknown update action {action!r}")
+        return applied

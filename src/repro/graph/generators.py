@@ -1,0 +1,289 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on fifteen real-world graphs (Table 2) spanning web,
+social, citation, interaction, recommendation and biological networks.  Those
+datasets cannot be downloaded in this offline environment, so the dataset
+registry (:mod:`repro.workloads.datasets`) builds stand-ins from the
+generators below.  What matters for reproducing the paper's *shape* of
+results is the topology class:
+
+* power-law out-degree (web / social graphs) → very skewed search spaces,
+  large gaps between walk and path counts;
+* near-uniform sparse degree (citation graphs) → small search spaces;
+* dense local clusters (biological / recommendation graphs) → huge result
+  counts even for small ``k``.
+
+Every generator is deterministic for a given ``seed`` and returns a
+:class:`~repro.graph.digraph.DiGraph` over dense integer vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "erdos_renyi",
+    "power_law_graph",
+    "small_world_graph",
+    "complete_graph",
+    "chain_graph",
+    "grid_graph",
+    "layered_graph",
+    "bipartite_graph",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    avg_out_degree: float,
+    *,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    labels: Optional[Sequence[str]] = None,
+) -> DiGraph:
+    """Directed G(n, m) random graph with ``avg_out_degree * n`` edges.
+
+    Approximates the uniform-degree datasets of the paper (e.g. the citation
+    graph ``up``).  Self-loops and duplicate edges are rejected.
+    """
+    if num_vertices < 2:
+        raise GraphError("erdos_renyi requires at least two vertices")
+    if avg_out_degree <= 0:
+        raise GraphError("avg_out_degree must be positive")
+    rng = _rng(seed)
+    target_edges = int(round(avg_out_degree * num_vertices))
+    max_edges = num_vertices * (num_vertices - 1)
+    target_edges = min(target_edges, max_edges)
+    builder = GraphBuilder()
+    for v in range(num_vertices):
+        builder.add_vertex(v)
+    attempts = 0
+    max_attempts = max(20 * target_edges, 1000)
+    while builder.num_edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(num_vertices))
+        v = int(rng.integers(num_vertices))
+        if u == v:
+            continue
+        builder.add_edge(
+            u,
+            v,
+            weight=float(rng.uniform(0.0, 1.0)) if weighted else None,
+            label=str(rng.choice(labels)) if labels else None,
+        )
+    return builder.build()
+
+
+def power_law_graph(
+    num_vertices: int,
+    avg_out_degree: float,
+    *,
+    exponent: float = 2.2,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    labels: Optional[Sequence[str]] = None,
+) -> DiGraph:
+    """Directed graph with power-law out- and in-degree distributions.
+
+    Uses a Chung-Lu style model: each vertex draws an expected degree from a
+    Zipf-like distribution with the given ``exponent`` and edges connect
+    endpoints sampled proportionally to those expected degrees.  This mirrors
+    the heavy hubs of the paper's social and web datasets (``ep``, ``sl``,
+    ``lj``, ``uk`` ...), which is what makes their hard query sets hard.
+    """
+    if num_vertices < 2:
+        raise GraphError("power_law_graph requires at least two vertices")
+    if avg_out_degree <= 0:
+        raise GraphError("avg_out_degree must be positive")
+    if exponent <= 1.0:
+        raise GraphError("exponent must be greater than 1")
+    rng = _rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights_vec = ranks ** (-1.0 / (exponent - 1.0))
+    rng.shuffle(weights_vec)
+    probabilities = weights_vec / weights_vec.sum()
+    target_edges = min(int(round(avg_out_degree * num_vertices)), num_vertices * (num_vertices - 1))
+    builder = GraphBuilder()
+    for v in range(num_vertices):
+        builder.add_vertex(v)
+    attempts = 0
+    max_attempts = max(30 * target_edges, 1000)
+    while builder.num_edges < target_edges and attempts < max_attempts:
+        attempts += 1
+        batch = min(4096, max_attempts - attempts + 1)
+        sources = rng.choice(num_vertices, size=batch, p=probabilities)
+        targets = rng.choice(num_vertices, size=batch, p=probabilities)
+        for u, v in zip(sources, targets):
+            if builder.num_edges >= target_edges:
+                break
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            builder.add_edge(
+                u,
+                v,
+                weight=float(rng.uniform(0.0, 1.0)) if weighted else None,
+                label=str(rng.choice(labels)) if labels else None,
+            )
+        attempts += batch - 1
+    return builder.build()
+
+
+def small_world_graph(
+    num_vertices: int,
+    base_degree: int,
+    *,
+    rewire_probability: float = 0.1,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Directed Watts-Strogatz style ring lattice with random rewiring.
+
+    Produces short diameters with local clustering, similar to the
+    interaction graphs in the paper (``tr``, ``wt``).
+    """
+    if num_vertices < 3:
+        raise GraphError("small_world_graph requires at least three vertices")
+    if base_degree < 1:
+        raise GraphError("base_degree must be at least 1")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError("rewire_probability must lie in [0, 1]")
+    rng = _rng(seed)
+    builder = GraphBuilder()
+    for v in range(num_vertices):
+        builder.add_vertex(v)
+    for u in range(num_vertices):
+        for offset in range(1, base_degree + 1):
+            v = (u + offset) % num_vertices
+            if rng.random() < rewire_probability:
+                v = int(rng.integers(num_vertices))
+                if v == u:
+                    v = (u + offset) % num_vertices
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def complete_graph(num_vertices: int) -> DiGraph:
+    """Complete directed graph (every ordered pair is an edge).
+
+    The worst case for walk-based bounds; used in complexity-oriented tests.
+    """
+    if num_vertices < 2:
+        raise GraphError("complete_graph requires at least two vertices")
+    builder = GraphBuilder()
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v:
+                builder.add_edge(u, v)
+    return builder.build()
+
+
+def chain_graph(num_vertices: int) -> DiGraph:
+    """Simple directed chain ``0 -> 1 -> ... -> n-1``."""
+    if num_vertices < 2:
+        raise GraphError("chain_graph requires at least two vertices")
+    builder = GraphBuilder()
+    for v in range(num_vertices - 1):
+        builder.add_edge(v, v + 1)
+    return builder.build()
+
+
+def grid_graph(rows: int, cols: int) -> DiGraph:
+    """Directed grid with edges pointing right and down.
+
+    A DAG with an exponential number of s-t paths between opposite corners —
+    convenient for correctness tests with known path counts (binomial
+    coefficients).
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    builder = GraphBuilder()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            builder.add_vertex(v)
+            if c + 1 < cols:
+                builder.add_edge(v, r * cols + c + 1)
+            if r + 1 < rows:
+                builder.add_edge(v, (r + 1) * cols + c)
+    return builder.build()
+
+
+def layered_graph(
+    num_layers: int,
+    layer_width: int,
+    *,
+    connection_probability: float = 1.0,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Layered DAG where edges connect consecutive layers.
+
+    Vertex ``0`` is a single source in front of the first layer and the last
+    vertex is a single sink after the final layer.  With full connectivity
+    the number of source-sink paths is ``layer_width ** num_layers`` which
+    grows quickly — a controllable way to create queries with huge result
+    counts (the ``ye``-style workloads).
+    """
+    if num_layers < 1 or layer_width < 1:
+        raise GraphError("num_layers and layer_width must be positive")
+    if not 0.0 < connection_probability <= 1.0:
+        raise GraphError("connection_probability must lie in (0, 1]")
+    rng = _rng(seed)
+    builder = GraphBuilder()
+    source = builder.add_vertex("source")
+    layers = []
+    for layer in range(num_layers):
+        layers.append([builder.add_vertex(f"L{layer}_{i}") for i in range(layer_width)])
+    sink = builder.add_vertex("sink")
+    for v in layers[0]:
+        builder.add_edge("source", builder._vertex_ids[v])
+    for layer_index in range(num_layers - 1):
+        for u in layers[layer_index]:
+            for v in layers[layer_index + 1]:
+                if connection_probability >= 1.0 or rng.random() < connection_probability:
+                    builder.add_edge(builder._vertex_ids[u], builder._vertex_ids[v])
+    for v in layers[-1]:
+        builder.add_edge(builder._vertex_ids[v], "sink")
+    graph = builder.build()
+    # Internal ids follow insertion order, so source == 0 and sink == n - 1.
+    assert graph.to_internal("source") == source
+    assert graph.to_internal("sink") == sink
+    return graph
+
+
+def bipartite_graph(
+    left: int,
+    right: int,
+    *,
+    connection_probability: float = 0.3,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Random directed bipartite graph (left -> right and right -> left edges).
+
+    Emulates the recommendation dataset ``da`` (user-item interactions), in
+    which odd-length cycles are absent and most paths alternate sides.
+    """
+    if left < 1 or right < 1:
+        raise GraphError("both sides of the bipartite graph must be non-empty")
+    if not 0.0 < connection_probability <= 1.0:
+        raise GraphError("connection_probability must lie in (0, 1]")
+    rng = _rng(seed)
+    builder = GraphBuilder()
+    for v in range(left + right):
+        builder.add_vertex(v)
+    for u in range(left):
+        for v in range(left, left + right):
+            if rng.random() < connection_probability:
+                builder.add_edge(u, v)
+            if rng.random() < connection_probability:
+                builder.add_edge(v, u)
+    return builder.build()

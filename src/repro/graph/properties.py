@@ -1,0 +1,64 @@
+"""Summary statistics over graphs (Table 2 style reporting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphSummary", "summarize", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """The dataset properties the paper reports in Table 2."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    density: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Render the summary as a flat dict for tabular reporting."""
+        return {
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "d_avg": round(self.avg_degree, 1),
+            "d_out_max": self.max_out_degree,
+            "d_in_max": self.max_in_degree,
+            "density": self.density,
+        }
+
+
+def summarize(graph: DiGraph) -> GraphSummary:
+    """Compute the Table 2 style summary for ``graph``.
+
+    ``avg_degree`` follows the paper's convention of average *out*-degree
+    (``|E| / |V|``).
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    out_degrees = graph.out_degrees()
+    in_degrees = graph.in_degrees()
+    return GraphSummary(
+        num_vertices=n,
+        num_edges=m,
+        avg_degree=(m / n) if n else 0.0,
+        max_out_degree=int(out_degrees.max()) if n else 0,
+        max_in_degree=int(in_degrees.max()) if n else 0,
+        density=(m / (n * (n - 1))) if n > 1 else 0.0,
+    )
+
+
+def degree_histogram(graph: DiGraph, *, direction: str = "out") -> Dict[int, int]:
+    """Histogram mapping degree value -> number of vertices with that degree."""
+    if direction not in ("out", "in"):
+        raise ValueError("direction must be 'out' or 'in'")
+    degrees = graph.out_degrees() if direction == "out" else graph.in_degrees()
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

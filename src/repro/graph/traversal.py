@@ -1,0 +1,205 @@
+"""Breadth-first traversals used for index construction and baselines.
+
+The paper relies on BFS in three places:
+
+* Algorithm 3 performs one BFS from ``s`` on ``G - {t}`` and one BFS from
+  ``t`` on the reversed graph ``G^r - {s}`` to obtain ``v.s`` and ``v.t``.
+* BC-DFS / T-DFS use single-source distances to ``t`` for pruning.
+* Query generation requires ``S(s, t) <= 3`` to guarantee non-empty result
+  sets.
+
+All functions operate on internal vertex ids and accept an optional
+``excluded`` vertex which is treated as removed from the graph (``G - {v}``),
+avoiding materialising vertex-deleted copies in hot paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "UNREACHABLE",
+    "bfs_distances",
+    "bfs_distances_bounded",
+    "distance",
+    "has_path_within",
+    "shortest_path",
+]
+
+#: Sentinel distance for vertices that cannot be reached.
+UNREACHABLE: int = -1
+
+
+def bfs_distances(
+    graph: DiGraph,
+    source: int,
+    *,
+    reverse: bool = False,
+    excluded: Optional[int] = None,
+    no_expand: Optional[int] = None,
+) -> np.ndarray:
+    """Single-source unweighted distances from ``source``.
+
+    When ``reverse`` is true the traversal follows in-edges, i.e. it computes
+    the distance *to* ``source`` along the original edge directions.  The
+    optional ``excluded`` vertex is skipped entirely, which implements the
+    ``G - {v}`` semantics of the paper without copying the graph.  The
+    optional ``no_expand`` vertex can receive a distance but is never
+    expanded — this is the "no intermediate s / t" semantics of walks from
+    ``s`` to ``t`` (Definition 2.1) used by the light-weight index.
+
+    Returns an ``int64`` array of length ``|V|`` with :data:`UNREACHABLE` for
+    vertices that cannot be reached.
+    """
+    return bfs_distances_bounded(
+        graph, source, cutoff=None, reverse=reverse, excluded=excluded, no_expand=no_expand
+    )
+
+
+def bfs_distances_bounded(
+    graph: DiGraph,
+    source: int,
+    *,
+    cutoff: Optional[int] = None,
+    reverse: bool = False,
+    excluded: Optional[int] = None,
+    no_expand: Optional[int] = None,
+    edge_filter=None,
+) -> np.ndarray:
+    """Like :func:`bfs_distances` but stops expanding beyond ``cutoff`` hops.
+
+    Bounding the traversal at ``k`` hops is what keeps index construction
+    cheap on large graphs: vertices further than ``k`` from ``s`` or ``t``
+    can never participate in a result.  ``edge_filter(u, v)`` (ids in the
+    *original* edge direction, regardless of ``reverse``) can drop edges on
+    the fly, which is how predicate constraints restrict the traversal
+    without materialising a filtered graph.
+    """
+    graph._check_vertex(source)
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    if excluded is not None and excluded == source:
+        return dist
+    dist[source] = 0
+    queue: deque = deque([source])
+    neighbor_fn = graph.in_neighbors if reverse else graph.neighbors
+    while queue:
+        v = queue.popleft()
+        if no_expand is not None and v == no_expand and v != source:
+            continue
+        d = int(dist[v])
+        if cutoff is not None and d >= cutoff:
+            continue
+        for w in neighbor_fn(v):
+            w = int(w)
+            if w == excluded:
+                continue
+            if edge_filter is not None:
+                u_orig, w_orig = (w, v) if reverse else (v, w)
+                if not edge_filter(u_orig, w_orig):
+                    continue
+            if dist[w] == UNREACHABLE:
+                dist[w] = d + 1
+                queue.append(w)
+    return dist
+
+
+def distance(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    *,
+    excluded: Optional[int] = None,
+    cutoff: Optional[int] = None,
+) -> int:
+    """Length of the shortest path ``S(source, target | G - {excluded})``.
+
+    Returns :data:`UNREACHABLE` when no path exists (or none within
+    ``cutoff`` hops).  Uses an early-exit BFS rather than the full
+    single-source computation.
+    """
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    if source == target:
+        return 0
+    if excluded is not None and excluded in (source, target):
+        return UNREACHABLE
+    visited = {source}
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        if cutoff is not None and depth > cutoff:
+            return UNREACHABLE
+        next_frontier: List[int] = []
+        for v in frontier:
+            for w in graph.neighbors(v):
+                w = int(w)
+                if w == excluded or w in visited:
+                    continue
+                if w == target:
+                    return depth
+                visited.add(w)
+                next_frontier.append(w)
+        frontier = next_frontier
+    return UNREACHABLE
+
+
+def has_path_within(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    max_hops: int,
+    *,
+    excluded: Optional[int] = None,
+) -> bool:
+    """``True`` when a path of length at most ``max_hops`` exists."""
+    d = distance(graph, source, target, excluded=excluded, cutoff=max_hops)
+    return d != UNREACHABLE and d <= max_hops
+
+
+def shortest_path(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    *,
+    excluded: Optional[int] = None,
+    forbidden: Optional[Sequence[int]] = None,
+) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target`` as a vertex list.
+
+    ``forbidden`` vertices are treated as removed (in addition to
+    ``excluded``); T-DFS uses this to certify that a partial result can still
+    be extended into a full result.  Returns ``None`` when no path exists.
+    """
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    banned = set(forbidden or ())
+    if excluded is not None:
+        banned.add(excluded)
+    if source in banned or target in banned:
+        return None
+    if source == target:
+        return [source]
+    parent = {source: source}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w in banned or w in parent:
+                continue
+            parent[w] = v
+            if w == target:
+                path = [w]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(w)
+    return None

@@ -1,0 +1,96 @@
+"""The dynamic-graph workload of Figure 8.
+
+Following the experiment of Section 7.2 (which itself follows [29]): 10 % of
+a graph's edges are selected uniformly at random as *updates*; the remaining
+90 % form the initial graph.  Each update ``e(v, v')`` is applied and the
+hop-constrained query ``q(v', v, k - 1)`` is issued to enumerate the cycles
+of length at most ``k`` that the new edge closes — the fraud-detection
+pattern of the paper's second motivating application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.core.query import Query
+from repro.graph.digraph import DiGraph
+from repro.graph.dynamic import DynamicGraph
+
+__all__ = ["DynamicWorkload", "build_dynamic_workload"]
+
+
+@dataclass
+class DynamicWorkload:
+    """An initial graph plus a stream of edge insertions with their queries."""
+
+    #: The graph before any update is applied.
+    initial_graph: DiGraph
+    #: The held-out edges in replay order (internal ids of the *full* graph).
+    updates: List[Tuple[int, int]] = field(default_factory=list)
+    #: Hop constraint used for the per-update cycle queries.
+    k: int = 6
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def replay(self) -> Iterator[Tuple[DiGraph, Tuple[int, int], Optional[Query]]]:
+        """Yield ``(graph_after_update, inserted_edge, cycle_query)`` triples.
+
+        The query enumerates paths from the head of the new edge back to its
+        tail with ``k - 1`` hops, i.e. the cycles of length at most ``k``
+        through the new edge.  ``None`` is yielded when the query would be
+        degenerate (``k - 1 < 2``).
+        """
+        dynamic = DynamicGraph.from_graph(self.initial_graph)
+        for u, v in self.updates:
+            dynamic.add_edge(u, v)
+            snapshot = dynamic.snapshot()
+            query: Optional[Query] = None
+            if self.k - 1 >= 2:
+                query = Query(snapshot.to_internal(v), snapshot.to_internal(u), self.k - 1)
+            yield snapshot, (u, v), query
+
+
+def build_dynamic_workload(
+    graph: DiGraph,
+    *,
+    update_fraction: float = 0.10,
+    k: int = 6,
+    max_updates: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> DynamicWorkload:
+    """Hold out ``update_fraction`` of the edges of ``graph`` as insertions.
+
+    The initial graph keeps the full vertex set (so vertex ids remain stable
+    across snapshots) and the remaining edges; held-out edges are returned in
+    a random replay order.
+    """
+    if not 0.0 < update_fraction < 1.0:
+        raise WorkloadError("update_fraction must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    edges = list(graph.edges())
+    if len(edges) < 10:
+        raise WorkloadError("graph is too small for a dynamic workload")
+    num_updates = max(1, int(round(update_fraction * len(edges))))
+    order = rng.permutation(len(edges))
+    held_out_positions = set(int(i) for i in order[:num_updates])
+
+    from repro.graph.builder import GraphBuilder
+
+    builder = GraphBuilder()
+    for v in graph.vertices():
+        builder.add_vertex(v)
+    updates: List[Tuple[int, int]] = []
+    for position, (u, v) in enumerate(edges):
+        if position in held_out_positions:
+            updates.append((u, v))
+        else:
+            builder.add_edge(u, v)
+    rng.shuffle(updates)  # type: ignore[arg-type]
+    if max_updates is not None:
+        updates = updates[:max_updates]
+    return DynamicWorkload(initial_graph=builder.build(), updates=updates, k=k)

@@ -1,0 +1,180 @@
+"""Query-set generation following Section 7.1 of the paper.
+
+For each graph the paper builds four query sets of 1 000 queries each.  The
+vertex set is split into ``V'`` (the top 10 % of vertices by degree) and
+``V''`` (the rest); the four settings place ``s`` and ``t`` in
+``{V', V''} x {V', V''}``.  Every query additionally requires
+``S(s, t) <= 3`` so that at least one result exists — otherwise a single BFS
+answers the query and the enumeration problem is trivial.  The hardest
+setting, and the paper's default, draws both endpoints from ``V'``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.core.query import Query
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, distance
+
+__all__ = [
+    "QuerySetting",
+    "QueryWorkload",
+    "split_by_degree",
+    "generate_query_set",
+    "generate_all_settings",
+]
+
+
+class QuerySetting(enum.Enum):
+    """The four endpoint-placement settings of Section 7.1."""
+
+    #: Both endpoints among the top-degree vertices (the paper's default).
+    HIGH_HIGH = "V'xV'"
+    #: Source high degree, target low degree.
+    HIGH_LOW = "V'xV''"
+    #: Source low degree, target high degree.
+    LOW_HIGH = "V''xV'"
+    #: Both endpoints among the low-degree vertices.
+    LOW_LOW = "V''xV''"
+
+    @property
+    def source_high(self) -> bool:
+        return self in (QuerySetting.HIGH_HIGH, QuerySetting.HIGH_LOW)
+
+    @property
+    def target_high(self) -> bool:
+        return self in (QuerySetting.HIGH_HIGH, QuerySetting.LOW_HIGH)
+
+
+@dataclass
+class QueryWorkload:
+    """A generated query set together with its provenance."""
+
+    graph_name: str
+    setting: QuerySetting
+    k: int
+    queries: List[Query] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def with_k(self, k: int) -> "QueryWorkload":
+        """The same endpoint pairs under a different hop constraint."""
+        return QueryWorkload(
+            graph_name=self.graph_name,
+            setting=self.setting,
+            k=k,
+            queries=[q.with_k(k) for q in self.queries],
+            seed=self.seed,
+        )
+
+    def subset(self, count: int) -> "QueryWorkload":
+        """The first ``count`` queries (used to scale benchmarks down)."""
+        return QueryWorkload(
+            graph_name=self.graph_name,
+            setting=self.setting,
+            k=self.k,
+            queries=list(self.queries[:count]),
+            seed=self.seed,
+        )
+
+
+def split_by_degree(graph: DiGraph, *, top_fraction: float = 0.10) -> Tuple[np.ndarray, np.ndarray]:
+    """Split vertices into ``V'`` (top ``top_fraction`` by degree) and ``V''``.
+
+    The split uses total degree (in + out), breaking ties by vertex id so the
+    result is deterministic.
+    """
+    if not 0.0 < top_fraction < 1.0:
+        raise WorkloadError("top_fraction must lie strictly between 0 and 1")
+    degrees = graph.out_degrees() + graph.in_degrees()
+    order = np.lexsort((np.arange(graph.num_vertices), -degrees))
+    cutoff = max(1, int(round(top_fraction * graph.num_vertices)))
+    high = np.sort(order[:cutoff])
+    low = np.sort(order[cutoff:])
+    return high, low
+
+
+def generate_query_set(
+    graph: DiGraph,
+    *,
+    count: int,
+    k: int,
+    setting: QuerySetting = QuerySetting.HIGH_HIGH,
+    max_distance: int = 3,
+    seed: Optional[int] = None,
+    graph_name: str = "graph",
+    top_fraction: float = 0.10,
+    max_attempts_factor: int = 200,
+) -> QueryWorkload:
+    """Generate ``count`` queries under the given setting (Section 7.1).
+
+    Endpoints are drawn uniformly at random from their degree classes and a
+    pair is kept only when ``S(s, t) <= max_distance`` (3 in the paper), so
+    every generated query has at least one result for any ``k >= max_distance``.
+    Raises :class:`WorkloadError` when the graph cannot supply enough pairs.
+    """
+    if count < 1:
+        raise WorkloadError("count must be positive")
+    rng = np.random.default_rng(seed)
+    high, low = split_by_degree(graph, top_fraction=top_fraction)
+    source_pool = high if setting.source_high else low
+    target_pool = high if setting.target_high else low
+    if len(source_pool) == 0 or len(target_pool) == 0:
+        raise WorkloadError("degree split produced an empty vertex pool")
+
+    queries: List[Query] = []
+    seen: set = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * count
+    while len(queries) < count and attempts < max_attempts:
+        attempts += 1
+        s = int(rng.choice(source_pool))
+        t = int(rng.choice(target_pool))
+        if s == t or (s, t) in seen:
+            continue
+        d = distance(graph, s, t, cutoff=max_distance)
+        if d == UNREACHABLE or d > max_distance:
+            continue
+        seen.add((s, t))
+        queries.append(Query(s, t, k))
+    if len(queries) < count:
+        raise WorkloadError(
+            f"could only generate {len(queries)} of {count} queries for setting "
+            f"{setting.value} (graph too sparse or disconnected)"
+        )
+    return QueryWorkload(graph_name=graph_name, setting=setting, k=k, queries=queries, seed=seed)
+
+
+def generate_all_settings(
+    graph: DiGraph,
+    *,
+    count: int,
+    k: int,
+    seed: Optional[int] = None,
+    graph_name: str = "graph",
+) -> List[QueryWorkload]:
+    """Generate one workload per endpoint setting (the paper's four sets)."""
+    workloads = []
+    for offset, setting in enumerate(QuerySetting):
+        workloads.append(
+            generate_query_set(
+                graph,
+                count=count,
+                k=k,
+                setting=setting,
+                seed=None if seed is None else seed + offset,
+                graph_name=graph_name,
+            )
+        )
+    return workloads

@@ -1,0 +1,88 @@
+"""Unit tests for the barrier-based BC-DFS baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bc_dfs import BcDfs
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.core.result import Phase
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_graph, erdos_renyi
+
+from tests.helpers import assert_same_paths, brute_force_paths
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_graph, paper_query):
+        result = BcDfs().run(paper_graph, paper_query)
+        expected = brute_force_paths(
+            paper_graph, paper_query.source, paper_query.target, paper_query.k
+        )
+        assert_same_paths(result.paths, expected, context="BC-DFS")
+
+    def test_grid_counts(self, dag_grid):
+        result = BcDfs().run(dag_grid, Query(0, dag_grid.num_vertices - 1, 7))
+        assert result.count == 35
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_random_graph_against_brute_force(self, random_graph, k):
+        query = Query(0, 1, k)
+        result = BcDfs().run(random_graph, query)
+        expected = brute_force_paths(random_graph, 0, 1, k)
+        assert_same_paths(result.paths, expected, context=f"BC-DFS k={k}")
+
+    def test_barriers_do_not_lose_results_on_dense_cycles(self):
+        """Barrier roll-back regression test.
+
+        The triangle fan below forces many failed subtrees whose barriers
+        must be restored when the blocking vertex pops, otherwise paths
+        through previously failed vertices are lost.
+        """
+        graph = from_edges(
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4),
+                (1, 3), (2, 4), (0, 2), (3, 1),
+                (4, 5), (1, 5), (2, 5),
+            ]
+        )
+        for k in (3, 4, 5, 6):
+            query = Query(0, 5, k)
+            result = BcDfs().run(graph, query)
+            expected = brute_force_paths(graph, 0, 5, k)
+            assert_same_paths(result.paths, expected, context=f"barrier k={k}")
+
+    def test_no_results_when_unreachable(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        assert BcDfs().run(graph, Query(0, 3, 5)).count == 0
+
+
+class TestBehaviour:
+    def test_records_bfs_phase(self, paper_graph, paper_query):
+        result = BcDfs().run(paper_graph, paper_query)
+        assert result.stats.phase(Phase.BFS) > 0.0
+        assert result.stats.phase(Phase.ENUMERATION) >= 0.0
+
+    def test_barrier_pruning_reduces_partial_results(self, skewed_graph):
+        """BC-DFS must never expand more partial results than the unpruned framework."""
+        from repro.baselines.generic_dfs import GenericDfs
+
+        query = Query(0, 1, 4)
+        config = RunConfig(store_paths=False)
+        bc = BcDfs().run(skewed_graph, query, config)
+        generic = GenericDfs().run(skewed_graph, query, config)
+        assert bc.count == generic.count
+        assert bc.stats.partial_results_generated <= generic.stats.partial_results_generated
+
+    def test_timeout_is_reported(self):
+        graph = complete_graph(10)
+        config = RunConfig(store_paths=False, time_limit_seconds=0.0)
+        result = BcDfs().run(graph, Query(0, 9, 6), config)
+        assert result.stats.timed_out
+
+    def test_result_limit(self, paper_graph, paper_query):
+        config = RunConfig(result_limit=2)
+        result = BcDfs().run(paper_graph, paper_query, config)
+        assert result.count == 2
+        assert result.stats.truncated

@@ -1,0 +1,72 @@
+"""Unit tests for the BC-JOIN baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bc_join import BcJoin
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.graph.builder import from_edges
+
+from tests.helpers import assert_same_paths, brute_force_paths
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_graph, paper_query):
+        result = BcJoin().run(paper_graph, paper_query)
+        expected = brute_force_paths(
+            paper_graph, paper_query.source, paper_query.target, paper_query.k
+        )
+        assert_same_paths(result.paths, expected, context="BC-JOIN")
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7])
+    def test_all_path_lengths_survive_the_middle_split(self, k):
+        # Paths of every length from 1 to 5 between s and t.
+        graph = from_edges(
+            [
+                ("s", "t"),
+                ("s", "a1"), ("a1", "t"),
+                ("s", "b1"), ("b1", "b2"), ("b2", "t"),
+                ("s", "c1"), ("c1", "c2"), ("c2", "c3"), ("c3", "t"),
+                ("s", "d1"), ("d1", "d2"), ("d2", "d3"), ("d3", "d4"), ("d4", "t"),
+            ]
+        )
+        s, t = graph.to_internal("s"), graph.to_internal("t")
+        result = BcJoin().run(graph, Query(s, t, k))
+        expected = brute_force_paths(graph, s, t, k)
+        assert_same_paths(result.paths, expected, context=f"BC-JOIN k={k}")
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_random_graph_against_brute_force(self, random_graph, k):
+        query = Query(2, 3, k)
+        result = BcJoin().run(random_graph, query)
+        expected = brute_force_paths(random_graph, 2, 3, k)
+        assert_same_paths(result.paths, expected, context=f"BC-JOIN k={k}")
+
+    def test_disjointness_check_rejects_overlapping_halves(self):
+        # The only k=4 candidate crosses the same vertex on both sides.
+        graph = from_edges([("s", "a"), ("a", "b"), ("b", "a"), ("a", "t"), ("b", "t")])
+        s, t = graph.to_internal("s"), graph.to_internal("t")
+        result = BcJoin().run(graph, Query(s, t, 4))
+        expected = brute_force_paths(graph, s, t, 4)
+        assert_same_paths(result.paths, expected, context="BC-JOIN overlap")
+
+    def test_no_duplicate_results(self, random_graph):
+        result = BcJoin().run(random_graph, Query(0, 1, 5))
+        assert len(result.paths) == len(set(result.paths))
+
+    def test_no_results_when_unreachable(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        assert BcJoin().run(graph, Query(0, 3, 4)).count == 0
+
+
+class TestBehaviour:
+    def test_partial_results_are_materialised(self, random_graph):
+        result = BcJoin().run(random_graph, Query(0, 1, 5), RunConfig(store_paths=False))
+        assert result.stats.peak_partial_result_tuples > 0
+
+    def test_result_limit(self, paper_graph, paper_query):
+        result = BcJoin().run(paper_graph, paper_query, RunConfig(result_limit=1))
+        assert result.count == 1
+        assert result.stats.truncated

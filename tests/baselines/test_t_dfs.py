@@ -1,0 +1,54 @@
+"""Unit tests for the certification-based T-DFS baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.t_dfs import TDfs
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.graph.builder import from_edges
+
+from tests.helpers import assert_same_paths, brute_force_paths
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_graph, paper_query):
+        result = TDfs().run(paper_graph, paper_query)
+        expected = brute_force_paths(
+            paper_graph, paper_query.source, paper_query.target, paper_query.k
+        )
+        assert_same_paths(result.paths, expected, context="T-DFS")
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_random_graph(self, random_graph, k):
+        result = TDfs().run(random_graph, Query(7, 8, k))
+        expected = brute_force_paths(random_graph, 7, 8, k)
+        assert_same_paths(result.paths, expected, context=f"T-DFS k={k}")
+
+    def test_unreachable_target(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        assert TDfs().run(graph, Query(0, 3, 4)).count == 0
+
+
+class TestPolynomialDelayProperty:
+    def test_every_partial_result_leads_to_a_result(self):
+        """The certification guarantees zero invalid partial results."""
+        graph = from_edges(
+            [("s", "a"), ("a", "b"), ("b", "a"), ("a", "t"), ("b", "c"), ("c", "t")]
+        )
+        s, t = graph.to_internal("s"), graph.to_internal("t")
+        result = TDfs().run(graph, Query(s, t, 4))
+        assert result.count == len(brute_force_paths(graph, s, t, 4))
+        assert result.stats.invalid_partial_results == 0
+
+    def test_certification_costs_more_edge_accesses_than_idx_dfs(self, paper_graph, paper_query):
+        from repro.core.engine import IdxDfs
+
+        t_dfs = TDfs().run(paper_graph, paper_query)
+        idx = IdxDfs().run(paper_graph, paper_query)
+        assert t_dfs.stats.edges_accessed >= idx.stats.edges_accessed
+
+    def test_result_limit(self, paper_graph, paper_query):
+        result = TDfs().run(paper_graph, paper_query, RunConfig(result_limit=2))
+        assert result.count == 2

@@ -1,0 +1,54 @@
+"""Unit tests for the Yen's-algorithm (top-K shortest paths) adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.yen import YenKsp
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.graph.builder import from_edges
+
+from tests.helpers import assert_same_paths, brute_force_paths
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_graph, paper_query):
+        result = YenKsp().run(paper_graph, paper_query)
+        expected = brute_force_paths(
+            paper_graph, paper_query.source, paper_query.target, paper_query.k
+        )
+        assert_same_paths(result.paths, expected, context="Yen-KSP")
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_random_graph(self, random_graph, k):
+        result = YenKsp().run(random_graph, Query(10, 11, k))
+        expected = brute_force_paths(random_graph, 10, 11, k)
+        assert_same_paths(result.paths, expected, context=f"Yen k={k}")
+
+    def test_results_in_ascending_length_order(self, paper_graph, paper_query):
+        """The KSP adapter enumerates in length order — the overhead the paper notes."""
+        result = YenKsp().run(paper_graph, paper_query)
+        lengths = [len(p) - 1 for p in result.paths]
+        assert lengths == sorted(lengths)
+
+    def test_parallel_branches_no_duplicates(self):
+        graph = from_edges(
+            [("s", "a"), ("s", "b"), ("a", "m"), ("b", "m"), ("m", "x"), ("m", "y"),
+             ("x", "t"), ("y", "t")]
+        )
+        s, t = graph.to_internal("s"), graph.to_internal("t")
+        result = YenKsp().run(graph, Query(s, t, 4))
+        assert len(result.paths) == len(set(result.paths)) == 4
+
+    def test_unreachable_target(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        assert YenKsp().run(graph, Query(0, 3, 4)).count == 0
+
+    def test_shortest_path_longer_than_k(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert YenKsp().run(graph, Query(0, 4, 3)).count == 0
+
+    def test_result_limit(self, paper_graph, paper_query):
+        result = YenKsp().run(paper_graph, paper_query, RunConfig(result_limit=2))
+        assert result.count == 2

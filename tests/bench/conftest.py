@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark-harness tests: a small, fast workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchmarkSettings
+from repro.graph.generators import power_law_graph
+from repro.workloads.queries import QuerySetting, generate_query_set
+
+
+@pytest.fixture(scope="package")
+def bench_graph():
+    """A small skewed graph so every harness test completes quickly."""
+    return power_law_graph(250, 5.0, exponent=2.1, seed=99)
+
+
+@pytest.fixture(scope="package")
+def bench_workload(bench_graph):
+    return generate_query_set(
+        bench_graph,
+        count=4,
+        k=4,
+        setting=QuerySetting.HIGH_HIGH,
+        seed=0,
+        graph_name="bench",
+    )
+
+
+@pytest.fixture(scope="package")
+def bench_settings():
+    return BenchmarkSettings(time_limit_seconds=1.0, response_k=10, store_paths=False)

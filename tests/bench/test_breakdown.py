@@ -1,0 +1,70 @@
+"""Unit tests for the per-phase breakdown harnesses (Figures 6, 7, 17; Table 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.breakdown import (
+    detailed_metrics,
+    phase_breakdown,
+    query_time_distribution,
+    technique_breakdown,
+)
+
+
+class TestPhaseBreakdown:
+    def test_figure7_shape(self, bench_graph, bench_workload, bench_settings):
+        breakdown = phase_breakdown(
+            bench_graph, bench_workload, ["IDX-DFS", "BC-DFS"], ks=(3, 4),
+            settings=bench_settings,
+        )
+        assert set(breakdown) == {3, 4}
+        for per_algorithm in breakdown.values():
+            assert set(per_algorithm) == {"IDX-DFS", "BC-DFS"}
+            for timings in per_algorithm.values():
+                assert timings["preprocessing_ms"] >= 0.0
+                assert timings["enumeration_ms"] >= 0.0
+
+
+class TestTechniqueBreakdown:
+    def test_figure17_columns(self, bench_graph, bench_workload, bench_settings):
+        breakdown = technique_breakdown(
+            bench_graph, bench_workload, ks=(4,), settings=bench_settings
+        )
+        row = breakdown[4]
+        expected_columns = {
+            "bfs_ms",
+            "index_construction_ms",
+            "optimization_ms",
+            "dfs_ms",
+            "join_ms",
+            "idx_dfs_throughput",
+            "idx_join_throughput",
+        }
+        assert expected_columns == set(row)
+        # BFS is a sub-phase of index construction.
+        assert row["bfs_ms"] <= row["index_construction_ms"] + 1e-6
+        assert row["idx_dfs_throughput"] > 0.0
+
+
+class TestDetailedMetrics:
+    def test_figure6_shape_and_index_advantage(self, bench_graph, bench_workload, bench_settings):
+        metrics = detailed_metrics(
+            bench_graph, bench_workload, ["BC-DFS", "IDX-DFS"], ks=(4,),
+            settings=bench_settings,
+        )
+        row = metrics[4]
+        assert row["BC-DFS"]["results"] == pytest.approx(row["IDX-DFS"]["results"])
+        # The light-weight index reads no more edges than the raw adjacency scan.
+        assert row["IDX-DFS"]["edges"] <= row["BC-DFS"]["edges"]
+
+
+class TestQueryTimeDistribution:
+    def test_table4_fractions(self, bench_graph, bench_workload, bench_settings):
+        distribution = query_time_distribution(
+            bench_graph, bench_workload, ["IDX-DFS"], ks=(4,), settings=bench_settings
+        )
+        row = distribution[4]["IDX-DFS"]
+        assert 0.0 <= row["fast"] <= 1.0
+        assert 0.0 <= row["slow"] <= 1.0
+        assert row["fast"] + row["slow"] <= 1.0 + 1e-9

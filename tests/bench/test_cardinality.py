@@ -1,0 +1,51 @@
+"""Unit tests for the cardinality-estimation accuracy harness (Figure 18)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cardinality import estimation_accuracy
+
+
+class TestEstimationAccuracy:
+    def test_figure18_series_shape(self, bench_graph, bench_workload, bench_settings):
+        accuracy = estimation_accuracy(
+            bench_graph, bench_workload, ks=(3, 4), settings=bench_settings
+        )
+        assert set(accuracy) == {3, 4}
+        for k, row in accuracy.items():
+            assert row.k == k
+            assert row.actual >= 0.0
+            assert row.full_fledged >= 0.0
+            assert row.preliminary >= 0.0
+
+    def test_full_fledged_upper_bounds_actual(self, bench_graph, bench_workload, bench_settings):
+        """The walk count can only over-estimate the simple-path count."""
+        accuracy = estimation_accuracy(
+            bench_graph, bench_workload, ks=(4,), settings=bench_settings
+        )
+        row = accuracy[4]
+        assert row.full_fledged >= row.actual
+        assert row.full_fledged_ratio >= 1.0
+
+    def test_estimates_grow_with_k(self, bench_graph, bench_workload, bench_settings):
+        accuracy = estimation_accuracy(
+            bench_graph, bench_workload, ks=(3, 5), settings=bench_settings
+        )
+        assert accuracy[5].actual >= accuracy[3].actual
+        assert accuracy[5].full_fledged >= accuracy[3].full_fledged
+
+    def test_as_row(self, bench_graph, bench_workload, bench_settings):
+        accuracy = estimation_accuracy(
+            bench_graph, bench_workload, ks=(3,), settings=bench_settings
+        )
+        row = accuracy[3].as_row()
+        assert {"k", "#results", "full_fledged", "preliminary"} == set(row)
+
+    def test_ratio_handles_zero_actual(self):
+        from repro.bench.cardinality import EstimationAccuracy
+
+        empty = EstimationAccuracy(k=3, actual=0.0, full_fledged=0.0, preliminary=0.0)
+        assert empty.full_fledged_ratio == 1.0
+        nonzero = EstimationAccuracy(k=3, actual=0.0, full_fledged=5.0, preliminary=0.0)
+        assert nonzero.full_fledged_ratio == float("inf")

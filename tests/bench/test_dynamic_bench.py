@@ -1,0 +1,33 @@
+"""Unit tests for the dynamic-graph latency harness (Figure 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.dynamic import dynamic_latency
+from repro.bench.runner import BenchmarkSettings
+from repro.workloads.dynamic import build_dynamic_workload
+
+
+@pytest.fixture(scope="module")
+def dynamic_workload(request):
+    bench_graph = request.getfixturevalue("bench_graph")
+    return build_dynamic_workload(bench_graph, update_fraction=0.05, max_updates=5, k=4, seed=11)
+
+
+class TestDynamicLatency:
+    def test_figure8_series_shape(self, dynamic_workload):
+        settings = BenchmarkSettings(time_limit_seconds=1.0, response_k=10, store_paths=False)
+        latency = dynamic_latency(
+            dynamic_workload, ["IDX-DFS"], ks=(3, 4), settings=settings, percentile=99.9
+        )
+        assert set(latency) == {3, 4}
+        for per_algorithm in latency.values():
+            assert per_algorithm["IDX-DFS"] > 0.0
+
+    def test_multiple_algorithms(self, dynamic_workload):
+        settings = BenchmarkSettings(time_limit_seconds=1.0, response_k=10, store_paths=False)
+        latency = dynamic_latency(
+            dynamic_workload, ["IDX-DFS", "BC-DFS"], ks=(4,), settings=settings
+        )
+        assert set(latency[4]) == {"IDX-DFS", "BC-DFS"}

@@ -1,0 +1,32 @@
+"""Unit tests for the memory-consumption harness (Table 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.memory import memory_consumption
+
+
+class TestMemoryConsumption:
+    def test_table7_shape(self, bench_graph, bench_workload, bench_settings):
+        footprints = memory_consumption(
+            bench_graph, bench_workload, ks=(3, 4), settings=bench_settings
+        )
+        assert set(footprints) == {3, 4}
+        for k, footprint in footprints.items():
+            assert footprint.k == k
+            assert footprint.index_mb > 0.0
+            assert footprint.partial_results_mb >= 0.0
+
+    def test_memory_grows_with_k(self, bench_graph, bench_workload, bench_settings):
+        footprints = memory_consumption(
+            bench_graph, bench_workload, ks=(3, 5), settings=bench_settings
+        )
+        assert footprints[5].index_mb >= footprints[3].index_mb
+        assert footprints[5].partial_results_mb >= footprints[3].partial_results_mb
+
+    def test_as_row(self, bench_graph, bench_workload, bench_settings):
+        footprints = memory_consumption(
+            bench_graph, bench_workload, ks=(3,), settings=bench_settings
+        )
+        assert {"k", "index_mb", "partial_results_mb"} == set(footprints[3].as_row())

@@ -1,0 +1,78 @@
+"""Unit tests for the table/series text rendering."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_series, format_table, format_value, print_series, print_table
+
+
+class TestFormatValue:
+    def test_scientific_float(self):
+        assert format_value(0.228) == "2.28e-01"
+
+    def test_plain_float(self):
+        assert format_value(0.228, scientific=False) == "0.228"
+
+    def test_none_and_bool(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_integers_and_strings_pass_through(self):
+        assert format_value(42) == "42"
+        assert format_value("IDX-DFS") == "IDX-DFS"
+
+
+class TestFormatTable:
+    def test_columns_inferred_from_first_row(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": None}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.50e+00" in text
+        assert "-" in lines[-1]
+
+    def test_title_and_explicit_columns(self):
+        text = format_table([{"x": 1, "y": 2}], columns=["y"], title="Table 3")
+        assert text.startswith("Table 3")
+        assert "x" not in text.splitlines()[1]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Nothing")
+
+    def test_alignment_is_consistent(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer-name", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len({len(line) for line in lines[1:]}) <= 2  # header sep + rows align
+
+
+class TestFormatSeries:
+    def test_series_by_k(self):
+        series = {
+            "BC-DFS": {3: 1.0, 4: 10.0},
+            "IDX-DFS": {3: 0.5, 4: 2.0},
+        }
+        text = format_series(series, x_label="k", title="Figure 13")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 13"
+        assert lines[1].split() == ["k", "BC-DFS", "IDX-DFS"]
+        assert len(lines) == 2 + 1 + 2  # title + header + separator + two rows
+
+    def test_missing_points_rendered_as_dash(self):
+        series = {"A": {3: 1.0}, "B": {4: 2.0}}
+        text = format_series(series)
+        assert "-" in text
+
+    def test_empty_series(self):
+        assert "(no series)" in format_series({})
+
+
+class TestPrintHelpers:
+    def test_print_table(self, capsys):
+        print_table([{"a": 1}])
+        captured = capsys.readouterr().out
+        assert "a" in captured and captured.endswith("\n\n")
+
+    def test_print_series(self, capsys):
+        print_series({"A": {1: 2.0}})
+        captured = capsys.readouterr().out
+        assert "A" in captured

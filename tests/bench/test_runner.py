@@ -1,0 +1,52 @@
+"""Unit tests for the workload runner and benchmark settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchmarkSettings, run_algorithms, run_workload
+from repro.core.engine import IdxDfs
+
+
+class TestBenchmarkSettings:
+    def test_to_run_config(self):
+        settings = BenchmarkSettings(time_limit_seconds=3.0, response_k=42, result_limit=7)
+        config = settings.to_run_config()
+        assert config.time_limit_seconds == 3.0
+        assert config.response_k == 42
+        assert config.result_limit == 7
+        assert config.store_paths is False
+
+    def test_scaled_copy(self):
+        settings = BenchmarkSettings()
+        scaled = settings.scaled(time_limit_seconds=0.5)
+        assert scaled.time_limit_seconds == 0.5
+        assert settings.time_limit_seconds == 2.0
+
+    def test_settings_are_frozen(self):
+        with pytest.raises(AttributeError):
+            BenchmarkSettings().time_limit_seconds = 99  # type: ignore[misc]
+
+
+class TestRunWorkload:
+    def test_one_result_per_query(self, bench_graph, bench_workload, bench_settings):
+        results = run_workload("IDX-DFS", bench_graph, bench_workload, settings=bench_settings)
+        assert len(results) == len(bench_workload)
+        assert all(r.algorithm == "IDX-DFS" for r in results)
+
+    def test_accepts_algorithm_instances(self, bench_graph, bench_workload, bench_settings):
+        results = run_workload(IdxDfs(), bench_graph, bench_workload, settings=bench_settings)
+        assert len(results) == len(bench_workload)
+
+    def test_settings_apply_to_every_query(self, bench_graph, bench_workload):
+        settings = BenchmarkSettings(result_limit=1, store_paths=False)
+        results = run_workload("IDX-DFS", bench_graph, bench_workload, settings=settings)
+        assert all(r.count <= 1 for r in results)
+
+    def test_run_algorithms_keys(self, bench_graph, bench_workload, bench_settings):
+        per_algorithm = run_algorithms(
+            ["IDX-DFS", "PathEnum"], bench_graph, bench_workload, settings=bench_settings
+        )
+        assert set(per_algorithm) == {"IDX-DFS", "PathEnum"}
+        counts = {name: [r.count for r in results] for name, results in per_algorithm.items()}
+        assert counts["IDX-DFS"] == counts["PathEnum"]

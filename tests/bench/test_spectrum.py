@@ -1,0 +1,42 @@
+"""Unit tests for the join-plan spectrum analysis (Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.spectrum import spectrum_analysis
+
+
+@pytest.fixture(scope="module")
+def analysis(request):
+    bench_graph = request.getfixturevalue("bench_graph")
+    bench_workload = request.getfixturevalue("bench_workload")
+    return spectrum_analysis(bench_graph, bench_workload.queries[0], time_limit_seconds=2.0)
+
+
+class TestSpectrumAnalysis:
+    def test_one_left_deep_and_k_minus_one_bushy_plans(self, analysis, bench_workload):
+        k = bench_workload.k
+        assert len(analysis.left_deep_points()) == 1
+        assert len(analysis.bushy_points()) == k - 1
+        cuts = {p.cut_position for p in analysis.bushy_points()}
+        assert cuts == set(range(1, k))
+
+    def test_every_plan_finds_the_same_results(self, analysis):
+        counts = {p.results for p in analysis.points if not p.timed_out}
+        assert len(counts) == 1
+
+    def test_optimizer_overhead_is_measured(self, analysis):
+        assert analysis.index_ms > 0.0
+        assert analysis.optimization_ms > 0.0
+        assert analysis.pathenum_total_ms > 0.0
+        assert analysis.pathenum_plan in ("dfs", "join")
+
+    def test_best_point_is_minimal(self, analysis):
+        best = analysis.best_point()
+        assert all(best.enumeration_ms <= p.enumeration_ms for p in analysis.points)
+
+    def test_rows_are_serialisable(self, analysis):
+        for point in analysis.points:
+            row = point.as_row()
+            assert {"plan", "cut", "enumeration_ms", "results", "timed_out"} == set(row)

@@ -1,0 +1,57 @@
+"""Shared pytest fixtures for the whole test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query
+from repro.graph.generators import erdos_renyi, grid_graph, power_law_graph
+
+from tests.helpers import (
+    PAPER_FIGURE5_G0_EDGES,
+    PAPER_FIGURE5_G1_EDGES,
+    build_graph,
+    paper_figure1_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_graph():
+    """The paper's Figure 1 example graph."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def paper_query(paper_graph):
+    """The paper's example query q(s, t, 4) in internal ids."""
+    return Query.from_external(paper_graph, "s", "t", 4)
+
+
+@pytest.fixture(scope="session")
+def figure5_g0():
+    """Graph G0 of Figure 5 (every walk is a path)."""
+    return build_graph(PAPER_FIGURE5_G0_EDGES)
+
+
+@pytest.fixture(scope="session")
+def figure5_g1():
+    """Graph G1 of Figure 5 (most walks are not paths)."""
+    return build_graph(PAPER_FIGURE5_G1_EDGES)
+
+
+@pytest.fixture(scope="session")
+def random_graph():
+    """A moderately dense seeded random graph for cross-algorithm checks."""
+    return erdos_renyi(80, 4.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def skewed_graph():
+    """A power-law graph with heavy hubs (hard-query topology)."""
+    return power_law_graph(150, 5.0, exponent=2.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dag_grid():
+    """A 4x5 directed grid: path counts are binomial coefficients."""
+    return grid_graph(4, 5)

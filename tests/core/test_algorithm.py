@@ -1,0 +1,79 @@
+"""Unit tests for the shared Algorithm interface and timed_run wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import Algorithm, timed_run
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.core.result import Phase
+from repro.errors import EnumerationTimeout, ResultLimitReached
+
+
+class _FakeAlgorithm(Algorithm):
+    """Emits a fixed set of paths; used to test the wrapper in isolation."""
+
+    name = "Fake"
+
+    def __init__(self, paths=((0, 1, 2),), raise_timeout=False):
+        self._paths = paths
+        self._raise_timeout = raise_timeout
+
+    def run(self, graph, query, config=None):
+        config = config or RunConfig()
+
+        def body(collector, deadline, stats):
+            if self._raise_timeout:
+                raise EnumerationTimeout()
+            for path in self._paths:
+                collector.emit(path)
+
+        return timed_run(self.name, query, config, body)
+
+
+class TestTimedRun:
+    def test_normal_completion(self):
+        result = _FakeAlgorithm().run(None, Query(0, 2, 3))
+        assert result.count == 1
+        assert result.algorithm == "Fake"
+        assert result.stats.phase(Phase.TOTAL) >= 0.0
+        assert result.completed
+
+    def test_timeout_is_captured(self):
+        result = _FakeAlgorithm(raise_timeout=True).run(None, Query(0, 2, 3))
+        assert result.stats.timed_out
+        assert result.count == 0
+        assert not result.completed
+
+    def test_result_limit_is_captured(self):
+        algorithm = _FakeAlgorithm(paths=[(0, 1), (0, 2), (0, 3)])
+        result = algorithm.run(None, Query(0, 9, 3), RunConfig(result_limit=2))
+        assert result.stats.truncated
+        assert result.count == 2
+
+    def test_response_seconds_populated(self):
+        algorithm = _FakeAlgorithm(paths=[(0, 1), (0, 2)])
+        result = algorithm.run(None, Query(0, 9, 3), RunConfig(response_k=1))
+        assert result.response_seconds is not None
+
+    def test_query_fields_copied(self):
+        result = _FakeAlgorithm().run(None, Query(3, 7, 5))
+        assert (result.source, result.target, result.k) == (3, 7, 5)
+
+
+class TestConvenienceEntryPoints:
+    def test_count_uses_store_paths_false(self, paper_graph, paper_query):
+        from repro.core.engine import PathEnum
+
+        assert PathEnum().count(paper_graph, paper_query) == 5
+
+    def test_paths_returns_list(self, paper_graph, paper_query):
+        from repro.core.engine import IdxDfs
+
+        paths = IdxDfs().paths(paper_graph, paper_query)
+        assert isinstance(paths, list) and len(paths) == 5
+
+    def test_abstract_base_cannot_run(self):
+        with pytest.raises(TypeError):
+            Algorithm()  # type: ignore[abstract]

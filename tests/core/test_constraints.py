@@ -1,0 +1,200 @@
+"""Unit tests for the constraint extensions (Appendix E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import (
+    AccumulativeConstraint,
+    AutomatonConstraint,
+    PathConstraint,
+    PredicateConstraint,
+    SequenceAutomaton,
+)
+from repro.core.engine import IdxDfs, IdxJoin, PathEnum
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.errors import ConstraintError
+from repro.graph.builder import GraphBuilder
+
+from tests.helpers import brute_force_paths
+
+
+@pytest.fixture()
+def weighted_graph():
+    """A small transaction-like graph with weights (risk) and labels (action)."""
+    builder = GraphBuilder()
+    builder.add_edge("s", "a", weight=5.0, label="wire")
+    builder.add_edge("s", "b", weight=1.0, label="ach")
+    builder.add_edge("a", "t", weight=5.0, label="wire")
+    builder.add_edge("b", "t", weight=1.0, label="wire")
+    builder.add_edge("a", "b", weight=2.0, label="ach")
+    builder.add_edge("b", "a", weight=2.0, label="ach")
+    return builder.build()
+
+
+def _query(graph, k=4):
+    return Query(graph.to_internal("s"), graph.to_internal("t"), k)
+
+
+class TestPredicateConstraint:
+    def test_filters_low_weight_edges(self, weighted_graph):
+        constraint = PredicateConstraint(
+            lambda u, v, w, lbl: w >= 2.0, weighted_graph
+        )
+        config = RunConfig(constraint=constraint)
+        result = PathEnum().run(weighted_graph, _query(weighted_graph), config)
+        paths = {weighted_graph.translate_path(p) for p in result.paths}
+        assert ("s", "a", "t") in paths
+        assert ("s", "b", "t") not in paths
+        for path in result.paths:
+            for u, v in zip(path, path[1:]):
+                assert weighted_graph.edge_weight(u, v) >= 2.0
+
+    def test_all_edges_allowed_equals_unconstrained(self, weighted_graph):
+        constraint = PredicateConstraint(lambda u, v, w, lbl: True, weighted_graph)
+        config = RunConfig(constraint=constraint)
+        constrained = PathEnum().run(weighted_graph, _query(weighted_graph), config)
+        unconstrained = PathEnum().run(weighted_graph, _query(weighted_graph))
+        assert set(constrained.paths) == set(unconstrained.paths)
+
+    def test_label_predicate(self, weighted_graph):
+        constraint = PredicateConstraint(lambda u, v, w, lbl: lbl == "wire", weighted_graph)
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        assert {weighted_graph.translate_path(p) for p in result.paths} == {("s", "a", "t")}
+
+    def test_non_callable_predicate_rejected(self, weighted_graph):
+        with pytest.raises(ConstraintError):
+            PredicateConstraint("not callable", weighted_graph)
+
+    def test_accepts_path_recheck(self, weighted_graph):
+        constraint = PredicateConstraint(lambda u, v, w, lbl: w >= 2.0, weighted_graph)
+        s, a, b, t = (weighted_graph.to_internal(x) for x in ("s", "a", "b", "t"))
+        assert constraint.accepts_path((s, a, t))
+        assert not constraint.accepts_path((s, b, t))
+
+
+class TestAccumulativeConstraint:
+    def test_total_risk_threshold(self, weighted_graph):
+        """Algorithm 7: keep paths whose accumulated weight is at least 8."""
+        constraint = AccumulativeConstraint(weighted_graph, accept=lambda total: total >= 8.0)
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        paths = {weighted_graph.translate_path(p) for p in result.paths}
+        assert ("s", "a", "t") in paths  # 5 + 5 = 10
+        assert ("s", "b", "t") not in paths  # 1 + 1 = 2
+
+    def test_same_result_under_join_plan(self, weighted_graph):
+        constraint = AccumulativeConstraint(weighted_graph, accept=lambda total: total >= 8.0)
+        config = RunConfig(constraint=constraint)
+        dfs_result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        join_result = IdxJoin().run(weighted_graph, _query(weighted_graph), config)
+        assert set(dfs_result.paths) == set(join_result.paths)
+
+    def test_custom_operation_and_initial(self, weighted_graph):
+        constraint = AccumulativeConstraint(
+            weighted_graph,
+            accept=lambda total: total >= 25.0,
+            operation=lambda a, b: a * b,
+            initial=1.0,
+        )
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        paths = {weighted_graph.translate_path(p) for p in result.paths}
+        assert ("s", "a", "t") in paths  # 5 * 5 = 25
+        assert ("s", "b", "t") not in paths  # 1 * 1 = 1
+
+    def test_upper_bound_pruning_preserves_results(self, weighted_graph):
+        query = _query(weighted_graph)
+        accept = lambda total: total <= 3.0  # noqa: E731 - compact test predicate
+        unpruned = AccumulativeConstraint(weighted_graph, accept=accept)
+        pruned = AccumulativeConstraint(weighted_graph, accept=accept, upper_bound_prune=3.0)
+        config_a = RunConfig(constraint=unpruned)
+        config_b = RunConfig(constraint=pruned)
+        result_a = IdxDfs().run(weighted_graph, query, config_a)
+        result_b = IdxDfs().run(weighted_graph, query, config_b)
+        assert set(result_a.paths) == set(result_b.paths)
+        assert {weighted_graph.translate_path(p) for p in result_b.paths} == {("s", "b", "t")}
+
+    def test_edge_value_override(self, weighted_graph):
+        constraint = AccumulativeConstraint(
+            weighted_graph,
+            accept=lambda total: total == 2.0,
+            edge_value=lambda u, v: 1.0,
+        )
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        # Exactly the two-hop paths survive when every edge counts as 1.
+        assert all(len(p) == 3 for p in result.paths)
+
+    def test_non_callable_accept_rejected(self, weighted_graph):
+        with pytest.raises(ConstraintError):
+            AccumulativeConstraint(weighted_graph, accept=None)
+
+
+class TestAutomatonConstraint:
+    def test_exact_label_sequence(self, weighted_graph):
+        automaton = SequenceAutomaton.from_label_sequence(["wire", "wire"])
+        constraint = AutomatonConstraint(weighted_graph, automaton)
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        assert {weighted_graph.translate_path(p) for p in result.paths} == {("s", "a", "t")}
+
+    def test_sequence_with_gaps(self, weighted_graph):
+        automaton = SequenceAutomaton.from_label_sequence(["ach", "wire"], allow_gaps=True)
+        constraint = AutomatonConstraint(weighted_graph, automaton)
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        paths = {weighted_graph.translate_path(p) for p in result.paths}
+        assert ("s", "b", "t") in paths  # ach then wire
+        assert ("s", "a", "t") not in paths  # wire wire has no ach before the wire
+
+    def test_join_plan_post_filters(self, weighted_graph):
+        automaton = SequenceAutomaton.from_label_sequence(["wire", "wire"])
+        constraint = AutomatonConstraint(weighted_graph, automaton)
+        config = RunConfig(constraint=constraint)
+        dfs_result = IdxDfs().run(weighted_graph, _query(weighted_graph), config)
+        join_result = IdxJoin().run(weighted_graph, _query(weighted_graph), config)
+        assert set(dfs_result.paths) == set(join_result.paths)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConstraintError):
+            SequenceAutomaton.from_label_sequence([])
+
+    def test_manual_automaton(self, weighted_graph):
+        automaton = SequenceAutomaton(
+            start="start",
+            accepting={"done"},
+            transitions={("start", "ach"): "mid", ("mid", "wire"): "done"},
+        )
+        constraint = AutomatonConstraint(weighted_graph, automaton)
+        assert constraint.accepts_path(
+            tuple(weighted_graph.to_internal(x) for x in ("s", "b", "t"))
+        )
+        assert not constraint.accepts_path(
+            tuple(weighted_graph.to_internal(x) for x in ("s", "a", "t"))
+        )
+
+
+class TestProtocolBehaviour:
+    def test_base_class_is_abstract_by_convention(self):
+        constraint = PathConstraint()
+        with pytest.raises(NotImplementedError):
+            constraint.initial_state()
+        with pytest.raises(NotImplementedError):
+            constraint.transition(None, 0, 1)
+        with pytest.raises(NotImplementedError):
+            constraint.accepts(None)
+
+    def test_edge_filter_default_is_none(self, weighted_graph):
+        constraint = AccumulativeConstraint(weighted_graph, accept=lambda total: True)
+        assert constraint.edge_filter() is None
+
+    def test_constrained_results_are_subset_of_unconstrained(self, weighted_graph):
+        query = _query(weighted_graph)
+        everything = brute_force_paths(weighted_graph, query.source, query.target, query.k)
+        constraint = AccumulativeConstraint(weighted_graph, accept=lambda total: total >= 8.0)
+        config = RunConfig(constraint=constraint)
+        result = IdxDfs().run(weighted_graph, query, config)
+        assert set(result.paths) <= everything

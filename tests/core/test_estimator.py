@@ -1,0 +1,146 @@
+"""Unit tests for the preliminary and full-fledged cardinality estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import (
+    dfs_cost,
+    find_cut_position,
+    full_estimate,
+    join_cost,
+    preliminary_estimate,
+)
+from repro.core.index import LightWeightIndex
+from repro.core.query import Query
+from repro.graph.builder import from_edges
+from repro.graph.generators import erdos_renyi, grid_graph, layered_graph
+
+from tests.helpers import brute_force_paths, brute_force_walks
+
+
+def _index(graph, source, target, k):
+    return LightWeightIndex.build(graph, Query(source, target, k))
+
+
+class TestFullEstimator:
+    def test_walk_count_is_exact_on_paper_graph(self, paper_graph, paper_query):
+        """The full-fledged estimator counts walks exactly (Eqs. 6-7)."""
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        estimate = full_estimate(index)
+        walks = brute_force_walks(
+            paper_graph, paper_query.source, paper_query.target, paper_query.k
+        )
+        assert estimate.walk_count == len(walks)
+
+    def test_walk_count_exact_on_dag(self, dag_grid):
+        # On a DAG walks and paths coincide, so the estimate equals the truth.
+        query = Query(0, dag_grid.num_vertices - 1, 7)
+        estimate = full_estimate(LightWeightIndex.build(dag_grid, query))
+        paths = brute_force_paths(dag_grid, 0, dag_grid.num_vertices - 1, 7)
+        assert estimate.walk_count == len(paths) == 35
+
+    def test_walk_count_upper_bounds_path_count(self):
+        graph = erdos_renyi(60, 4.0, seed=17)
+        query = Query(0, 1, 4)
+        estimate = full_estimate(LightWeightIndex.build(graph, query))
+        paths = brute_force_paths(graph, 0, 1, 4)
+        assert estimate.walk_count >= len(paths)
+
+    def test_prefix_and_suffix_tables_shapes(self, paper_graph, paper_query):
+        estimate = full_estimate(LightWeightIndex.build(paper_graph, paper_query))
+        k = paper_query.k
+        assert estimate.k == k
+        assert len(estimate.prefix_sizes) == k + 1
+        assert len(estimate.suffix_sizes) == k + 1
+        assert estimate.prefix_sizes[0] == 1  # only (s)
+        # |Q[k:k]| counts the vertices of C_k, each contributing one empty walk.
+        assert estimate.suffix_sizes[k] == len(
+            LightWeightIndex.build(paper_graph, paper_query).members(k)
+        )
+
+    def test_forward_counts_reach_target(self, paper_graph, paper_query):
+        estimate = full_estimate(LightWeightIndex.build(paper_graph, paper_query))
+        # At position k every forward walk has been padded into t.
+        assert set(estimate.forward[paper_query.k]) == {paper_query.target}
+        assert estimate.forward[paper_query.k][paper_query.target] == estimate.walk_count
+
+    def test_backward_count_at_source_equals_walk_count(self, paper_graph, paper_query):
+        estimate = full_estimate(LightWeightIndex.build(paper_graph, paper_query))
+        assert estimate.backward[0][paper_query.source] == estimate.walk_count
+
+    def test_empty_index_gives_zero(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        estimate = full_estimate(LightWeightIndex.build(graph, Query(0, 3, 4)))
+        assert estimate.walk_count == 0
+        assert dfs_cost(estimate) == 0.0
+
+
+class TestCutPosition:
+    def test_cut_position_is_interior(self, paper_graph, paper_query):
+        estimate = full_estimate(LightWeightIndex.build(paper_graph, paper_query))
+        cut = find_cut_position(estimate)
+        assert 1 <= cut <= paper_query.k - 1
+
+    def test_cut_position_minimises_sum(self, paper_graph, paper_query):
+        estimate = full_estimate(LightWeightIndex.build(paper_graph, paper_query))
+        cut = find_cut_position(estimate)
+        best = min(
+            estimate.prefix_sizes[i] + estimate.suffix_sizes[i]
+            for i in range(1, paper_query.k)
+        )
+        assert estimate.prefix_sizes[cut] + estimate.suffix_sizes[cut] == best
+
+    def test_cut_prefers_middle_on_symmetric_graph(self):
+        graph = layered_graph(4, 3)
+        sink = graph.to_internal("sink")
+        query = Query(0, sink, 5)
+        estimate = full_estimate(LightWeightIndex.build(graph, query))
+        cut = find_cut_position(estimate)
+        assert cut in (2, 3)
+
+    def test_costs_are_consistent_with_model(self, paper_graph, paper_query):
+        estimate = full_estimate(LightWeightIndex.build(paper_graph, paper_query))
+        assert dfs_cost(estimate) == sum(estimate.prefix_sizes[1:])
+        cut = find_cut_position(estimate)
+        expected = (
+            estimate.walk_count
+            + sum(estimate.prefix_sizes[1 : cut + 1])
+            + sum(estimate.suffix_sizes[cut : paper_query.k + 1])
+        )
+        assert join_cost(estimate, cut) == expected
+
+
+class TestPreliminaryEstimator:
+    def test_positive_on_paper_graph(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        assert preliminary_estimate(index) > 0.0
+
+    def test_zero_when_no_results(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        index = LightWeightIndex.build(graph, Query(0, 3, 4))
+        assert preliminary_estimate(index) == 0.0
+
+    def test_estimate_tracks_search_space_growth(self):
+        """A denser graph must produce a larger preliminary estimate."""
+        sparse = erdos_renyi(80, 2.0, seed=5)
+        dense = erdos_renyi(80, 8.0, seed=5)
+        sparse_estimate = preliminary_estimate(
+            LightWeightIndex.build(sparse, Query(0, 1, 4))
+        )
+        dense_estimate = preliminary_estimate(LightWeightIndex.build(dense, Query(0, 1, 4)))
+        assert dense_estimate > sparse_estimate
+
+    def test_estimate_grows_with_k(self):
+        graph = erdos_renyi(80, 5.0, seed=6)
+        estimates = [
+            preliminary_estimate(LightWeightIndex.build(graph, Query(0, 1, k)))
+            for k in (3, 4, 5, 6)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_exact_on_a_chain(self):
+        # On a simple chain the search space is one partial result per level.
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        index = LightWeightIndex.build(graph, Query(0, 3, 3))
+        assert preliminary_estimate(index) == pytest.approx(3.0)

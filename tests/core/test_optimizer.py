@@ -1,0 +1,87 @@
+"""Unit tests for the two-phase cost-based optimizer (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import LightWeightIndex
+from repro.core.optimizer import DEFAULT_TAU, choose_plan
+from repro.core.query import Query
+from repro.core.result import EnumerationStats, Phase
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_graph, erdos_renyi
+
+
+class TestThresholding:
+    def test_small_search_space_skips_full_optimization(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        plan = choose_plan(index, tau=1e5)
+        assert plan.kind == "dfs"
+        assert not plan.used_full_estimator
+        assert plan.dfs_cost is None and plan.join_cost is None
+
+    def test_tau_zero_always_runs_full_optimizer(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        plan = choose_plan(index, tau=0.0)
+        assert plan.used_full_estimator
+        assert plan.dfs_cost is not None and plan.join_cost is not None
+
+    def test_large_search_space_triggers_full_optimizer(self):
+        graph = complete_graph(12)
+        index = LightWeightIndex.build(graph, Query(0, 11, 5))
+        plan = choose_plan(index, tau=100.0)
+        assert plan.used_full_estimator
+
+    def test_plan_kind_matches_cheaper_cost(self):
+        graph = erdos_renyi(100, 6.0, seed=21)
+        index = LightWeightIndex.build(graph, Query(0, 1, 5))
+        plan = choose_plan(index, tau=0.0)
+        assert plan.used_full_estimator
+        if plan.dfs_cost < plan.join_cost:
+            assert plan.kind == "dfs"
+        else:
+            assert plan.kind == "join"
+
+
+class TestForcedPlans:
+    def test_force_dfs_skips_optimization(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        plan = choose_plan(index, force="dfs")
+        assert plan.kind == "dfs"
+        assert not plan.used_full_estimator
+
+    def test_force_join_runs_optimizer_for_cut(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        plan = choose_plan(index, force="join")
+        assert plan.kind == "join"
+        assert plan.used_full_estimator
+        assert 1 <= plan.cut_position <= paper_query.k - 1
+
+
+class TestStatsIntegration:
+    def test_stats_record_estimates_and_phases(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        stats = EnumerationStats()
+        choose_plan(index, tau=0.0, stats=stats)
+        assert stats.preliminary_estimate is not None
+        assert stats.full_estimate is not None
+        assert Phase.PRELIMINARY in stats.phase_seconds
+        assert Phase.OPTIMIZATION in stats.phase_seconds
+
+    def test_preliminary_only_when_below_threshold(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        stats = EnumerationStats()
+        choose_plan(index, tau=1e9, stats=stats)
+        assert stats.preliminary_estimate is not None
+        assert stats.full_estimate is None
+        assert Phase.OPTIMIZATION not in stats.phase_seconds
+
+    def test_default_tau_matches_paper_setting(self):
+        assert DEFAULT_TAU == pytest.approx(1e5)
+
+    def test_empty_query_is_a_dfs_plan(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        index = LightWeightIndex.build(graph, Query(0, 3, 4))
+        plan = choose_plan(index)
+        assert plan.kind == "dfs"
+        assert plan.preliminary == 0.0

@@ -1,0 +1,63 @@
+"""Unit tests for the Query object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import MIN_HOP_CONSTRAINT, Query
+from repro.errors import InvalidQueryError
+from repro.graph.builder import from_edges
+
+
+class TestValidation:
+    def test_valid_query(self):
+        query = Query(0, 1, 4)
+        assert query.source == 0
+        assert query.target == 1
+        assert query.k == 4
+
+    def test_source_equals_target_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(3, 3, 4)
+
+    def test_small_hop_constraint_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            Query(0, 1, MIN_HOP_CONSTRAINT - 1)
+
+    def test_minimum_hop_constraint_accepted(self):
+        assert Query(0, 1, MIN_HOP_CONSTRAINT).k == MIN_HOP_CONSTRAINT
+
+    def test_validate_against_graph(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        Query(0, 2, 3).validate(graph)
+        with pytest.raises(InvalidQueryError):
+            Query(0, 99, 3).validate(graph)
+        with pytest.raises(InvalidQueryError):
+            Query(99, 0, 3).validate(graph)
+
+
+class TestHelpers:
+    def test_from_external(self):
+        graph = from_edges([("alice", "bob"), ("bob", "carol")])
+        query = Query.from_external(graph, "alice", "carol", 3)
+        assert query.source == graph.to_internal("alice")
+        assert query.target == graph.to_internal("carol")
+
+    def test_with_k(self):
+        query = Query(0, 1, 4)
+        rescoped = query.with_k(7)
+        assert rescoped.k == 7
+        assert rescoped.source == query.source
+        assert query.k == 4  # original unchanged
+
+    def test_str_representation(self):
+        assert str(Query(2, 5, 6)) == "q(2, 5, 6)"
+
+    def test_queries_are_hashable_and_comparable(self):
+        assert Query(0, 1, 3) == Query(0, 1, 3)
+        assert len({Query(0, 1, 3), Query(0, 1, 3), Query(0, 1, 4)}) == 2
+
+    def test_query_is_frozen(self):
+        query = Query(0, 1, 3)
+        with pytest.raises(AttributeError):
+            query.k = 9  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Unit tests for the join-based model and the full reducer (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query
+from repro.core.relations import build_relations
+from repro.graph.builder import from_edges
+
+from tests.helpers import brute_force_walks, paper_figure1_graph
+
+
+@pytest.fixture()
+def paper_relations(paper_graph, paper_query):
+    return build_relations(paper_graph, paper_query)
+
+
+class TestConstruction:
+    def test_number_of_relations_equals_k(self, paper_relations, paper_query):
+        assert len(paper_relations) == paper_query.k
+
+    def test_r1_contains_only_edges_from_source(self, paper_graph, paper_query):
+        relations = build_relations(paper_graph, paper_query, apply_full_reducer=False)
+        s = paper_query.source
+        assert all(u == s for u, _ in relations[1].tuples)
+        assert len(relations[1]) == paper_graph.out_degree(s)
+
+    def test_last_relation_targets_only_t(self, paper_graph, paper_query):
+        relations = build_relations(paper_graph, paper_query, apply_full_reducer=False)
+        t = paper_query.target
+        assert all(v == t for _, v in relations[paper_query.k].tuples)
+
+    def test_padding_tuple_present_in_all_but_first(self, paper_graph, paper_query):
+        relations = build_relations(paper_graph, paper_query, apply_full_reducer=False)
+        t = paper_query.target
+        assert (t, t) not in relations[1].tuples
+        for i in range(2, paper_query.k + 1):
+            assert (t, t) in relations[i].tuples
+
+    def test_interior_relations_exclude_source_and_target_edges(self, paper_graph, paper_query):
+        relations = build_relations(paper_graph, paper_query, apply_full_reducer=False)
+        s, t = paper_query.source, paper_query.target
+        for i in range(2, paper_query.k):
+            for u, v in relations[i].tuples:
+                assert u != s and v != s
+                assert u != t or (u, v) == (t, t)
+
+    def test_paper_example_figure3a_relation_sizes(self, paper_graph, paper_query):
+        """Figure 3a: before reduction R_1 has 3 tuples and R_4 has 4 (incl. (t,t))."""
+        relations = build_relations(paper_graph, paper_query, apply_full_reducer=False)
+        assert len(relations[1]) == 3
+        assert len(relations[4]) == 4
+
+    def test_indexing_bounds(self, paper_relations):
+        with pytest.raises(IndexError):
+            paper_relations[0]
+        with pytest.raises(IndexError):
+            paper_relations[len(paper_relations) + 1]
+
+
+class TestFullReducer:
+    def test_reduction_only_removes_tuples(self, paper_graph, paper_query):
+        raw = build_relations(paper_graph, paper_query, apply_full_reducer=False)
+        reduced = build_relations(paper_graph, paper_query, apply_full_reducer=True)
+        for i in range(1, paper_query.k + 1):
+            assert reduced[i].tuples <= raw[i].tuples
+
+    def test_paper_example_pruned_tuples(self, paper_graph, paper_query):
+        """Example 4.1: (v4, v5) is pruned from R_2 and (v1, v3) from R_3."""
+        g = paper_graph
+        reduced = build_relations(paper_graph, paper_query)
+        v4, v5 = g.to_internal("v4"), g.to_internal("v5")
+        v1, v3 = g.to_internal("v1"), g.to_internal("v3")
+        assert (v4, v5) not in reduced[2].tuples
+        assert (v1, v3) not in reduced[3].tuples
+
+    def test_every_remaining_tuple_appears_in_a_walk(self, paper_graph, paper_query):
+        """Proposition 4.2: no dangling tuples remain after the full reducer."""
+        g = paper_graph
+        s, t, k = paper_query.source, paper_query.target, paper_query.k
+        reduced = build_relations(paper_graph, paper_query)
+        walks = brute_force_walks(g, s, t, k)
+        # Pad walks with t to length k + 1 to obtain join tuples.
+        tuples = {walk + (t,) * (k + 1 - len(walk)) for walk in walks}
+        for i in range(1, k + 1):
+            for u, v in reduced[i].tuples:
+                assert any(tup[i - 1] == u and tup[i] == v for tup in tuples), (i, u, v)
+
+    def test_every_walk_survives_reduction(self, paper_graph, paper_query):
+        """Lemma A.2: every walk corresponds to a surviving join tuple."""
+        g = paper_graph
+        s, t, k = paper_query.source, paper_query.target, paper_query.k
+        reduced = build_relations(paper_graph, paper_query)
+        for walk in brute_force_walks(g, s, t, k):
+            padded = walk + (t,) * (k + 1 - len(walk))
+            for i in range(1, k + 1):
+                assert (padded[i - 1], padded[i]) in reduced[i].tuples
+
+    def test_reducer_on_graph_without_results(self):
+        graph = from_edges([(0, 1), (1, 2), (3, 4)])
+        reduced = build_relations(graph, Query(0, 4, 4))
+        assert all(len(reduced[i]) == 0 for i in range(1, 5))
+
+    def test_total_tuples_and_adjacency(self, paper_relations):
+        assert paper_relations.total_tuples() == sum(
+            len(paper_relations[i]) for i in range(1, len(paper_relations) + 1)
+        )
+        adjacency = paper_relations[2].adjacency()
+        for source, targets in adjacency.items():
+            for target in targets:
+                assert (source, target) in paper_relations[2].tuples
+
+    def test_neighbors_at(self, paper_graph, paper_relations, paper_query):
+        s = paper_query.source
+        neighbors = paper_relations.neighbors_at(1, s)
+        assert set(neighbors) == {v for (u, v) in paper_relations[1].tuples if u == s}
+
+
+class TestK2EdgeCase:
+    def test_k_equals_two(self, paper_graph):
+        g = paper_graph
+        query = Query(g.to_internal("s"), g.to_internal("t"), 2)
+        relations = build_relations(g, query)
+        assert len(relations) == 2
+        # Only paths of length <= 2 survive: (s, v0, t) and none of length 1.
+        sources_r1 = relations[1].sources()
+        assert g.to_internal("s") in sources_r1

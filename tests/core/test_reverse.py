@@ -1,0 +1,113 @@
+"""Unit tests for the reverse-direction index DFS (plan-space extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import get_algorithm
+from repro.core.engine import IdxDfs
+from repro.core.index import LightWeightIndex
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.query import Query
+from repro.core.result import EnumerationStats
+from repro.core.reverse import IdxDfsReverse, run_idx_dfs_reverse
+from repro.errors import EnumerationTimeout
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_graph, erdos_renyi
+
+from tests.helpers import assert_same_paths, brute_force_paths
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_graph, paper_query):
+        result = IdxDfsReverse().run(paper_graph, paper_query)
+        expected = brute_force_paths(
+            paper_graph, paper_query.source, paper_query.target, paper_query.k
+        )
+        assert_same_paths(result.paths, expected, context="IDX-DFS-REV")
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_random_graph_against_forward_dfs(self, random_graph, k):
+        query = Query(4, 5, k)
+        forward = IdxDfs().run(random_graph, query)
+        backward = IdxDfsReverse().run(random_graph, query)
+        assert set(forward.paths) == set(backward.paths)
+
+    def test_direct_edge_paths_are_found(self):
+        graph = from_edges([("s", "t"), ("s", "a"), ("a", "t")])
+        s, t = graph.to_internal("s"), graph.to_internal("t")
+        result = IdxDfsReverse().run(graph, Query(s, t, 3))
+        assert set(result.paths) == {(s, t), (s, graph.to_internal("a"), t)}
+
+    def test_no_results_when_unreachable(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        assert IdxDfsReverse().run(graph, Query(0, 3, 4)).count == 0
+
+    def test_grid_counts(self, dag_grid):
+        query = Query(0, dag_grid.num_vertices - 1, 7)
+        assert IdxDfsReverse().run(dag_grid, query).count == 35
+
+    def test_registered_in_the_registry(self):
+        assert get_algorithm("idx-dfs-rev").name == "IDX-DFS-REV"
+
+
+class TestAsymmetry:
+    def test_reverse_explores_fewer_partials_when_source_side_is_dense(self):
+        """The motivation for the extension: a fan-out at s, a funnel at t."""
+        edges = []
+        # s fans out to 12 middle vertices, only one of which reaches t.
+        for i in range(12):
+            edges.append(("s", f"m{i}"))
+        edges.append(("m0", "x"))
+        edges.append(("x", "t"))
+        graph = from_edges(edges)
+        query = Query(graph.to_internal("s"), graph.to_internal("t"), 3)
+        forward = IdxDfs().run(graph, query)
+        backward = IdxDfsReverse().run(graph, query)
+        assert set(forward.paths) == set(backward.paths)
+        assert (
+            backward.stats.edges_accessed <= forward.stats.edges_accessed
+        )
+
+
+class TestBehaviour:
+    def test_constraints_are_rejected(self, paper_graph, paper_query):
+        from repro.core.constraints import AccumulativeConstraint
+
+        constraint = AccumulativeConstraint(paper_graph, accept=lambda total: True)
+        with pytest.raises(ValueError):
+            IdxDfsReverse().run(paper_graph, paper_query, RunConfig(constraint=constraint))
+
+    def test_result_limit(self, paper_graph, paper_query):
+        result = IdxDfsReverse().run(paper_graph, paper_query, RunConfig(result_limit=2))
+        assert result.count == 2
+        assert result.stats.truncated
+
+    def test_deadline_expiry(self):
+        graph = complete_graph(10)
+        query = Query(0, 9, 6)
+        index = LightWeightIndex.build(graph, query)
+        deadline = Deadline(0.0, poll_interval=1)
+        with pytest.raises(EnumerationTimeout):
+            run_idx_dfs_reverse(index, ResultCollector(store_paths=False), deadline=deadline)
+
+    def test_stats_are_populated(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        collector = ResultCollector()
+        stats = EnumerationStats()
+        emitted = run_idx_dfs_reverse(index, collector, stats=stats)
+        assert emitted == collector.count == 5
+        assert stats.edges_accessed > 0
+        assert stats.results_emitted == 5
+
+    def test_plan_label(self, paper_graph, paper_query):
+        result = IdxDfsReverse().run(paper_graph, paper_query)
+        assert result.stats.plan == "dfs-reverse"
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_agreement_on_denser_random_graphs(self, seed):
+        graph = erdos_renyi(50, 5.0, seed=seed)
+        query = Query(0, 1, 4)
+        expected = brute_force_paths(graph, 0, 1, 4)
+        result = IdxDfsReverse().run(graph, query)
+        assert set(result.paths) == expected

@@ -1,0 +1,127 @@
+"""Unit tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, from_edges
+
+
+class TestAddEdge:
+    def test_duplicate_edges_are_dropped(self):
+        builder = GraphBuilder()
+        assert builder.add_edge("a", "b")
+        assert not builder.add_edge("a", "b")
+        assert builder.num_edges == 1
+
+    def test_duplicate_keeps_first_attributes(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", weight=5.0)
+        builder.add_edge("a", "b", weight=9.0)
+        graph = builder.build()
+        assert graph.edge_weight(graph.to_internal("a"), graph.to_internal("b")) == 5.0
+
+    def test_self_loops_dropped_by_default(self):
+        builder = GraphBuilder()
+        assert not builder.add_edge("a", "a")
+        assert builder.num_edges == 0
+        # The vertex is still registered.
+        assert builder.num_vertices == 1
+
+    def test_self_loops_allowed_when_requested(self):
+        builder = GraphBuilder(allow_self_loops=True)
+        assert builder.add_edge("a", "a")
+        graph = builder.build()
+        assert graph.has_edge(0, 0)
+
+    def test_add_edges_returns_inserted_count(self):
+        builder = GraphBuilder()
+        inserted = builder.add_edges([("a", "b"), ("a", "b"), ("b", "c"), ("c", "c")])
+        assert inserted == 2
+
+    def test_has_edge_before_build(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 2)
+        assert builder.has_edge(1, 2)
+        assert not builder.has_edge(2, 1)
+        assert not builder.has_edge(5, 6)
+
+
+class TestVertexRegistration:
+    def test_add_vertex_is_idempotent(self):
+        builder = GraphBuilder()
+        first = builder.add_vertex("x")
+        second = builder.add_vertex("x")
+        assert first == second
+        assert builder.num_vertices == 1
+
+    def test_isolated_vertices_survive_build(self):
+        builder = GraphBuilder()
+        builder.add_vertex("isolated")
+        builder.add_edge("a", "b")
+        graph = builder.build()
+        assert graph.num_vertices == 3
+        isolated = graph.to_internal("isolated")
+        assert graph.out_degree(isolated) == 0
+        assert graph.in_degree(isolated) == 0
+
+    def test_insertion_order_defines_internal_ids(self):
+        builder = GraphBuilder()
+        builder.add_edge("z", "y")
+        builder.add_edge("a", "z")
+        graph = builder.build()
+        assert graph.to_internal("z") == 0
+        assert graph.to_internal("y") == 1
+        assert graph.to_internal("a") == 2
+
+
+class TestBuildOutput:
+    def test_adjacency_matches_inserted_edges(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)]
+        graph = from_edges(edges)
+        assert set(graph.edges()) == set(edges)
+
+    def test_weights_permuted_consistently_with_csr(self):
+        builder = GraphBuilder()
+        # Insert in an order different from the CSR (sorted) order.
+        builder.add_edge(2, 0, weight=20.0)
+        builder.add_edge(0, 2, weight=2.0)
+        builder.add_edge(0, 1, weight=1.0)
+        graph = builder.build()
+
+        def weight(u, v):
+            return graph.edge_weight(graph.to_internal(u), graph.to_internal(v))
+
+        assert weight(0, 1) == 1.0
+        assert weight(0, 2) == 2.0
+        assert weight(2, 0) == 20.0
+
+    def test_labels_permuted_consistently_with_csr(self):
+        builder = GraphBuilder()
+        builder.add_edge("b", "a", label="back")
+        builder.add_edge("a", "b", label="forward")
+        graph = builder.build()
+        a, b = graph.to_internal("a"), graph.to_internal("b")
+        assert graph.edge_label(a, b) == "forward"
+        assert graph.edge_label(b, a) == "back"
+
+    def test_build_empty_builder(self):
+        graph = GraphBuilder().build()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_build_reverse(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        reversed_graph = builder.build_reverse()
+        assert reversed_graph.has_edge(1, 0)
+        assert reversed_graph.has_edge(2, 1)
+
+    def test_mixed_external_ids(self):
+        builder = GraphBuilder()
+        builder.add_edge("acct:1", "acct:2")
+        builder.add_edge("acct:2", "acct:3")
+        graph = builder.build()
+        assert graph.has_external_ids
+        assert graph.to_external(graph.to_internal("acct:3")) == "acct:3"

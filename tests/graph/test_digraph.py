@@ -1,0 +1,201 @@
+"""Unit tests for the CSR DiGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture()
+def small_graph():
+    builder = GraphBuilder()
+    builder.add_edge("a", "b", weight=2.0, label="x")
+    builder.add_edge("a", "c", weight=1.0, label="y")
+    builder.add_edge("b", "c", weight=3.0, label="x")
+    builder.add_edge("c", "d")
+    return builder.build()
+
+
+class TestBasicProperties:
+    def test_vertex_and_edge_counts(self, small_graph):
+        assert small_graph.num_vertices == 4
+        assert small_graph.num_edges == 4
+        assert len(small_graph) == 4
+
+    def test_vertices_iterates_dense_range(self, small_graph):
+        assert list(small_graph.vertices()) == [0, 1, 2, 3]
+
+    def test_has_vertex_bounds(self, small_graph):
+        assert small_graph.has_vertex(0)
+        assert small_graph.has_vertex(3)
+        assert not small_graph.has_vertex(4)
+        assert not small_graph.has_vertex(-1)
+
+    def test_edges_iterator_matches_count(self, small_graph):
+        edges = list(small_graph.edges())
+        assert len(edges) == small_graph.num_edges
+        assert len(set(edges)) == len(edges)
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, small_graph):
+        a = small_graph.to_internal("a")
+        neighbors = {small_graph.to_external(int(v)) for v in small_graph.neighbors(a)}
+        assert neighbors == {"b", "c"}
+
+    def test_in_neighbors(self, small_graph):
+        c = small_graph.to_internal("c")
+        sources = {small_graph.to_external(int(v)) for v in small_graph.in_neighbors(c)}
+        assert sources == {"a", "b"}
+
+    def test_degrees(self, small_graph):
+        a = small_graph.to_internal("a")
+        c = small_graph.to_internal("c")
+        assert small_graph.out_degree(a) == 2
+        assert small_graph.in_degree(a) == 0
+        assert small_graph.out_degree(c) == 1
+        assert small_graph.in_degree(c) == 2
+        assert small_graph.degree(c) == 3
+
+    def test_degree_vectors_sum_to_edge_count(self, small_graph):
+        assert int(small_graph.out_degrees().sum()) == small_graph.num_edges
+        assert int(small_graph.in_degrees().sum()) == small_graph.num_edges
+
+    def test_has_edge(self, small_graph):
+        a = small_graph.to_internal("a")
+        b = small_graph.to_internal("b")
+        d = small_graph.to_internal("d")
+        assert small_graph.has_edge(a, b)
+        assert not small_graph.has_edge(b, a)
+        assert not small_graph.has_edge(d, a)
+        assert not small_graph.has_edge(a, 99)
+
+    def test_neighbors_of_unknown_vertex_raises(self, small_graph):
+        with pytest.raises(VertexNotFoundError):
+            small_graph.neighbors(17)
+        with pytest.raises(VertexNotFoundError):
+            small_graph.in_neighbors(-3)
+
+
+class TestEdgeAttributes:
+    def test_edge_weight_lookup(self, small_graph):
+        a = small_graph.to_internal("a")
+        b = small_graph.to_internal("b")
+        assert small_graph.edge_weight(a, b) == pytest.approx(2.0)
+
+    def test_missing_weight_defaults_to_one(self, small_graph):
+        c = small_graph.to_internal("c")
+        d = small_graph.to_internal("d")
+        assert small_graph.edge_weight(c, d) == pytest.approx(1.0)
+
+    def test_edge_weight_of_missing_edge_raises(self, small_graph):
+        a = small_graph.to_internal("a")
+        d = small_graph.to_internal("d")
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.edge_weight(d, a)
+
+    def test_edge_weight_default_argument(self, small_graph):
+        a = small_graph.to_internal("a")
+        d = small_graph.to_internal("d")
+        assert small_graph.edge_weight(d, a, default=0.5) == pytest.approx(0.5)
+
+    def test_edge_labels(self, small_graph):
+        a = small_graph.to_internal("a")
+        b = small_graph.to_internal("b")
+        c = small_graph.to_internal("c")
+        assert small_graph.edge_label(a, b) == "x"
+        assert small_graph.edge_label(a, c) == "y"
+
+    def test_unlabelled_graph_reports_flags(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert not graph.has_edge_weights
+        assert not graph.has_edge_labels
+        assert graph.edge_weight(0, 1) == pytest.approx(1.0)
+        assert graph.edge_label(0, 1) is None
+
+
+class TestExternalIds:
+    def test_round_trip(self, small_graph):
+        for name in ("a", "b", "c", "d"):
+            internal = small_graph.to_internal(name)
+            assert small_graph.to_external(internal) == name
+
+    def test_unknown_external_id(self, small_graph):
+        with pytest.raises(VertexNotFoundError):
+            small_graph.to_internal("zzz")
+
+    def test_translate_path(self, small_graph):
+        path = [small_graph.to_internal(v) for v in ("a", "b", "c")]
+        assert small_graph.translate_path(path) == ("a", "b", "c")
+
+    def test_dense_int_ids_have_no_mapping_overhead(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        assert not graph.has_external_ids
+        assert graph.to_internal(2) == 2
+        assert graph.to_external(2) == 2
+
+
+class TestDerivedGraphs:
+    def test_reverse_swaps_directions(self, small_graph):
+        reversed_graph = small_graph.reverse()
+        a = small_graph.to_internal("a")
+        b = small_graph.to_internal("b")
+        assert reversed_graph.has_edge(b, a)
+        assert not reversed_graph.has_edge(a, b)
+        assert reversed_graph.num_edges == small_graph.num_edges
+
+    def test_reverse_twice_is_identity(self, small_graph):
+        double = small_graph.reverse().reverse()
+        assert set(double.edges()) == set(small_graph.edges())
+
+    def test_filter_edges_by_weight(self, small_graph):
+        filtered = small_graph.filter_edges(lambda u, v, w, lbl: w >= 2.0)
+        a = filtered.to_internal("a")
+        b = filtered.to_internal("b")
+        c = filtered.to_internal("c")
+        assert filtered.has_edge(a, b)
+        assert not filtered.has_edge(a, c)
+        assert filtered.num_vertices == small_graph.num_vertices
+
+    def test_copy_with_edges(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        extended = graph.copy_with_edges([(2, 0)])
+        assert extended.has_edge(2, 0)
+        assert extended.num_edges == 3
+
+
+class TestConstructionValidation:
+    def test_inconsistent_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(
+                2,
+                np.array([0, 1, 3]),
+                np.array([1]),
+                np.array([0, 0, 1]),
+                np.array([0]),
+            )
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1, np.array([0]), np.array([]), np.array([0]), np.array([]))
+
+    def test_mismatched_vertex_ids_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(
+                2,
+                np.array([0, 1, 2]),
+                np.array([1, 0]),
+                np.array([0, 1, 2]),
+                np.array([1, 0]),
+                vertex_ids=["only-one"],
+            )
+
+    def test_empty_graph(self):
+        graph = DiGraph(0, np.array([0]), np.array([]), np.array([0]), np.array([]))
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []

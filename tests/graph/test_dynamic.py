@@ -1,0 +1,93 @@
+"""Unit tests for the mutable DynamicGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.builder import from_edges
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestMutation:
+    def test_add_edge_and_counts(self):
+        graph = DynamicGraph()
+        assert graph.add_edge(1, 2)
+        assert graph.add_edge(2, 3)
+        assert not graph.add_edge(1, 2)  # duplicate
+        assert not graph.add_edge(4, 4)  # self loop
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 2
+
+    def test_remove_edge(self):
+        graph = DynamicGraph.from_edges([(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 1
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = DynamicGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        graph.remove_vertex(2)
+        assert not graph.has_vertex(2)
+        assert graph.num_edges == 1
+        assert graph.has_edge(3, 1)
+
+    def test_remove_unknown_vertex_raises(self):
+        graph = DynamicGraph()
+        with pytest.raises(VertexNotFoundError):
+            graph.remove_vertex("missing")
+
+    def test_neighbors(self):
+        graph = DynamicGraph.from_edges([(1, 2), (1, 3), (4, 1)])
+        assert graph.neighbors(1) == {2, 3}
+        assert graph.in_neighbors(1) == {4}
+        with pytest.raises(VertexNotFoundError):
+            graph.neighbors(99)
+
+    def test_apply_updates(self):
+        graph = DynamicGraph.from_edges([(1, 2)])
+        applied = graph.apply_updates(
+            [("add", 2, 3), ("add", 1, 2), ("remove", 1, 2), ("remove", 5, 6)]
+        )
+        assert applied == [("add", 2, 3), ("remove", 1, 2)]
+        with pytest.raises(GraphError):
+            graph.apply_updates([("rename", 1, 2)])
+
+
+class TestSnapshot:
+    def test_snapshot_matches_dynamic_state(self):
+        graph = DynamicGraph.from_edges([("a", "b"), ("b", "c")])
+        graph.add_edge("c", "a")
+        snapshot = graph.snapshot()
+        assert snapshot.num_vertices == 3
+        assert snapshot.num_edges == 3
+        a, b = snapshot.to_internal("a"), snapshot.to_internal("b")
+        assert snapshot.has_edge(a, b)
+
+    def test_snapshot_keeps_vertex_ids_stable_across_growth(self):
+        graph = DynamicGraph.from_edges([("a", "b")])
+        first = graph.snapshot()
+        graph.add_edge("b", "c")
+        second = graph.snapshot()
+        assert first.to_internal("a") == second.to_internal("a")
+        assert first.to_internal("b") == second.to_internal("b")
+
+    def test_snapshot_of_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            DynamicGraph().snapshot()
+
+    def test_snapshot_preserves_attributes(self):
+        graph = DynamicGraph()
+        graph.add_edge("a", "b", weight=7.0, label="wire")
+        snapshot = graph.snapshot()
+        a, b = snapshot.to_internal("a"), snapshot.to_internal("b")
+        assert snapshot.edge_weight(a, b) == 7.0
+        assert snapshot.edge_label(a, b) == "wire"
+
+    def test_from_graph_round_trip(self):
+        original = from_edges([(0, 1), (1, 2), (2, 0)])
+        dynamic = DynamicGraph.from_graph(original)
+        snapshot = dynamic.snapshot()
+        assert set(snapshot.edges()) == set(original.edges())

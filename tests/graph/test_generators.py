@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    bipartite_graph,
+    chain_graph,
+    complete_graph,
+    erdos_renyi,
+    grid_graph,
+    layered_graph,
+    power_law_graph,
+    small_world_graph,
+)
+from repro.graph.properties import summarize
+
+
+class TestErdosRenyi:
+    def test_edge_count_close_to_target(self):
+        graph = erdos_renyi(200, 4.0, seed=1)
+        assert graph.num_vertices == 200
+        assert abs(graph.num_edges - 800) <= 80
+
+    def test_deterministic_for_seed(self):
+        first = erdos_renyi(100, 3.0, seed=9)
+        second = erdos_renyi(100, 3.0, seed=9)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_different_seeds_differ(self):
+        first = erdos_renyi(100, 3.0, seed=1)
+        second = erdos_renyi(100, 3.0, seed=2)
+        assert set(first.edges()) != set(second.edges())
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi(50, 5.0, seed=3)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_weighted_and_labeled_generation(self):
+        graph = erdos_renyi(30, 2.0, seed=4, weighted=True, labels=["a", "b"])
+        assert graph.has_edge_weights
+        assert graph.has_edge_labels
+        u, v = next(iter(graph.edges()))
+        assert 0.0 <= graph.edge_weight(u, v) <= 1.0
+        assert graph.edge_label(u, v) in {"a", "b"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(1, 2.0)
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 0.0)
+
+
+class TestPowerLaw:
+    def test_degree_skew(self):
+        graph = power_law_graph(500, 5.0, exponent=2.0, seed=11)
+        degrees = sorted((graph.out_degree(v) + graph.in_degree(v) for v in graph.vertices()),
+                         reverse=True)
+        average = sum(degrees) / len(degrees)
+        # The top hub should dominate the average degree by a wide margin.
+        assert degrees[0] > 4 * average
+
+    def test_deterministic_for_seed(self):
+        first = power_law_graph(100, 4.0, seed=5)
+        second = power_law_graph(100, 4.0, seed=5)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_graph(10, 2.0, exponent=1.0)
+
+
+class TestStructuredGenerators:
+    def test_complete_graph_edge_count(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 6 * 5
+
+    def test_chain_graph(self):
+        graph = chain_graph(5)
+        assert graph.num_edges == 4
+        assert graph.has_edge(0, 1) and graph.has_edge(3, 4)
+
+    def test_grid_graph_path_count_is_binomial(self):
+        from tests.helpers import brute_force_paths
+
+        rows, cols = 3, 4
+        graph = grid_graph(rows, cols)
+        paths = brute_force_paths(graph, 0, rows * cols - 1, rows + cols)
+        assert len(paths) == math.comb(rows + cols - 2, rows - 1)
+
+    def test_layered_graph_source_and_sink(self):
+        graph = layered_graph(3, 4, seed=2)
+        assert graph.to_internal("source") == 0
+        sink = graph.to_internal("sink")
+        assert graph.out_degree(sink) == 0
+        assert graph.in_degree(0) == 0
+
+    def test_layered_graph_full_connectivity_path_count(self):
+        from tests.helpers import brute_force_paths
+
+        width, layers = 3, 3
+        graph = layered_graph(layers, width)
+        sink = graph.to_internal("sink")
+        paths = brute_force_paths(graph, 0, sink, layers + 1)
+        assert len(paths) == width ** layers
+
+    def test_small_world_degree(self):
+        graph = small_world_graph(100, 3, rewire_probability=0.2, seed=8)
+        assert graph.num_edges <= 100 * 3
+        assert graph.num_edges >= 100 * 3 * 0.8  # a few rewires may collide
+
+    def test_bipartite_graph_sides(self):
+        graph = bipartite_graph(10, 15, connection_probability=0.5, seed=6)
+        assert graph.num_vertices == 25
+        # No edge stays within the left side or within the right side.
+        for u, v in graph.edges():
+            assert (u < 10) != (v < 10)
+
+    def test_invalid_structured_parameters(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+        with pytest.raises(GraphError):
+            layered_graph(0, 2)
+        with pytest.raises(GraphError):
+            small_world_graph(2, 1)
+        with pytest.raises(GraphError):
+            bipartite_graph(1, 1, connection_probability=0.0)
+
+
+class TestSummaries:
+    def test_summary_consistency(self):
+        graph = erdos_renyi(80, 3.0, seed=12)
+        summary = summarize(graph)
+        assert summary.num_vertices == 80
+        assert summary.num_edges == graph.num_edges
+        assert summary.avg_degree == pytest.approx(graph.num_edges / 80)
+        assert 0.0 < summary.density < 1.0

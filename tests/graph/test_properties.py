@@ -1,0 +1,50 @@
+"""Unit tests for graph summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.generators import complete_graph
+from repro.graph.properties import GraphSummary, degree_histogram, summarize
+
+
+class TestSummarize:
+    def test_simple_graph(self):
+        graph = from_edges([(0, 1), (0, 2), (1, 2)])
+        summary = summarize(graph)
+        assert summary.num_vertices == 3
+        assert summary.num_edges == 3
+        assert summary.avg_degree == pytest.approx(1.0)
+        assert summary.max_out_degree == 2
+        assert summary.max_in_degree == 2
+
+    def test_complete_graph_density_is_one(self):
+        summary = summarize(complete_graph(5))
+        assert summary.density == pytest.approx(1.0)
+
+    def test_as_row_keys(self):
+        row = summarize(from_edges([(0, 1)])).as_row()
+        assert set(row) == {"|V|", "|E|", "d_avg", "d_out_max", "d_in_max", "density"}
+
+    def test_summary_is_frozen(self):
+        summary = summarize(from_edges([(0, 1)]))
+        with pytest.raises(AttributeError):
+            summary.num_vertices = 5  # type: ignore[misc]
+
+
+class TestDegreeHistogram:
+    def test_out_histogram(self):
+        graph = from_edges([(0, 1), (0, 2), (1, 2)])
+        histogram = degree_histogram(graph, direction="out")
+        assert histogram == {0: 1, 1: 1, 2: 1}
+
+    def test_in_histogram(self):
+        graph = from_edges([(0, 1), (0, 2), (1, 2)])
+        histogram = degree_histogram(graph, direction="in")
+        assert histogram == {0: 1, 1: 1, 2: 1}
+
+    def test_invalid_direction(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            degree_histogram(graph, direction="sideways")

@@ -1,0 +1,141 @@
+"""Shared test helpers: reference implementations and example graphs.
+
+The reference enumerator below is a deliberately naive brute force used as
+the ground truth every algorithm is compared against.  It follows the
+problem statement directly (simple paths from ``s`` to ``t`` with at most
+``k`` edges) without any pruning, so its correctness is easy to audit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+Path = Tuple[int, ...]
+
+#: Edges of the example graph of Figure 1 in the paper (external string ids).
+PAPER_FIGURE1_EDGES = [
+    ("s", "v0"),
+    ("s", "v1"),
+    ("s", "v3"),
+    ("v0", "v1"),
+    ("v0", "v6"),
+    ("v0", "t"),
+    ("v1", "v2"),
+    ("v1", "v3"),
+    ("v2", "v0"),
+    ("v2", "t"),
+    ("v3", "v4"),
+    ("v4", "v5"),
+    ("v5", "v2"),
+    ("v5", "t"),
+    ("v5", "v7"),
+    ("v6", "v0"),
+    ("v7", "v3"),
+]
+
+#: Graph G0 of Figure 5a: two disjoint 4-hop branches plus parallel lanes —
+#: every walk within 4 hops is a path.
+PAPER_FIGURE5_G0_EDGES = [
+    ("s", "v0"),
+    ("s", "v1"),
+    ("v0", "v2"),
+    ("v0", "v3"),
+    ("v1", "v2"),
+    ("v1", "v3"),
+    ("v2", "v4"),
+    ("v2", "v5"),
+    ("v3", "v4"),
+    ("v3", "v5"),
+    ("v4", "t"),
+    ("v5", "t"),
+]
+
+#: Graph in the spirit of Figure 5b: a single short path plus a 2-cycle, so
+#: within k = 4 hops there are more walks than paths and the index DFS hits
+#: dead ends (invalid partial results).
+PAPER_FIGURE5_G1_EDGES = [
+    ("s", "v0"),
+    ("v0", "t"),
+    ("v0", "v1"),
+    ("v1", "v0"),
+]
+
+
+def build_graph(edges: Sequence[Tuple[object, object]]) -> DiGraph:
+    """Build a graph from external-id edge pairs."""
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def paper_figure1_graph() -> DiGraph:
+    """The running-example graph of the paper (Figure 1a)."""
+    return build_graph(PAPER_FIGURE1_EDGES)
+
+
+def brute_force_paths(graph: DiGraph, source: int, target: int, k: int) -> Set[Path]:
+    """All simple paths from ``source`` to ``target`` with at most ``k`` edges.
+
+    Unpruned backtracking over the raw adjacency lists; exponential but fine
+    for the small graphs used in tests.
+    """
+    results: Set[Path] = set()
+
+    def recurse(path: List[int]) -> None:
+        v = path[-1]
+        if v == target:
+            results.add(tuple(path))
+            return
+        if len(path) - 1 == k:
+            return
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w not in path:
+                path.append(w)
+                recurse(path)
+                path.pop()
+
+    recurse([source])
+    return results
+
+
+def brute_force_walks(graph: DiGraph, source: int, target: int, k: int) -> Set[Path]:
+    """All walks from ``source`` to ``target`` with at most ``k`` edges.
+
+    Walks follow Definition 2.1: interior vertices may repeat but must not be
+    ``source`` or ``target``.  Used to validate the walk-based complexity
+    bounds and the join model's padding semantics.
+    """
+    results: Set[Path] = set()
+
+    def recurse(path: List[int]) -> None:
+        v = path[-1]
+        if v == target and len(path) > 1:
+            results.add(tuple(path))
+            return
+        if len(path) - 1 == k:
+            return
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w == source:
+                continue
+            path.append(w)
+            recurse(path)
+            path.pop()
+
+    recurse([source])
+    return results
+
+
+def assert_same_paths(actual, expected: Set[Path], *, context: str = "") -> None:
+    """Assert two path collections are equal with a readable failure message."""
+    actual_set = set(tuple(p) for p in actual)
+    missing = expected - actual_set
+    extra = actual_set - expected
+    assert not missing and not extra, (
+        f"{context} path mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]} "
+        f"(|expected|={len(expected)}, |actual|={len(actual_set)})"
+    )

@@ -1,0 +1,124 @@
+"""Failure-injection and edge-case integration tests.
+
+These exercise the behaviours the benchmark harness relies on: cooperative
+deadlines firing in different phases, result limits, and degenerate graph
+shapes (stars, complete graphs, minimal hop constraints).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import get_algorithm
+from repro.core.engine import IdxDfs, IdxJoin, PathEnum
+from repro.core.listener import Deadline, RunConfig
+from repro.core.query import Query
+from repro.errors import EnumerationTimeout
+from repro.core.index import LightWeightIndex
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.generators import complete_graph
+
+from tests.helpers import brute_force_paths
+
+ALGORITHMS_WITH_LIMITS = ("IDX-DFS", "IDX-JOIN", "PathEnum", "BC-DFS", "BC-JOIN", "GenericDFS")
+
+
+class TestDeadlines:
+    def test_index_construction_respects_deadline(self):
+        graph = complete_graph(40)
+        query = Query(0, 39, 4)
+        deadline = Deadline(0.0, poll_interval=1)
+        with pytest.raises(EnumerationTimeout):
+            LightWeightIndex.build(graph, query, deadline=deadline)
+
+    @pytest.mark.parametrize("name", ALGORITHMS_WITH_LIMITS)
+    def test_zero_time_limit_reports_timeout_not_crash(self, name):
+        graph = complete_graph(10)
+        config = RunConfig(store_paths=False, time_limit_seconds=0.0)
+        result = get_algorithm(name).run(graph, Query(0, 9, 5), config)
+        assert result.stats.timed_out
+        assert result.count >= 0
+        assert result.query_seconds >= 0.0
+
+    def test_generous_time_limit_completes(self, paper_graph, paper_query):
+        config = RunConfig(time_limit_seconds=60.0)
+        result = PathEnum().run(paper_graph, paper_query, config)
+        assert not result.stats.timed_out
+        assert result.count == 5
+
+    def test_timed_out_queries_still_record_enumeration_phase(self):
+        """Regression test: phase timing must survive a mid-enumeration timeout."""
+        from repro.core.result import Phase
+
+        graph = complete_graph(10)
+        config = RunConfig(store_paths=False, time_limit_seconds=0.01)
+        result = IdxDfs().run(graph, Query(0, 9, 6), config)
+        if result.stats.timed_out:
+            assert result.stats.phase(Phase.ENUMERATION) > 0.0
+
+
+class TestResultLimits:
+    @pytest.mark.parametrize("name", ALGORITHMS_WITH_LIMITS)
+    def test_limit_of_one(self, paper_graph, paper_query, name):
+        config = RunConfig(result_limit=1)
+        result = get_algorithm(name).run(paper_graph, paper_query, config)
+        assert result.count == 1
+        assert result.stats.truncated
+
+    def test_limit_larger_than_result_set_is_not_truncation(self, paper_graph, paper_query):
+        config = RunConfig(result_limit=10_000)
+        result = PathEnum().run(paper_graph, paper_query, config)
+        assert result.count == 5
+        assert not result.stats.truncated
+
+
+class TestDegenerateGraphShapes:
+    def test_star_graph_has_no_long_paths(self):
+        builder = GraphBuilder()
+        for leaf in range(1, 20):
+            builder.add_edge(0, leaf)
+        graph = builder.build()
+        result = PathEnum().run(graph, Query(0, 5, 4))
+        assert result.count == 1
+        assert result.paths == [(0, 5)]
+
+    def test_two_vertex_graph(self):
+        graph = from_edges([(0, 1)])
+        result = PathEnum().run(graph, Query(0, 1, 2))
+        assert result.paths == [(0, 1)]
+
+    def test_bidirectional_pair(self):
+        graph = from_edges([(0, 1), (1, 0)])
+        assert PathEnum().run(graph, Query(0, 1, 4)).count == 1
+        assert PathEnum().run(graph, Query(1, 0, 4)).count == 1
+
+    def test_minimum_hop_constraint_on_complete_graph(self):
+        graph = complete_graph(6)
+        result = PathEnum().run(graph, Query(0, 5, 2))
+        expected = brute_force_paths(graph, 0, 5, 2)
+        assert set(result.paths) == expected
+        assert result.count == 5  # the direct edge plus 4 two-hop paths
+
+    def test_complete_graph_counts_match_closed_form(self):
+        # Paths from 0 to n-1 of length exactly L in K_n: (n-2)!/(n-1-L)!.
+        n, k = 7, 3
+        graph = complete_graph(n)
+        result = PathEnum().run(graph, Query(0, n - 1, k))
+        expected = sum(
+            1 if length == 1 else _falling_factorial(n - 2, length - 1)
+            for length in range(1, k + 1)
+        )
+        assert result.count == expected
+
+    def test_query_endpoints_with_no_outgoing_or_incoming_edges(self):
+        graph = from_edges([(0, 1), (1, 2), (3, 0)])
+        # Vertex 2 has no outgoing edges; vertex 3 has no incoming edges.
+        assert PathEnum().run(graph, Query(2, 3, 4)).count == 0
+        assert IdxJoin().run(graph, Query(2, 3, 4)).count == 0
+
+
+def _falling_factorial(n: int, length: int) -> int:
+    value = 1
+    for i in range(length):
+        value *= n - i
+    return value

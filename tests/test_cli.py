@@ -1,0 +1,146 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import write_edge_list
+
+from tests.helpers import PAPER_FIGURE1_EDGES
+
+
+@pytest.fixture()
+def edge_list_file(tmp_path):
+    builder = GraphBuilder()
+    builder.add_edges(PAPER_FIGURE1_EDGES)
+    path = tmp_path / "paper.txt"
+    write_edge_list(builder.build(), path)
+    return path
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--source", "a", "--target", "b", "-k", "4"])
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.dataset == "gg"
+        assert args.hops == 4
+
+
+class TestQueryCommand:
+    def test_query_on_edge_list(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--edge-list",
+                str(edge_list_file),
+                "--source",
+                "s",
+                "--target",
+                "t",
+                "-k",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "paths: 5" in output
+        assert "s -> v0 -> t" in output
+
+    def test_query_count_only(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--edge-list",
+                str(edge_list_file),
+                "--source",
+                "s",
+                "--target",
+                "t",
+                "-k",
+                "4",
+                "--count-only",
+                "--algorithm",
+                "BC-DFS",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "algorithm: BC-DFS" in output
+        assert "paths: 5" in output
+        assert "->" not in output.replace("q(s, t, 4)", "")
+
+    def test_query_with_limit(self, edge_list_file, capsys):
+        main(
+            [
+                "query",
+                "--edge-list",
+                str(edge_list_file),
+                "--source",
+                "s",
+                "--target",
+                "t",
+                "-k",
+                "4",
+                "--limit",
+                "2",
+            ]
+        )
+        assert "paths: 2" in capsys.readouterr().out
+
+    def test_query_on_named_dataset(self, capsys):
+        # ye is small and dense, so vertex 0 -> 1 within 3 hops exists.
+        exit_code = main(
+            [
+                "query",
+                "--dataset",
+                "ye",
+                "--source",
+                "0",
+                "--target",
+                "1",
+                "-k",
+                "3",
+                "--count-only",
+            ]
+        )
+        assert exit_code == 0
+        assert "paths:" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "Soc-Epinions1" in output
+        assert "Twitter-mpi" in output
+
+    def test_bench_command_small(self, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--dataset",
+                "gg",
+                "-k",
+                "3",
+                "--queries",
+                "3",
+                "--algorithms",
+                "IDX-DFS",
+                "PathEnum",
+                "--time-limit",
+                "1.0",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "IDX-DFS" in output and "PathEnum" in output
+        assert "query_ms" in output

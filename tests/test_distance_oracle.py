@@ -1,0 +1,149 @@
+"""Unit and property tests for the landmark distance oracle (Section 7.5 extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.distance import LandmarkOracle, select_landmarks
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.generators import chain_graph, erdos_renyi, power_law_graph
+from repro.graph.traversal import UNREACHABLE, distance
+
+
+class TestLandmarkSelection:
+    def test_degree_strategy_picks_hubs(self):
+        graph = power_law_graph(200, 4.0, exponent=2.0, seed=5)
+        landmarks = select_landmarks(graph, 5)
+        degrees = graph.out_degrees() + graph.in_degrees()
+        picked = min(degrees[v] for v in landmarks)
+        others = max(degrees[v] for v in graph.vertices() if v not in set(landmarks))
+        assert picked >= others - 1  # ties can go either way
+        assert len(landmarks) == len(set(landmarks)) == 5
+
+    def test_random_strategy_is_reproducible(self):
+        graph = erdos_renyi(100, 3.0, seed=9)
+        assert select_landmarks(graph, 4, strategy="random") == select_landmarks(
+            graph, 4, strategy="random"
+        )
+
+    def test_count_is_clamped_to_vertex_count(self):
+        graph = chain_graph(5)
+        assert len(select_landmarks(graph, 50)) == 5
+
+    def test_invalid_inputs(self):
+        graph = chain_graph(5)
+        with pytest.raises(GraphError):
+            select_landmarks(graph, 0)
+        with pytest.raises(GraphError):
+            select_landmarks(graph, 2, strategy="closest-first")
+        with pytest.raises(GraphError):
+            LandmarkOracle(graph, [])
+
+
+class TestBoundsOnSmallGraphs:
+    def test_chain_bounds_are_exact_with_endpoint_landmarks(self):
+        graph = chain_graph(8)
+        oracle = LandmarkOracle(graph, [0, 7])
+        assert oracle.upper_bound(0, 7) == 7
+        assert oracle.lower_bound(0, 7) == 7
+        assert oracle.might_reach_within(0, 7, 7)
+        assert not oracle.might_reach_within(0, 7, 6)
+
+    def test_unreachable_pair_is_rejected(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        oracle = LandmarkOracle(graph, [0, 2])
+        assert oracle.upper_bound(0, 3) is None
+        # The reverse direction 1 -> 0 is also impossible and the landmark at
+        # 0 proves d(0,·) asymmetry; the filter must never reject a reachable
+        # pair, and may keep an unreachable one.
+        assert oracle.might_reach_within(0, 1, 2)
+
+    def test_same_vertex(self):
+        graph = chain_graph(4)
+        oracle = LandmarkOracle(graph, [0])
+        assert oracle.upper_bound(2, 2) == 0
+        assert oracle.lower_bound(2, 2) == 0
+
+    def test_definitely_reaches_within(self):
+        graph = chain_graph(6)
+        oracle = LandmarkOracle(graph, [3])
+        assert oracle.definitely_reaches_within(0, 5, 5)
+        assert not oracle.definitely_reaches_within(0, 5, 3)
+
+    def test_estimated_bytes_scales_with_landmarks(self):
+        graph = erdos_renyi(100, 3.0, seed=2)
+        small = LandmarkOracle.build(graph, num_landmarks=2)
+        large = LandmarkOracle.build(graph, num_landmarks=8)
+        assert large.estimated_bytes() > small.estimated_bytes()
+        assert large.num_landmarks == 8
+
+
+class TestOracleAsQueryFilter:
+    def test_filter_never_rejects_a_query_with_results(self):
+        """Soundness on a realistic graph: every (s, t) pair within k hops passes."""
+        graph = power_law_graph(150, 4.0, exponent=2.1, seed=11)
+        oracle = LandmarkOracle.build(graph, num_landmarks=8)
+        checked = 0
+        for s in range(0, 60, 7):
+            for t in range(1, 60, 11):
+                if s == t:
+                    continue
+                true_distance = distance(graph, s, t, cutoff=6)
+                if true_distance == UNREACHABLE:
+                    continue
+                assert oracle.might_reach_within(s, t, true_distance), (s, t)
+                checked += 1
+        assert checked > 10
+
+    def test_filter_skips_provably_empty_queries(self):
+        # Two long chains joined only at the far end: with landmarks at the
+        # junction the lower bound rules out small hop constraints.
+        builder = GraphBuilder()
+        for i in range(10):
+            builder.add_edge(f"a{i}", f"a{i+1}")
+        graph = builder.build()
+        oracle = LandmarkOracle(graph, [graph.to_internal("a0"), graph.to_internal("a10")])
+        s, t = graph.to_internal("a0"), graph.to_internal("a10")
+        assert not oracle.might_reach_within(s, t, 4)
+        assert oracle.might_reach_within(s, t, 10)
+
+
+@st.composite
+def oracle_case(draw):
+    num_vertices = draw(st.integers(min_value=2, max_value=10))
+    possible_edges = [
+        (u, v) for u in range(num_vertices) for v in range(num_vertices) if u != v
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), min_size=1, max_size=30, unique=True)
+    )
+    builder = GraphBuilder()
+    for v in range(num_vertices):
+        builder.add_vertex(v)
+    builder.add_edges(edges)
+    graph = builder.build()
+    source = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+    target = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+    num_landmarks = draw(st.integers(min_value=1, max_value=3))
+    return graph, source, target, num_landmarks
+
+
+@given(case=oracle_case())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bounds_bracket_the_true_distance(case):
+    """Property: lower_bound <= d(s, t) <= upper_bound whenever d is finite."""
+    graph, source, target, num_landmarks = case
+    oracle = LandmarkOracle.build(graph, num_landmarks=num_landmarks)
+    true_distance = distance(graph, source, target)
+    lower = oracle.lower_bound(source, target)
+    upper = oracle.upper_bound(source, target)
+    if true_distance != UNREACHABLE:
+        assert lower <= true_distance
+        if upper is not None:
+            assert upper >= true_distance
+        assert oracle.might_reach_within(source, target, true_distance)
+    if upper is not None:
+        assert lower <= upper

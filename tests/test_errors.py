@@ -1,0 +1,38 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            exc_class = getattr(errors, name)
+            assert issubclass(exc_class, errors.ReproError), name
+
+    def test_vertex_not_found_is_key_error(self):
+        exc = errors.VertexNotFoundError("v42")
+        assert isinstance(exc, KeyError)
+        assert exc.vertex == "v42"
+        assert "v42" in str(exc)
+
+    def test_edge_not_found_carries_endpoints(self):
+        exc = errors.EdgeNotFoundError(1, 2)
+        assert (exc.source, exc.target) == (1, 2)
+
+    def test_invalid_query_is_value_error(self):
+        assert issubclass(errors.InvalidQueryError, ValueError)
+
+    def test_timeout_carries_partial_stats(self):
+        stats = object()
+        exc = errors.EnumerationTimeout(stats=stats)
+        assert exc.stats is stats
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("missing")

@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.properties import summarize
+from repro.workloads.datasets import (
+    DEFAULT_REPRESENTATIVES,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    registry,
+)
+
+
+class TestRegistry:
+    def test_fifteen_datasets_registered(self):
+        assert len(registry()) == 15
+
+    def test_paper_short_names_present(self):
+        expected = {"up", "db", "gg", "st", "tw", "bk", "tr", "ep", "uk", "wt", "sl", "lj",
+                    "da", "ye", "tm"}
+        assert set(dataset_names()) == expected
+
+    def test_representatives_are_registered(self):
+        for name in DEFAULT_REPRESENTATIVES:
+            assert name in registry()
+
+    def test_scalability_graph_excluded_on_request(self):
+        names = dataset_names(include_scalability=False)
+        assert "tm" not in names
+        assert len(names) == 14
+
+    def test_specs_carry_paper_properties(self):
+        spec = dataset_spec("ep")
+        assert spec.full_name == "Soc-Epinions1"
+        assert spec.category == "Social"
+        assert spec.paper_vertices == 75_000
+        assert spec.paper_avg_degree == pytest.approx(13.4)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("does-not-exist")
+        with pytest.raises(DatasetError):
+            dataset_spec("does-not-exist")
+
+
+class TestLoading:
+    def test_load_returns_digraph(self):
+        graph = load_dataset("gg")
+        assert isinstance(graph, DiGraph)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_cache_returns_same_object(self):
+        assert load_dataset("gg") is load_dataset("gg")
+
+    def test_cache_bypass_builds_fresh_object(self):
+        cached = load_dataset("ep")
+        fresh = load_dataset("ep", use_cache=False)
+        assert cached is not fresh
+        assert set(cached.edges()) == set(fresh.edges())
+
+    def test_determinism_across_builds(self):
+        first = load_dataset("tr", use_cache=False)
+        second = load_dataset("tr", use_cache=False)
+        assert set(first.edges()) == set(second.edges())
+
+    @pytest.mark.parametrize("name", ["up", "gg", "ep", "ye", "da"])
+    def test_average_degree_tracks_paper_ordering(self, name):
+        """Dense paper datasets stay denser than sparse ones after scaling."""
+        summary = summarize(load_dataset(name))
+        assert summary.num_vertices >= 200
+        assert summary.avg_degree > 1.0
+
+    def test_hard_datasets_are_denser_than_easy_ones(self):
+        easy = summarize(load_dataset("tw")).avg_degree
+        hard = summarize(load_dataset("ye")).avg_degree
+        assert hard > easy

@@ -1,0 +1,89 @@
+"""Unit tests for the dynamic-graph workload (Figure 8 setup)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators import erdos_renyi
+from repro.workloads.dynamic import build_dynamic_workload
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    return erdos_renyi(120, 5.0, seed=13)
+
+
+class TestConstruction:
+    def test_holds_out_requested_fraction(self, base_graph):
+        workload = build_dynamic_workload(base_graph, update_fraction=0.10, seed=1)
+        expected_updates = round(0.10 * base_graph.num_edges)
+        assert len(workload) == expected_updates
+        assert workload.initial_graph.num_edges == base_graph.num_edges - expected_updates
+
+    def test_initial_graph_keeps_all_vertices(self, base_graph):
+        workload = build_dynamic_workload(base_graph, seed=2)
+        assert workload.initial_graph.num_vertices == base_graph.num_vertices
+
+    def test_updates_are_edges_of_the_original_graph(self, base_graph):
+        workload = build_dynamic_workload(base_graph, seed=3)
+        for u, v in workload.updates:
+            assert base_graph.has_edge(u, v)
+            assert not workload.initial_graph.has_edge(u, v)
+
+    def test_max_updates_caps_the_stream(self, base_graph):
+        workload = build_dynamic_workload(base_graph, seed=4, max_updates=7)
+        assert len(workload) == 7
+
+    def test_deterministic_for_seed(self, base_graph):
+        first = build_dynamic_workload(base_graph, seed=5)
+        second = build_dynamic_workload(base_graph, seed=5)
+        assert first.updates == second.updates
+
+    def test_invalid_fraction(self, base_graph):
+        with pytest.raises(WorkloadError):
+            build_dynamic_workload(base_graph, update_fraction=0.0)
+
+    def test_tiny_graph_rejected(self):
+        from repro.graph.builder import from_edges
+
+        with pytest.raises(WorkloadError):
+            build_dynamic_workload(from_edges([(0, 1), (1, 2)]))
+
+
+class TestReplay:
+    def test_replay_applies_one_edge_per_step(self, base_graph):
+        workload = build_dynamic_workload(base_graph, seed=6, max_updates=5, k=5)
+        previous_edges = workload.initial_graph.num_edges
+        seen_queries = 0
+        for snapshot, (u, v), query in workload.replay():
+            assert snapshot.num_edges == previous_edges + 1
+            previous_edges = snapshot.num_edges
+            assert snapshot.has_edge(snapshot.to_internal(u), snapshot.to_internal(v))
+            if query is not None:
+                seen_queries += 1
+                # The cycle query runs from the head of the new edge back to
+                # its tail with one hop less than k.
+                assert query.k == workload.k - 1
+                assert query.source == snapshot.to_internal(v)
+                assert query.target == snapshot.to_internal(u)
+        assert seen_queries == 5
+
+    def test_replay_finds_cycles_closed_by_updates(self, base_graph):
+        """End to end: the per-update query enumerates the cycles the edge closes."""
+        from repro.core.engine import IdxDfs
+        from repro.core.listener import RunConfig
+
+        workload = build_dynamic_workload(base_graph, seed=7, max_updates=10, k=4)
+        config = RunConfig(store_paths=True)
+        algorithm = IdxDfs()
+        for snapshot, (u, v), query in workload.replay():
+            if query is None:
+                continue
+            result = algorithm.run(snapshot, query, config)
+            for path in result.paths or []:
+                # Closing the path with the inserted edge forms a cycle of
+                # length <= k through (u, v).
+                assert path[0] == snapshot.to_internal(v)
+                assert path[-1] == snapshot.to_internal(u)
+                assert len(path) <= workload.k

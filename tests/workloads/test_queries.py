@@ -1,0 +1,114 @@
+"""Unit tests for query-set generation (Section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators import chain_graph, power_law_graph
+from repro.graph.traversal import UNREACHABLE, distance
+from repro.workloads.queries import (
+    QuerySetting,
+    generate_all_settings,
+    generate_query_set,
+    split_by_degree,
+)
+
+
+@pytest.fixture(scope="module")
+def workload_graph():
+    return power_law_graph(300, 6.0, exponent=2.0, seed=3)
+
+
+class TestDegreeSplit:
+    def test_split_sizes(self, workload_graph):
+        high, low = split_by_degree(workload_graph, top_fraction=0.10)
+        assert len(high) == 30
+        assert len(high) + len(low) == workload_graph.num_vertices
+
+    def test_high_vertices_have_larger_degrees(self, workload_graph):
+        high, low = split_by_degree(workload_graph)
+        degrees = workload_graph.out_degrees() + workload_graph.in_degrees()
+        assert min(degrees[v] for v in high) >= max(0, min(degrees[v] for v in low))
+        assert degrees[high].mean() > degrees[low].mean()
+
+    def test_split_is_deterministic(self, workload_graph):
+        first = split_by_degree(workload_graph)
+        second = split_by_degree(workload_graph)
+        assert list(first[0]) == list(second[0])
+
+    def test_invalid_fraction(self, workload_graph):
+        with pytest.raises(WorkloadError):
+            split_by_degree(workload_graph, top_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            split_by_degree(workload_graph, top_fraction=1.5)
+
+
+class TestQueryGeneration:
+    def test_requested_count_generated(self, workload_graph):
+        workload = generate_query_set(workload_graph, count=25, k=6, seed=1)
+        assert len(workload) == 25
+        assert workload.k == 6
+
+    def test_endpoints_satisfy_distance_constraint(self, workload_graph):
+        workload = generate_query_set(workload_graph, count=15, k=6, seed=2, max_distance=3)
+        for query in workload:
+            d = distance(workload_graph, query.source, query.target, cutoff=3)
+            assert d != UNREACHABLE and d <= 3
+
+    def test_endpoints_respect_setting(self, workload_graph):
+        high, low = split_by_degree(workload_graph)
+        high_set, low_set = set(int(v) for v in high), set(int(v) for v in low)
+        workload = generate_query_set(
+            workload_graph, count=10, k=4, setting=QuerySetting.HIGH_LOW, seed=3
+        )
+        for query in workload:
+            assert query.source in high_set
+            assert query.target in low_set
+
+    def test_queries_are_unique_pairs(self, workload_graph):
+        workload = generate_query_set(workload_graph, count=30, k=4, seed=4)
+        pairs = [(q.source, q.target) for q in workload]
+        assert len(set(pairs)) == len(pairs)
+
+    def test_deterministic_for_seed(self, workload_graph):
+        first = generate_query_set(workload_graph, count=10, k=4, seed=5)
+        second = generate_query_set(workload_graph, count=10, k=4, seed=5)
+        assert [(q.source, q.target) for q in first] == [(q.source, q.target) for q in second]
+
+    def test_impossible_workload_raises(self):
+        graph = chain_graph(50)  # far too sparse for 100 close high-degree pairs
+        with pytest.raises(WorkloadError):
+            generate_query_set(graph, count=100, k=4, seed=6, max_attempts_factor=5)
+
+    def test_invalid_count(self, workload_graph):
+        with pytest.raises(WorkloadError):
+            generate_query_set(workload_graph, count=0, k=4)
+
+    def test_all_four_settings(self, workload_graph):
+        workloads = generate_all_settings(workload_graph, count=5, k=4, seed=7)
+        assert len(workloads) == 4
+        assert {w.setting for w in workloads} == set(QuerySetting)
+
+
+class TestWorkloadHelpers:
+    def test_with_k_rescopes_every_query(self, workload_graph):
+        workload = generate_query_set(workload_graph, count=8, k=4, seed=8)
+        rescoped = workload.with_k(7)
+        assert rescoped.k == 7
+        assert all(q.k == 7 for q in rescoped)
+        assert [(q.source, q.target) for q in rescoped] == [
+            (q.source, q.target) for q in workload
+        ]
+
+    def test_subset(self, workload_graph):
+        workload = generate_query_set(workload_graph, count=8, k=4, seed=9)
+        subset = workload.subset(3)
+        assert len(subset) == 3
+        assert subset.queries == workload.queries[:3]
+
+    def test_setting_flags(self):
+        assert QuerySetting.HIGH_HIGH.source_high and QuerySetting.HIGH_HIGH.target_high
+        assert QuerySetting.LOW_LOW.source_high is False
+        assert QuerySetting.HIGH_LOW.target_high is False
+        assert QuerySetting.LOW_HIGH.target_high is True
