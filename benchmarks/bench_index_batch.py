@@ -1,0 +1,315 @@
+"""Micro-benchmark: CSR index + batch execution vs. the dict-era seed.
+
+Measures, on the Figure 13-style workload (hard V' x V' queries swept over
+``k``), the combined index-build + enumeration wall clock of
+
+* ``legacy``  — a pinned copy of the seed's per-vertex dict/list
+  implementation of Algorithm 3 plus its recursive DFS (the code this PR
+  replaced; kept here verbatim as the comparison baseline);
+* ``csr``     — the vectorised CSR ``LightWeightIndex`` plus the
+  flat-array DFS (:func:`repro.core.dfs.run_idx_dfs`);
+* ``batch``   — the same CSR engine driven through
+  :class:`~repro.core.engine.BatchExecutor` on a target-centric workload,
+  where repeated targets share reverse-BFS distance arrays.
+
+Results are printed and persisted to ``benchmarks/results/
+BENCH_index_batch.json`` so regressions are visible in review diffs.
+
+Run directly:  ``PYTHONPATH=src python benchmarks/bench_index_batch.py``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.dfs import run_idx_dfs
+from repro.core.engine import BatchExecutor, PathEnum
+from repro.core.index import LightWeightIndex
+from repro.core.listener import ResultCollector, RunConfig
+from repro.core.result import EnumerationStats
+from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import (
+    QuerySetting,
+    generate_query_set,
+    generate_target_centric_set,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DATASET = "gg"
+K_SWEEP = (3, 4, 5, 6)
+QUERIES_PER_K = 6
+BATCH_QUERIES = 24
+BATCH_TARGETS = 4
+BATCH_K = (3, 4)
+REPEATS = 5
+SEED = 2021
+
+
+# --------------------------------------------------------------------- #
+# pinned legacy implementation (the seed's Algorithm 3 + Algorithm 4)
+# --------------------------------------------------------------------- #
+def legacy_build(graph, query):
+    """Per-vertex dict/list index construction, as in the seed."""
+    s, t, k = query.source, query.target, query.k
+    ds = bfs_distances_bounded(graph, s, cutoff=k, no_expand=t)
+    dt = bfs_distances_bounded(graph, t, cutoff=k, reverse=True, no_expand=s)
+    in_x = (ds != UNREACHABLE) & (dt != UNREACHABLE) & (ds + dt <= k)
+    members = np.flatnonzero(in_x)
+    neighbors: Dict[int, List[int]] = {}
+    ends: Dict[int, List[int]] = {}
+    for v in members:
+        v = int(v)
+        if v == t:
+            continue
+        budget = k - int(ds[v]) - 1
+        if budget < 0:
+            continue
+        collected: List[int] = []
+        for v_next in graph.neighbors(v):
+            v_next = int(v_next)
+            if v_next == s:
+                continue
+            d_next = int(dt[v_next])
+            if d_next == UNREACHABLE or d_next > budget:
+                continue
+            collected.append(v_next)
+        collected.sort(key=lambda w: int(dt[w]))
+        neighbors[v] = collected
+        end_positions = [0] * (k + 1)
+        position = 0
+        for b in range(k + 1):
+            while position < len(collected) and int(dt[collected[position]]) <= b:
+                position += 1
+            end_positions[b] = position
+        ends[v] = end_positions
+    if bool(in_x[t]):
+        neighbors[t] = [t]
+        ends[t] = [1] * (k + 1)
+    return s, t, k, ds, neighbors, ends
+
+
+def legacy_enumerate(built, collector, stats, deadline=None) -> int:
+    """The seed's recursive index DFS, bookkeeping included (Algorithm 4)."""
+    s, t, k, ds, neighbors, ends = built
+    if int(ds[t]) == UNREACHABLE or int(ds[t]) > k:
+        return 0
+    path = [s]
+    on_path = {s}
+
+    def search() -> int:
+        if deadline is not None:
+            deadline.check()
+        v = path[-1]
+        if v == t:
+            collector.emit(path)
+            return 1
+        budget = k - len(path)
+        end_positions = ends.get(v)
+        if end_positions is None or budget < 0:
+            return 0
+        candidates = neighbors[v][: end_positions[budget]]
+        stats.edges_accessed += len(candidates)
+        found = 0
+        for v_next in candidates:
+            if v_next in on_path:
+                continue
+            stats.partial_results_generated += 1
+            path.append(v_next)
+            on_path.add(v_next)
+            try:
+                sub_found = search()
+            finally:
+                path.pop()
+                on_path.discard(v_next)
+            if sub_found == 0:
+                stats.invalid_partial_results += 1
+            found += sub_found
+        return found
+
+    return search()
+
+
+# --------------------------------------------------------------------- #
+# measurement
+# --------------------------------------------------------------------- #
+def _time(callable_, repeats: int = REPEATS) -> float:
+    """Best-of-N wall clock in seconds (minimum damps scheduler noise)."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - started)
+    return min(samples)
+
+
+def _time_pair(first, second, repeats: int = REPEATS):
+    """Best-of-N for two contenders with interleaved samples.
+
+    Alternating A/B within each round cancels the slow machine-load drift
+    that back-to-back batches of samples would attribute to one side.
+    """
+    first_samples, second_samples = [], []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        first()
+        first_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        second()
+        second_samples.append(time.perf_counter() - started)
+    return min(first_samples), min(second_samples)
+
+
+def run_k_sweep(graph, workloads) -> Dict[str, Dict[str, float]]:
+    per_k: Dict[str, Dict[str, float]] = {}
+    for k, workload in workloads.items():
+        queries = list(workload)
+
+        def run_legacy():
+            total = 0
+            for query in queries:
+                stats = EnumerationStats()
+                collector = ResultCollector(store_paths=False)
+                total += legacy_enumerate(legacy_build(graph, query), collector, stats)
+            return total
+
+        def run_csr():
+            total = 0
+            for query in queries:
+                index = LightWeightIndex.build(graph, query)
+                collector = ResultCollector(store_paths=False)
+                total += run_idx_dfs(index, collector, stats=EnumerationStats())
+            return total
+
+        counts_legacy = run_legacy()
+        counts_csr = run_csr()
+        assert counts_legacy == counts_csr, (k, counts_legacy, counts_csr)
+
+        legacy_seconds, csr_seconds = _time_pair(run_legacy, run_csr)
+        per_k[str(k)] = {
+            "queries": len(queries),
+            "paths": counts_csr,
+            "legacy_ms": round(legacy_seconds * 1e3, 3),
+            "csr_ms": round(csr_seconds * 1e3, 3),
+            "speedup": round(legacy_seconds / csr_seconds, 2),
+        }
+        print(
+            f"k={k}: legacy {legacy_seconds * 1e3:8.2f} ms | "
+            f"csr {csr_seconds * 1e3:8.2f} ms | "
+            f"x{legacy_seconds / csr_seconds:.2f} ({counts_csr} paths)"
+        )
+    return per_k
+
+
+def run_batch_comparison(graph, k: int) -> Dict[str, object]:
+    """Sequential PathEnum vs. BatchExecutor on a target-centric workload.
+
+    The reverse-BFS share of a query shrinks as ``k`` grows (enumeration
+    explodes), so the batch win is reported for the preprocessing-bound end
+    of the Figure 13 sweep — the regime production point-lookup traffic
+    lives in.
+    """
+    workload = generate_target_centric_set(
+        graph,
+        count=BATCH_QUERIES,
+        k=k,
+        num_targets=BATCH_TARGETS,
+        seed=SEED,
+        graph_name=DATASET,
+    )
+    queries = list(workload)
+    config = RunConfig(store_paths=False)
+    engine = PathEnum()
+
+    def run_sequential():
+        return sum(engine.run(graph, query, config).count for query in queries)
+
+    sequential_count = run_sequential()
+    batch_result = BatchExecutor(graph).run(queries, config)
+    assert sequential_count == batch_result.total_paths
+
+    sequential_seconds, batch_seconds = _time_pair(
+        run_sequential, lambda: BatchExecutor(graph).run(queries, config)
+    )
+    stats = BatchExecutor(graph).run(queries, config).stats
+    print(
+        f"batch k={k} ({BATCH_QUERIES} queries, {BATCH_TARGETS} targets): "
+        f"sequential {sequential_seconds * 1e3:8.2f} ms | "
+        f"batched {batch_seconds * 1e3:8.2f} ms | "
+        f"x{sequential_seconds / batch_seconds:.2f} "
+        f"({stats.reverse_bfs_runs} reverse BFS for {stats.queries_run} queries)"
+    )
+    return {
+        "queries": BATCH_QUERIES,
+        "distinct_targets": len(workload.unique_targets()),
+        "k": k,
+        "paths": sequential_count,
+        "sequential_ms": round(sequential_seconds * 1e3, 3),
+        "batch_ms": round(batch_seconds * 1e3, 3),
+        "speedup": round(sequential_seconds / batch_seconds, 2),
+        "reverse_bfs_runs": stats.reverse_bfs_runs,
+        "bfs_cache_hits": stats.bfs_cache_hits,
+    }
+
+
+def main() -> int:
+    graph = load_dataset(DATASET)
+    workloads = {
+        k: generate_query_set(
+            graph,
+            count=QUERIES_PER_K,
+            k=k,
+            setting=QuerySetting.HIGH_HIGH,
+            seed=SEED,
+            graph_name=DATASET,
+        )
+        for k in K_SWEEP
+    }
+    print(f"dataset {DATASET}: |V|={graph.num_vertices}, |E|={graph.num_edges}")
+    per_k = run_k_sweep(graph, workloads)
+    batch = {str(k): run_batch_comparison(graph, k) for k in BATCH_K}
+
+    speedups = [row["speedup"] for row in per_k.values()]
+    payload = {
+        "benchmark": "index_build_plus_enumeration",
+        "dataset": DATASET,
+        "workload": {
+            "setting": "V'xV'",
+            "queries_per_k": QUERIES_PER_K,
+            "k_sweep": list(K_SWEEP),
+            "seed": SEED,
+            "repeats": REPEATS,
+            "timing": "best-of-N wall clock",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "per_k": per_k,
+        "batch": batch,
+        "summary": {
+            "median_index_speedup": round(statistics.median(speedups), 2),
+            "min_index_speedup": min(speedups),
+            "batch_speedups": {k: row["speedup"] for k, row in batch.items()},
+        },
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_index_batch.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

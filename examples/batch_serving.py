@@ -1,0 +1,54 @@
+"""Batch execution: serving many queries against shared targets.
+
+A payments team monitors a handful of suspicious hub accounts.  Every few
+seconds a fresh batch of source accounts must be checked for short paths
+into those hubs — the target-sharing traffic shape `BatchExecutor` is built
+for.  One reverse BFS per (hub, k) is paid once and reused across the whole
+batch; results are identical to one-at-a-time runs.
+
+Run with:  PYTHONPATH=src python examples/batch_serving.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import BatchExecutor, PathEnum, Query, RunConfig
+from repro.graph.generators import power_law_graph
+from repro.workloads.queries import generate_target_centric_set
+
+
+def main() -> None:
+    # A scale-free transaction network: heavy hubs, long tail.
+    graph = power_law_graph(2000, 6.0, exponent=2.1, seed=13)
+
+    # 40 queries probing 4 hub accounts within 4 hops.
+    workload = generate_target_centric_set(
+        graph, count=40, k=4, num_targets=4, seed=7, graph_name="transactions"
+    )
+    print(f"workload: {len(workload)} queries, "
+          f"{len(workload.unique_targets())} distinct targets")
+
+    executor = BatchExecutor(graph)
+    batch = executor.run(list(workload), RunConfig(store_paths=False))
+
+    stats = batch.stats
+    print(f"paths found:       {batch.total_paths}")
+    print(f"batch wall time:   {stats.wall_seconds * 1e3:.1f} ms "
+          f"({batch.throughput:,.0f} paths/s)")
+    print(f"reverse BFS runs:  {stats.reverse_bfs_runs} "
+          f"(cache hit rate {stats.hit_rate:.0%})")
+
+    # Spot-check one query against the sequential engine.
+    probe = workload.queries[0]
+    direct = PathEnum().run(graph, Query(probe.source, probe.target, probe.k))
+    assert direct.count == batch.results[0].count
+    print(f"spot check q({probe.source}, {probe.target}, {probe.k}): "
+          f"{direct.count} paths either way")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,9 @@ from repro._version import __version__
 from repro.core import (
     AccumulativeConstraint,
     AutomatonConstraint,
+    BatchExecutor,
+    BatchResult,
+    BatchStats,
     IdxDfs,
     IdxJoin,
     LightWeightIndex,
@@ -31,6 +34,7 @@ from repro.core import (
     PredicateConstraint,
     Query,
     QueryResult,
+    QuerySession,
     RunConfig,
     SequenceAutomaton,
     count_paths,
@@ -52,6 +56,10 @@ __all__ = [
     "PathEnum",
     "IdxDfs",
     "IdxJoin",
+    "QuerySession",
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
     "LightWeightIndex",
     "enumerate_paths",
     "count_paths",

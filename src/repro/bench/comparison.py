@@ -14,7 +14,12 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.bench.metrics import WorkloadMetrics, aggregate
-from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS, run_workload
+from repro.bench.runner import (
+    BenchmarkSettings,
+    DEFAULT_SETTINGS,
+    run_workload,
+    run_workload_batched,
+)
 from repro.core.result import QueryResult
 from repro.graph.digraph import DiGraph
 from repro.workloads.queries import QueryWorkload
@@ -34,11 +39,24 @@ def overall_comparison(
     algorithms: Sequence[str],
     *,
     settings: BenchmarkSettings = DEFAULT_SETTINGS,
+    batch: bool = False,
+    max_workers: int = 1,
 ) -> Dict[str, WorkloadMetrics]:
-    """One Table 3 row: every algorithm over the same query set on one graph."""
+    """One Table 3 row: every algorithm over the same query set on one graph.
+
+    ``batch=True`` evaluates each algorithm through the batch execution
+    engine (shared reverse-BFS distances, optional thread pool) instead of
+    one-query-at-a-time runs; the per-query results are identical, so the
+    aggregated metrics remain comparable across the two modes.
+    """
     metrics: Dict[str, WorkloadMetrics] = {}
     for name in algorithms:
-        results = run_workload(name, graph, workload, settings=settings)
+        if batch:
+            results = run_workload_batched(
+                name, graph, workload, settings=settings, max_workers=max_workers
+            ).results
+        else:
+            results = run_workload(name, graph, workload, settings=settings)
         metrics[name] = aggregate(results, algorithm=name)
     return metrics
 

@@ -4,7 +4,11 @@
 experimental setup (two-minute timeout, 1 000-query sets, response time at
 1 000 results); :func:`run_workload` evaluates one algorithm over one
 workload and returns the per-query results the rest of the harness
-aggregates.
+aggregates.  :func:`run_workload_batched` routes the same measurement
+through the :class:`~repro.core.engine.BatchExecutor`, which shares
+reverse-BFS distance arrays across target-sharing queries — the execution
+path behind the Figure 13/14 throughput benchmarks and the ``--batch`` CLI
+mode.
 """
 
 from __future__ import annotations
@@ -14,12 +18,19 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import get_algorithm
 from repro.core.algorithm import Algorithm
+from repro.core.engine import BatchExecutor, BatchResult
 from repro.core.listener import RunConfig
 from repro.core.result import QueryResult
 from repro.graph.digraph import DiGraph
 from repro.workloads.queries import QueryWorkload
 
-__all__ = ["BenchmarkSettings", "run_workload", "run_algorithms", "DEFAULT_SETTINGS"]
+__all__ = [
+    "BenchmarkSettings",
+    "run_workload",
+    "run_workload_batched",
+    "run_algorithms",
+    "DEFAULT_SETTINGS",
+]
 
 
 @dataclass(frozen=True)
@@ -74,14 +85,48 @@ def run_workload(
     return results
 
 
+def run_workload_batched(
+    algorithm: Algorithm | str,
+    graph: DiGraph,
+    workload: QueryWorkload | Sequence,
+    *,
+    settings: BenchmarkSettings = DEFAULT_SETTINGS,
+    max_workers: int = 1,
+) -> BatchResult:
+    """Evaluate ``workload`` through the batch execution engine.
+
+    Per-query results match :func:`run_workload` exactly; the returned
+    :class:`~repro.core.engine.BatchResult` additionally carries the batch
+    statistics (reverse-BFS cache hits, batch wall clock).  Non-indexed
+    baselines run unchanged — batching only removes work the index-based
+    algorithms would otherwise repeat.
+    """
+    algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    executor = BatchExecutor(graph, algorithm=algo, max_workers=max_workers)
+    return executor.run(list(workload), settings.to_run_config())
+
+
 def run_algorithms(
     algorithm_names: Sequence[str],
     graph: DiGraph,
     workload: QueryWorkload | Sequence,
     *,
     settings: BenchmarkSettings = DEFAULT_SETTINGS,
+    batch: bool = False,
+    max_workers: int = 1,
 ) -> Dict[str, List[QueryResult]]:
-    """Evaluate the same workload with several algorithms (by registry name)."""
+    """Evaluate the same workload with several algorithms (by registry name).
+
+    With ``batch=True`` every algorithm runs through the batch executor
+    (index-based ones share reverse-BFS work; baselines are unaffected).
+    """
+    if batch:
+        return {
+            name: run_workload_batched(
+                name, graph, workload, settings=settings, max_workers=max_workers
+            ).results
+            for name in algorithm_names
+        }
     return {
         name: run_workload(name, graph, workload, settings=settings)
         for name in algorithm_names

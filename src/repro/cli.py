@@ -1,4 +1,4 @@
-"""Command-line interface: ``pathenum`` (or ``python -m repro``).
+"""Command-line interface: ``repro`` / ``pathenum`` (or ``python -m repro``).
 
 Sub-commands
 ------------
@@ -7,12 +7,18 @@ Sub-commands
     Evaluate a single HcPE query on an edge-list file or a named synthetic
     dataset and print the paths (or just the count).
 
+``batch-query``
+    Evaluate a whole query set as one unit through the batch execution
+    engine (shared reverse-BFS distances, optional thread pool) and print
+    per-query counts plus the batch cache statistics.
+
 ``datasets``
     List the synthetic dataset registry with Table 2 style properties.
 
 ``bench``
     Run the overall comparison (a Table 3 row) on one dataset and print the
-    aggregated metrics.
+    aggregated metrics; ``--batch`` routes every algorithm through the
+    batch executor instead of one-at-a-time runs.
 """
 
 from __future__ import annotations
@@ -25,12 +31,18 @@ from repro.baselines.registry import PAPER_ALGORITHMS, available_algorithms, get
 from repro.bench.comparison import overall_comparison
 from repro.bench.reporting import format_table
 from repro.bench.runner import BenchmarkSettings
+from repro.core.engine import BatchExecutor
 from repro.core.listener import RunConfig
+from repro.errors import VertexNotFoundError
 from repro.core.query import Query
 from repro.graph.io import read_edge_list
 from repro.graph.properties import summarize
 from repro.workloads.datasets import dataset_names, load_dataset, registry
-from repro.workloads.queries import QuerySetting, generate_query_set
+from repro.workloads.queries import (
+    QuerySetting,
+    generate_query_set,
+    generate_target_centric_set,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +75,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-limit", type=float, default=None, help="per-query time limit in seconds"
     )
 
+    batch_parser = subparsers.add_parser(
+        "batch-query", help="evaluate a query set through the batch execution engine"
+    )
+    batch_source_group = batch_parser.add_mutually_exclusive_group(required=True)
+    batch_source_group.add_argument("--edge-list", help="path to a SNAP-style edge list file")
+    batch_source_group.add_argument(
+        "--dataset", choices=dataset_names(), help="name of a synthetic dataset"
+    )
+    batch_parser.add_argument(
+        "--pair",
+        action="append",
+        default=None,
+        metavar="SOURCE,TARGET",
+        help="explicit query endpoints (repeatable); omit to generate a workload",
+    )
+    batch_parser.add_argument("-k", "--hops", type=int, required=True, help="hop constraint")
+    batch_parser.add_argument(
+        "--queries", type=int, default=20, help="generated workload size (without --pair)"
+    )
+    batch_parser.add_argument(
+        "--targets", type=int, default=4,
+        help="distinct targets of the generated workload (repeated-target traffic shape)",
+    )
+    batch_parser.add_argument(
+        "--algorithm", default="PathEnum",
+        help="algorithm to use (default PathEnum)",
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=1, help="thread-pool size (1 = sequential)"
+    )
+    batch_parser.add_argument("--time-limit", type=float, default=None)
+    batch_parser.add_argument("--limit", type=int, default=None, help="result cap per query")
+    batch_parser.add_argument("--seed", type=int, default=0)
+
     datasets_parser = subparsers.add_parser("datasets", help="list the synthetic dataset registry")
     datasets_parser.add_argument(
         "--build", action="store_true", help="build each graph and report measured properties"
@@ -80,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--time-limit", type=float, default=2.0)
     bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--batch", action="store_true",
+        help="route algorithms through the batch execution engine",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=1, help="batch thread-pool size (implies --batch)"
+    )
     return parser
 
 
@@ -114,6 +167,91 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_graph(args: argparse.Namespace):
+    if args.edge_list:
+        return read_edge_list(args.edge_list)
+    return load_dataset(args.dataset)
+
+
+def _command_batch_query(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    graph = _load_graph(args)
+    if args.pair:
+        queries = []
+        for pair in args.pair:
+            try:
+                raw_source, raw_target = pair.split(",", 1)
+            except ValueError:
+                print(f"invalid --pair {pair!r}: expected SOURCE,TARGET", file=sys.stderr)
+                return 2
+            queries.append(
+                Query.from_external(
+                    graph,
+                    _coerce_vertex(graph, raw_source.strip()),
+                    _coerce_vertex(graph, raw_target.strip()),
+                    args.hops,
+                )
+            )
+    else:
+        workload = generate_target_centric_set(
+            graph,
+            count=args.queries,
+            k=args.hops,
+            num_targets=args.targets,
+            seed=args.seed,
+            graph_name=args.dataset or args.edge_list,
+        )
+        queries = list(workload)
+
+    executor = BatchExecutor(
+        graph, algorithm=get_algorithm(args.algorithm), max_workers=args.workers
+    )
+    config = RunConfig(
+        store_paths=False,
+        result_limit=args.limit,
+        time_limit_seconds=args.time_limit,
+    )
+    batch = executor.run(queries, config)
+    rows = [
+        {
+            "source": graph.to_external(result.source),
+            "target": graph.to_external(result.target),
+            "k": result.k,
+            "paths": result.count,
+            "query_ms": round(result.query_millis, 3),
+            "plan": result.stats.plan,
+            "bfs_cached": result.stats.bfs_cache_hit,
+        }
+        for result in batch.results
+    ]
+    print(format_table(rows, title=f"Batch of {len(queries)} queries ({args.algorithm})",
+                       scientific=False))
+    stats = batch.stats.as_row()
+    print(f"total paths: {batch.total_paths}")
+    print(f"batch wall time: {stats['wall_ms']} ms "
+          f"({batch.throughput:.0f} paths/s)")
+    print(
+        f"reverse BFS runs: {stats['reverse_bfs_runs']} for {stats['queries']} queries "
+        f"(cache hit rate {stats['hit_rate']:.0%})"
+    )
+    return 0
+
+
+def _coerce_vertex(graph, raw: str):
+    """External vertex ids on the command line may be ints or strings."""
+    try:
+        candidate = int(raw)
+    except ValueError:
+        return raw
+    try:
+        graph.to_internal(candidate)
+        return candidate
+    except VertexNotFoundError:
+        return raw
+
+
 def _command_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name, spec in registry().items():
@@ -136,6 +274,9 @@ def _command_datasets(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
     graph = load_dataset(args.dataset)
     workload = generate_query_set(
         graph,
@@ -146,9 +287,20 @@ def _command_bench(args: argparse.Namespace) -> int:
         graph_name=args.dataset,
     )
     settings = BenchmarkSettings(time_limit_seconds=args.time_limit)
-    metrics = overall_comparison(graph, workload, args.algorithms, settings=settings)
+    use_batch = args.batch or args.workers > 1
+    metrics = overall_comparison(
+        graph,
+        workload,
+        args.algorithms,
+        settings=settings,
+        batch=use_batch,
+        max_workers=args.workers,
+    )
     rows = [m.as_row() for m in metrics.values()]
-    print(format_table(rows, title=f"Overall comparison on {args.dataset} (k={args.hops})"))
+    mode = " [batch]" if use_batch else ""
+    print(format_table(
+        rows, title=f"Overall comparison on {args.dataset} (k={args.hops}){mode}"
+    ))
     return 0
 
 
@@ -158,6 +310,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "batch-query":
+        return _command_batch_query(args)
     if args.command == "datasets":
         return _command_datasets(args)
     if args.command == "bench":

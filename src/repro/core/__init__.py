@@ -24,7 +24,17 @@ from repro.core.constraints import (
     SequenceAutomaton,
 )
 from repro.core.dfs import run_idx_dfs
-from repro.core.engine import IdxDfs, IdxJoin, PathEnum, count_paths, enumerate_paths
+from repro.core.engine import (
+    BatchExecutor,
+    BatchResult,
+    BatchStats,
+    IdxDfs,
+    IdxJoin,
+    PathEnum,
+    QuerySession,
+    count_paths,
+    enumerate_paths,
+)
 from repro.core.estimator import (
     CardinalityEstimate,
     dfs_cost,
@@ -47,6 +57,10 @@ __all__ = [
     "PathEnum",
     "IdxDfs",
     "IdxJoin",
+    "QuerySession",
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
     "enumerate_paths",
     "count_paths",
     "Query",

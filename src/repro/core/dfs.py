@@ -5,6 +5,13 @@ step only the neighbours returned by ``I_t(v, k - L(M) - 1)`` are considered,
 so the hop constraint never has to be re-checked against a distance oracle —
 that is the whole point of the index.
 
+The inner loop works directly on the index's flat CSR mirrors
+(:meth:`~repro.core.index.LightWeightIndex.flat_adjacency`) and runs in row
+space: the recursion carries index rows, the candidates of row ``r`` under
+budget ``b`` are the presliced list ``row_neighbors[r][: row_offsets[r][b]]``
+and vertex ids are materialised only when a vertex joins the partial path.
+No per-step hash lookup remains.
+
 The implementation additionally supports the constraint extensions of
 Appendix E: an accumulative value carried along the partial result
 (Algorithm 7) and a finite-automaton state driven by edge labels
@@ -45,80 +52,51 @@ def run_idx_dfs(
     if index.is_empty:
         return 0
 
+    vertex_of, row_of, row_neighbors, row_offsets = index.flat_adjacency()
+    t_row = int(row_of[t])
+
     path = [s]
-    on_path = {s}
+    on_rows = {int(row_of[s])}
     initial_state = None if constraint is None else constraint.initial_state()
-    emitted = _search(
-        index,
-        t,
-        k,
-        path,
-        on_path,
-        collector,
-        deadline,
-        stats,
-        constraint,
-        initial_state,
-    )
+    reject = None if constraint is None else constraint.REJECT
+
+    def search(row: int, state) -> int:
+        """Recursive Search procedure; returns the results in this subtree."""
+        if deadline is not None:
+            deadline.check()
+        if row == t_row:
+            if constraint is None or constraint.accepts(state):
+                collector.emit(path)
+                return 1
+            return 0
+
+        budget = k - len(path)
+        candidates = row_neighbors[row][: row_offsets[row][budget]]
+        stats.edges_accessed += len(candidates)
+        found = 0
+        for next_row in candidates:
+            if next_row in on_rows:
+                continue
+            v_next = vertex_of[next_row]
+            if constraint is not None:
+                next_state = constraint.transition(state, path[-1], v_next)
+                if next_state is reject:
+                    continue
+            else:
+                next_state = None
+            stats.partial_results_generated += 1
+            path.append(v_next)
+            on_rows.add(next_row)
+            try:
+                sub_found = search(next_row, next_state)
+            finally:
+                path.pop()
+                on_rows.discard(next_row)
+            if sub_found == 0:
+                stats.invalid_partial_results += 1
+            found += sub_found
+        return found
+
+    emitted = search(int(row_of[s]), initial_state)
     stats.results_emitted += emitted
     return emitted
-
-
-def _search(
-    index: LightWeightIndex,
-    t: int,
-    k: int,
-    path: list,
-    on_path: set,
-    collector: ResultCollector,
-    deadline: Optional[Deadline],
-    stats: EnumerationStats,
-    constraint: Optional[PathConstraint],
-    state,
-) -> int:
-    """Recursive Search procedure; returns the number of results in this subtree."""
-    if deadline is not None:
-        deadline.check()
-    v = path[-1]
-    if v == t:
-        if constraint is None or constraint.accepts(state):
-            collector.emit(path)
-            return 1
-        return 0
-
-    budget = k - (len(path) - 1) - 1
-    candidates = index.neighbors_within(v, budget)
-    stats.edges_accessed += len(candidates)
-    found = 0
-    for v_next in candidates:
-        if v_next in on_path:
-            continue
-        if constraint is not None:
-            next_state = constraint.transition(state, v, v_next)
-            if next_state is constraint.REJECT:
-                continue
-        else:
-            next_state = None
-        stats.partial_results_generated += 1
-        path.append(v_next)
-        on_path.add(v_next)
-        try:
-            sub_found = _search(
-                index,
-                t,
-                k,
-                path,
-                on_path,
-                collector,
-                deadline,
-                stats,
-                constraint,
-                next_state,
-            )
-        finally:
-            path.pop()
-            on_path.discard(v_next)
-        if sub_found == 0:
-            stats.invalid_partial_results += 1
-        found += sub_found
-    return found

@@ -1,6 +1,6 @@
-"""The PathEnum engine and its fixed-plan variants (Figure 2).
+"""The PathEnum engine, its fixed-plan variants (Figure 2) and the batch layer.
 
-Three public algorithms are defined here:
+Three single-query algorithms are defined here:
 
 * :class:`IdxDfs` — always evaluates with the index DFS (Algorithm 4); the
   paper's IDX-DFS.
@@ -12,12 +12,34 @@ Three public algorithms are defined here:
 
 All three accept the uniform :class:`~repro.core.listener.RunConfig` and can
 therefore be driven by the same benchmark harness as the baselines.
+
+On top of them sits the batch execution layer:
+
+* :class:`QuerySession` — evaluates queries one by one against a single
+  graph while caching reverse-BFS distance arrays keyed by
+  ``(target, k, constraint)``.  The light-weight index of a query whose
+  target was already visited is built from the cached distances, skipping
+  roughly half of the per-query preprocessing (the reverse BFS of
+  Algorithm 3).  The cached distances omit the ``no-intermediate-s``
+  restriction, which only *under*-approximates ``v.t`` — the index becomes a
+  superset of the per-query one, so the enumerated path sets are identical
+  (pruning is a performance device, never a correctness device).
+* :class:`BatchExecutor` — evaluates a whole
+  :class:`~repro.workloads.queries.QueryWorkload` as a unit through a
+  session, optionally fanning independent queries out over a thread pool,
+  and reports aggregate :class:`BatchStats` (BFS cache hits, wall clock,
+  throughput).
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Hashable, List, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.algorithm import Algorithm, timed_run
 from repro.core.constraints import PathConstraint
@@ -29,8 +51,19 @@ from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
 from repro.core.query import Query
 from repro.core.result import Phase, QueryResult
 from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bfs_distances_bounded
 
-__all__ = ["PathEnum", "IdxDfs", "IdxJoin", "enumerate_paths", "count_paths"]
+__all__ = [
+    "PathEnum",
+    "IdxDfs",
+    "IdxJoin",
+    "QuerySession",
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStats",
+    "enumerate_paths",
+    "count_paths",
+]
 
 
 class _IndexedAlgorithm(Algorithm):
@@ -39,7 +72,20 @@ class _IndexedAlgorithm(Algorithm):
     #: Plan forcing: ``None`` (cost-based), ``"dfs"`` or ``"join"``.
     _force: Optional[str] = None
 
-    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+    def run(
+        self,
+        graph: DiGraph,
+        query: Query,
+        config: Optional[RunConfig] = None,
+        *,
+        dist_to_t: Optional[np.ndarray] = None,
+    ) -> QueryResult:
+        """Evaluate ``query`` on ``graph``.
+
+        ``dist_to_t`` optionally injects a precomputed reverse-BFS distance
+        array (the :class:`QuerySession` cache path); single-query callers
+        leave it unset.
+        """
         config = config if config is not None else RunConfig()
         constraint = config.constraint
         if constraint is not None and not isinstance(constraint, PathConstraint):
@@ -48,7 +94,12 @@ class _IndexedAlgorithm(Algorithm):
         def body(collector, deadline, stats) -> None:
             edge_filter = constraint.edge_filter() if constraint is not None else None
             index = LightWeightIndex.build(
-                graph, query, edge_filter=edge_filter, deadline=deadline, stats=stats
+                graph,
+                query,
+                edge_filter=edge_filter,
+                deadline=deadline,
+                stats=stats,
+                dist_to_t=dist_to_t,
             )
             plan = choose_plan(
                 index, tau=config.tau, deadline=deadline, stats=stats, force=self._force
@@ -127,16 +178,290 @@ class PathEnum(_IndexedAlgorithm):
     def __init__(self, *, tau: float = DEFAULT_TAU) -> None:
         self._tau = tau
 
-    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+    def run(
+        self,
+        graph: DiGraph,
+        query: Query,
+        config: Optional[RunConfig] = None,
+        *,
+        dist_to_t: Optional[np.ndarray] = None,
+    ) -> QueryResult:
         config = config if config is not None else RunConfig()
         if config.tau == DEFAULT_TAU and self._tau != DEFAULT_TAU:
             config = config.replace(tau=self._tau)
-        return super().run(graph, query, config)
+        return super().run(graph, query, config, dist_to_t=dist_to_t)
 
     def explain(self, graph: DiGraph, query: Query, *, tau: Optional[float] = None) -> Plan:
         """Return the plan PathEnum would choose for ``query`` without running it."""
         index = LightWeightIndex.build(graph, query)
         return choose_plan(index, tau=self._tau if tau is None else tau)
+
+
+# --------------------------------------------------------------------- #
+# batch execution
+# --------------------------------------------------------------------- #
+@dataclass
+class BatchStats:
+    """Aggregate statistics of a batch / session run."""
+
+    #: Queries evaluated so far.
+    queries_run: int = 0
+    #: Reverse BFS traversals actually performed (== distance-cache misses).
+    reverse_bfs_runs: int = 0
+    #: Queries whose index was built from a cached distance array.
+    bfs_cache_hits: int = 0
+    #: Wall-clock seconds of the last :meth:`BatchExecutor.run` call.
+    wall_seconds: float = 0.0
+
+    @property
+    def bfs_cache_misses(self) -> int:
+        """Distance-cache misses (alias of :attr:`reverse_bfs_runs`)."""
+        return self.reverse_bfs_runs
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from the distance cache."""
+        if self.queries_run == 0:
+            return 0.0
+        return self.bfs_cache_hits / self.queries_run
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for the benchmark reporting layer."""
+        return {
+            "queries": self.queries_run,
+            "reverse_bfs_runs": self.reverse_bfs_runs,
+            "bfs_cache_hits": self.bfs_cache_hits,
+            "hit_rate": round(self.hit_rate, 3),
+            "wall_ms": round(self.wall_seconds * 1e3, 3),
+        }
+
+
+#: Cache key of a reverse-BFS distance array: the target vertex, the hop
+#: constraint and the identity of the (optional) constraint object whose
+#: edge filter shaped the traversal.
+_DistanceKey = Tuple[int, int, Optional[int]]
+
+
+class QuerySession:
+    """Evaluates queries on one graph, sharing reverse-BFS distance arrays.
+
+    The session is the unit of distance reuse: all queries submitted through
+    :meth:`run` share one cache keyed by ``(target, k, constraint)``.  For
+    workloads that hammer a small set of targets (fraud rings around a hub
+    account, Figure 13/14-style sweeps) this removes the reverse half of
+    every repeated index build.
+
+    Sessions are cheap; create one per logical workload.  ``max_cached``
+    bounds the number of retained distance arrays (each is O(|V|)); the
+    oldest entry is evicted first.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        algorithm: Optional[Algorithm] = None,
+        max_cached: int = 256,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm if algorithm is not None else PathEnum()
+        self.stats = BatchStats()
+        self._max_cached = max(1, int(max_cached))
+        #: Cache entries retain the constraint object alongside the distance
+        #: array: keys embed ``id(constraint)``, and holding the reference
+        #: prevents a freed constraint's address from being recycled into a
+        #: false hit for a different constraint.
+        self._distances: Dict[_DistanceKey, Tuple[Optional[PathConstraint], np.ndarray]] = {}
+        #: Guards the cache and the counters; the BFS itself and the query
+        #: evaluation run outside the lock.
+        self._lock = threading.Lock()
+
+    # -- distance cache ------------------------------------------------ #
+    def _key(self, query: Query, constraint: Optional[PathConstraint]) -> _DistanceKey:
+        return (query.target, query.k, None if constraint is None else id(constraint))
+
+    def distances_to_target(
+        self, target: int, k: int, constraint: Optional[PathConstraint] = None
+    ) -> np.ndarray:
+        """The (cached) bounded reverse-BFS distance array towards ``target``.
+
+        The traversal is *not* restricted around any particular source, so
+        one array serves every query that shares ``(target, k, constraint)``;
+        see the module docstring for why this relaxation preserves results.
+        """
+        key = (int(target), int(k), None if constraint is None else id(constraint))
+        with self._lock:
+            cached = self._distances.get(key)
+        if cached is not None and cached[0] is constraint:
+            return cached[1]
+        edge_filter = constraint.edge_filter() if constraint is not None else None
+        distances = bfs_distances_bounded(
+            self.graph, int(target), cutoff=int(k), reverse=True, edge_filter=edge_filter
+        )
+        with self._lock:
+            self.stats.reverse_bfs_runs += 1
+            while len(self._distances) >= self._max_cached and self._distances:
+                self._distances.pop(next(iter(self._distances)))
+            self._distances[key] = (constraint, distances)
+        return distances
+
+    def ensure_capacity(self, num_keys: int) -> None:
+        """Grow the cache bound so ``num_keys`` entries can coexist.
+
+        :class:`BatchExecutor` calls this before warming a workload: the
+        warm-once guarantee (every reverse BFS runs exactly once, and the
+        parallel phase never mutates the cache) only holds when no entry is
+        evicted between :meth:`prepare` and the last query of the batch.
+        """
+        with self._lock:
+            if num_keys > self._max_cached:
+                self._max_cached = int(num_keys)
+
+    def prepare(self, queries: Iterable[Query], constraint=None) -> List[_DistanceKey]:
+        """Warm the distance cache for ``queries``.
+
+        Returns the keys whose reverse BFS was actually computed (cache
+        misses).  Used by :class:`BatchExecutor` before fanning out to
+        threads — the cache is read-only during parallel execution, and the
+        returned keys let the executor charge each fresh BFS to the first
+        query that needed it instead of counting every pool query as a hit.
+        """
+        fresh: List[_DistanceKey] = []
+        for query in queries:
+            key = self._key(query, constraint)
+            with self._lock:
+                known = key in self._distances
+            if not known:
+                fresh.append(key)
+            self.distances_to_target(query.target, query.k, constraint)
+        return fresh
+
+    # -- evaluation ---------------------------------------------------- #
+    def run(self, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        """Evaluate one query through the session cache."""
+        config = config if config is not None else RunConfig()
+        if not isinstance(self.algorithm, _IndexedAlgorithm):
+            # Baselines have no index build to share; run them untouched.
+            with self._lock:
+                self.stats.queries_run += 1
+            return self.algorithm.run(self.graph, query, config)
+        key = self._key(query, config.constraint)
+        with self._lock:
+            self.stats.queries_run += 1
+            hit = key in self._distances
+            if hit:
+                self.stats.bfs_cache_hits += 1
+        distances = self.distances_to_target(query.target, query.k, config.constraint)
+        result = self.algorithm.run(self.graph, query, config, dist_to_t=distances)
+        # The index builder flags every injected distance array as a cache
+        # hit; only the session knows whether this query actually paid for
+        # the reverse BFS (first sight of its target) or skipped it.
+        result.stats.bfs_cache_hit = hit
+        return result
+
+    def run_external(
+        self, source: Hashable, target: Hashable, k: int,
+        config: Optional[RunConfig] = None,
+    ) -> QueryResult:
+        """Evaluate a query given external vertex ids."""
+        query = Query.from_external(self.graph, source, target, k)
+        return self.run(query, config)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of evaluating a workload through :class:`BatchExecutor`."""
+
+    #: Per-query results, in workload order.
+    results: List[QueryResult] = field(default_factory=list)
+    #: Aggregate session statistics for the batch.
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def total_paths(self) -> int:
+        """Sum of per-query result counts."""
+        return sum(result.count for result in self.results)
+
+    @property
+    def throughput(self) -> float:
+        """Paths per second over the batch wall clock."""
+        if self.stats.wall_seconds <= 0.0:
+            return float(self.total_paths)
+        return self.total_paths / self.stats.wall_seconds
+
+
+class BatchExecutor:
+    """Evaluates a :class:`QueryWorkload` as one unit.
+
+    Queries sharing a ``(target, k, constraint)`` key reuse one reverse-BFS
+    distance array through the underlying :class:`QuerySession`.  With
+    ``max_workers > 1`` independent queries additionally run on a thread
+    pool: the distance cache is warmed up front (sequentially, so each BFS
+    runs exactly once) and is read-only afterwards, which keeps the parallel
+    phase lock-free.  Results always come back in workload order and are
+    identical, query for query, to sequential :meth:`Algorithm.run` calls.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        algorithm: Optional[Algorithm] = None,
+        max_workers: int = 1,
+        max_cached: int = 256,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.graph = graph
+        self.max_workers = int(max_workers)
+        self.session = QuerySession(graph, algorithm=algorithm, max_cached=max_cached)
+
+    @property
+    def stats(self) -> BatchStats:
+        """Aggregate statistics of everything run through this executor."""
+        return self.session.stats
+
+    def run(
+        self,
+        workload: Sequence[Query],
+        config: Optional[RunConfig] = None,
+    ) -> BatchResult:
+        """Evaluate every query of ``workload`` and return the batch result."""
+        config = config if config is not None else RunConfig()
+        queries = list(workload)
+        # One cache slot per distinct key, so nothing is evicted mid-batch
+        # (the warm-once guarantee of the parallel phase depends on it).
+        distinct = {self.session._key(query, config.constraint) for query in queries}
+        self.session.ensure_capacity(len(distinct))
+        started = time.perf_counter()
+        if self.max_workers > 1 and len(queries) > 1:
+            fresh = set(self.session.prepare(queries, config.constraint))
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(
+                    pool.map(lambda query: self.session.run(query, config), queries)
+                )
+            # Pre-warming makes every pool query look like a cache hit;
+            # charge each fresh BFS back to the first query that needed it
+            # so hit counts match what a sequential run would report.
+            charged: set = set()
+            for query, result in zip(queries, results):
+                key = self.session._key(query, config.constraint)
+                if key in fresh and key not in charged:
+                    charged.add(key)
+                    result.stats.bfs_cache_hit = False
+            self.stats.bfs_cache_hits -= len(charged)
+        else:
+            results = [self.session.run(query, config) for query in queries]
+        self.stats.wall_seconds = time.perf_counter() - started
+        # Snapshot: the session keeps accumulating across run() calls, and a
+        # returned BatchResult must not change under a later batch.
+        return BatchResult(results=results, stats=replace(self.stats))
 
 
 # --------------------------------------------------------------------- #

@@ -12,12 +12,20 @@ Two estimators drive PathEnum's optimizer:
   and ``Q[i:k]`` follow, the best cut position ``i*`` is the argmin of their
   sum, and the costs of the left-deep (DFS) and bushy (join) plans are
   computed with the cost model of Eq. 1.
+
+Both DP passes run on the index's flat CSR mirrors with levels stored as
+row-indexed Python lists: the inner accumulation is a list index per edge
+(no hash lookups), while the arithmetic stays on Python ints so the walk
+counts remain exact even when they exceed 64 bits.  The public
+:class:`CardinalityEstimate` still exposes the levels as vertex-keyed dicts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.core.index import LightWeightIndex
 from repro.core.listener import Deadline
@@ -37,18 +45,14 @@ def preliminary_estimate(index: LightWeightIndex) -> float:
 
     ``T_hat = sum_{i=1..k} prod_{j=0..i-1} gamma_hat_j`` where
     ``gamma_hat_j`` is the average number of index neighbours within the
-    remaining budget for vertices in ``C_j``.  Runs in O(k²) time on
-    statistics already collected by the index builder.
+    remaining budget for vertices in ``C_j``.  One cumulative product over
+    the gamma array the index builder already collected; once a factor is
+    zero every later term is zero, so no explicit early exit is needed.
     """
-    k = index.k
-    total = 0.0
-    product = 1.0
-    for i in range(k):
-        product *= index.gamma(i)
-        total += product
-        if product == 0.0:
-            break
-    return total
+    gamma = index.gamma_array()
+    if len(gamma) == 0:
+        return 0.0
+    return float(np.cumprod(gamma).sum())
 
 
 @dataclass
@@ -78,37 +82,60 @@ def full_estimate(
     """Run the forward/backward dynamic programs of Algorithm 5."""
     k = index.k
     s = index.query.source
+    num_rows = index.num_index_vertices
+    vertex_of, _, row_neighbors, row_offsets = index.flat_adjacency()
+    part_indptr = index.partition_indptr().tolist()
+    part_rows = index.partition_rows().tolist()
+
+    def as_dict(level_counts: List[int]) -> Dict[int, int]:
+        return {
+            vertex_of[row]: count
+            for row, count in enumerate(level_counts)
+            if count
+        }
 
     # Backward pass: c^i_k(v) — number of walks from v at position i to t.
     backward: List[Dict[int, int]] = [dict() for _ in range(k + 1)]
-    for v in index.members(k):
-        backward[k][v] = 1
+    level: List[int] = [0] * num_rows
+    for row in part_rows[part_indptr[k] : part_indptr[k + 1]]:
+        level[row] = 1
+    backward[k] = as_dict(level)
     for i in range(k - 1, -1, -1):
         if deadline is not None:
             deadline.check()
-        level: Dict[int, int] = {}
-        nxt = backward[i + 1]
+        nxt = level
+        level = [0] * num_rows
         budget = k - i - 1
-        for v in index.members(i):
+        for row in part_rows[part_indptr[i] : part_indptr[i + 1]]:
             total = 0
-            for v_next in index.neighbors_within(v, budget):
-                total += nxt.get(v_next, 0)
-            if total:
-                level[v] = total
-        backward[i] = level
+            for next_row in row_neighbors[row][: row_offsets[row][budget]]:
+                total += nxt[next_row]
+            level[row] = total
+        backward[i] = as_dict(level)
 
     # Forward pass: c^0_i(v) — number of walks of exactly i edges from s to v.
     forward: List[Dict[int, int]] = [dict() for _ in range(k + 1)]
-    forward[0] = {s: 1} if index.contains(s) else {}
+    level = [0] * num_rows
+    s_row = int(index.row_of[s]) if index.contains(s) else -1
+    if s_row >= 0:
+        level[s_row] = 1
+    forward[0] = as_dict(level)
     for i in range(1, k + 1):
         if deadline is not None:
             deadline.check()
-        level = {}
+        previous = level
+        level = [0] * num_rows
         budget = k - i
-        for u, count in forward[i - 1].items():
-            for v_next in index.neighbors_within(u, budget):
-                level[v_next] = level.get(v_next, 0) + count
-        forward[i] = level
+        # Nonzero forward counts at position i-1 only occur inside C_{i-1}
+        # (every reached vertex satisfies both distance bounds), so the
+        # partition slice bounds the scan exactly like the backward pass.
+        for row in part_rows[part_indptr[i - 1] : part_indptr[i]]:
+            count = previous[row]
+            if not count:
+                continue
+            for next_row in row_neighbors[row][: row_offsets[row][budget]]:
+                level[next_row] += count
+        forward[i] = as_dict(level)
 
     prefix_sizes = [sum(level.values()) for level in forward]
     suffix_sizes = [sum(level.values()) for level in backward]
@@ -134,7 +161,7 @@ def find_cut_position(estimate: CardinalityEstimate) -> int:
         return max(1, k - 1)
     middle = k / 2.0
     best_position = 1
-    best_cost: Optional[float] = None
+    best_cost: Optional[tuple] = None
     for i in range(1, k):
         cost = estimate.prefix_sizes[i] + estimate.suffix_sizes[i]
         distance_to_middle = abs(i - middle)

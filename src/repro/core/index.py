@@ -9,15 +9,36 @@ can possibly appear on a result path (Proposition 4.3):
   not pass through ``s`` as an intermediate vertex;
 * the out-neighbours ``v'`` of ``v`` with ``v.s + v'.t + 1 <= k``, sorted by
   ascending ``v'.t`` together with an offset array indexed by distance —
-  the Neighbors / Offset / Hash-Table layout of Figure 4.
+  the Neighbors / Offset layout of Figure 4.
 
-The two lookup operations of the paper are then O(1):
+The storage is flat compressed-sparse-row form, mirroring the CSR encoding
+:class:`~repro.graph.digraph.DiGraph` itself uses:
+
+* ``_indptr`` / ``_indices`` — int64 arrays; the retained out-neighbours of
+  the vertex in row ``r`` are ``_indices[_indptr[r] : _indptr[r + 1]]``,
+  sorted by ascending distance to ``t``;
+* ``_offsets`` — a single ``(|X|, k + 1)`` int64 matrix; ``_offsets[r, b]``
+  is the number of neighbours in row ``r`` within distance ``b`` of ``t``;
+* ``_row_of`` — int64 array of length ``|V|`` mapping a vertex id to its row
+  (``-1`` outside the index), so no hash lookup is ever needed;
+* ``_part_indptr`` / ``_part_members`` — the candidate partitions ``C_i``
+  in the same CSR shape.
+
+The two lookup operations of the paper are then O(1) array slices:
 
 * :meth:`LightWeightIndex.members` — ``I(i)``, the candidate set ``C_i`` of
   vertices that may appear at position ``i`` of a result;
 * :meth:`LightWeightIndex.neighbors_within` — ``I_t(v, b)``, the neighbours
-  of ``v`` whose distance to ``t`` is at most ``b`` (returned as a list
+  of ``v`` whose distance to ``t`` is at most ``b`` (returned as a numpy
   slice backed by the sorted neighbour array).
+
+Construction is vectorised: the per-vertex collect/sort/offset-scan loop of
+Algorithm 3 becomes one ragged gather over the graph's CSR arrays, one
+``np.lexsort`` and two ``np.bincount`` passes.  The enumeration loops
+(:mod:`repro.core.dfs`, :mod:`repro.core.join`, :mod:`repro.core.estimator`)
+read the same layout through :meth:`LightWeightIndex.flat_adjacency`, which
+mirrors the arrays into plain Python lists once per query so the recursive
+inner loops pay neither hash lookups nor numpy scalar boxing.
 
 Following the join model of Section 3.1 the target ``t`` carries a single
 self-loop (``H[t] = {t}``) so that join-based enumeration can pad walks
@@ -27,19 +48,21 @@ shorter than ``k`` up to full length.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.listener import Deadline
 from repro.core.query import Query
 from repro.core.result import EnumerationStats, Phase
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, ragged_gather
 from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
 
 __all__ = ["LightWeightIndex"]
 
 EdgeFilter = Callable[[int, int], bool]
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 class LightWeightIndex:
@@ -50,15 +73,21 @@ class LightWeightIndex:
         "query",
         "dist_from_s",
         "dist_to_t",
-        "_neighbors",
-        "_ends",
-        "_in_neighbors",
-        "_in_ends",
-        "_partitions",
+        "_rows",
+        "_row_of",
+        "_indptr",
+        "_indices",
+        "_offsets",
+        "_part_indptr",
+        "_part_members",
+        "_part_rows",
         "_gamma",
+        "_flat",
+        "_in_csr",
         "num_index_edges",
         "build_seconds",
         "bfs_seconds",
+        "used_cached_distances",
     )
 
     def __init__(
@@ -67,30 +96,40 @@ class LightWeightIndex:
         query: Query,
         dist_from_s: np.ndarray,
         dist_to_t: np.ndarray,
-        neighbors: Dict[int, List[int]],
-        ends: Dict[int, List[int]],
-        partitions: List[List[int]],
-        gamma: List[float],
-        num_index_edges: int,
+        rows: np.ndarray,
+        row_of: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        offsets: np.ndarray,
+        part_indptr: np.ndarray,
+        part_members: np.ndarray,
+        gamma: np.ndarray,
         build_seconds: float,
         bfs_seconds: float,
+        used_cached_distances: bool = False,
     ) -> None:
         self.graph = graph
         self.query = query
         self.dist_from_s = dist_from_s
         self.dist_to_t = dist_to_t
-        self._neighbors = neighbors
-        self._ends = ends
-        self._in_neighbors: Optional[Dict[int, List[int]]] = None
-        self._in_ends: Optional[Dict[int, List[int]]] = None
-        self._partitions = partitions
+        self._rows = rows
+        self._row_of = row_of
+        self._indptr = indptr
+        self._indices = indices
+        self._offsets = offsets
+        self._part_indptr = part_indptr
+        self._part_members = part_members
+        self._part_rows: Optional[np.ndarray] = None
         self._gamma = gamma
-        self.num_index_edges = num_index_edges
+        self._flat: Optional[tuple] = None
+        self._in_csr: Optional[tuple] = None
+        self.num_index_edges = int(len(indices))
         self.build_seconds = build_seconds
         self.bfs_seconds = bfs_seconds
+        self.used_cached_distances = used_cached_distances
 
     # ------------------------------------------------------------------ #
-    # construction (Algorithm 3)
+    # construction (Algorithm 3, vectorised)
     # ------------------------------------------------------------------ #
     @classmethod
     def build(
@@ -101,12 +140,21 @@ class LightWeightIndex:
         edge_filter: Optional[EdgeFilter] = None,
         deadline: Optional[Deadline] = None,
         stats: Optional[EnumerationStats] = None,
+        dist_to_t: Optional[np.ndarray] = None,
     ) -> "LightWeightIndex":
         """Build the index for ``query`` on ``graph``.
 
         ``edge_filter(u, v)`` restricts the graph on the fly (predicate
         constraints, Appendix E).  When ``stats`` is given the BFS and index
         construction phases are recorded in it.
+
+        ``dist_to_t`` injects a precomputed reverse-BFS distance array (as
+        produced by :class:`~repro.core.engine.QuerySession`); any sound
+        under-approximation of the restricted distances — in particular the
+        unrestricted distances to ``t`` — yields a superset index and
+        therefore identical result sets, at the cost of slightly weaker
+        pruning.  When provided, the reverse BFS is skipped entirely, which
+        removes roughly half of the build cost for target-sharing workloads.
         """
         query.validate(graph)
         started = time.perf_counter()
@@ -116,87 +164,105 @@ class LightWeightIndex:
         dist_from_s = bfs_distances_bounded(
             graph, s, cutoff=k, no_expand=t, edge_filter=edge_filter
         )
-        dist_to_t = bfs_distances_bounded(
-            graph, t, cutoff=k, reverse=True, no_expand=s, edge_filter=edge_filter
-        )
+        used_cache = dist_to_t is not None
+        if dist_to_t is None:
+            dist_to_t = bfs_distances_bounded(
+                graph, t, cutoff=k, reverse=True, no_expand=s, edge_filter=edge_filter
+            )
         bfs_seconds = time.perf_counter() - bfs_started
         if deadline is not None:
             deadline.check()
 
-        # Partition X: vertices with v.s + v.t <= k (Lines 2-4 of Algorithm 3).
         ds = dist_from_s
         dt = dist_to_t
-        in_x = (ds != UNREACHABLE) & (dt != UNREACHABLE) & (ds + dt <= k)
-        members = np.flatnonzero(in_x)
 
-        neighbors: Dict[int, List[int]] = {}
-        ends: Dict[int, List[int]] = {}
-        num_index_edges = 0
-        dt_list = dt  # local alias for the hot loop
-        for v in members:
-            v = int(v)
-            if deadline is not None:
-                deadline.check()
-            if v == t:
-                continue
-            budget = k - int(ds[v]) - 1
-            if budget < 0:
-                continue
-            collected: List[int] = []
-            for v_next in graph.neighbors(v):
-                v_next = int(v_next)
-                if v_next == s:
-                    continue
-                d_next = int(dt_list[v_next])
-                if d_next == UNREACHABLE or d_next > budget:
-                    continue
-                if edge_filter is not None and not edge_filter(v, v_next):
-                    continue
-                collected.append(v_next)
-            if not collected:
-                neighbors[v] = []
-                ends[v] = [0] * (k + 1)
-                continue
-            collected.sort(key=lambda w: int(dt_list[w]))
-            neighbors[v] = collected
-            # Offset array: ends[b] = number of neighbours with distance <= b.
-            end_positions = [0] * (k + 1)
-            position = 0
-            for b in range(k + 1):
-                while position < len(collected) and int(dt_list[collected[position]]) <= b:
-                    position += 1
-                end_positions[b] = position
-            ends[v] = end_positions
-            num_index_edges += len(collected)
+        # Partition X: vertices with v.s + v.t <= k (Lines 2-4 of Algorithm 3).
+        in_x = (ds != UNREACHABLE) & (dt != UNREACHABLE) & (ds + dt <= k)
+        rows = np.flatnonzero(in_x).astype(np.int64)
+        num_rows = len(rows)
+        row_of = np.full(graph.num_vertices, -1, dtype=np.int64)
+        row_of[rows] = np.arange(num_rows, dtype=np.int64)
+
+        # Candidate edges: one ragged gather over the graph CSR restricted to
+        # the member sources (t is handled by its padding self-loop below).
+        out_indptr, out_indices = graph.out_csr()
+        edge_src, edge_dst = ragged_gather(out_indptr, out_indices, rows[rows != t])
+        if len(edge_src):
+            dt_dst = dt[edge_dst]
+            keep = (
+                (edge_dst != s)
+                & (dt_dst != UNREACHABLE)
+                & (ds[edge_src] + dt_dst + 1 <= k)
+            )
+            edge_src = edge_src[keep]
+            edge_dst = edge_dst[keep]
+        if edge_filter is not None and len(edge_src):
+            kept = np.fromiter(
+                (edge_filter(int(u), int(v)) for u, v in zip(edge_src, edge_dst)),
+                dtype=bool,
+                count=len(edge_src),
+            )
+            edge_src = edge_src[kept]
+            edge_dst = edge_dst[kept]
+        if deadline is not None:
+            deadline.check()
 
         # The target keeps a single self-loop so that join padding works
-        # (Line 10 of Algorithm 3, property (3) of the join model).
-        if bool(in_x[t]) if graph.has_vertex(t) else False:
-            neighbors[t] = [t]
-            ends[t] = [1] * (k + 1)
-            num_index_edges += 1
+        # (Line 10 of Algorithm 3, property (3) of the join model).  Feeding
+        # it through the shared sort keeps every row in one layout.
+        if in_x[t]:
+            edge_src = np.concatenate([edge_src, np.asarray([t], dtype=np.int64)])
+            edge_dst = np.concatenate([edge_dst, np.asarray([t], dtype=np.int64)])
 
-        # Candidate partitions C_i (the I(i) lookup).
-        partitions: List[List[int]] = [[] for _ in range(k + 1)]
-        for v in members:
-            v = int(v)
-            for i in range(int(ds[v]), k - int(dt[v]) + 1):
-                partitions[i].append(v)
+        # Sort rows by (source, neighbour distance to t); the stable lexsort
+        # reproduces the paper's tie order (graph adjacency order).
+        if len(edge_src):
+            order = np.lexsort((dt[edge_dst], edge_src))
+            edge_src = edge_src[order]
+            edge_dst = edge_dst[order]
+        edge_rows = row_of[edge_src]
 
-        # gamma_hat_i statistics for the preliminary estimator (Eq. 5).
-        gamma: List[float] = []
-        for i in range(k):
-            candidates = partitions[i]
-            if not candidates:
-                gamma.append(0.0)
-                continue
-            budget = k - i - 1
-            total = 0
-            for v in candidates:
-                end_positions = ends.get(v)
-                if end_positions is not None and budget >= 0:
-                    total += end_positions[budget]
-            gamma.append(total / len(candidates))
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        offsets = np.zeros((num_rows, k + 1), dtype=np.int64)
+        if len(edge_rows):
+            np.cumsum(np.bincount(edge_rows, minlength=num_rows), out=indptr[1:])
+            # Offset matrix: a (row, distance) histogram cumulated over the
+            # distance axis gives ends[b] = #neighbours with distance <= b.
+            histogram = np.bincount(
+                edge_rows * (k + 1) + dt[edge_dst], minlength=num_rows * (k + 1)
+            ).reshape(num_rows, k + 1)
+            np.cumsum(histogram, axis=1, out=offsets)
+
+        # Candidate partitions C_i: vertex v belongs to positions
+        # v.s .. k - v.t, again one ragged expansion plus a stable sort.
+        if num_rows:
+            first = ds[rows]
+            span = (k - dt[rows]) - first + 1
+            total = int(span.sum())
+            shifts = np.cumsum(span) - span
+            flat_positions = (
+                np.repeat(first - shifts, span) + np.arange(total, dtype=np.int64)
+            )
+            flat_vertices = np.repeat(rows, span)
+            part_order = np.argsort(flat_positions, kind="stable")
+            part_members = flat_vertices[part_order]
+            part_indptr = np.zeros(k + 2, dtype=np.int64)
+            np.cumsum(np.bincount(flat_positions, minlength=k + 1), out=part_indptr[1:])
+        else:
+            flat_positions = flat_vertices = _EMPTY
+            part_members = _EMPTY
+            part_indptr = np.zeros(k + 2, dtype=np.int64)
+
+        # gamma_hat_i statistics for the preliminary estimator (Eq. 5):
+        # the mean branching factor offsets[., k - i - 1] over C_i.
+        gamma = np.zeros(max(k, 0), dtype=np.float64)
+        if num_rows and k > 0:
+            interior = flat_positions < k
+            positions = flat_positions[interior]
+            branch = offsets[row_of[flat_vertices[interior]], k - 1 - positions]
+            sums = np.bincount(positions, weights=branch, minlength=k)[:k]
+            counts = np.bincount(positions, minlength=k)[:k]
+            np.divide(sums, counts, out=gamma, where=counts > 0)
 
         build_seconds = time.perf_counter() - started
         index = cls(
@@ -204,20 +270,25 @@ class LightWeightIndex:
             query,
             dist_from_s,
             dist_to_t,
-            neighbors,
-            ends,
-            partitions,
+            rows,
+            row_of,
+            indptr,
+            edge_dst,
+            offsets,
+            part_indptr,
+            part_members,
             gamma,
-            num_index_edges,
             build_seconds,
             bfs_seconds,
+            used_cached_distances=used_cache,
         )
         if stats is not None:
             stats.add_phase(Phase.BFS, bfs_seconds)
             stats.add_phase(Phase.INDEX, build_seconds)
-            stats.index_edges = num_index_edges
+            stats.index_edges = index.num_index_edges
             stats.index_vertices = index.num_index_vertices
             stats.index_bytes = index.estimated_bytes()
+            stats.bfs_cache_hit = used_cache
         return index
 
     # ------------------------------------------------------------------ #
@@ -231,7 +302,7 @@ class LightWeightIndex:
     @property
     def num_index_vertices(self) -> int:
         """Number of vertices retained by the index (|X|)."""
-        return len(self._neighbors) if self._neighbors else 0
+        return int(len(self._rows))
 
     @property
     def is_empty(self) -> bool:
@@ -247,72 +318,150 @@ class LightWeightIndex:
 
     def contains(self, v: int) -> bool:
         """``True`` when ``v`` survived the distance-based pruning."""
-        return v in self._ends
+        return 0 <= v < len(self._row_of) and self._row_of[v] >= 0
 
-    def members(self, i: int) -> List[int]:
-        """``I(i)``: vertices that may appear at position ``i`` of a result."""
+    def members(self, i: int) -> np.ndarray:
+        """``I(i)``: vertices that may appear at position ``i`` of a result.
+
+        Returns a read-only numpy slice of the flat partition array, in
+        ascending vertex order.
+        """
         if i < 0 or i > self.k:
-            return []
-        return self._partitions[i]
+            return _EMPTY
+        return self._part_members[self._part_indptr[i] : self._part_indptr[i + 1]]
 
-    def neighbors_within(self, v: int, budget: int) -> List[int]:
+    def neighbors_within(self, v: int, budget: int) -> np.ndarray:
         """``I_t(v, b)``: neighbours of ``v`` with distance to ``t`` at most ``b``.
 
-        Returns a list slice; callers must not mutate it.  Vertices outside
-        the index and negative budgets yield an empty list.
+        Returns a numpy slice of the sorted neighbour array; callers must not
+        mutate it.  Vertices outside the index and negative budgets yield an
+        empty array.
         """
-        end_positions = self._ends.get(v)
-        if end_positions is None or budget < 0:
-            return []
+        if budget < 0 or not (0 <= v < len(self._row_of)):
+            return _EMPTY
+        row = self._row_of[v]
+        if row < 0:
+            return _EMPTY
         if budget > self.k:
             budget = self.k
-        return self._neighbors[v][: end_positions[budget]]
+        start = self._indptr[row]
+        return self._indices[start : start + self._offsets[row, budget]]
 
     def count_neighbors_within(self, v: int, budget: int) -> int:
         """``|I_t(v, b)|`` without materialising the slice."""
-        end_positions = self._ends.get(v)
-        if end_positions is None or budget < 0:
+        if budget < 0 or not (0 <= v < len(self._row_of)):
+            return 0
+        row = self._row_of[v]
+        if row < 0:
             return 0
         if budget > self.k:
             budget = self.k
-        return end_positions[budget]
+        return int(self._offsets[row, budget])
 
-    def in_neighbors_within(self, v: int, budget: int) -> List[int]:
+    # ------------------------------------------------------------------ #
+    # flat views for the enumeration inner loops
+    # ------------------------------------------------------------------ #
+    def flat_adjacency(self) -> tuple:
+        """Plain-Python mirrors of the CSR arrays for the hot recursion.
+
+        Returns ``(vertex_of, row_of, row_neighbors, row_offsets)``:
+
+        * ``vertex_of`` — list mapping a row id back to its vertex id;
+        * ``row_of`` — the int64 vertex-to-row array (used once per query to
+          locate the start row);
+        * ``row_neighbors[r]`` — Python list of the neighbour *row* ids of
+          row ``r``, sorted by ascending distance to ``t``;
+        * ``row_offsets[r][b]`` — the matching offset row, so the candidates
+          within budget ``b`` are ``row_neighbors[r][: row_offsets[r][b]]``.
+
+        The enumeration loops therefore run entirely in row space — one list
+        slice per search-tree node and plain-int set membership per edge, no
+        hash lookups and no numpy scalar boxing.  Materialised once per
+        query and cached.
+        """
+        if self._flat is None:
+            neighbor_rows = (
+                self._row_of[self._indices].tolist() if len(self._indices) else []
+            )
+            bounds = self._indptr.tolist()
+            row_neighbors = [
+                neighbor_rows[bounds[r] : bounds[r + 1]]
+                for r in range(len(self._rows))
+            ]
+            self._flat = (
+                self._rows.tolist(),
+                self._row_of,
+                row_neighbors,
+                self._offsets.tolist(),
+            )
+        return self._flat
+
+    def partition_indptr(self) -> np.ndarray:
+        """CSR bounds of the flat partition array: ``C_i`` spans
+        ``partition_rows()[indptr[i] : indptr[i + 1]]``."""
+        return self._part_indptr
+
+    def partition_rows(self) -> np.ndarray:
+        """Row ids of the flat partition array (parallel to ``members``)."""
+        if self._part_rows is None:
+            self._part_rows = (
+                self._row_of[self._part_members] if len(self._part_members) else _EMPTY
+            )
+        return self._part_rows
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The indexed vertices in row order (ascending vertex id)."""
+        return self._rows
+
+    @property
+    def row_of(self) -> np.ndarray:
+        """Vertex-to-row translation array (``-1`` for pruned vertices)."""
+        return self._row_of
+
+    def in_neighbors_within(self, v: int, budget: int) -> np.ndarray:
         """``I_s(v, b)``: in-neighbours of ``v`` with distance from ``s`` at most ``b``.
 
         Built lazily because only the reverse-direction enumeration and a few
         tests need it; the optimizer's forward DP works on ``I_t`` instead.
         """
-        if self._in_neighbors is None:
+        if self._in_csr is None:
             self._build_in_index()
-        assert self._in_neighbors is not None and self._in_ends is not None
-        end_positions = self._in_ends.get(v)
-        if end_positions is None or budget < 0:
-            return []
+        in_indptr, in_indices, in_offsets = self._in_csr
+        if budget < 0 or not (0 <= v < len(self._row_of)):
+            return _EMPTY
+        row = self._row_of[v]
+        if row < 0:
+            return _EMPTY
         if budget > self.k:
             budget = self.k
-        return self._in_neighbors[v][: end_positions[budget]]
+        start = in_indptr[row]
+        return in_indices[start : start + in_offsets[row, budget]]
 
     def _build_in_index(self) -> None:
-        ds = self.dist_from_s
-        in_neighbors: Dict[int, List[int]] = {v: [] for v in self._ends}
-        for u, targets in self._neighbors.items():
-            for v in targets:
-                if v == u:
-                    continue  # the t self-loop has no reverse counterpart
-                in_neighbors.setdefault(v, []).append(u)
-        in_ends: Dict[int, List[int]] = {}
-        for v, sources in in_neighbors.items():
-            sources.sort(key=lambda w: int(ds[w]))
-            end_positions = [0] * (self.k + 1)
-            position = 0
-            for b in range(self.k + 1):
-                while position < len(sources) and int(ds[sources[position]]) <= b:
-                    position += 1
-                end_positions[b] = position
-            in_ends[v] = end_positions
-        self._in_neighbors = in_neighbors
-        self._in_ends = in_ends
+        """Mirror the forward CSR into an ``I_s`` CSR sorted by ``v.s``."""
+        k = self.k
+        num_rows = len(self._rows)
+        edge_src = np.repeat(self._rows, np.diff(self._indptr))
+        edge_dst = self._indices
+        mask = edge_src != edge_dst  # the t self-loop has no reverse counterpart
+        edge_src = edge_src[mask]
+        edge_dst = edge_dst[mask]
+        in_indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        in_offsets = np.zeros((num_rows, k + 1), dtype=np.int64)
+        if len(edge_src):
+            ds_src = self.dist_from_s[edge_src]
+            dst_rows = self._row_of[edge_dst]
+            order = np.lexsort((ds_src, dst_rows))
+            edge_src = edge_src[order]
+            dst_rows = dst_rows[order]
+            np.cumsum(np.bincount(dst_rows, minlength=num_rows), out=in_indptr[1:])
+            clamped = np.minimum(self.dist_from_s[edge_src], k)
+            histogram = np.bincount(
+                dst_rows * (k + 1) + clamped, minlength=num_rows * (k + 1)
+            ).reshape(num_rows, k + 1)
+            np.cumsum(histogram, axis=1, out=in_offsets)
+        self._in_csr = (in_indptr, edge_src, in_offsets)
 
     # ------------------------------------------------------------------ #
     # statistics
@@ -321,11 +470,15 @@ class LightWeightIndex:
         """Average branching factor at position ``i`` (preliminary estimator)."""
         if i < 0 or i >= len(self._gamma):
             return 0.0
-        return self._gamma[i]
+        return float(self._gamma[i])
+
+    def gamma_array(self) -> np.ndarray:
+        """All ``gamma_hat_i`` values as one float64 array (Eq. 5)."""
+        return self._gamma
 
     def candidate_counts(self) -> List[int]:
         """``|C_i|`` for ``i`` in ``0..k``."""
-        return [len(p) for p in self._partitions]
+        return np.diff(self._part_indptr).tolist()
 
     def distance_from_s(self, v: int) -> int:
         """``v.s`` — shortest distance from ``s`` avoiding ``t`` as intermediate."""
@@ -337,11 +490,8 @@ class LightWeightIndex:
 
     def index_edge_list(self) -> List[tuple]:
         """Materialise the index edges as ``(u, v)`` pairs (tests, ablation)."""
-        edges = []
-        for u, targets in self._neighbors.items():
-            for v in targets:
-                edges.append((u, v))
-        return edges
+        sources = np.repeat(self._rows, np.diff(self._indptr))
+        return list(zip(sources.tolist(), self._indices.tolist()))
 
     def estimated_bytes(self) -> int:
         """Approximate memory footprint of the index structures (Table 7).
@@ -350,11 +500,11 @@ class LightWeightIndex:
         and partition membership.  The distance arrays are excluded because
         the paper's index-size accounting is per surviving vertex/edge.
         """
-        neighbor_ints = sum(len(v) for v in self._neighbors.values())
-        offset_ints = len(self._ends) * (self.k + 1)
-        partition_ints = sum(len(p) for p in self._partitions)
+        neighbor_ints = len(self._indices)
+        offset_ints = len(self._rows) * (self.k + 1)
+        partition_ints = len(self._part_members)
         return 8 * (neighbor_ints + offset_ints + partition_ints)
 
     def degree_sequence(self) -> Sequence[int]:
         """Index out-degrees, handy for ablation analysis."""
-        return [len(v) for v in self._neighbors.values()]
+        return np.diff(self._indptr).tolist()

@@ -12,6 +12,8 @@ The query ``Q`` is cut at position ``i*``:
   joined tuple is converted back into a simple path (trailing ``t`` padding
   stripped, duplicate vertices rejected) before being emitted.
 
+Like the index DFS, the sub-query evaluation walks the index's flat CSR
+mirrors directly (row-indexed array slices, no per-step hash lookups).
 Partial results are materialised, so the peak tuple counts feeding the
 paper's memory experiment (Table 7) are tracked here.
 """
@@ -133,28 +135,38 @@ def evaluate_subquery(
     """
     stats = stats if stats is not None else EnumerationStats()
     k = index.k
+    vertex_of, row_of, row_neighbors, row_offsets = index.flat_adjacency()
+    start_row = int(row_of[start]) if 0 <= start < len(row_of) else -1
+    if start_row < 0:
+        # A start outside the index has no stored neighbours; only the
+        # zero-length walk survives (matching the dict-era semantics).
+        return [(start,)] if length == 0 else []
     results: List[Walk] = []
     walk = [start]
 
-    def _extend() -> None:
+    def extend(row: int) -> None:
         if deadline is not None:
             deadline.check()
         if len(walk) == length + 1:
             results.append(tuple(walk))
             return
-        v = walk[-1]
-        budget = k - offset - (len(walk) - 1) - 1
-        candidates = index.neighbors_within(v, budget)
+        budget = k - offset - len(walk)
+        if budget < 0:
+            # Out-of-range sub-chains (offset + length > k) have no
+            # candidates; without this guard the negative index would wrap
+            # to the budget-k offset column.
+            return
+        candidates = row_neighbors[row][: row_offsets[row][budget]]
         stats.edges_accessed += len(candidates)
-        for v_next in candidates:
+        for next_row in candidates:
             stats.partial_results_generated += 1
-            walk.append(v_next)
+            walk.append(vertex_of[next_row])
             try:
-                _extend()
+                extend(next_row)
             finally:
                 walk.pop()
 
-    _extend()
+    extend(start_row)
     return results
 
 

@@ -72,6 +72,15 @@ def choose_plan(
     the standalone IDX-DFS and IDX-JOIN algorithms of the evaluation are
     expressed — while still recording the estimator outputs in ``stats``.
     """
+    # An empty index (t unreachable within k) implies an empty partition set
+    # and therefore a zero estimate; skip both estimators outright.  Forced
+    # join plans keep the full path so their stats stay comparable.
+    if force != "join" and index.is_empty:
+        if stats is not None:
+            stats.preliminary_estimate = 0.0
+            stats.add_phase(Phase.PRELIMINARY, 0.0)
+        return Plan(kind="dfs", cut_position=None, preliminary=0.0, used_full_estimator=False)
+
     started = time.perf_counter()
     preliminary = preliminary_estimate(index)
     preliminary_seconds = time.perf_counter() - started

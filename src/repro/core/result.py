@@ -63,6 +63,9 @@ class EnumerationStats:
     plan: Optional[str] = None
     #: The cut position chosen by Algorithm 5 (join plans only).
     cut_position: Optional[int] = None
+    #: Whether the index was built from a cached reverse-BFS distance array
+    #: (batch execution over target-sharing workloads).
+    bfs_cache_hit: bool = False
     #: Whether the cooperative deadline expired before completion.
     timed_out: bool = False
     #: Whether enumeration stopped early because of a result limit.

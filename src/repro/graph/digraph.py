@@ -27,7 +27,62 @@ import numpy as np
 
 from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
 
-__all__ = ["DiGraph"]
+__all__ = ["DiGraph", "ragged_gather", "ragged_targets"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _ragged_positions(indptr: np.ndarray, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR slot positions of every edge leaving ``rows``, plus the degrees."""
+    starts = indptr[rows]
+    degrees = indptr[rows + 1] - starts
+    total = int(degrees.sum())
+    if total == 0:
+        return _EMPTY, degrees
+    shifts = np.cumsum(degrees) - degrees
+    positions = np.repeat(starts - shifts, degrees) + np.arange(total, dtype=np.int64)
+    return positions, degrees
+
+
+def ragged_gather(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand CSR ``rows`` into parallel ``(source, target)`` edge arrays.
+
+    The vectorised equivalent of ``for u in rows: for v in neighbors(u)``,
+    shared by the index builder and the level-synchronous BFS.
+    """
+    positions, degrees = _ragged_positions(indptr, rows)
+    if len(positions) == 0:
+        return _EMPTY, _EMPTY
+    return np.repeat(rows, degrees), indices[positions]
+
+
+def ragged_targets(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Like :func:`ragged_gather` but without materialising the sources."""
+    positions, _ = _ragged_positions(indptr, rows)
+    if len(positions) == 0:
+        return _EMPTY
+    return indices[positions]
+
+
+def _rows_sorted(indptr: np.ndarray, indices: np.ndarray) -> bool:
+    """``True`` when every CSR row of ``indices`` is sorted ascending.
+
+    Sorted rows are the invariant behind the binary-search edge lookup
+    (:meth:`DiGraph._edge_index`); :class:`~repro.graph.builder.GraphBuilder`
+    guarantees it by lexsorting edges at build time.
+    """
+    if len(indices) < 2:
+        return True
+    non_decreasing = indices[1:] >= indices[:-1]
+    # Positions where a new row begins are exempt from the comparison.
+    boundaries = indptr[1:-1]
+    boundaries = boundaries[(boundaries > 0) & (boundaries < len(indices))]
+    non_decreasing[boundaries - 1] = True
+    return bool(non_decreasing.all())
 
 
 class DiGraph:
@@ -48,7 +103,6 @@ class DiGraph:
         "_edge_labels",
         "_vertex_ids",
         "_id_index",
-        "_edge_position",
     )
 
     def __init__(
@@ -93,7 +147,11 @@ class DiGraph:
         self._id_index: Optional[Dict[Hashable, int]] = None
         if self._vertex_ids is not None:
             self._id_index = {vid: i for i, vid in enumerate(self._vertex_ids)}
-        self._edge_position: Optional[Dict[Tuple[int, int], int]] = None
+        if not _rows_sorted(self._out_indptr, self._out_indices):
+            raise GraphError(
+                "out-adjacency rows must be sorted ascending; build graphs "
+                "through GraphBuilder, which guarantees the invariant"
+            )
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -175,22 +233,34 @@ class DiGraph:
         """Vector of in-degrees for every vertex."""
         return np.diff(self._in_indptr)
 
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The raw ``(indptr, indices)`` pair of the out-adjacency.
+
+        The arrays are the graph's own storage — callers must treat them as
+        read-only.  This is the entry point the traversal and index layers
+        use for vectorised bulk operations.
+        """
+        return self._out_indptr, self._out_indices
+
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The raw ``(indptr, indices)`` pair of the in-adjacency."""
+        return self._in_indptr, self._in_indices
+
     # ------------------------------------------------------------------ #
     # edge attributes
     # ------------------------------------------------------------------ #
-    def _build_edge_position(self) -> Dict[Tuple[int, int], int]:
-        positions: Dict[Tuple[int, int], int] = {}
-        indptr = self._out_indptr
-        indices = self._out_indices
-        for u in range(self._num_vertices):
-            for pos in range(int(indptr[u]), int(indptr[u + 1])):
-                positions[(u, int(indices[pos]))] = pos
-        return positions
-
     def _edge_index(self, u: int, v: int) -> Optional[int]:
-        if self._edge_position is None:
-            self._edge_position = self._build_edge_position()
-        return self._edge_position.get((u, v))
+        """CSR position of edge ``(u, v)`` via binary search of ``u``'s row.
+
+        Rows are sorted ascending (a :class:`GraphBuilder` invariant checked
+        by the constructor), so no O(E) position dictionary is ever built.
+        """
+        start = int(self._out_indptr[u])
+        stop = int(self._out_indptr[u + 1])
+        pos = start + int(np.searchsorted(self._out_indices[start:stop], v))
+        if pos < stop and self._out_indices[pos] == v:
+            return pos
+        return None
 
     @property
     def has_edge_weights(self) -> bool:
@@ -284,47 +354,134 @@ class DiGraph:
             vertex_ids=None if self._vertex_ids is None else list(self._vertex_ids),
         )
 
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every CSR edge slot (row-expanded ``indptr``)."""
+        return np.repeat(
+            np.arange(self._num_vertices, dtype=np.int64), np.diff(self._out_indptr)
+        )
+
+    def _from_edge_mask(self, keep: np.ndarray) -> "DiGraph":
+        """Rebuild the graph keeping only the CSR slots selected by ``keep``.
+
+        The mask preserves CSR order, so the surviving rows stay sorted and
+        the aligned weight/label arrays can be masked directly — no builder
+        round trip, no per-edge Python loop.
+        """
+        sources = self.edge_sources()[keep]
+        targets = self._out_indices[keep]
+        out_indptr = np.zeros(self._num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=self._num_vertices), out=out_indptr[1:])
+        in_order = np.lexsort((sources, targets))
+        in_indptr = np.zeros(self._num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(targets, minlength=self._num_vertices), out=in_indptr[1:])
+
+        edge_weights = None if self._edge_weights is None else self._edge_weights[keep]
+        edge_labels = None
+        if self._edge_labels is not None:
+            edge_labels = [self._edge_labels[int(pos)] for pos in np.flatnonzero(keep)]
+            if not any(label is not None for label in edge_labels):
+                edge_labels = None
+        if edge_weights is not None and len(edge_weights) == 0:
+            edge_weights = None
+        return DiGraph(
+            self._num_vertices,
+            out_indptr,
+            targets,
+            in_indptr,
+            sources[in_order],
+            edge_weights=edge_weights,
+            edge_labels=edge_labels,
+            vertex_ids=None if self._vertex_ids is None else list(self._vertex_ids),
+        )
+
     def filter_edges(self, predicate) -> "DiGraph":
         """Return a copy that keeps only edges for which ``predicate`` is true.
 
         ``predicate(u, v, weight, label)`` is evaluated for every edge with
         internal ids.  Vertex ids and external-id mapping are preserved so
         queries keep working on the filtered graph — this is the materialised
-        form of the predicate-constrained evaluation of Appendix E.
+        form of the predicate-constrained evaluation of Appendix E.  The
+        rebuild itself is a numpy boolean mask over the CSR arrays.
         """
-        from repro.graph.builder import GraphBuilder
-
-        builder = GraphBuilder()
-        for v in range(self._num_vertices):
-            builder.add_vertex(self.to_external(v) if self._vertex_ids is not None else v)
-        for u in range(self._num_vertices):
-            start, stop = int(self._out_indptr[u]), int(self._out_indptr[u + 1])
-            for pos in range(start, stop):
-                v = int(self._out_indices[pos])
-                weight = None if self._edge_weights is None else float(self._edge_weights[pos])
-                label = None if self._edge_labels is None else self._edge_labels[pos]
-                if predicate(u, v, 1.0 if weight is None else weight, label):
-                    builder.add_edge(
-                        self.to_external(u) if self._vertex_ids is not None else u,
-                        self.to_external(v) if self._vertex_ids is not None else v,
-                        weight=weight,
-                        label=label,
+        num_edges = self.num_edges
+        sources = self.edge_sources()
+        weights = self._edge_weights
+        labels = self._edge_labels
+        keep = np.fromiter(
+            (
+                bool(
+                    predicate(
+                        int(sources[pos]),
+                        int(self._out_indices[pos]),
+                        1.0 if weights is None else float(weights[pos]),
+                        None if labels is None else labels[pos],
                     )
-        return builder.build()
+                )
+                for pos in range(num_edges)
+            ),
+            dtype=bool,
+            count=num_edges,
+        )
+        return self._from_edge_mask(keep)
 
     def edge_list(self) -> Iterable[Tuple[int, int]]:
         """Materialise the edge list as a list of ``(u, v)`` tuples."""
         return list(self.edges())
 
     def copy_with_edges(self, extra_edges: Iterable[Tuple[int, int]]) -> "DiGraph":
-        """Return a new graph with ``extra_edges`` added (ids are internal)."""
-        from repro.graph.builder import GraphBuilder
+        """Return a new graph with ``extra_edges`` added (ids are internal).
 
-        builder = GraphBuilder()
-        for v in range(self._num_vertices):
-            builder.add_vertex(v)
-        for u, v in self.edges():
-            builder.add_edge(u, v)
-        for u, v in extra_edges:
-            builder.add_edge(int(u), int(v))
-        return builder.build()
+        Existing edges keep their weights and labels and the external-id
+        mapping is preserved; added edges carry no attributes (they default
+        to weight 1.0 on weighted graphs).  Duplicates of existing edges and
+        self-loops among ``extra_edges`` are dropped, mirroring
+        :class:`GraphBuilder` semantics.
+        """
+        extra = [(int(u), int(v)) for u, v in extra_edges]
+        for u, v in extra:
+            self._check_vertex(u)
+            self._check_vertex(v)
+        seen: set = set()
+        fresh = []
+        for u, v in extra:
+            if u == v or (u, v) in seen or self.has_edge(u, v):
+                continue
+            seen.add((u, v))
+            fresh.append((u, v))
+        old_sources = self.edge_sources()
+        old_targets = self._out_indices
+        if fresh:
+            add = np.asarray(fresh, dtype=np.int64)
+            sources = np.concatenate([old_sources, add[:, 0]])
+            targets = np.concatenate([old_targets, add[:, 1]])
+        else:
+            sources = old_sources
+            targets = old_targets
+        n = self._num_vertices
+        out_order = np.lexsort((targets, sources))
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=n), out=out_indptr[1:])
+        in_order = np.lexsort((sources, targets))
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(targets, minlength=n), out=in_indptr[1:])
+
+        edge_weights = None
+        edge_labels = None
+        if self._edge_weights is not None:
+            raw = np.concatenate(
+                [self._edge_weights, np.ones(len(fresh), dtype=np.float64)]
+            )
+            edge_weights = raw[out_order]
+        if self._edge_labels is not None:
+            raw_labels = list(self._edge_labels) + [None] * len(fresh)
+            edge_labels = [raw_labels[int(pos)] for pos in out_order]
+        return DiGraph(
+            n,
+            out_indptr,
+            targets[out_order],
+            in_indptr,
+            sources[in_order],
+            edge_weights=edge_weights,
+            edge_labels=edge_labels,
+            vertex_ids=None if self._vertex_ids is None else list(self._vertex_ids),
+        )

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, ragged_targets
 
 __all__ = [
     "UNREACHABLE",
@@ -79,8 +79,18 @@ def bfs_distances_bounded(
     *original* edge direction, regardless of ``reverse``) can drop edges on
     the fly, which is how predicate constraints restrict the traversal
     without materialising a filtered graph.
+
+    Unfiltered traversals take a vectorised level-synchronous path over the
+    CSR arrays (one ragged gather per BFS level); the per-edge Python loop
+    only remains for the ``edge_filter`` case, where a Python callback has
+    to see every edge anyway.
     """
     graph._check_vertex(source)
+    if edge_filter is None:
+        return _bfs_levels_vectorised(
+            graph, source, cutoff=cutoff, reverse=reverse,
+            excluded=excluded, no_expand=no_expand,
+        )
     n = graph.num_vertices
     dist = np.full(n, UNREACHABLE, dtype=np.int64)
     if excluded is not None and excluded == source:
@@ -106,6 +116,41 @@ def bfs_distances_bounded(
             if dist[w] == UNREACHABLE:
                 dist[w] = d + 1
                 queue.append(w)
+    return dist
+
+
+def _bfs_levels_vectorised(
+    graph: DiGraph,
+    source: int,
+    *,
+    cutoff: Optional[int],
+    reverse: bool,
+    excluded: Optional[int],
+    no_expand: Optional[int],
+) -> np.ndarray:
+    """Level-synchronous BFS over the CSR arrays (no per-edge Python loop)."""
+    indptr, indices = graph.in_csr() if reverse else graph.out_csr()
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHABLE, dtype=np.int64)
+    if excluded is not None and excluded == source:
+        return dist
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    while len(frontier) and (cutoff is None or depth < cutoff):
+        if no_expand is not None and depth > 0:
+            frontier = frontier[frontier != no_expand]
+            if not len(frontier):
+                break
+        reached = ragged_targets(indptr, indices, frontier)
+        if not len(reached):
+            break
+        reached = reached[dist[reached] == UNREACHABLE]
+        if excluded is not None:
+            reached = reached[reached != excluded]
+        frontier = np.unique(reached)
+        depth += 1
+        dist[frontier] = depth
     return dist
 
 

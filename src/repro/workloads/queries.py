@@ -27,6 +27,7 @@ __all__ = [
     "QueryWorkload",
     "split_by_degree",
     "generate_query_set",
+    "generate_target_centric_set",
     "generate_all_settings",
 ]
 
@@ -87,6 +88,20 @@ class QueryWorkload:
             queries=list(self.queries[:count]),
             seed=self.seed,
         )
+
+    def unique_targets(self) -> List[int]:
+        """The distinct query targets, in first-appearance order.
+
+        ``len(workload.unique_targets()) < len(workload)`` is exactly the
+        condition under which batch execution saves reverse-BFS work.
+        """
+        seen: set = set()
+        targets: List[int] = []
+        for query in self.queries:
+            if query.target not in seen:
+                seen.add(query.target)
+                targets.append(query.target)
+        return targets
 
 
 def split_by_degree(graph: DiGraph, *, top_fraction: float = 0.10) -> Tuple[np.ndarray, np.ndarray]:
@@ -152,6 +167,86 @@ def generate_query_set(
         raise WorkloadError(
             f"could only generate {len(queries)} of {count} queries for setting "
             f"{setting.value} (graph too sparse or disconnected)"
+        )
+    return QueryWorkload(graph_name=graph_name, setting=setting, k=k, queries=queries, seed=seed)
+
+
+def generate_target_centric_set(
+    graph: DiGraph,
+    *,
+    count: int,
+    k: int,
+    num_targets: int = 4,
+    setting: QuerySetting = QuerySetting.HIGH_HIGH,
+    max_distance: int = 3,
+    seed: Optional[int] = None,
+    graph_name: str = "graph",
+    top_fraction: float = 0.10,
+    max_attempts_factor: int = 200,
+) -> QueryWorkload:
+    """Generate ``count`` queries concentrated on ``num_targets`` targets.
+
+    This is the batch-friendly shape of real serving traffic (many sources
+    probing the same hub accounts): sources are drawn per the ``setting``
+    rules of Section 7.1, but targets rotate through a small pool, so
+    ``count / num_targets`` queries share each reverse-BFS distance array.
+    The usual ``S(s, t) <= max_distance`` guarantee still applies.
+    """
+    if count < 1:
+        raise WorkloadError("count must be positive")
+    if num_targets < 1:
+        raise WorkloadError("num_targets must be positive")
+    rng = np.random.default_rng(seed)
+    high, low = split_by_degree(graph, top_fraction=top_fraction)
+    source_pool = high if setting.source_high else low
+    target_pool = high if setting.target_high else low
+    if len(source_pool) == 0 or len(target_pool) == 0:
+        raise WorkloadError("degree split produced an empty vertex pool")
+
+    targets: List[int] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, num_targets)
+    # A target qualifies once one in-range source exists; drawing the pool
+    # first keeps the per-target source sampling independent of pool order.
+    while len(targets) < min(num_targets, len(target_pool)) and attempts < max_attempts:
+        attempts += 1
+        t = int(rng.choice(target_pool))
+        if t in targets:
+            continue
+        s = int(rng.choice(source_pool))
+        if s == t:
+            continue
+        d = distance(graph, s, t, cutoff=max_distance)
+        if d == UNREACHABLE or d > max_distance:
+            continue
+        targets.append(t)
+    if not targets:
+        raise WorkloadError(
+            "could not find any target with an in-range source "
+            f"(setting {setting.value}, max_distance {max_distance})"
+        )
+
+    queries: List[Query] = []
+    seen: set = set()
+    attempts = 0
+    while len(queries) < count and attempts < max_attempts:
+        # Rotate by attempt, not by accepted query: a target whose in-range
+        # sources are exhausted must not pin the loop while other targets
+        # still have capacity.
+        t = targets[attempts % len(targets)]
+        attempts += 1
+        s = int(rng.choice(source_pool))
+        if s == t or (s, t) in seen:
+            continue
+        d = distance(graph, s, t, cutoff=max_distance)
+        if d == UNREACHABLE or d > max_distance:
+            continue
+        seen.add((s, t))
+        queries.append(Query(s, t, k))
+    if len(queries) < count:
+        raise WorkloadError(
+            f"could only generate {len(queries)} of {count} target-centric queries "
+            f"(graph too sparse around the {len(targets)} chosen targets)"
         )
     return QueryWorkload(graph_name=graph_name, setting=setting, k=k, queries=queries, seed=seed)
 

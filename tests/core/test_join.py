@@ -120,3 +120,16 @@ class TestStatisticsAndLimits:
     def test_results_emitted_matches_collector(self, paper_graph, paper_query):
         collector, stats = _run(paper_graph, paper_query, 2)
         assert stats.results_emitted == collector.count == 5
+
+
+class TestSubqueryBudgetBounds:
+    def test_out_of_range_subchain_has_no_walks(self, paper_graph, paper_query):
+        """offset + length > k leaves a negative budget: no candidates, no
+        walks — the guard must not wrap into the budget-k offset column."""
+        from repro.core.index import LightWeightIndex
+
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        walks = evaluate_subquery(
+            index, start=paper_query.source, offset=paper_query.k, length=1
+        )
+        assert walks == []

@@ -125,3 +125,38 @@ class TestBuildOutput:
         graph = builder.build()
         assert graph.has_external_ids
         assert graph.to_external(graph.to_internal("acct:3")) == "acct:3"
+
+
+class TestSortedRowInvariant:
+    def test_rows_sorted_regardless_of_insertion_order(self):
+        """The builder lexsorts edges, so every CSR row is sorted ascending —
+        the invariant behind DiGraph's binary-search edge lookup."""
+        builder = GraphBuilder()
+        builder.add_edge(0, 5)
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 3)
+        builder.add_edge(2, 4)
+        builder.add_edge(2, 0)
+        graph = builder.build()
+        indptr, indices = graph.out_csr()
+        for v in graph.vertices():
+            row = [int(w) for w in indices[indptr[v]:indptr[v + 1]]]
+            assert row == sorted(row), v
+        in_indptr, in_indices = graph.in_csr()
+        for v in graph.vertices():
+            row = [int(w) for w in in_indices[in_indptr[v]:in_indptr[v + 1]]]
+            assert row == sorted(row), v
+
+    def test_derived_graphs_keep_rows_sorted(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 0)
+        builder.add_edge(0, 2)
+        builder.add_edge(0, 1)
+        builder.add_edge(2, 1)
+        graph = builder.build()
+        # The constructor itself validates sortedness, so surviving these
+        # calls proves the derived graphs preserve the invariant.
+        graph.reverse()
+        graph.reverse().reverse()
+        graph.filter_edges(lambda u, v, w, lbl: u != 2)
+        graph.copy_with_edges([(2, 0), (1, 2)])

@@ -167,6 +167,55 @@ class TestDerivedGraphs:
         assert extended.has_edge(2, 0)
         assert extended.num_edges == 3
 
+    def test_filter_edges_preserves_weights_labels_and_ids(self, small_graph):
+        filtered = small_graph.filter_edges(lambda u, v, w, lbl: lbl in ("x", "y"))
+        a = filtered.to_internal("a")
+        b = filtered.to_internal("b")
+        c = filtered.to_internal("c")
+        d = filtered.to_internal("d")
+        assert filtered.num_edges == 3
+        assert filtered.edge_weight(a, b) == pytest.approx(2.0)
+        assert filtered.edge_label(a, b) == "x"
+        assert filtered.edge_weight(b, c) == pytest.approx(3.0)
+        assert filtered.edge_label(a, c) == "y"
+        assert not filtered.has_edge(c, d)
+        assert filtered.to_external(a) == "a"
+
+    def test_filter_edges_keep_all_and_drop_all(self, small_graph):
+        everything = small_graph.filter_edges(lambda u, v, w, lbl: True)
+        assert set(everything.edges()) == set(small_graph.edges())
+        nothing = small_graph.filter_edges(lambda u, v, w, lbl: False)
+        assert nothing.num_edges == 0
+        assert nothing.num_vertices == small_graph.num_vertices
+
+    def test_filter_edges_keeps_reverse_adjacency_consistent(self, small_graph):
+        filtered = small_graph.filter_edges(lambda u, v, w, lbl: w >= 2.0)
+        for u, v in filtered.edges():
+            assert u in (int(w) for w in filtered.in_neighbors(v))
+        assert sum(filtered.in_degrees()) == filtered.num_edges
+
+    def test_copy_with_edges_preserves_attributes_and_external_ids(self, small_graph):
+        a = small_graph.to_internal("a")
+        d = small_graph.to_internal("d")
+        extended = small_graph.copy_with_edges([(d, a)])
+        assert extended.num_edges == small_graph.num_edges + 1
+        assert extended.has_edge(d, a)
+        assert extended.to_external(a) == "a"
+        assert extended.edge_weight(a, extended.to_internal("b")) == pytest.approx(2.0)
+        assert extended.edge_label(a, extended.to_internal("b")) == "x"
+        # Added edges default to weight 1.0 on weighted graphs.
+        assert extended.edge_weight(d, a) == pytest.approx(1.0)
+
+    def test_copy_with_edges_ignores_duplicates_and_self_loops(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        extended = graph.copy_with_edges([(0, 1), (1, 1), (2, 0), (2, 0)])
+        assert extended.num_edges == 3
+        assert extended.has_edge(2, 0)
+
+    def test_copy_with_edges_rejects_unknown_vertices(self, small_graph):
+        with pytest.raises(VertexNotFoundError):
+            small_graph.copy_with_edges([(0, 99)])
+
 
 class TestConstructionValidation:
     def test_inconsistent_indptr_rejected(self):
@@ -198,4 +247,40 @@ class TestConstructionValidation:
         graph = DiGraph(0, np.array([0]), np.array([]), np.array([0]), np.array([]))
         assert graph.num_vertices == 0
         assert graph.num_edges == 0
-        assert list(graph.edges()) == []
+
+    def test_unsorted_rows_rejected(self):
+        # The binary-search edge lookup relies on sorted adjacency rows.
+        with pytest.raises(GraphError):
+            DiGraph(
+                3,
+                np.array([0, 2, 2, 2]),
+                np.array([2, 1]),
+                np.array([0, 0, 1, 2]),
+                np.array([0, 0]),
+            )
+
+
+class TestEdgeLookup:
+    def test_edge_index_via_binary_search(self, small_graph):
+        indptr, indices = small_graph.out_csr()
+        for u in small_graph.vertices():
+            for position in range(int(indptr[u]), int(indptr[u + 1])):
+                assert small_graph._edge_index(u, int(indices[position])) == position
+
+    def test_missing_edges_return_none(self, small_graph):
+        a = small_graph.to_internal("a")
+        d = small_graph.to_internal("d")
+        assert small_graph._edge_index(d, a) is None
+
+    def test_csr_accessors_expose_storage(self, small_graph):
+        out_indptr, out_indices = small_graph.out_csr()
+        in_indptr, in_indices = small_graph.in_csr()
+        assert len(out_indptr) == small_graph.num_vertices + 1
+        assert len(out_indices) == small_graph.num_edges
+        assert len(in_indptr) == small_graph.num_vertices + 1
+        assert len(in_indices) == small_graph.num_edges
+
+    def test_edge_sources_expands_indptr(self, small_graph):
+        sources = small_graph.edge_sources()
+        assert len(sources) == small_graph.num_edges
+        assert list(sources) == [u for u, _ in small_graph.edges()]

@@ -144,3 +144,86 @@ class TestOtherCommands:
         output = capsys.readouterr().out
         assert "IDX-DFS" in output and "PathEnum" in output
         assert "query_ms" in output
+
+
+class TestBatchQueryCommand:
+    def test_explicit_pairs_on_edge_list(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "batch-query",
+                "--edge-list",
+                str(edge_list_file),
+                "--pair",
+                "s,t",
+                "--pair",
+                "v0,t",
+                "-k",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Batch of 2 queries" in output
+        assert "reverse BFS runs: 1 for 2 queries" in output
+
+    def test_generated_workload_on_dataset(self, capsys):
+        exit_code = main(
+            [
+                "batch-query",
+                "--dataset",
+                "ye",
+                "-k",
+                "4",
+                "--queries",
+                "6",
+                "--targets",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Batch of 6 queries" in output
+        assert "cache hit rate" in output
+
+    def test_malformed_pair_is_an_error(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "batch-query",
+                "--edge-list",
+                str(edge_list_file),
+                "--pair",
+                "no-comma",
+                "-k",
+                "4",
+            ]
+        )
+        assert exit_code == 2
+        assert "invalid --pair" in capsys.readouterr().err
+
+    def test_workers_flag_parses(self):
+        args = build_parser().parse_args(
+            ["batch-query", "--dataset", "ye", "-k", "3", "--workers", "4"]
+        )
+        assert args.workers == 4
+
+
+class TestBenchBatchMode:
+    def test_bench_batch_flag(self, capsys):
+        exit_code = main(
+            [
+                "bench",
+                "--dataset",
+                "ye",
+                "-k",
+                "3",
+                "--queries",
+                "4",
+                "--algorithms",
+                "PathEnum",
+                "--batch",
+            ]
+        )
+        assert exit_code == 0
+        assert "[batch]" in capsys.readouterr().out

@@ -11,6 +11,7 @@ from repro.workloads.queries import (
     QuerySetting,
     generate_all_settings,
     generate_query_set,
+    generate_target_centric_set,
     split_by_degree,
 )
 
@@ -112,3 +113,46 @@ class TestWorkloadHelpers:
         assert QuerySetting.LOW_LOW.source_high is False
         assert QuerySetting.HIGH_LOW.target_high is False
         assert QuerySetting.LOW_HIGH.target_high is True
+
+
+class TestTargetCentricSet:
+    def test_targets_rotate_through_small_pool(self, workload_graph):
+        workload = generate_target_centric_set(
+            workload_graph, count=12, k=4, num_targets=3, seed=1
+        )
+        assert len(workload) == 12
+        unique = workload.unique_targets()
+        assert len(unique) <= 3
+        assert len(unique) < len(workload)
+
+    def test_distance_guarantee_holds(self, workload_graph):
+        workload = generate_target_centric_set(
+            workload_graph, count=8, k=5, num_targets=2, seed=2
+        )
+        for query in workload:
+            d = distance(workload_graph, query.source, query.target, cutoff=3)
+            assert d != UNREACHABLE and d <= 3
+
+    def test_endpoint_pairs_are_unique(self, workload_graph):
+        workload = generate_target_centric_set(
+            workload_graph, count=10, k=4, num_targets=2, seed=4
+        )
+        pairs = [(q.source, q.target) for q in workload]
+        assert len(set(pairs)) == len(pairs)
+
+    def test_rejects_bad_arguments(self, workload_graph):
+        with pytest.raises(WorkloadError):
+            generate_target_centric_set(workload_graph, count=0, k=4)
+        with pytest.raises(WorkloadError):
+            generate_target_centric_set(workload_graph, count=4, k=4, num_targets=0)
+
+    def test_unique_targets_preserves_first_appearance_order(self, workload_graph):
+        workload = generate_target_centric_set(
+            workload_graph, count=9, k=4, num_targets=3, seed=6
+        )
+        unique = workload.unique_targets()
+        seen = []
+        for query in workload:
+            if query.target not in seen:
+                seen.append(query.target)
+        assert unique == seen
