@@ -41,23 +41,48 @@ def overall_comparison(
     settings: BenchmarkSettings = DEFAULT_SETTINGS,
     batch: bool = False,
     max_workers: int = 1,
+    processes: int = 1,
+    shards: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> Dict[str, WorkloadMetrics]:
     """One Table 3 row: every algorithm over the same query set on one graph.
 
     ``batch=True`` evaluates each algorithm through the batch execution
     engine (shared reverse-BFS distances, optional thread pool) instead of
-    one-query-at-a-time runs; the per-query results are identical, so the
-    aggregated metrics remain comparable across the two modes.
+    one-query-at-a-time runs; ``processes > 1`` additionally fans each batch
+    out over target-sharded worker processes.  The per-query results are
+    identical in every mode, so the aggregated metrics remain comparable.
     """
     metrics: Dict[str, WorkloadMetrics] = {}
-    for name in algorithms:
-        if batch:
-            results = run_workload_batched(
-                name, graph, workload, settings=settings, max_workers=max_workers
-            ).results
-        else:
-            results = run_workload(name, graph, workload, settings=settings)
-        metrics[name] = aggregate(results, algorithm=name)
+    # Each algorithm gets its own process executor (the algorithm is baked
+    # into the worker pool), but the shared graph segment can be published
+    # once for the whole comparison: pre-sharing here makes every executor
+    # see an already-shared graph and leave its lifecycle alone.
+    shared_here = False
+    if processes > 1:
+        store = graph.store
+        if store is None or not store.shareable or getattr(store, "is_unlinked", False):
+            graph.share()
+            shared_here = True
+    try:
+        for name in algorithms:
+            if batch or processes > 1:
+                results = run_workload_batched(
+                    name,
+                    graph,
+                    workload,
+                    settings=settings,
+                    max_workers=max_workers,
+                    processes=processes,
+                    shards=shards,
+                    start_method=start_method,
+                ).results
+            else:
+                results = run_workload(name, graph, workload, settings=settings)
+            metrics[name] = aggregate(results, algorithm=name)
+    finally:
+        if shared_here:
+            graph.store.unlink()
     return metrics
 
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import get_algorithm
 from repro.core.algorithm import Algorithm
-from repro.core.engine import BatchExecutor, BatchResult
+from repro.core.engine import BatchExecutor, BatchResult, ProcessBatchExecutor
 from repro.core.listener import RunConfig
 from repro.core.result import QueryResult
 from repro.graph.digraph import DiGraph
@@ -92,6 +92,9 @@ def run_workload_batched(
     *,
     settings: BenchmarkSettings = DEFAULT_SETTINGS,
     max_workers: int = 1,
+    processes: int = 1,
+    shards: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> BatchResult:
     """Evaluate ``workload`` through the batch execution engine.
 
@@ -100,8 +103,23 @@ def run_workload_batched(
     statistics (reverse-BFS cache hits, batch wall clock).  Non-indexed
     baselines run unchanged — batching only removes work the index-based
     algorithms would otherwise repeat.
+
+    ``processes > 1`` routes the workload through the target-sharded
+    :class:`~repro.core.engine.ProcessBatchExecutor` instead of the thread
+    pool; ``shards`` (default: one per process) and ``start_method`` are
+    forwarded to it.  The shared graph and distance-cache segments are torn
+    down before returning.
     """
     algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    if processes > 1:
+        with ProcessBatchExecutor(
+            graph,
+            algorithm=algo,
+            processes=processes,
+            shards=shards,
+            start_method=start_method,
+        ) as executor:
+            return executor.run(list(workload), settings.to_run_config())
     executor = BatchExecutor(graph, algorithm=algo, max_workers=max_workers)
     return executor.run(list(workload), settings.to_run_config())
 
@@ -114,16 +132,28 @@ def run_algorithms(
     settings: BenchmarkSettings = DEFAULT_SETTINGS,
     batch: bool = False,
     max_workers: int = 1,
+    processes: int = 1,
+    shards: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> Dict[str, List[QueryResult]]:
     """Evaluate the same workload with several algorithms (by registry name).
 
     With ``batch=True`` every algorithm runs through the batch executor
-    (index-based ones share reverse-BFS work; baselines are unaffected).
+    (index-based ones share reverse-BFS work; baselines are unaffected);
+    ``processes > 1`` implies batch mode and fans each algorithm's batch out
+    over worker processes.
     """
-    if batch:
+    if batch or processes > 1:
         return {
             name: run_workload_batched(
-                name, graph, workload, settings=settings, max_workers=max_workers
+                name,
+                graph,
+                workload,
+                settings=settings,
+                max_workers=max_workers,
+                processes=processes,
+                shards=shards,
+                start_method=start_method,
             ).results
             for name in algorithm_names
         }

@@ -15,10 +15,18 @@ Sub-commands
 ``datasets``
     List the synthetic dataset registry with Table 2 style properties.
 
+``info``
+    Print a graph's size, storage backend and per-array memory footprint.
+
 ``bench``
     Run the overall comparison (a Table 3 row) on one dataset and print the
     aggregated metrics; ``--batch`` routes every algorithm through the
     batch executor instead of one-at-a-time runs.
+
+Both ``batch-query`` and ``bench`` accept ``--processes`` (and ``--shards``)
+to fan the batch out over target-sharded worker processes attached to a
+shared-memory copy of the graph; ``--workers`` keeps selecting the in-process
+thread pool.
 """
 
 from __future__ import annotations
@@ -31,11 +39,11 @@ from repro.baselines.registry import PAPER_ALGORITHMS, available_algorithms, get
 from repro.bench.comparison import overall_comparison
 from repro.bench.reporting import format_table
 from repro.bench.runner import BenchmarkSettings
-from repro.core.engine import BatchExecutor
+from repro.core.engine import BatchExecutor, ProcessBatchExecutor
 from repro.core.listener import RunConfig
 from repro.errors import VertexNotFoundError
 from repro.core.query import Query
-from repro.graph.io import read_edge_list
+from repro.graph.io import load_npz, read_edge_list
 from repro.graph.properties import summarize
 from repro.workloads.datasets import dataset_names, load_dataset, registry
 from repro.workloads.queries import (
@@ -105,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--workers", type=int, default=1, help="thread-pool size (1 = sequential)"
     )
+    batch_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes sharing the graph via shared memory (1 = in-process)",
+    )
+    batch_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="target shards for --processes (default: one per process)",
+    )
+    batch_parser.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method for --processes (default: fork if available)",
+    )
     batch_parser.add_argument("--time-limit", type=float, default=None)
     batch_parser.add_argument("--limit", type=int, default=None, help="result cap per query")
     batch_parser.add_argument("--seed", type=int, default=0)
@@ -112,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
     datasets_parser = subparsers.add_parser("datasets", help="list the synthetic dataset registry")
     datasets_parser.add_argument(
         "--build", action="store_true", help="build each graph and report measured properties"
+    )
+
+    info_parser = subparsers.add_parser(
+        "info", help="print size, backend and memory footprint of a graph"
+    )
+    info_parser.add_argument(
+        "graph",
+        help="a synthetic dataset name or a path to an edge-list / .npz snapshot file",
     )
 
     bench_parser = subparsers.add_parser("bench", help="run the overall comparison on one dataset")
@@ -132,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--workers", type=int, default=1, help="batch thread-pool size (implies --batch)"
+    )
+    bench_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes for batch execution (implies --batch)",
+    )
+    bench_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="target shards for --processes (default: one per process)",
+    )
+    bench_parser.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method for --processes (default: fork on Linux)",
     )
     return parser
 
@@ -177,6 +217,12 @@ def _command_batch_query(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
+    if args.processes < 1:
+        print("--processes must be at least 1", file=sys.stderr)
+        return 2
+    if args.processes > 1 and args.workers > 1:
+        print("--workers and --processes are mutually exclusive", file=sys.stderr)
+        return 2
     graph = _load_graph(args)
     if args.pair:
         queries = []
@@ -205,15 +251,25 @@ def _command_batch_query(args: argparse.Namespace) -> int:
         )
         queries = list(workload)
 
-    executor = BatchExecutor(
-        graph, algorithm=get_algorithm(args.algorithm), max_workers=args.workers
-    )
     config = RunConfig(
         store_paths=False,
         result_limit=args.limit,
         time_limit_seconds=args.time_limit,
     )
-    batch = executor.run(queries, config)
+    if args.processes > 1:
+        with ProcessBatchExecutor(
+            graph,
+            algorithm=get_algorithm(args.algorithm),
+            processes=args.processes,
+            shards=args.shards,
+            start_method=args.start_method,
+        ) as executor:
+            batch = executor.run(queries, config)
+    else:
+        executor = BatchExecutor(
+            graph, algorithm=get_algorithm(args.algorithm), max_workers=args.workers
+        )
+        batch = executor.run(queries, config)
     rows = [
         {
             "source": graph.to_external(result.source),
@@ -273,9 +329,50 @@ def _command_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_info(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.graph in dataset_names():
+        graph = load_dataset(args.graph)
+        origin = f"dataset {args.graph!r}"
+    elif Path(args.graph).exists():
+        if args.graph.endswith(".npz"):
+            graph = load_npz(args.graph)
+        else:
+            graph = read_edge_list(args.graph)
+        origin = args.graph
+    else:
+        print(
+            f"unknown graph {args.graph!r}: not a dataset name "
+            f"({', '.join(dataset_names())}) and not an existing file",
+            file=sys.stderr,
+        )
+        return 2
+    usage = graph.memory_usage()
+    print(repr(graph))
+    print(f"source: {origin}")
+    summary = summarize(graph)
+    print(format_table([summary.as_row()], title="Graph properties", scientific=False))
+    rows = [
+        {"array": name, "bytes": nbytes}
+        for name, nbytes in usage["arrays"].items()
+    ]
+    rows.append({"array": "total", "bytes": usage["total_bytes"]})
+    print(format_table(
+        rows, title=f"Storage ({usage['backend']} backend)", scientific=False
+    ))
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.processes < 1:
+        print("--processes must be at least 1", file=sys.stderr)
+        return 2
+    if args.processes > 1 and args.workers > 1:
+        print("--workers and --processes are mutually exclusive", file=sys.stderr)
         return 2
     graph = load_dataset(args.dataset)
     workload = generate_query_set(
@@ -287,7 +384,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         graph_name=args.dataset,
     )
     settings = BenchmarkSettings(time_limit_seconds=args.time_limit)
-    use_batch = args.batch or args.workers > 1
+    use_batch = args.batch or args.workers > 1 or args.processes > 1
     metrics = overall_comparison(
         graph,
         workload,
@@ -295,9 +392,15 @@ def _command_bench(args: argparse.Namespace) -> int:
         settings=settings,
         batch=use_batch,
         max_workers=args.workers,
+        processes=args.processes,
+        shards=args.shards,
+        start_method=args.start_method,
     )
     rows = [m.as_row() for m in metrics.values()]
-    mode = " [batch]" if use_batch else ""
+    if args.processes > 1:
+        mode = f" [batch, {args.processes} processes]"
+    else:
+        mode = " [batch]" if use_batch else ""
     print(format_table(
         rows, title=f"Overall comparison on {args.dataset} (k={args.hops}){mode}"
     ))
@@ -314,6 +417,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_batch_query(args)
     if args.command == "datasets":
         return _command_datasets(args)
+    if args.command == "info":
+        return _command_info(args)
     if args.command == "bench":
         return _command_bench(args)
     parser.error(f"unknown command {args.command!r}")

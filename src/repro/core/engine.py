@@ -29,15 +29,28 @@ On top of them sits the batch execution layer:
   session, optionally fanning independent queries out over a thread pool,
   and reports aggregate :class:`BatchStats` (BFS cache hits, wall clock,
   throughput).
+* :class:`ProcessBatchExecutor` — the process-parallel variant: the graph is
+  published once into shared memory (:meth:`~repro.graph.digraph.DiGraph.share`),
+  the workload is partitioned by target (the distance-cache key) and each
+  shard is evaluated in a worker process that attaches the shared graph and
+  a shared read-mostly distance cache.  Because a shard holds *every* query
+  of its targets, workers additionally grow all forward BFS trees of a
+  target group in one multi-source sweep — per-query results stay identical
+  to sequential session runs while both halves of the per-query
+  preprocessing are amortised.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import multiprocessing
+import os
+import sys
 
 import numpy as np
 
@@ -50,8 +63,14 @@ from repro.core.listener import RunConfig
 from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
 from repro.core.query import Query
 from repro.core.result import Phase, QueryResult
+from repro.core.reverse import IdxDfsReverse
 from repro.graph.digraph import DiGraph
-from repro.graph.traversal import bfs_distances_bounded
+from repro.graph.store import SharedMemoryStore, StoreHandle
+from repro.graph.traversal import (
+    DEFAULT_SOURCE_CHUNK,
+    bfs_distances_bounded,
+    multi_source_bfs_distances_bounded,
+)
 
 __all__ = [
     "PathEnum",
@@ -59,6 +78,7 @@ __all__ = [
     "IdxJoin",
     "QuerySession",
     "BatchExecutor",
+    "ProcessBatchExecutor",
     "BatchResult",
     "BatchStats",
     "enumerate_paths",
@@ -79,12 +99,14 @@ class _IndexedAlgorithm(Algorithm):
         config: Optional[RunConfig] = None,
         *,
         dist_to_t: Optional[np.ndarray] = None,
+        dist_from_s: Optional[np.ndarray] = None,
     ) -> QueryResult:
         """Evaluate ``query`` on ``graph``.
 
         ``dist_to_t`` optionally injects a precomputed reverse-BFS distance
-        array (the :class:`QuerySession` cache path); single-query callers
-        leave it unset.
+        array (the :class:`QuerySession` cache path); ``dist_from_s`` a
+        precomputed forward array (the sharded executor's multi-source
+        sweep).  Single-query callers leave both unset.
         """
         config = config if config is not None else RunConfig()
         constraint = config.constraint
@@ -100,6 +122,7 @@ class _IndexedAlgorithm(Algorithm):
                 deadline=deadline,
                 stats=stats,
                 dist_to_t=dist_to_t,
+                dist_from_s=dist_from_s,
             )
             plan = choose_plan(
                 index, tau=config.tau, deadline=deadline, stats=stats, force=self._force
@@ -185,16 +208,24 @@ class PathEnum(_IndexedAlgorithm):
         config: Optional[RunConfig] = None,
         *,
         dist_to_t: Optional[np.ndarray] = None,
+        dist_from_s: Optional[np.ndarray] = None,
     ) -> QueryResult:
         config = config if config is not None else RunConfig()
         if config.tau == DEFAULT_TAU and self._tau != DEFAULT_TAU:
             config = config.replace(tau=self._tau)
-        return super().run(graph, query, config, dist_to_t=dist_to_t)
+        return super().run(
+            graph, query, config, dist_to_t=dist_to_t, dist_from_s=dist_from_s
+        )
 
     def explain(self, graph: DiGraph, query: Query, *, tau: Optional[float] = None) -> Plan:
         """Return the plan PathEnum would choose for ``query`` without running it."""
         index = LightWeightIndex.build(graph, query)
         return choose_plan(index, tau=self._tau if tau is None else tau)
+
+
+#: Algorithms whose ``run`` accepts injected distance arrays and can
+#: therefore share the session / batch distance cache.
+_DISTANCE_AWARE = (_IndexedAlgorithm, IdxDfsReverse)
 
 
 # --------------------------------------------------------------------- #
@@ -336,11 +367,43 @@ class QuerySession:
             self.distances_to_target(query.target, query.k, constraint)
         return fresh
 
+    def seed_distances(self, distances: Mapping[Tuple[int, int], np.ndarray]) -> None:
+        """Install precomputed unconstrained reverse-BFS arrays.
+
+        The inverse of :meth:`export_distances`: ``distances`` maps
+        ``(target, k)`` to the array :meth:`distances_to_target` would have
+        computed, and seeded entries are not charged to
+        :attr:`BatchStats.reverse_bfs_runs`.  Use it to hand a warmed cache
+        to a fresh session — e.g. one built against a shared-memory graph in
+        another process, seeded with zero-copy views of a cache pack whose
+        BFS cost was already accounted elsewhere.
+        """
+        with self._lock:
+            needed = len(self._distances) + len(distances)
+            if needed > self._max_cached:
+                self._max_cached = needed
+            for (target, k), array in distances.items():
+                self._distances[(int(target), int(k), None)] = (None, array)
+
+    def export_distances(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """The unconstrained cache entries as ``{(target, k): distances}``.
+
+        Constrained entries are keyed by constraint object identity, which
+        is meaningless in another process, so only the shareable
+        (constraint-free) part of the cache is exported.
+        """
+        with self._lock:
+            return {
+                (key[0], key[1]): value[1]
+                for key, value in self._distances.items()
+                if key[2] is None
+            }
+
     # -- evaluation ---------------------------------------------------- #
     def run(self, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
         """Evaluate one query through the session cache."""
         config = config if config is not None else RunConfig()
-        if not isinstance(self.algorithm, _IndexedAlgorithm):
+        if not isinstance(self.algorithm, _DISTANCE_AWARE):
             # Baselines have no index build to share; run them untouched.
             with self._lock:
                 self.stats.queries_run += 1
@@ -442,10 +505,19 @@ class BatchExecutor:
         started = time.perf_counter()
         if self.max_workers > 1 and len(queries) > 1:
             fresh = set(self.session.prepare(queries, config.constraint))
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(
-                    pool.map(lambda query: self.session.run(query, config), queries)
-                )
+            pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            try:
+                futures = [
+                    pool.submit(self.session.run, query, config) for query in queries
+                ]
+                # A failing query must not leave queued work running (or the
+                # caller blocked on a half-consumed pool): the shutdown in
+                # the finally cancels everything outstanding, and the
+                # worker's exception re-raises with its original traceback
+                # preserved by the futures machinery.
+                results = [future.result() for future in futures]
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
             # Pre-warming makes every pool query look like a cache hit;
             # charge each fresh BFS back to the first query that needed it
             # so hit counts match what a sequential run would report.
@@ -462,6 +534,368 @@ class BatchExecutor:
         # Snapshot: the session keeps accumulating across run() calls, and a
         # returned BatchResult must not change under a later batch.
         return BatchResult(results=results, stats=replace(self.stats))
+
+
+# --------------------------------------------------------------------- #
+# process-parallel sharded batch execution
+# --------------------------------------------------------------------- #
+#: Per-worker-process state installed by :func:`_process_worker_init` and
+#: reused across every shard the worker evaluates.  ``ProcessPoolExecutor``
+#: runs the initializer exactly once per worker, so the shared graph is
+#: attached once per process, not once per shard.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _process_worker_init(graph_handle: StoreHandle, algorithm: Algorithm) -> None:
+    """Attach the shared graph in a freshly spawned/forked worker."""
+    _WORKER_STATE["graph"] = DiGraph.from_handle(graph_handle)
+    _WORKER_STATE["algorithm"] = algorithm
+    _WORKER_STATE["cache_store"] = None
+    _WORKER_STATE["cache_name"] = None
+    _WORKER_STATE["distances"] = {}
+
+
+def _attach_distance_cache(cache_handle: Optional[StoreHandle]) -> Mapping:
+    """Map the shared distance cache, reusing the attachment across shards."""
+    if cache_handle is None:
+        return {}
+    if cache_handle.segment_name != _WORKER_STATE["cache_name"]:
+        previous = _WORKER_STATE["cache_store"]
+        if previous is not None:
+            previous.close()
+        store = SharedMemoryStore.attach(cache_handle)
+        matrix = store.get("distances")
+        _WORKER_STATE["cache_store"] = store
+        _WORKER_STATE["cache_name"] = cache_handle.segment_name
+        _WORKER_STATE["distances"] = {
+            (int(target), int(k)): matrix[row]
+            for row, (target, k) in enumerate(store.meta["keys"])
+        }
+    return _WORKER_STATE["distances"]
+
+
+def _process_worker_run_shard(payload) -> List[Tuple[int, QueryResult]]:
+    """Worker entry point: evaluate one target shard against the shared graph."""
+    shard, config, cache_handle = payload
+    return _run_shard_queries(
+        _WORKER_STATE["graph"],
+        _WORKER_STATE["algorithm"],
+        config,
+        shard,
+        _attach_distance_cache(cache_handle),
+    )
+
+
+def _run_shard_queries(
+    graph: DiGraph,
+    algorithm: Algorithm,
+    config: RunConfig,
+    shard: Sequence[Tuple[int, Tuple[int, int, int]]],
+    distances: Mapping[Tuple[int, int], np.ndarray],
+) -> List[Tuple[int, QueryResult]]:
+    """Evaluate ``shard`` (``(position, (s, t, k))`` tuples) sequentially.
+
+    Queries are grouped by ``(target, k)``: the group shares one reverse-BFS
+    array (from the shared cache, by construction warm for every key of the
+    shard) and its forward BFS trees are grown together in one multi-source
+    sweep.  Injected arrays equal the per-query ones exactly, so results —
+    path lists included, in order — are identical to sequential session
+    evaluation.  Shared by the worker processes and the ``processes=1``
+    inline path, which is what makes the equivalence testable in-process.
+    """
+    out: List[Tuple[int, QueryResult]] = []
+    if not isinstance(algorithm, _DISTANCE_AWARE):
+        # Baselines: no index build, no distance reuse — plain evaluation.
+        for position, (s, t, k) in shard:
+            out.append((position, algorithm.run(graph, Query(s, t, k), config)))
+        return out
+    groups: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for position, (s, t, k) in shard:
+        groups.setdefault((t, k), []).append((position, s))
+    for (t, k), members in groups.items():
+        dist_to_t = distances.get((t, k))
+        if dist_to_t is None:
+            dist_to_t = bfs_distances_bounded(graph, t, cutoff=k, reverse=True)
+        # Sweep (and hold) the forward distance matrix one source chunk at a
+        # time: peak extra memory stays at O(chunk * |V|) however many
+        # queries share the target, and chunking cannot change any row.
+        for start in range(0, len(members), DEFAULT_SOURCE_CHUNK):
+            chunk = members[start : start + DEFAULT_SOURCE_CHUNK]
+            forward = None
+            if len(chunk) > 1:
+                forward = multi_source_bfs_distances_bounded(
+                    graph, [s for _, s in chunk], cutoff=k, no_expand=t
+                )
+            for row, (position, s) in enumerate(chunk):
+                result = algorithm.run(
+                    graph,
+                    Query(s, t, k),
+                    config,
+                    dist_to_t=dist_to_t,
+                    dist_from_s=None if forward is None else forward[row],
+                )
+                out.append((position, result))
+    return out
+
+
+def _default_start_method() -> str:
+    """``fork`` on Linux (cheap, copy-on-write), else ``spawn``.
+
+    macOS lists ``fork`` as available but forking a multi-threaded parent
+    (the pool's management thread, numpy's Accelerate backend) can deadlock
+    in system frameworks — the same reason CPython switched the platform
+    default to ``spawn``.
+    """
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class ProcessBatchExecutor:
+    """Target-sharded batch evaluation across worker processes.
+
+    The GIL caps :class:`BatchExecutor`'s thread pool at one core of useful
+    work; this executor fans out to real processes instead:
+
+    1. the workload is partitioned by target with
+       :func:`~repro.workloads.queries.partition_by_target` — every query of
+       a ``(target, k)`` key lands in the same shard, so no distance array
+       is ever computed twice across workers;
+    2. the graph is published once into shared memory
+       (:meth:`~repro.graph.digraph.DiGraph.share`) and the distinct
+       reverse-BFS arrays are warmed in the parent and packed into a second
+       read-mostly segment — workers attach both zero-copy;
+    3. each worker evaluates its shards sequentially, growing the forward
+       BFS trees of a target group in one multi-source sweep.
+
+    Results come back in workload order and are identical, path lists
+    included, to evaluating the same workload through a sequential
+    :class:`QuerySession`.  Constraints and streaming callbacks hold
+    process-local state and are rejected — use :class:`BatchExecutor` for
+    those.
+
+    The executor owns two shared-memory segments; call :meth:`close` (or use
+    it as a context manager) so they are unlinked deterministically instead
+    of at interpreter teardown.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        algorithm: Optional[Algorithm] = None,
+        processes: Optional[int] = None,
+        shards: Optional[int] = None,
+        start_method: Optional[str] = None,
+        max_cached: int = 1024,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be at least 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.graph = graph
+        self.algorithm = algorithm if algorithm is not None else PathEnum()
+        self.processes = int(processes) if processes else (os.cpu_count() or 1)
+        self.shards = None if shards is None else int(shards)
+        self.start_method = start_method or _default_start_method()
+        self.stats = BatchStats()
+        #: Parent-side distance cache — a :class:`QuerySession`, so warm /
+        #: evict / charge semantics live in exactly one place.  It persists
+        #: across run() calls, letting later batches against the same
+        #: targets skip the warm phase entirely.
+        self._session = QuerySession(
+            graph, algorithm=self.algorithm, max_cached=max_cached
+        )
+        self._cache_store: Optional[SharedMemoryStore] = None
+        self._packed_keys: Tuple[Tuple[int, int], ...] = ()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._graph_published_here = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------- #
+    def __enter__(self) -> "ProcessBatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink owned shared segments.
+
+        The graph segment is unlinked only when this executor published it;
+        the parent's (and any still-attached worker's) mapping stays valid
+        until closed — unlinking merely removes the name so nothing leaks
+        past process exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._cache_store is not None:
+            self._cache_store.close(unlink=True)
+            self._cache_store = None
+        store = self.graph.store
+        if self._graph_published_here and store is not None and store.shareable:
+            if store.is_owner:
+                store.unlink()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- internals ----------------------------------------------------- #
+    def _check_config(self, config: RunConfig) -> None:
+        if config.constraint is not None:
+            raise ValueError(
+                "path constraints hold process-local state (their edge "
+                "filters are closures) and cannot cross a process boundary; "
+                "use BatchExecutor for constrained workloads"
+            )
+        if config.on_result is not None:
+            raise ValueError(
+                "streaming callbacks cannot cross a process boundary; "
+                "use BatchExecutor for on_result workloads"
+            )
+
+    def _warm_distances(self, queries: Sequence[Query]) -> List[Tuple[int, int]]:
+        """Run the reverse BFS once per distinct ``(target, k)`` key.
+
+        Delegates to :meth:`QuerySession.prepare` (after growing the cache
+        bound, as :class:`BatchExecutor` does) and returns the keys that
+        were actually computed, so per-query hit flags can be charged
+        exactly as a sequential session would.
+        """
+        distinct = {self._session._key(query, None) for query in queries}
+        self._session.ensure_capacity(len(distinct))
+        before = self._session.stats.reverse_bfs_runs
+        fresh_keys = self._session.prepare(queries)
+        self.stats.reverse_bfs_runs += self._session.stats.reverse_bfs_runs - before
+        return [(key[0], key[1]) for key in fresh_keys]
+
+    def _pack_distances(self) -> Optional[StoreHandle]:
+        """Publish the parent distance cache as one shared ``(keys, n)`` matrix."""
+        distances = self._session.export_distances()
+        if not distances:
+            return None
+        keys = tuple(distances)
+        if self._cache_store is not None and keys == self._packed_keys:
+            return self._cache_store.handle()
+        if self._cache_store is not None:
+            self._cache_store.close(unlink=True)
+        matrix = np.stack([distances[key] for key in keys])
+        self._cache_store = SharedMemoryStore.pack(
+            {"distances": matrix}, meta={"keys": list(keys)}
+        )
+        self._packed_keys = keys
+        return self._cache_store.handle()
+
+    def _ensure_pool(self, num_workers: int) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_workers >= num_workers:
+            return self._pool
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        store = self.graph.store
+        already_shared = (
+            store is not None
+            and store.shareable
+            and not getattr(store, "is_unlinked", False)
+        )
+        graph_handle = self.graph.share()
+        if not already_shared:
+            # Only unlink at close() what this executor itself published.
+            self._graph_published_here = True
+        self._pool_workers = num_workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=num_workers,
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_process_worker_init,
+            initargs=(graph_handle, self.algorithm),
+        )
+        return self._pool
+
+    # -- execution ----------------------------------------------------- #
+    def run(
+        self,
+        workload: Sequence[Query],
+        config: Optional[RunConfig] = None,
+    ) -> BatchResult:
+        """Evaluate every query of ``workload`` and return the batch result."""
+        from repro.workloads.queries import partition_by_target
+
+        config = config if config is not None else RunConfig()
+        self._check_config(config)
+        if self._closed:
+            raise RuntimeError("ProcessBatchExecutor is closed")
+        queries = list(workload)
+        started = time.perf_counter()
+        if not queries:
+            self.stats.wall_seconds = time.perf_counter() - started
+            return BatchResult(results=[], stats=replace(self.stats))
+
+        distance_aware = isinstance(self.algorithm, _DISTANCE_AWARE)
+        fresh: List[Tuple[int, int]] = []
+        cache_handle: Optional[StoreHandle] = None
+        num_shards = self.shards if self.shards is not None else self.processes
+        shards = partition_by_target(queries, num_shards)
+        plain = [
+            [(position, (q.source, q.target, q.k)) for position, q in shard]
+            for shard in shards
+        ]
+        if distance_aware:
+            fresh = self._warm_distances(queries)
+
+        if self.processes > 1 and len(shards) > 1:
+            if distance_aware:
+                cache_handle = self._pack_distances()
+            pool = self._ensure_pool(min(self.processes, len(shards)))
+            futures = [
+                pool.submit(_process_worker_run_shard, (shard, config, cache_handle))
+                for shard in plain
+            ]
+            try:
+                shard_results = [future.result() for future in futures]
+            except BaseException:
+                # Same contract as the thread pool: a failing shard cancels
+                # everything outstanding (shutdown does the cancelling) and
+                # surfaces the worker's original traceback, chained by the
+                # futures machinery.
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+                raise
+        else:
+            inline_distances = self._session.export_distances()
+            shard_results = [
+                _run_shard_queries(
+                    self.graph, self.algorithm, config, shard, inline_distances
+                )
+                for shard in plain
+            ]
+
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        for shard_result in shard_results:
+            for position, result in shard_result:
+                results[position] = result
+
+        self.stats.queries_run += len(queries)
+        if distance_aware:
+            # Charge each fresh reverse BFS to the first query that needed
+            # it (in workload order), exactly as a sequential session does.
+            fresh_set = set(fresh)
+            charged: set = set()
+            for position, query in enumerate(queries):
+                key = (query.target, query.k)
+                paid = key in fresh_set and key not in charged
+                if paid:
+                    charged.add(key)
+                results[position].stats.bfs_cache_hit = not paid
+            self.stats.bfs_cache_hits += len(queries) - len(charged)
+        self.stats.wall_seconds = time.perf_counter() - started
+        return BatchResult(results=list(results), stats=replace(self.stats))
 
 
 # --------------------------------------------------------------------- #

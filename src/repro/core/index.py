@@ -141,6 +141,7 @@ class LightWeightIndex:
         deadline: Optional[Deadline] = None,
         stats: Optional[EnumerationStats] = None,
         dist_to_t: Optional[np.ndarray] = None,
+        dist_from_s: Optional[np.ndarray] = None,
     ) -> "LightWeightIndex":
         """Build the index for ``query`` on ``graph``.
 
@@ -155,15 +156,22 @@ class LightWeightIndex:
         therefore identical result sets, at the cost of slightly weaker
         pruning.  When provided, the reverse BFS is skipped entirely, which
         removes roughly half of the build cost for target-sharing workloads.
+
+        ``dist_from_s`` likewise injects the forward distances.  Unlike the
+        reverse array it must equal the restricted forward BFS exactly
+        (``no_expand=t``, same edge filter) — the sharded batch executor
+        obtains it from a multi-source sweep over every query of a shard,
+        which produces the same unique BFS distances level for level.
         """
         query.validate(graph)
         started = time.perf_counter()
         s, t, k = query.source, query.target, query.k
 
         bfs_started = time.perf_counter()
-        dist_from_s = bfs_distances_bounded(
-            graph, s, cutoff=k, no_expand=t, edge_filter=edge_filter
-        )
+        if dist_from_s is None:
+            dist_from_s = bfs_distances_bounded(
+                graph, s, cutoff=k, no_expand=t, edge_filter=edge_filter
+            )
         used_cache = dist_to_t is not None
         if dist_to_t is None:
             dist_to_t = bfs_distances_bounded(

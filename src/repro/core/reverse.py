@@ -26,6 +26,8 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+import numpy as np
+
 from repro.core.algorithm import Algorithm, timed_run
 from repro.core.index import LightWeightIndex
 from repro.core.listener import Deadline, ResultCollector, RunConfig
@@ -114,7 +116,23 @@ class IdxDfsReverse(Algorithm):
 
     name = "IDX-DFS-REV"
 
-    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+    def run(
+        self,
+        graph: DiGraph,
+        query: Query,
+        config: Optional[RunConfig] = None,
+        *,
+        dist_to_t: Optional[np.ndarray] = None,
+        dist_from_s: Optional[np.ndarray] = None,
+    ) -> QueryResult:
+        """Evaluate ``query`` backwards.
+
+        ``dist_to_t`` / ``dist_from_s`` optionally inject precomputed
+        distance arrays, mirroring the forward algorithms — this is what
+        lets a :class:`~repro.core.engine.QuerySession` (and therefore the
+        batch executors) drive the reverse plan through the same shared
+        distance cache.
+        """
         config = config if config is not None else RunConfig()
         if config.constraint is not None:
             raise ValueError(
@@ -123,7 +141,14 @@ class IdxDfsReverse(Algorithm):
         query.validate(graph)
 
         def body(collector, deadline, stats) -> None:
-            index = LightWeightIndex.build(graph, query, deadline=deadline, stats=stats)
+            index = LightWeightIndex.build(
+                graph,
+                query,
+                deadline=deadline,
+                stats=stats,
+                dist_to_t=dist_to_t,
+                dist_from_s=dist_from_s,
+            )
             enumeration_started = time.perf_counter()
             try:
                 run_idx_dfs_reverse(index, collector, deadline=deadline, stats=stats)

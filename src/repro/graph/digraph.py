@@ -21,11 +21,12 @@ stored aligned with ``out_indices`` so that constraint-aware enumeration
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.store import GraphStore, SharedMemoryStore, StoreHandle, open_store
 
 __all__ = ["DiGraph", "ragged_gather", "ragged_targets"]
 
@@ -103,6 +104,7 @@ class DiGraph:
         "_edge_labels",
         "_vertex_ids",
         "_id_index",
+        "_store",
     )
 
     def __init__(
@@ -116,6 +118,7 @@ class DiGraph:
         edge_weights: Optional[np.ndarray] = None,
         edge_labels: Optional[Sequence[Optional[str]]] = None,
         vertex_ids: Optional[Sequence[Hashable]] = None,
+        store: Optional[Union[str, GraphStore]] = None,
     ) -> None:
         if num_vertices < 0:
             raise GraphError("number of vertices must be non-negative")
@@ -152,6 +155,11 @@ class DiGraph:
                 "out-adjacency rows must be sorted ascending; build graphs "
                 "through GraphBuilder, which guarantees the invariant"
             )
+        self._store: Optional[GraphStore] = None
+        if isinstance(store, GraphStore):
+            self._bind_store(store)
+        elif store is not None and store != "heap":
+            self._bind_store(open_store(store, self._csr_arrays(), self._store_meta()))
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -169,8 +177,131 @@ class DiGraph:
     def __len__(self) -> int:
         return self._num_vertices
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DiGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
+    def __repr__(self) -> str:
+        extras = []
+        if self.has_edge_weights:
+            extras.append("weighted")
+        if self.has_edge_labels:
+            extras.append("labeled")
+        if self.has_external_ids:
+            extras.append("external_ids")
+        suffix = f", {'+'.join(extras)}" if extras else ""
+        return (
+            f"DiGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges}, "
+            f"backend={self.store_backend!r}{suffix})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # storage backends
+    # ------------------------------------------------------------------ #
+    def _csr_arrays(self) -> Dict[str, np.ndarray]:
+        """The numpy arrays that constitute the graph's bulk storage."""
+        arrays = {
+            "out_indptr": self._out_indptr,
+            "out_indices": self._out_indices,
+            "in_indptr": self._in_indptr,
+            "in_indices": self._in_indices,
+        }
+        if self._edge_weights is not None:
+            arrays["edge_weights"] = self._edge_weights
+        return arrays
+
+    def _store_meta(self) -> Dict[str, object]:
+        """Small picklable extras that ride a store handle's pickle.
+
+        Labels and external ids are per-element Python objects; they travel
+        with the handle rather than the segment, so only the O(|V| + |E|)
+        integer arrays need zero-copy treatment.
+        """
+        return {
+            "num_vertices": self._num_vertices,
+            "edge_labels": self._edge_labels,
+            "vertex_ids": self._vertex_ids,
+        }
+
+    def _bind_store(self, store: GraphStore) -> None:
+        """Rebind the CSR arrays to the views owned by ``store``."""
+        arrays = store.arrays()
+        self._out_indptr = arrays["out_indptr"]
+        self._out_indices = arrays["out_indices"]
+        self._in_indptr = arrays["in_indptr"]
+        self._in_indices = arrays["in_indices"]
+        if "edge_weights" in arrays:
+            self._edge_weights = arrays["edge_weights"]
+        self._store = store
+
+    @property
+    def store_backend(self) -> str:
+        """Name of the storage backend holding the CSR arrays."""
+        return "heap" if self._store is None else self._store.backend
+
+    @property
+    def store(self) -> Optional[GraphStore]:
+        """The backing :class:`GraphStore`, or ``None`` for plain heap arrays."""
+        return self._store
+
+    def share(self) -> StoreHandle:
+        """Publish the graph into shared memory and return a picklable handle.
+
+        The first call packs the CSR arrays into one shared-memory segment
+        and rebinds this graph to views of it, so the publishing process
+        keeps exactly one copy of the data; later calls reuse the segment.
+        Worker processes rebuild the graph with :meth:`from_handle` at the
+        cost of a page-table mapping, never a copy.  The publisher owns the
+        segment and must call :meth:`close_store` (with ``unlink=True``)
+        when every attacher is done with it.
+        """
+        store = self._store
+        stale = (
+            store is None
+            or not store.shareable
+            or getattr(store, "is_unlinked", False)
+        )
+        if stale:
+            # Also covers re-publishing after a previous segment was
+            # unlinked: the old views are still readable, so packing from
+            # them into a fresh segment is safe.
+            self._bind_store(
+                SharedMemoryStore.pack(self._csr_arrays(), self._store_meta())
+            )
+        return self._store.handle()
+
+    @classmethod
+    def from_handle(cls, handle: StoreHandle) -> "DiGraph":
+        """Attach a graph published by :meth:`share` in another process."""
+        store = SharedMemoryStore.attach(handle)
+        arrays = store.arrays()
+        return cls(
+            int(store.meta["num_vertices"]),
+            arrays["out_indptr"],
+            arrays["out_indices"],
+            arrays["in_indptr"],
+            arrays["in_indices"],
+            edge_weights=arrays.get("edge_weights"),
+            edge_labels=store.meta.get("edge_labels"),
+            vertex_ids=store.meta.get("vertex_ids"),
+            store=store,
+        )
+
+    def close_store(self, *, unlink: bool = False) -> None:
+        """Release the backing store mapping (no-op for heap graphs).
+
+        After closing, the CSR views are stale — the graph must not be used
+        again.  Owners pass ``unlink=True`` to also destroy the segment.
+        """
+        if self._store is not None:
+            self._store.close(unlink=unlink)
+
+    def memory_usage(self) -> Dict[str, object]:
+        """Node/edge counts plus per-array nbytes of the bulk storage."""
+        per_array = {name: int(a.nbytes) for name, a in self._csr_arrays().items()}
+        return {
+            "backend": self.store_backend,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "arrays": per_array,
+            "total_bytes": sum(per_array.values()),
+        }
 
     def vertices(self) -> range:
         """Iterate over the internal vertex ids ``0 .. n - 1``."""

@@ -1,9 +1,17 @@
-"""Reading and writing SNAP-style edge lists.
+"""Reading and writing graphs: SNAP-style edge lists and binary snapshots.
 
 The paper's datasets are distributed as whitespace-separated edge lists with
 ``#`` comment headers (SNAP) or ``%`` headers (networkrepository).  The
 reader accepts both, plus optional per-edge weight and label columns, and
 transparently handles gzip-compressed files.
+
+For serving deployments the text formats are the wrong tool: parsing and
+builder relabelling dominate start-up.  :func:`save_npz` / :func:`load_npz`
+persist the CSR arrays directly (the immutable "graph image" pattern of
+compressed-graph serving systems), and ``load_npz(..., store="shared_memory")``
+materialises the image straight into a shareable
+:class:`~repro.graph.store.GraphStore` so a fleet of worker processes can
+attach it without ever holding a private copy.
 """
 
 from __future__ import annotations
@@ -12,11 +20,19 @@ import gzip
 from pathlib import Path
 from typing import IO, Iterable, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
 
-__all__ = ["read_edge_list", "write_edge_list", "parse_edge_lines"]
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_lines",
+    "save_npz",
+    "load_npz",
+]
 
 PathLike = Union[str, Path]
 _COMMENT_PREFIXES = ("#", "%", "//")
@@ -95,6 +111,95 @@ def read_edge_list(
     if builder.num_vertices == 0:
         raise GraphError(f"no edges found in {path}")
     return builder.build()
+
+
+def save_npz(graph: DiGraph, path: PathLike) -> Path:
+    """Persist ``graph`` as a compressed binary CSR snapshot.
+
+    External vertex ids are stored when they are all integers or all
+    strings (the shapes produced by the edge-list readers); exotic hashable
+    ids do not fit an npz array and raise :class:`GraphError`.  Edge labels
+    travel as a string column plus a missing-value mask, so ``None`` and
+    ``""`` stay distinguishable.
+    """
+    path = Path(path)
+    out_indptr, out_indices = graph.out_csr()
+    in_indptr, in_indices = graph.in_csr()
+    payload = {
+        "num_vertices": np.asarray([graph.num_vertices], dtype=np.int64),
+        "out_indptr": out_indptr,
+        "out_indices": out_indices,
+        "in_indptr": in_indptr,
+        "in_indices": in_indices,
+    }
+    if graph.has_edge_weights:
+        # The CSR-aligned weights array exists as-is; no per-edge loop.
+        payload["edge_weights"] = graph._csr_arrays()["edge_weights"]
+    if graph.has_external_ids:
+        ids = [graph.to_external(v) for v in graph.vertices()]
+        if all(isinstance(vid, (int, np.integer)) for vid in ids):
+            payload["vertex_ids"] = np.asarray(ids, dtype=np.int64)
+            payload["vertex_id_kind"] = np.asarray(["int"])
+        elif all(isinstance(vid, str) for vid in ids):
+            payload["vertex_ids"] = np.asarray(ids, dtype=np.str_)
+            payload["vertex_id_kind"] = np.asarray(["str"])
+        else:
+            raise GraphError(
+                "save_npz supports integer or string vertex ids only; "
+                "write an edge list for graphs with other id types"
+            )
+    if graph.has_edge_labels:
+        labels = graph._edge_labels  # CSR-aligned, same layout the writer needs
+        payload["edge_label_mask"] = np.asarray(
+            [label is not None for label in labels], dtype=bool
+        )
+        payload["edge_labels"] = np.asarray(
+            [label if label is not None else "" for label in labels], dtype=np.str_
+        )
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return path
+
+
+def load_npz(path: PathLike, *, store: Optional[str] = None) -> DiGraph:
+    """Load a :func:`save_npz` snapshot, optionally into a store backend.
+
+    ``store="shared_memory"`` copies the arrays into a fresh shared-memory
+    segment during construction, so the loading process can immediately
+    :meth:`~repro.graph.digraph.DiGraph.share` the graph with worker
+    processes without holding a second private copy.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        num_vertices = int(data["num_vertices"][0])
+        edge_weights = data["edge_weights"] if "edge_weights" in data.files else None
+        vertex_ids = None
+        if "vertex_ids" in data.files:
+            raw_ids = data["vertex_ids"]
+            kind = str(data["vertex_id_kind"][0]) if "vertex_id_kind" in data.files else "int"
+            vertex_ids = (
+                [int(vid) for vid in raw_ids]
+                if kind == "int"
+                else [str(vid) for vid in raw_ids]
+            )
+        edge_labels = None
+        if "edge_labels" in data.files:
+            mask = data["edge_label_mask"]
+            edge_labels = [
+                str(label) if present else None
+                for label, present in zip(data["edge_labels"], mask)
+            ]
+        return DiGraph(
+            num_vertices,
+            data["out_indptr"],
+            data["out_indices"],
+            data["in_indptr"],
+            data["in_indices"],
+            edge_weights=edge_weights,
+            edge_labels=edge_labels,
+            vertex_ids=vertex_ids,
+            store=store,
+        )
 
 
 def write_edge_list(

@@ -1,0 +1,317 @@
+"""Pluggable array storage backends for graph and distance-cache data.
+
+:class:`~repro.graph.digraph.DiGraph` keeps its CSR arrays inside a
+:class:`GraphStore`.  Two backends exist:
+
+* :class:`HeapStore` — plain process-private numpy arrays (the default; the
+  behaviour the package always had);
+* :class:`SharedMemoryStore` — one ``multiprocessing.shared_memory`` segment
+  holding every array back to back, so a graph (or a distance cache) can be
+  *published once* and attached zero-copy by any number of worker processes.
+
+A shared store is described by a small picklable :class:`StoreHandle` (the
+segment name plus an array layout); sending the handle to a worker costs a
+few hundred bytes regardless of graph size, which is the pattern large
+compressed-graph systems (e.g. swh-graph) use to fan one immutable graph
+image out to many readers.
+
+Lifecycle rules
+---------------
+
+* The process that calls :meth:`SharedMemoryStore.pack` *owns* the segment
+  and must eventually call :meth:`SharedMemoryStore.unlink` (or
+  ``close(unlink=True)``), otherwise the segment outlives the process.
+* Attachers call :meth:`SharedMemoryStore.attach` and ``close()`` when done;
+  closing an attachment never destroys the segment.
+* On Python < 3.13 the stdlib registers *attached* segments with the
+  ``resource_tracker``, which would unlink them when the attaching process
+  exits — destroying the owner's data.  :meth:`attach` therefore unregisters
+  the segment from the tracker of the attaching process; only the owner is
+  responsible for cleanup.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = [
+    "GraphStore",
+    "HeapStore",
+    "SharedMemoryStore",
+    "StoreHandle",
+    "open_store",
+]
+
+#: 8-byte alignment keeps every int64/float64 view naturally aligned.
+_ALIGNMENT = 8
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+#: Serialises the pre-3.13 registration-suppressing monkeypatch below:
+#: without it, two concurrent attaches could each save the other's no-op
+#: as the "original" and leave tracking disabled process-wide.
+_ATTACH_LOCK = threading.Lock()
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without registering it for cleanup.
+
+    Before Python 3.13 (which added ``track=False``) the stdlib registers
+    *every* opened segment with the resource tracker.  For an attacher that
+    is wrong twice over: a ``spawn`` child's own tracker would unlink the
+    owner's segment when the child exits, and a ``fork`` child shares the
+    owner's tracker, so unregistering after the fact would drop the owner's
+    registration instead.  Suppressing registration during the open leaves
+    cleanup responsibility exactly where it belongs — with the owner.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        pass
+    with _ATTACH_LOCK:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """Picklable description of a shared-memory array pack.
+
+    ``layout`` maps each array name to ``(offset, shape, dtype_str)`` inside
+    the segment; ``meta`` carries small picklable extras (external vertex
+    ids, edge labels, ...) that ride the pickle instead of the segment.
+    """
+
+    segment_name: str
+    layout: Dict[str, Tuple[int, Tuple[int, ...], str]]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def attach(self) -> "SharedMemoryStore":
+        """Open the described segment in this process (read-only views)."""
+        return SharedMemoryStore.attach(self)
+
+
+class GraphStore:
+    """Common interface of the array storage backends."""
+
+    #: Short backend identifier (``"heap"`` / ``"shared_memory"``).
+    backend: str = "abstract"
+    #: Whether :meth:`handle` can describe this store to another process.
+    shareable: bool = False
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The stored arrays by name."""
+        raise NotImplementedError
+
+    def get(self, name: str) -> np.ndarray:
+        """One stored array by name."""
+        return self.arrays()[name]
+
+    def nbytes(self) -> Dict[str, int]:
+        """Per-array storage size in bytes."""
+        return {name: int(array.nbytes) for name, array in self.arrays().items()}
+
+    def handle(self) -> StoreHandle:
+        """A picklable handle another process can attach (shareable stores)."""
+        raise GraphError(f"{self.backend!r} store cannot be shared across processes")
+
+    def close(self, *, unlink: bool = False) -> None:
+        """Release this process's mapping (and the segment when ``unlink``)."""
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HeapStore(GraphStore):
+    """Process-private storage: arrays live on the ordinary Python heap."""
+
+    backend = "heap"
+    shareable = False
+
+    def __init__(self, arrays: Optional[Mapping[str, np.ndarray]] = None) -> None:
+        self._arrays: Dict[str, np.ndarray] = {}
+        if arrays:
+            for name, array in arrays.items():
+                self._arrays[name] = np.ascontiguousarray(array)
+
+    @classmethod
+    def pack(
+        cls, arrays: Mapping[str, np.ndarray], meta: Optional[Mapping[str, object]] = None
+    ) -> "HeapStore":
+        """Build a heap store from ``arrays`` (``meta`` is kept for symmetry)."""
+        store = cls(arrays)
+        store.meta = dict(meta or {})
+        return store
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return self._arrays
+
+
+class SharedMemoryStore(GraphStore):
+    """All arrays packed back to back into one shared-memory segment.
+
+    Create with :meth:`pack` (the owner) or :meth:`attach` (a reader).  The
+    arrays returned by :meth:`arrays` are views straight into the segment —
+    attachment copies nothing, no matter how large the graph is.  Attached
+    views are marked read-only; the pack is a *read-mostly* publication, not
+    a coordination channel.
+    """
+
+    backend = "shared_memory"
+    shareable = True
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: Dict[str, Tuple[int, Tuple[int, ...], str]],
+        meta: Dict[str, object],
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._layout = layout
+        self.meta = meta
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._views: Dict[str, np.ndarray] = {}
+        for name, (offset, shape, dtype) in layout.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            if not owner:
+                view.flags.writeable = False
+            self._views[name] = view
+
+    # -- construction -------------------------------------------------- #
+    @classmethod
+    def pack(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "SharedMemoryStore":
+        """Copy ``arrays`` into a fresh segment owned by this process."""
+        layout: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+        offset = 0
+        materialised: Dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            materialised[name] = array
+            layout[name] = (offset, tuple(array.shape), array.dtype.str)
+            offset = _aligned(offset + array.nbytes)
+        # A zero-byte segment is invalid; keep one alignment unit for the
+        # degenerate all-empty-arrays case (e.g. an edgeless graph).
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, _ALIGNMENT))
+        store = cls(shm, layout, dict(meta or {}), owner=True)
+        for name, array in materialised.items():
+            if array.size:
+                store._views[name][...] = array
+        return store
+
+    @classmethod
+    def attach(cls, handle: StoreHandle) -> "SharedMemoryStore":
+        """Map an existing segment described by ``handle`` into this process."""
+        try:
+            shm = _open_untracked(handle.segment_name)
+        except FileNotFoundError:
+            raise GraphError(
+                f"shared graph segment {handle.segment_name!r} does not exist "
+                "(the owner may have unlinked it already)"
+            ) from None
+        return cls(shm, dict(handle.layout), dict(handle.meta), owner=False)
+
+    # -- GraphStore interface ------------------------------------------ #
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return self._views
+
+    def handle(self) -> StoreHandle:
+        return StoreHandle(self._shm.name, dict(self._layout), dict(self.meta))
+
+    @property
+    def segment_name(self) -> str:
+        """Name of the backing shared-memory segment."""
+        return self._shm.name
+
+    @property
+    def is_owner(self) -> bool:
+        """``True`` in the process that created (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def is_unlinked(self) -> bool:
+        """``True`` once the segment name was removed; new attaches will fail."""
+        return self._unlinked
+
+    def close(self, *, unlink: bool = False) -> None:
+        """Drop this process's mapping; owners may also destroy the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views = {}
+        self._shm.close()
+        if unlink and self._owner:
+            self.unlink()
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only).
+
+        Existing mappings — the owner's included — stay valid until each
+        process closes its attachment; only *new* attaches become
+        impossible, and the memory is freed once the last mapping goes.
+        """
+        if not self._owner:
+            raise GraphError("only the owning process may unlink a shared segment")
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            if not self._closed:
+                self._shm.close()
+        except Exception:
+            pass
+
+
+#: Registry of backend names accepted by :func:`open_store` and by
+#: :class:`~repro.graph.digraph.DiGraph`'s ``store=`` parameter.
+_BACKENDS = {
+    HeapStore.backend: HeapStore,
+    SharedMemoryStore.backend: SharedMemoryStore,
+    "shm": SharedMemoryStore,
+}
+
+
+def open_store(
+    backend: str,
+    arrays: Mapping[str, np.ndarray],
+    meta: Optional[Mapping[str, object]] = None,
+) -> GraphStore:
+    """Pack ``arrays`` into a store of the named backend."""
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise GraphError(
+            f"unknown graph store backend {backend!r}; "
+            f"available: {', '.join(sorted(_BACKENDS))}"
+        ) from None
+    return cls.pack(arrays, meta)

@@ -12,6 +12,7 @@ setting, and the paper's default, draws both endpoints from ``V'``.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -26,6 +27,7 @@ __all__ = [
     "QuerySetting",
     "QueryWorkload",
     "split_by_degree",
+    "partition_by_target",
     "generate_query_set",
     "generate_target_centric_set",
     "generate_all_settings",
@@ -102,6 +104,43 @@ class QueryWorkload:
                 seen.add(query.target)
                 targets.append(query.target)
         return targets
+
+
+def partition_by_target(
+    queries: Sequence[Query], num_shards: int
+) -> List[List[Tuple[int, Query]]]:
+    """Partition ``queries`` into at most ``num_shards`` target-affine shards.
+
+    Every query with the same ``(target, k)`` — the distance-cache key of
+    :class:`~repro.core.engine.QuerySession` — lands in the same shard, so a
+    worker evaluating one shard owns all reuse opportunities of its targets
+    and no reverse-BFS array is ever computed in two processes.  Groups are
+    balanced greedily (largest group first onto the least-loaded shard,
+    longest-processing-time heuristic), which keeps shard sizes even when a
+    few hub targets dominate the workload.
+
+    Returns non-empty shards of ``(original_position, query)`` pairs; the
+    positions let the caller reassemble results in workload order.  The
+    partition is deterministic for a given query sequence.
+    """
+    if num_shards < 1:
+        raise WorkloadError("num_shards must be positive")
+    groups: dict = {}
+    for position, query in enumerate(queries):
+        groups.setdefault((query.target, query.k), []).append((position, query))
+    if not groups:
+        return []
+    # Largest group first; ties broken by first appearance for determinism.
+    ordered = sorted(groups.values(), key=lambda group: (-len(group), group[0][0]))
+    shard_count = min(num_shards, len(ordered))
+    shards: List[List[Tuple[int, Query]]] = [[] for _ in range(shard_count)]
+    heap = [(0, index) for index in range(shard_count)]
+    heapq.heapify(heap)
+    for group in ordered:
+        load, index = heapq.heappop(heap)
+        shards[index].extend(group)
+        heapq.heappush(heap, (load + len(group), index))
+    return [shard for shard in shards if shard]
 
 
 def split_by_degree(graph: DiGraph, *, top_fraction: float = 0.10) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,337 @@
+"""Tests for process-parallel sharded batch execution.
+
+The contract mirrors the thread-pool batch layer: process execution is an
+optimisation, never a semantics change.  Every query evaluated through
+:class:`ProcessBatchExecutor` must return exactly the result (path list
+order included) of a sequential session run, under both the ``fork`` and
+``spawn`` start methods, without leaking shared-memory segments.
+
+Set ``REPRO_START_METHODS=fork`` (or ``spawn``) to restrict the
+parametrised start-method suite — the CI matrix uses this to give each
+start method its own job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.bc_dfs import BcDfs
+from repro.core.constraints import PredicateConstraint
+from repro.core.engine import (
+    BatchExecutor,
+    IdxDfs,
+    PathEnum,
+    ProcessBatchExecutor,
+    QuerySession,
+)
+from repro.core.algorithm import Algorithm
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.core.result import paths_are_valid
+from repro.graph.generators import erdos_renyi, power_law_graph
+from repro.graph.traversal import (
+    bfs_distances_bounded,
+    multi_source_bfs_distances_bounded,
+)
+from repro.workloads.queries import generate_target_centric_set, partition_by_target
+
+
+def _available_start_methods():
+    methods = [
+        method
+        for method in ("fork", "spawn")
+        if method in multiprocessing.get_all_start_methods()
+    ]
+    requested = os.environ.get("REPRO_START_METHODS")
+    if requested:
+        wanted = [m.strip() for m in requested.split(",")]
+        methods = [m for m in methods if m in wanted]
+    return methods or ["spawn"]
+
+
+START_METHODS = _available_start_methods()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(150, 4.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def shared_target_queries(graph):
+    workload = generate_target_centric_set(graph, count=12, k=4, num_targets=3, seed=5)
+    assert len(workload.unique_targets()) < len(workload)
+    return list(workload)
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestMultiSourceBfs:
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_matches_single_source_bfs(self, reverse):
+        g = power_law_graph(120, 4.0, exponent=2.3, seed=3)
+        rng = np.random.default_rng(17)
+        sources = rng.choice(g.num_vertices, size=8, replace=False)
+        blocked = int(rng.integers(0, g.num_vertices))
+        matrix = multi_source_bfs_distances_bounded(
+            g, sources, cutoff=4, reverse=reverse, no_expand=blocked
+        )
+        for row, s in enumerate(sources):
+            expected = bfs_distances_bounded(
+                g, int(s), cutoff=4, reverse=reverse, no_expand=blocked
+            )
+            assert np.array_equal(matrix[row], expected)
+
+    def test_duplicate_sources_are_independent_rows(self, graph):
+        matrix = multi_source_bfs_distances_bounded(graph, [3, 3], cutoff=3)
+        assert np.array_equal(matrix[0], matrix[1])
+
+    def test_empty_sources(self, graph):
+        matrix = multi_source_bfs_distances_bounded(graph, [], cutoff=3)
+        assert matrix.shape == (0, graph.num_vertices)
+
+
+class TestPartitionByTarget:
+    def test_partition_is_complete_and_target_affine(self, shared_target_queries):
+        shards = partition_by_target(shared_target_queries, 4)
+        positions = sorted(pos for shard in shards for pos, _ in shard)
+        assert positions == list(range(len(shared_target_queries)))
+        owner = {}
+        for index, shard in enumerate(shards):
+            for _, query in shard:
+                key = (query.target, query.k)
+                assert owner.setdefault(key, index) == index
+
+    def test_partition_is_deterministic(self, shared_target_queries):
+        first = partition_by_target(shared_target_queries, 3)
+        second = partition_by_target(shared_target_queries, 3)
+        assert first == second
+
+    def test_single_shard_keeps_workload_together(self, shared_target_queries):
+        shards = partition_by_target(shared_target_queries, 1)
+        assert len(shards) == 1
+        assert len(shards[0]) == len(shared_target_queries)
+
+    def test_no_more_shards_than_groups(self, shared_target_queries):
+        shards = partition_by_target(shared_target_queries, 64)
+        distinct = {(q.target, q.k) for q in shared_target_queries}
+        assert len(shards) == len(distinct)
+
+    def test_balanced_loads(self):
+        queries = [Query(s, t, 4) for t in (100, 101, 102, 103) for s in range(24) if s != t]
+        shards = partition_by_target(queries, 4)
+        sizes = sorted(len(shard) for shard in shards)
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_rejects_nonpositive_shards(self, shared_target_queries):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            partition_by_target(shared_target_queries, 0)
+
+
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_results_identical_to_sequential_session(
+        self, graph, shared_target_queries, start_method
+    ):
+        config = RunConfig(store_paths=True)
+        sequential = BatchExecutor(graph).run(shared_target_queries, config)
+        before = _shm_segments()
+        with ProcessBatchExecutor(
+            graph, processes=2, start_method=start_method
+        ) as executor:
+            parallel = executor.run(shared_target_queries, config)
+        assert _shm_segments() - before == set(), "leaked shared-memory segments"
+        assert len(parallel.results) == len(sequential.results)
+        for expected, actual in zip(sequential.results, parallel.results):
+            assert actual.source == expected.source
+            assert actual.target == expected.target
+            assert actual.count == expected.count
+            # Identical injected distance arrays imply identical index
+            # layouts, so even the enumeration order must match.
+            assert actual.paths == expected.paths
+            assert paths_are_valid(actual.paths, actual.source, actual.target, actual.k)
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_random_graphs_match_plain_sequential_runs(self, start_method):
+        rng = np.random.default_rng(23)
+        for trial in range(2):
+            g = erdos_renyi(80 + 30 * trial, 3.5, seed=int(rng.integers(1, 1000)))
+            workload = generate_target_centric_set(
+                g, count=10, k=4, num_targets=3, seed=trial
+            )
+            queries = list(workload)
+            config = RunConfig(store_paths=True)
+            engine = PathEnum()
+            expected = [engine.run(g, q, config) for q in queries]
+            with ProcessBatchExecutor(
+                g, processes=2, start_method=start_method
+            ) as executor:
+                parallel = executor.run(queries, config)
+            for exp, act in zip(expected, parallel.results):
+                assert act.count == exp.count
+                assert set(act.paths) == set(exp.paths)
+
+    def test_inline_path_matches_process_path(self, graph, shared_target_queries):
+        config = RunConfig(store_paths=True)
+        with ProcessBatchExecutor(graph, processes=1) as inline:
+            inline_batch = inline.run(shared_target_queries, config)
+        with ProcessBatchExecutor(graph, processes=2, start_method="fork") as executor:
+            process_batch = executor.run(shared_target_queries, config)
+        for a, b in zip(inline_batch.results, process_batch.results):
+            assert a.paths == b.paths
+
+    def test_fixed_plan_algorithm(self, graph, shared_target_queries):
+        config = RunConfig(store_paths=True)
+        sequential = BatchExecutor(graph, algorithm=IdxDfs()).run(
+            shared_target_queries, config
+        )
+        with ProcessBatchExecutor(
+            graph, algorithm=IdxDfs(), processes=2, start_method="fork"
+        ) as executor:
+            parallel = executor.run(shared_target_queries, config)
+        for exp, act in zip(sequential.results, parallel.results):
+            assert act.paths == exp.paths
+
+    def test_baseline_algorithm_passes_through(self, graph, shared_target_queries):
+        config = RunConfig(store_paths=True)
+        queries = shared_target_queries[:4]
+        expected = [BcDfs().run(graph, q, config) for q in queries]
+        with ProcessBatchExecutor(
+            graph, algorithm=BcDfs(), processes=2, start_method="fork"
+        ) as executor:
+            parallel = executor.run(queries, config)
+        for exp, act in zip(expected, parallel.results):
+            assert set(act.paths) == set(exp.paths)
+        assert parallel.stats.reverse_bfs_runs == 0
+
+
+class TestProcessStats:
+    def test_stats_match_sequential_semantics(self, graph, shared_target_queries):
+        with ProcessBatchExecutor(
+            graph, processes=2, start_method="fork"
+        ) as executor:
+            batch = executor.run(shared_target_queries, RunConfig(store_paths=False))
+        assert batch.stats.queries_run == len(shared_target_queries)
+        assert batch.stats.reverse_bfs_runs == 3
+        assert batch.stats.bfs_cache_hits == len(shared_target_queries) - 3
+        flags = [result.stats.bfs_cache_hit for result in batch.results]
+        assert flags.count(False) == 3
+
+    def test_second_batch_reuses_parent_distance_cache(
+        self, graph, shared_target_queries
+    ):
+        with ProcessBatchExecutor(
+            graph, processes=2, start_method="fork"
+        ) as executor:
+            executor.run(shared_target_queries, RunConfig(store_paths=False))
+            again = executor.run(shared_target_queries, RunConfig(store_paths=False))
+        assert again.stats.reverse_bfs_runs == 3  # nothing recomputed
+        assert all(result.stats.bfs_cache_hit for result in again.results)
+
+    def test_empty_workload(self, graph):
+        with ProcessBatchExecutor(graph, processes=2) as executor:
+            batch = executor.run([], RunConfig(store_paths=False))
+        assert len(batch) == 0
+
+    def test_session_cache_export_and_seed_roundtrip(self, graph):
+        session = QuerySession(graph)
+        session.run(Query(0, 9, 4), RunConfig(store_paths=False))
+        exported = session.export_distances()
+        assert set(exported) == {(9, 4)}
+        other = QuerySession(graph)
+        other.seed_distances(exported)
+        other.run(Query(1, 9, 4), RunConfig(store_paths=False))
+        assert other.stats.reverse_bfs_runs == 0  # served from the seed
+
+
+class TestProcessRejections:
+    def test_rejects_constraints(self, graph, shared_target_queries):
+        constraint = PredicateConstraint(lambda u, v, w, l: True, graph)
+        with ProcessBatchExecutor(graph, processes=2) as executor:
+            with pytest.raises(ValueError, match="constraint"):
+                executor.run(
+                    shared_target_queries, RunConfig(constraint=constraint)
+                )
+
+    def test_rejects_streaming_callbacks(self, graph, shared_target_queries):
+        with ProcessBatchExecutor(graph, processes=2) as executor:
+            with pytest.raises(ValueError, match="on_result"):
+                executor.run(
+                    shared_target_queries, RunConfig(on_result=lambda path: None)
+                )
+
+    def test_rejects_bad_worker_counts(self, graph):
+        with pytest.raises(ValueError):
+            ProcessBatchExecutor(graph, processes=0)
+        with pytest.raises(ValueError):
+            ProcessBatchExecutor(graph, shards=0)
+
+    def test_run_after_close_raises(self, graph, shared_target_queries):
+        executor = ProcessBatchExecutor(graph, processes=2)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.run(shared_target_queries)
+
+
+class _ExplodingAlgorithm(Algorithm):
+    """Raises on a marked query; sleeps briefly elsewhere (picklable)."""
+
+    name = "EXPLODER"
+
+    def __init__(self, poison_target: int) -> None:
+        self.poison_target = poison_target
+
+    def run(self, graph, query, config=None):
+        if query.target == self.poison_target:
+            raise RuntimeError(f"poisoned target {query.target}")
+        time.sleep(0.005)
+        from repro.core.result import EnumerationStats, QueryResult
+
+        return QueryResult(
+            source=query.source, target=query.target, k=query.k,
+            algorithm=self.name, count=0, paths=[], stats=EnumerationStats(),
+        )
+
+
+class TestErrorPropagation:
+    def test_thread_pool_surfaces_original_exception_and_cancels(self, graph):
+        calls = []
+
+        class Recorder(_ExplodingAlgorithm):
+            def run(self, graph, query, config=None):
+                calls.append(query.target)
+                return super().run(graph, query, config)
+
+        queries = [Query(0, target, 4) for target in range(1, 65)]
+        executor = BatchExecutor(graph, algorithm=Recorder(1), max_workers=2)
+        with pytest.raises(RuntimeError, match="poisoned target 1"):
+            executor.run(queries, RunConfig(store_paths=False))
+        # The failure must cancel queued work instead of draining all 64.
+        assert len(calls) < len(queries)
+
+    def test_process_pool_surfaces_original_exception(self, graph):
+        workload = generate_target_centric_set(
+            graph, count=8, k=4, num_targets=2, seed=9
+        )
+        queries = list(workload)
+        poison = queries[0].target
+        with ProcessBatchExecutor(
+            graph,
+            algorithm=_ExplodingAlgorithm(poison),
+            processes=2,
+            start_method="fork",
+        ) as executor:
+            with pytest.raises(RuntimeError, match=f"poisoned target {poison}"):
+                executor.run(queries, RunConfig(store_paths=False))

@@ -106,3 +106,65 @@ class TestReadWriteRoundTrip:
         path.write_text("1 1\n1 2\n")
         graph = read_edge_list(path)
         assert graph.num_edges == 1
+
+
+class TestNpzSnapshots:
+    def test_round_trip_structure(self, tmp_path):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import load_npz, save_npz
+
+        graph = erdos_renyi(40, 3.0, seed=2)
+        path = save_npz(graph, tmp_path / "graph.npz")
+        loaded = load_npz(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        assert list(loaded.edges()) == list(graph.edges())
+
+    def test_round_trip_attributes_and_ids(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.io import load_npz, save_npz
+
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", weight=2.0, label="x")
+        builder.add_edge("b", "c", weight=0.5, label=None)
+        builder.add_edge("c", "a", weight=1.0, label="")
+        graph = builder.build()
+        path = save_npz(graph, tmp_path / "attrs.npz")
+        loaded = load_npz(path)
+        a, b = loaded.to_internal("a"), loaded.to_internal("b")
+        assert loaded.edge_weight(a, b) == pytest.approx(2.0)
+        assert loaded.edge_label(a, b) == "x"
+        b, c = loaded.to_internal("b"), loaded.to_internal("c")
+        assert loaded.edge_label(b, c, default=None) is None
+        c, a = loaded.to_internal("c"), loaded.to_internal("a")
+        assert loaded.edge_label(c, a) == ""
+
+    def test_load_into_shared_memory_store(self, tmp_path):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import load_npz, save_npz
+
+        graph = erdos_renyi(30, 3.0, seed=4)
+        path = save_npz(graph, tmp_path / "shared.npz")
+        loaded = load_npz(path, store="shared_memory")
+        try:
+            assert loaded.store_backend == "shared_memory"
+            assert list(loaded.edges()) == list(graph.edges())
+            handle = loaded.share()
+            from repro.graph.digraph import DiGraph
+
+            twin = DiGraph.from_handle(handle)
+            try:
+                assert twin.num_edges == graph.num_edges
+            finally:
+                twin.close_store()
+        finally:
+            loaded.close_store(unlink=True)
+
+    def test_exotic_vertex_ids_are_rejected(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.io import save_npz
+
+        builder = GraphBuilder()
+        builder.add_edge(("tuple", 1), ("tuple", 2))
+        with pytest.raises(GraphError):
+            save_npz(builder.build(), tmp_path / "bad.npz")

@@ -1,0 +1,229 @@
+"""Tests for the pluggable array-storage backends (graph/store.py).
+
+Covers the contract the process-parallel executor depends on: pack /
+handle / attach round trips are lossless and zero-copy, attachments are
+read-only, handles survive pickling, and the unlink lifecycle leaves no
+segment behind.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.store import (
+    HeapStore,
+    SharedMemoryStore,
+    StoreHandle,
+    open_store,
+)
+
+
+@pytest.fixture()
+def sample_arrays():
+    return {
+        "indptr": np.arange(5, dtype=np.int64),
+        "values": np.asarray([2.5, -1.0, 0.0], dtype=np.float64),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+
+
+class TestHeapStore:
+    def test_roundtrip_and_nbytes(self, sample_arrays):
+        store = HeapStore.pack(sample_arrays)
+        assert set(store.arrays()) == set(sample_arrays)
+        for name, array in sample_arrays.items():
+            assert np.array_equal(store.get(name), array)
+        assert store.nbytes()["indptr"] == 5 * 8
+        assert not store.shareable
+
+    def test_handle_is_refused(self, sample_arrays):
+        store = HeapStore.pack(sample_arrays)
+        with pytest.raises(GraphError):
+            store.handle()
+
+    def test_unknown_backend_is_refused(self, sample_arrays):
+        with pytest.raises(GraphError):
+            open_store("carrier-pigeon", sample_arrays)
+
+
+class TestSharedMemoryStore:
+    def test_pack_attach_roundtrip(self, sample_arrays):
+        owner = SharedMemoryStore.pack(sample_arrays, meta={"note": "hi"})
+        try:
+            handle = owner.handle()
+            reader = SharedMemoryStore.attach(handle)
+            try:
+                for name, array in sample_arrays.items():
+                    assert np.array_equal(reader.get(name), array)
+                assert reader.meta["note"] == "hi"
+                assert not reader.is_owner
+            finally:
+                reader.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_attached_views_are_read_only(self, sample_arrays):
+        owner = SharedMemoryStore.pack(sample_arrays)
+        try:
+            reader = SharedMemoryStore.attach(owner.handle())
+            try:
+                with pytest.raises(ValueError):
+                    reader.get("indptr")[0] = 99
+            finally:
+                reader.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_handle_pickle_roundtrip(self, sample_arrays):
+        owner = SharedMemoryStore.pack(sample_arrays)
+        try:
+            handle = pickle.loads(pickle.dumps(owner.handle()))
+            assert isinstance(handle, StoreHandle)
+            reader = handle.attach()
+            try:
+                assert np.array_equal(reader.get("values"), sample_arrays["values"])
+            finally:
+                reader.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_unlink_removes_the_segment(self, sample_arrays):
+        owner = SharedMemoryStore.pack(sample_arrays)
+        handle = owner.handle()
+        owner.close(unlink=True)
+        assert owner.is_unlinked
+        with pytest.raises(GraphError):
+            SharedMemoryStore.attach(handle)
+
+    def test_only_owner_may_unlink(self, sample_arrays):
+        owner = SharedMemoryStore.pack(sample_arrays)
+        try:
+            reader = SharedMemoryStore.attach(owner.handle())
+            try:
+                with pytest.raises(GraphError):
+                    reader.unlink()
+            finally:
+                reader.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_all_empty_arrays_pack(self):
+        owner = SharedMemoryStore.pack({"nothing": np.empty(0, dtype=np.int64)})
+        try:
+            reader = SharedMemoryStore.attach(owner.handle())
+            try:
+                assert len(reader.get("nothing")) == 0
+            finally:
+                reader.close()
+        finally:
+            owner.close(unlink=True)
+
+    def test_close_is_idempotent(self, sample_arrays):
+        owner = SharedMemoryStore.pack(sample_arrays)
+        owner.close(unlink=True)
+        owner.close(unlink=True)
+
+
+class TestDiGraphSharing:
+    @pytest.fixture()
+    def graph(self):
+        return erdos_renyi(60, 3.0, seed=7)
+
+    def test_share_and_attach_preserve_structure(self, graph):
+        handle = graph.share()
+        try:
+            twin = DiGraph.from_handle(handle)
+            try:
+                assert twin.num_vertices == graph.num_vertices
+                assert twin.num_edges == graph.num_edges
+                assert np.array_equal(twin.out_csr()[0], graph.out_csr()[0])
+                assert np.array_equal(twin.out_csr()[1], graph.out_csr()[1])
+                assert np.array_equal(twin.in_csr()[1], graph.in_csr()[1])
+                assert twin.store_backend == "shared_memory"
+            finally:
+                twin.close_store()
+        finally:
+            graph.store.unlink()
+
+    def test_share_preserves_attributes_and_ids(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", weight=2.0, label="x")
+        builder.add_edge("b", "c", weight=0.5, label=None)
+        builder.add_edge("a", "c", weight=1.5, label="y")
+        graph = builder.build()
+        handle = graph.share()
+        try:
+            twin = DiGraph.from_handle(handle)
+            try:
+                ab = twin.to_internal("a"), twin.to_internal("b")
+                assert twin.edge_weight(*ab) == 2.0
+                assert twin.edge_label(*ab) == "x"
+                assert twin.translate_path([0, 1]) == ("a", "b")
+            finally:
+                twin.close_store()
+        finally:
+            graph.store.unlink()
+
+    def test_share_is_idempotent_until_unlinked(self, graph):
+        first = graph.share()
+        second = graph.share()
+        assert first.segment_name == second.segment_name
+        graph.store.unlink()
+        third = graph.share()
+        assert third.segment_name != first.segment_name
+        graph.store.unlink()
+
+    def test_sharing_keeps_queries_working_in_publisher(self, graph):
+        from repro.core.engine import PathEnum
+        from repro.core.listener import RunConfig
+        from repro.core.query import Query
+
+        before = PathEnum().run(graph, Query(0, 1, 4), RunConfig(store_paths=True))
+        graph.share()
+        try:
+            after = PathEnum().run(graph, Query(0, 1, 4), RunConfig(store_paths=True))
+            assert before.paths == after.paths
+        finally:
+            graph.store.unlink()
+
+    def test_repr_and_memory_usage(self, graph):
+        text = repr(graph)
+        assert "num_vertices=60" in text
+        assert "backend='heap'" in text
+        usage = graph.memory_usage()
+        assert usage["backend"] == "heap"
+        assert usage["num_vertices"] == 60
+        assert usage["num_edges"] == graph.num_edges
+        expected = {"out_indptr", "out_indices", "in_indptr", "in_indices"}
+        assert set(usage["arrays"]) == expected
+        assert usage["arrays"]["out_indptr"] == (60 + 1) * 8
+        assert usage["total_bytes"] == sum(usage["arrays"].values())
+
+    def test_memory_usage_counts_weights(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, weight=1.0)
+        builder.add_edge(1, 2, weight=2.0)
+        graph = builder.build()
+        usage = graph.memory_usage()
+        assert usage["arrays"]["edge_weights"] == 2 * 8
+        assert "weighted" in repr(graph)
+
+    def test_heap_store_backend_via_constructor(self, graph):
+        indptr, indices = graph.out_csr()
+        in_indptr, in_indices = graph.in_csr()
+        shared = DiGraph(
+            graph.num_vertices, indptr, indices, in_indptr, in_indices,
+            store="shared_memory",
+        )
+        try:
+            assert shared.store_backend == "shared_memory"
+            assert np.array_equal(shared.out_csr()[1], indices)
+        finally:
+            shared.close_store(unlink=True)

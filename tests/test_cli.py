@@ -227,3 +227,59 @@ class TestBenchBatchMode:
         )
         assert exit_code == 0
         assert "[batch]" in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_info_on_dataset(self, capsys):
+        exit_code = main(["info", "ye"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "DiGraph(" in output
+        assert "backend='heap'" in output
+        assert "out_indices" in output
+        assert "total" in output
+
+    def test_info_on_edge_list(self, edge_list_file, capsys):
+        exit_code = main(["info", str(edge_list_file)])
+        assert exit_code == 0
+        assert "DiGraph(" in capsys.readouterr().out
+
+    def test_info_rejects_unknown_graph(self, capsys):
+        exit_code = main(["info", "no-such-graph"])
+        assert exit_code == 2
+        assert "unknown graph" in capsys.readouterr().err
+
+
+class TestProcessFlags:
+    def test_batch_query_processes(self, capsys):
+        exit_code = main(
+            [
+                "batch-query", "--dataset", "ye", "-k", "3",
+                "--queries", "6", "--targets", "2", "--seed", "1",
+                "--processes", "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "reverse BFS runs: 2" in output
+
+    def test_workers_and_processes_are_exclusive(self, capsys):
+        exit_code = main(
+            [
+                "batch-query", "--dataset", "ye", "-k", "3",
+                "--workers", "2", "--processes", "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bench_processes_flag(self, capsys):
+        exit_code = main(
+            [
+                "bench", "--dataset", "ye", "-k", "3",
+                "--queries", "4", "--algorithms", "PathEnum",
+                "--processes", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "2 processes" in capsys.readouterr().out
