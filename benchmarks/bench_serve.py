@@ -1,0 +1,213 @@
+"""Serving benchmark: open-loop latency percentiles under concurrent clients.
+
+Boots a real ``repro serve`` process, then drives open-loop Poisson traffic
+(the paper's Figure-8 percentile view, lifted from one-shot batches to a
+long-lived service) at several concurrency levels:
+
+* one *level* = ``C`` concurrent client connections offering a combined
+  ``C x RATE_PER_CLIENT`` queries/second for ``DURATION_SECONDS``;
+* every query is its own job, submitted at its scheduled Poisson arrival
+  time whether or not earlier queries finished — when the service
+  saturates, the tail percentiles grow instead of the load generator
+  politely waiting, so p99/p99.9 are honest;
+* latency = client-observed completion time from the *scheduled* arrival
+  (queueing delay included), summarised by
+  :func:`repro.bench.metrics.latency_summary`.
+
+Before timing, the harness asserts that a full workload served over TCP is
+byte-identical — path lists and their order included — to a sequential
+:class:`~repro.core.engine.QuerySession` run, and that the first result
+frame arrives well before job completion (streaming, not one final blob).
+
+Run directly:  ``PYTHONPATH=src python benchmarks/bench_serve.py``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.bench.metrics import latency_summary
+from repro.bench.reporting import format_latency_summary
+from repro.core.engine import QuerySession
+from repro.core.listener import RunConfig
+from repro.server.client import open_loop_load, run_queries
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_target_centric_set, poisson_arrival_times
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DATASET = "ye"
+K = 3
+TARGETS = 8
+WORKLOAD_QUERIES = 200
+CONCURRENCY_LEVELS = (1, 4, 16, 64)
+RATE_PER_CLIENT = 40.0  # offered queries/second per concurrent client
+DURATION_SECONDS = 3.0
+MAX_QUERIES_PER_LEVEL = 4000
+SERVER_THREADS = 2
+SEED = 2021
+
+
+def boot_server() -> subprocess.Popen:
+    """Start ``repro serve`` on a free port; returns the process (port attached)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", DATASET, "--port", "0", "--threads", str(SERVER_THREADS),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"serving on [\d.]+:(\d+)", banner)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"server failed to boot: {banner!r}")
+    process.bench_port = int(match.group(1))  # type: ignore[attr-defined]
+    return process
+
+
+def check_equivalence(port: int, queries) -> Dict[str, object]:
+    """Served results must be byte-identical to a sequential session run."""
+    graph = load_dataset(DATASET)
+    session = QuerySession(graph)
+    expected = [session.run(q, RunConfig(store_paths=True)) for q in queries]
+    outcome = run_queries(
+        [[q.source, q.target, q.k] for q in queries], port=port, store_paths=True
+    )
+    assert outcome.status == "done", outcome.info
+    for exp, act in zip(expected, outcome.results):
+        assert (act.source, act.target, act.k) == (exp.source, exp.target, exp.k)
+        assert act.count == exp.count
+        assert act.paths == exp.paths, "served paths diverged from the session run"
+    streamed_early = (
+        outcome.first_frame_seconds is not None
+        and outcome.first_frame_seconds < outcome.wall_seconds
+    )
+    assert streamed_early, "first frame did not precede job completion"
+    print(
+        f"equivalence: {len(queries)} queries byte-identical over TCP "
+        f"(first frame {outcome.first_frame_seconds * 1e3:.1f} ms, "
+        f"done {outcome.wall_seconds * 1e3:.1f} ms)"
+    )
+    return {
+        "queries": len(queries),
+        "byte_identical": True,
+        "first_frame_ms": round(outcome.first_frame_seconds * 1e3, 3),
+        "done_ms": round(outcome.wall_seconds * 1e3, 3),
+    }
+
+
+def bench_level(port: int, workload, concurrency: int) -> Dict[str, object]:
+    rate = RATE_PER_CLIENT * concurrency
+    count = min(int(rate * DURATION_SECONDS), MAX_QUERIES_PER_LEVEL)
+    pool = [[q.source, q.target, q.k] for q in workload]
+    queries = [pool[i % len(pool)] for i in range(count)]
+    arrivals = poisson_arrival_times(count, rate, seed=SEED + concurrency).tolist()
+    report = asyncio.run(
+        open_loop_load(queries, arrivals, port=port, connections=concurrency)
+    )
+    assert report.errors == 0, f"{report.errors} queries failed at C={concurrency}"
+    summary = latency_summary(report.latencies_ms)
+    print(
+        f"C={concurrency:>2}: offered {rate:7.0f} q/s | achieved "
+        f"{report.achieved_qps:7.0f} q/s | {report.completed} queries"
+    )
+    print(format_latency_summary(summary, title=None))
+    return {
+        "concurrency": concurrency,
+        "offered_qps": round(rate, 1),
+        "achieved_qps": round(report.achieved_qps, 1),
+        "queries": report.completed,
+        "errors": report.errors,
+        "total_paths": report.total_paths,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "latency_ms": {key: round(value, 3) for key, value in summary.items()},
+    }
+
+
+def main() -> int:
+    graph = load_dataset(DATASET)
+    workload = generate_target_centric_set(
+        graph, count=WORKLOAD_QUERIES, k=K, num_targets=TARGETS,
+        seed=SEED, graph_name=DATASET,
+    )
+    queries = list(workload)
+    print(
+        f"dataset {DATASET}: |V|={graph.num_vertices}, |E|={graph.num_edges}, "
+        f"cpus={os.cpu_count()}, server threads={SERVER_THREADS}"
+    )
+
+    server = boot_server()
+    try:
+        port = server.bench_port  # type: ignore[attr-defined]
+        equivalence = check_equivalence(port, queries[:100])
+        levels: List[Dict[str, object]] = []
+        for concurrency in CONCURRENCY_LEVELS:
+            levels.append(bench_level(port, queries, concurrency))
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise
+    clean_shutdown = server.returncode == 0
+    print(f"server shut down cleanly: {clean_shutdown}")
+    assert clean_shutdown, f"server exited with {server.returncode}"
+
+    payload = {
+        "benchmark": "async_query_service_open_loop",
+        "dataset": DATASET,
+        "workload": {
+            "setting": workload.setting.value,
+            "k": K,
+            "num_targets": TARGETS,
+            "rate_per_client_qps": RATE_PER_CLIENT,
+            "duration_seconds": DURATION_SECONDS,
+            "arrivals": "Poisson (seeded numpy Generator), open loop",
+            "latency": "client-observed completion from scheduled arrival, ms",
+            "seed": SEED,
+        },
+        "server": {
+            "transport": "tcp, length-prefixed JSON frames",
+            "backend": "thread",
+            "workers": SERVER_THREADS,
+            "store_paths": False,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "equivalence": equivalence,
+        "levels": levels,
+        "clean_shutdown": clean_shutdown,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_serve.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

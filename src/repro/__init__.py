@@ -27,16 +27,19 @@ from repro.core import (
     BatchExecutor,
     BatchResult,
     BatchStats,
+    ExecutorCore,
     IdxDfs,
     IdxJoin,
     LightWeightIndex,
     PathEnum,
     PredicateConstraint,
+    ProcessBatchExecutor,
     Query,
     QueryResult,
     QuerySession,
     RunConfig,
     SequenceAutomaton,
+    StreamRun,
     count_paths,
     enumerate_paths,
 )
@@ -58,6 +61,9 @@ __all__ = [
     "IdxJoin",
     "QuerySession",
     "BatchExecutor",
+    "ProcessBatchExecutor",
+    "ExecutorCore",
+    "StreamRun",
     "BatchResult",
     "BatchStats",
     "LightWeightIndex",

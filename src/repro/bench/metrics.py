@@ -26,9 +26,14 @@ __all__ = [
     "WorkloadMetrics",
     "aggregate",
     "latency_percentile",
+    "latency_summary",
     "time_distribution",
     "cumulative_distribution",
 ]
+
+#: Percentiles reported by :func:`latency_summary` — the Figure-8 view plus
+#: the serving-benchmark tail.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,35 @@ def latency_percentile(results: Sequence[QueryResult], percentile: float = 99.9)
         for r in results
     ]
     return float(np.percentile(values, percentile))
+
+
+def latency_summary(
+    latencies_ms: Sequence[float],
+    *,
+    percentiles: Sequence[float] = SUMMARY_PERCENTILES,
+) -> Dict[str, float]:
+    """One-pass latency summary: percentiles, mean and max, in milliseconds.
+
+    ``latencies_ms`` is a flat sequence of per-query latencies (the serving
+    benchmark's client-observed completion times; any millisecond series
+    works).  All statistics come from a single sort + vectorised percentile
+    evaluation — no repeated :func:`latency_percentile` calls over the same
+    data.  Keys: ``count``, ``mean_ms``, ``max_ms`` and one ``pXX_ms`` per
+    requested percentile (``99.9`` renders as ``p99_9_ms``).
+    """
+    if len(latencies_ms) == 0:
+        raise ValueError("cannot summarise an empty latency sequence")
+    values = np.sort(np.asarray(latencies_ms, dtype=np.float64))
+    points = np.percentile(values, list(percentiles))
+    summary: Dict[str, float] = {
+        "count": int(values.size),
+        "mean_ms": float(values.mean()),
+    }
+    for percentile, point in zip(percentiles, points):
+        label = f"{percentile:g}".replace(".", "_")
+        summary[f"p{label}_ms"] = float(point)
+    summary["max_ms"] = float(values[-1])
+    return summary
 
 
 def time_distribution(

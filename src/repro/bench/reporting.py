@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_value", "format_table", "format_series", "print_table", "print_series"]
+__all__ = [
+    "format_value",
+    "format_table",
+    "format_series",
+    "format_latency_summary",
+    "print_table",
+    "print_series",
+]
 
 
 def format_value(value: object, *, scientific: bool = True) -> str:
@@ -80,6 +87,20 @@ def format_series(
             row[name] = series[name].get(x)
         rows.append(row)
     return format_table(rows, columns=[x_label, *names], title=title, scientific=scientific)
+
+
+def format_latency_summary(
+    summary: Mapping[str, float],
+    *,
+    title: Optional[str] = None,
+    scientific: bool = False,
+) -> str:
+    """Render one :func:`repro.bench.metrics.latency_summary` dict as a table.
+
+    Columns follow the summary's own key order (count, mean, percentiles,
+    max), so a benchmark printing several concurrency levels lines them up.
+    """
+    return format_table([dict(summary)], title=title, scientific=scientific)
 
 
 def print_table(rows: Sequence[Mapping[str, object]], **kwargs) -> None:

@@ -23,6 +23,18 @@ Sub-commands
     aggregated metrics; ``--batch`` routes every algorithm through the
     batch executor instead of one-at-a-time runs.
 
+``serve``
+    Boot the asyncio query service on a TCP port: a persistent worker pool
+    (threads, or processes over a shared-memory graph image) streaming
+    per-query result frames over the length-prefixed JSON protocol of
+    :mod:`repro.server.protocol`.  Runs until SIGINT/SIGTERM.
+
+``client``
+    Scripted load against a running server: submit one workload and print
+    the streamed results, drive an open-loop Poisson arrival process
+    (``--rate``/``--connections``) and print the latency percentiles, or
+    fetch server statistics (``--server-stats``).
+
 Both ``batch-query`` and ``bench`` accept ``--processes`` (and ``--shards``)
 to fan the batch out over target-sharded worker processes attached to a
 shared-memory copy of the graph; ``--workers`` keeps selecting the in-process
@@ -44,6 +56,7 @@ from repro.core.listener import RunConfig
 from repro.errors import VertexNotFoundError
 from repro.core.query import Query
 from repro.graph.io import load_npz, read_edge_list
+from repro.server.protocol import DEFAULT_PORT as SERVE_DEFAULT_PORT
 from repro.graph.properties import summarize
 from repro.workloads.datasets import dataset_names, load_dataset, registry
 from repro.workloads.queries import (
@@ -173,6 +186,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
         help="multiprocessing start method for --processes (default: fork on Linux)",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the asyncio query service on a TCP port"
+    )
+    serve_source_group = serve_parser.add_mutually_exclusive_group(required=True)
+    serve_source_group.add_argument("--edge-list", help="path to a SNAP-style edge list file")
+    serve_source_group.add_argument(
+        "--dataset", choices=dataset_names(), help="name of a synthetic dataset"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help=f"TCP port (default {SERVE_DEFAULT_PORT}; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--algorithm", default="PathEnum", help="algorithm to serve (default PathEnum)"
+    )
+    serve_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes over a shared-memory graph (1 = in-process threads)",
+    )
+    serve_parser.add_argument(
+        "--threads", type=int, default=2,
+        help="worker threads when --processes is 1",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="target shards per job (default: one per worker)",
+    )
+    serve_parser.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method for --processes (default: fork on Linux)",
+    )
+
+    client_parser = subparsers.add_parser(
+        "client", help="drive a running query server with a scripted workload"
+    )
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, default=SERVE_DEFAULT_PORT)
+    client_parser.add_argument(
+        "--server-stats", action="store_true",
+        help="print the server's statistics snapshot and exit",
+    )
+    client_parser.add_argument(
+        "--dataset", choices=dataset_names(), default=None,
+        help="dataset to generate the workload from (must match the server's)",
+    )
+    client_parser.add_argument(
+        "--pair", action="append", default=None, metavar="SOURCE,TARGET",
+        help="explicit external-id query endpoints (repeatable); omit to generate",
+    )
+    client_parser.add_argument("-k", "--hops", type=int, default=4, help="hop constraint")
+    client_parser.add_argument(
+        "--queries", type=int, default=20, help="generated workload size (without --pair)"
+    )
+    client_parser.add_argument(
+        "--targets", type=int, default=4,
+        help="distinct targets of the generated workload",
+    )
+    client_parser.add_argument("--seed", type=int, default=0)
+    client_parser.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop mode: offered load in queries/second (Poisson arrivals)",
+    )
+    client_parser.add_argument(
+        "--connections", type=int, default=1,
+        help="concurrent client connections in open-loop mode",
+    )
+    client_parser.add_argument("--limit", type=int, default=None, help="result cap per query")
+    client_parser.add_argument("--time-limit", type=float, default=None)
+    client_parser.add_argument(
+        "--count-only", action="store_true", help="do not stream paths back"
+    )
     return parser
 
 
@@ -213,6 +299,12 @@ def _load_graph(args: argparse.Namespace):
     return load_dataset(args.dataset)
 
 
+def _split_pair(pair: str):
+    """Split one ``--pair SOURCE,TARGET`` argument; raises ``ValueError``."""
+    raw_source, raw_target = pair.split(",", 1)
+    return raw_source.strip(), raw_target.strip()
+
+
 def _command_batch_query(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
@@ -228,15 +320,15 @@ def _command_batch_query(args: argparse.Namespace) -> int:
         queries = []
         for pair in args.pair:
             try:
-                raw_source, raw_target = pair.split(",", 1)
+                raw_source, raw_target = _split_pair(pair)
             except ValueError:
                 print(f"invalid --pair {pair!r}: expected SOURCE,TARGET", file=sys.stderr)
                 return 2
             queries.append(
                 Query.from_external(
                     graph,
-                    _coerce_vertex(graph, raw_source.strip()),
-                    _coerce_vertex(graph, raw_target.strip()),
+                    _coerce_vertex(graph, raw_source),
+                    _coerce_vertex(graph, raw_target),
                     args.hops,
                 )
             )
@@ -407,6 +499,146 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.server import serve_forever
+    from repro.server.service import QueryService
+
+    graph = _load_graph(args)
+    service = QueryService(
+        graph,
+        algorithm=get_algorithm(args.algorithm),
+        processes=args.processes,
+        threads=args.threads,
+        shards=args.shards,
+        start_method=args.start_method,
+    )
+    port = SERVE_DEFAULT_PORT if args.port is None else args.port
+    try:
+        return asyncio.run(serve_forever(service, host=args.host, port=port))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+
+
+def _client_queries(args: argparse.Namespace):
+    """The workload to submit: explicit pairs, or a generated target-centric set."""
+    if args.pair:
+        queries = []
+        for pair in args.pair:
+            try:
+                raw_source, raw_target = _split_pair(pair)
+            except ValueError:
+                print(f"invalid --pair {pair!r}: expected SOURCE,TARGET", file=sys.stderr)
+                raise SystemExit(2)
+            # The server resolves external ids against its own graph (both
+            # int and string spellings are tried there), so the raw strings
+            # can travel as-is.
+            queries.append([raw_source, raw_target, args.hops])
+        return queries, True
+    if not args.dataset:
+        raise SystemExit("either --pair or --dataset is required (workload source)")
+    graph = load_dataset(args.dataset)
+    workload = generate_target_centric_set(
+        graph,
+        count=args.queries,
+        k=args.hops,
+        num_targets=args.targets,
+        seed=args.seed,
+        graph_name=args.dataset,
+    )
+    return [[q.source, q.target, q.k] for q in workload], False
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.bench.metrics import latency_summary
+    from repro.bench.reporting import format_latency_summary
+    from repro.server.client import QueryClient, open_loop_load, run_queries
+    from repro.workloads.queries import poisson_arrival_times
+
+    if args.server_stats:
+        async def _stats():
+            client = await QueryClient.connect(args.host, args.port)
+            async with client:
+                return await client.stats()
+
+        rows = [
+            {"statistic": key, "value": value}
+            for key, value in sorted(asyncio.run(_stats()).items())
+        ]
+        print(format_table(rows, title="Server statistics", scientific=False))
+        return 0
+
+    queries, external = _client_queries(args)
+    if args.rate is not None:
+        arrivals = poisson_arrival_times(len(queries), args.rate, seed=args.seed)
+        report = asyncio.run(
+            open_loop_load(
+                queries,
+                arrivals.tolist(),
+                host=args.host,
+                port=args.port,
+                connections=args.connections,
+                store_paths=False,
+                result_limit=args.limit,
+                time_limit_seconds=args.time_limit,
+                external=external,
+            )
+        )
+        if report.errors:
+            print(f"{report.errors} of {len(queries)} queries failed", file=sys.stderr)
+        print(
+            f"open loop: {report.completed} queries over {report.wall_seconds:.2f} s "
+            f"(offered {report.offered_rate:.1f} q/s, achieved "
+            f"{report.achieved_qps:.1f} q/s, {report.concurrency} connections, "
+            f"{report.total_paths} paths)"
+        )
+        if report.latencies_ms:
+            print(format_latency_summary(
+                latency_summary(report.latencies_ms), title="Completion latency (ms)"
+            ))
+        return 1 if report.errors else 0
+
+    outcome = run_queries(
+        queries,
+        host=args.host,
+        port=args.port,
+        store_paths=not args.count_only,
+        result_limit=args.limit,
+        time_limit_seconds=args.time_limit,
+        external=external,
+    )
+    if outcome.status != "done":
+        print(f"job {outcome.status}: {outcome.info.get('error', '')}", file=sys.stderr)
+        return 1
+    rows = [
+        {
+            "source": result.source,
+            "target": result.target,
+            "k": result.k,
+            "paths": result.count,
+            "query_ms": round(result.query_ms, 3),
+            "plan": result.plan,
+            "bfs_cached": result.bfs_cache_hit,
+        }
+        for result in outcome.results
+    ]
+    print(format_table(
+        rows, title=f"Batch of {len(queries)} queries via {args.host}:{args.port}",
+        scientific=False,
+    ))
+    info = outcome.info
+    print(f"total paths: {outcome.total_paths}")
+    print(
+        f"server wall time: {info.get('wall_ms')} ms; first frame after "
+        f"{(outcome.first_frame_seconds or 0.0) * 1e3:.1f} ms, job done after "
+        f"{outcome.wall_seconds * 1e3:.1f} ms (client clock)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -421,6 +653,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_info(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "client":
+        return _command_client(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

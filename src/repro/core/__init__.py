@@ -28,10 +28,13 @@ from repro.core.engine import (
     BatchExecutor,
     BatchResult,
     BatchStats,
+    ExecutorCore,
     IdxDfs,
     IdxJoin,
     PathEnum,
+    ProcessBatchExecutor,
     QuerySession,
+    StreamRun,
     count_paths,
     enumerate_paths,
 )
@@ -59,6 +62,9 @@ __all__ = [
     "IdxJoin",
     "QuerySession",
     "BatchExecutor",
+    "ProcessBatchExecutor",
+    "ExecutorCore",
+    "StreamRun",
     "BatchResult",
     "BatchStats",
     "enumerate_paths",

@@ -29,24 +29,35 @@ On top of them sits the batch execution layer:
   session, optionally fanning independent queries out over a thread pool,
   and reports aggregate :class:`BatchStats` (BFS cache hits, wall clock,
   throughput).
-* :class:`ProcessBatchExecutor` — the process-parallel variant: the graph is
-  published once into shared memory (:meth:`~repro.graph.digraph.DiGraph.share`),
-  the workload is partitioned by target (the distance-cache key) and each
-  shard is evaluated in a worker process that attaches the shared graph and
-  a shared read-mostly distance cache.  Because a shard holds *every* query
-  of its targets, workers additionally grow all forward BFS trees of a
-  target group in one multi-source sweep — per-query results stay identical
-  to sequential session runs while both halves of the per-query
-  preprocessing are amortised.
+* :class:`ExecutorCore` — the shard-dispatch and pool-lifecycle machinery
+  shared by every parallel execution mode: it partitions a workload by
+  target, warms the distance cache, owns a persistent worker pool (threads
+  or processes) and *streams* result chunks back to the consumer as workers
+  produce them, instead of one blob per shard.  The process backend
+  publishes the graph once into shared memory
+  (:meth:`~repro.graph.digraph.DiGraph.share`) together with a read-mostly
+  packed distance cache; chunks cross the process boundary over a
+  multiprocessing queue drained by a router thread.
+* :class:`ProcessBatchExecutor` — the process-parallel batch API, a thin
+  wrapper over an :class:`ExecutorCore` with the process backend.  Because a
+  shard holds *every* query of its targets, workers additionally grow all
+  forward BFS trees of a target group in one multi-source sweep — per-query
+  results stay identical to sequential session runs while both halves of
+  the per-query preprocessing are amortised.  The streamed chunks are also
+  what feeds ``RunConfig.on_result`` callbacks (replayed in the parent, in
+  workload order) and the :mod:`repro.server` query service.
 """
 
 from __future__ import annotations
 
+import itertools
+import queue as queue_module
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import multiprocessing
 import os
@@ -64,6 +75,7 @@ from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
 from repro.core.query import Query
 from repro.core.result import Phase, QueryResult
 from repro.core.reverse import IdxDfsReverse
+from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 from repro.graph.store import SharedMemoryStore, StoreHandle
 from repro.graph.traversal import (
@@ -79,6 +91,8 @@ __all__ = [
     "QuerySession",
     "BatchExecutor",
     "ProcessBatchExecutor",
+    "ExecutorCore",
+    "StreamRun",
     "BatchResult",
     "BatchStats",
     "enumerate_paths",
@@ -521,13 +535,11 @@ class BatchExecutor:
             # Pre-warming makes every pool query look like a cache hit;
             # charge each fresh BFS back to the first query that needed it
             # so hit counts match what a sequential run would report.
-            charged: set = set()
-            for query, result in zip(queries, results):
-                key = self.session._key(query, config.constraint)
-                if key in fresh and key not in charged:
-                    charged.add(key)
-                    result.stats.bfs_cache_hit = False
-            self.stats.bfs_cache_hits -= len(charged)
+            charged = _charge_fresh_to_first_query(
+                queries, results, fresh,
+                lambda query: self.session._key(query, config.constraint),
+            )
+            self.stats.bfs_cache_hits -= charged
         else:
             results = [self.session.run(query, config) for query in queries]
         self.stats.wall_seconds = time.perf_counter() - started
@@ -536,8 +548,32 @@ class BatchExecutor:
         return BatchResult(results=results, stats=replace(self.stats))
 
 
+def _charge_fresh_to_first_query(
+    queries: Sequence[Query],
+    results: Sequence[QueryResult],
+    fresh: set,
+    key_of,
+) -> int:
+    """Charge each freshly computed distance key to its first query.
+
+    Pre-warming makes every query of a batch look like a cache hit; this
+    flags, in workload order, the first query of each ``fresh`` key as the
+    one that paid for the reverse BFS (``bfs_cache_hit = False``) and every
+    other query as served from the cache — exactly the flags a sequential
+    session run would report.  Returns the number of queries charged.
+    """
+    charged: set = set()
+    for query, result in zip(queries, results):
+        key = key_of(query)
+        paid = key in fresh and key not in charged
+        if paid:
+            charged.add(key)
+        result.stats.bfs_cache_hit = not paid
+    return len(charged)
+
+
 # --------------------------------------------------------------------- #
-# process-parallel sharded batch execution
+# process-parallel sharded execution: worker side
 # --------------------------------------------------------------------- #
 #: Per-worker-process state installed by :func:`_process_worker_init` and
 #: reused across every shard the worker evaluates.  ``ProcessPoolExecutor``
@@ -546,27 +582,49 @@ class BatchExecutor:
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _process_worker_init(graph_handle: StoreHandle, algorithm: Algorithm) -> None:
-    """Attach the shared graph in a freshly spawned/forked worker."""
+def _process_worker_init(
+    graph_handle: StoreHandle,
+    algorithm: Algorithm,
+    result_queue=None,
+) -> None:
+    """Attach the shared graph in a freshly spawned/forked worker.
+
+    ``result_queue`` is the pool-wide multiprocessing queue result chunks
+    are streamed over; it rides the initializer because queue objects can
+    only cross the process boundary while a child is being spawned.
+    """
     _WORKER_STATE["graph"] = DiGraph.from_handle(graph_handle)
     _WORKER_STATE["algorithm"] = algorithm
+    _WORKER_STATE["queue"] = result_queue
     _WORKER_STATE["cache_store"] = None
     _WORKER_STATE["cache_name"] = None
     _WORKER_STATE["distances"] = {}
 
 
 def _attach_distance_cache(cache_handle: Optional[StoreHandle]) -> Mapping:
-    """Map the shared distance cache, reusing the attachment across shards."""
+    """Map the shared distance cache, reusing the attachment across shards.
+
+    Attach failure is survivable: a concurrent run may have repacked (and
+    unlinked) the segment between this shard's dispatch and its execution.
+    The cache is purely an optimisation — :func:`_iter_shard_results`
+    recomputes any missing key — so a vanished segment degrades to
+    per-group reverse BFS instead of failing the shard.
+    """
     if cache_handle is None:
         return {}
     if cache_handle.segment_name != _WORKER_STATE["cache_name"]:
         previous = _WORKER_STATE["cache_store"]
         if previous is not None:
             previous.close()
-        store = SharedMemoryStore.attach(cache_handle)
+        _WORKER_STATE["cache_store"] = None
+        _WORKER_STATE["cache_name"] = cache_handle.segment_name
+        _WORKER_STATE["distances"] = {}
+        try:
+            store = SharedMemoryStore.attach(cache_handle)
+        except GraphError:
+            return _WORKER_STATE["distances"]
         matrix = store.get("distances")
         _WORKER_STATE["cache_store"] = store
-        _WORKER_STATE["cache_name"] = cache_handle.segment_name
         _WORKER_STATE["distances"] = {
             (int(target), int(k)): matrix[row]
             for row, (target, k) in enumerate(store.meta["keys"])
@@ -574,41 +632,30 @@ def _attach_distance_cache(cache_handle: Optional[StoreHandle]) -> Mapping:
     return _WORKER_STATE["distances"]
 
 
-def _process_worker_run_shard(payload) -> List[Tuple[int, QueryResult]]:
-    """Worker entry point: evaluate one target shard against the shared graph."""
-    shard, config, cache_handle = payload
-    return _run_shard_queries(
-        _WORKER_STATE["graph"],
-        _WORKER_STATE["algorithm"],
-        config,
-        shard,
-        _attach_distance_cache(cache_handle),
-    )
-
-
-def _run_shard_queries(
+def _iter_shard_results(
     graph: DiGraph,
     algorithm: Algorithm,
     config: RunConfig,
     shard: Sequence[Tuple[int, Tuple[int, int, int]]],
     distances: Mapping[Tuple[int, int], np.ndarray],
-) -> List[Tuple[int, QueryResult]]:
-    """Evaluate ``shard`` (``(position, (s, t, k))`` tuples) sequentially.
+) -> Iterator[Tuple[int, QueryResult]]:
+    """Evaluate ``shard`` (``(position, (s, t, k))`` tuples), yielding results.
 
     Queries are grouped by ``(target, k)``: the group shares one reverse-BFS
     array (from the shared cache, by construction warm for every key of the
     shard) and its forward BFS trees are grown together in one multi-source
     sweep.  Injected arrays equal the per-query ones exactly, so results —
     path lists included, in order — are identical to sequential session
-    evaluation.  Shared by the worker processes and the ``processes=1``
-    inline path, which is what makes the equivalence testable in-process.
+    evaluation.  Being a generator is the streaming seam: the worker loops
+    that drain it ship results as they appear instead of one blob per shard.
+    Shared by the worker processes, the thread backend and the inline path,
+    which is what makes the equivalence testable in-process.
     """
-    out: List[Tuple[int, QueryResult]] = []
     if not isinstance(algorithm, _DISTANCE_AWARE):
         # Baselines: no index build, no distance reuse — plain evaluation.
         for position, (s, t, k) in shard:
-            out.append((position, algorithm.run(graph, Query(s, t, k), config)))
-        return out
+            yield position, algorithm.run(graph, Query(s, t, k), config)
+        return
     groups: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
     for position, (s, t, k) in shard:
         groups.setdefault((t, k), []).append((position, s))
@@ -634,8 +681,84 @@ def _run_shard_queries(
                     dist_to_t=dist_to_t,
                     dist_from_s=None if forward is None else forward[row],
                 )
-                out.append((position, result))
-    return out
+                yield position, result
+
+
+def _run_shard_queries(
+    graph: DiGraph,
+    algorithm: Algorithm,
+    config: RunConfig,
+    shard: Sequence[Tuple[int, Tuple[int, int, int]]],
+    distances: Mapping[Tuple[int, int], np.ndarray],
+) -> List[Tuple[int, QueryResult]]:
+    """Materialised form of :func:`_iter_shard_results` (tests, inline use)."""
+    return list(_iter_shard_results(graph, algorithm, config, shard, distances))
+
+
+#: Queries per streamed result chunk when nobody needs per-query latency:
+#: one IPC message per 32 results keeps queue overhead negligible.  Streaming
+#: consumers (``on_result``, the query service) use a chunk size of 1.
+DEFAULT_CHUNK_QUERIES = 32
+
+
+def _pump_chunks(
+    results: Iterator[Tuple[int, QueryResult]],
+    chunk_queries: int,
+    emit,
+    should_stop=None,
+) -> Tuple[int, bool]:
+    """Drain ``results`` into ``emit(chunk)`` calls of ``chunk_queries`` items.
+
+    The one chunk-accumulation protocol shared by the process worker and
+    the thread backend (only the emission target differs).  ``should_stop``
+    is polled between queries; stopping discards the partial buffer.
+    Returns ``(emitted, stopped)``.
+    """
+    emitted = 0
+    buffer: List[Tuple[int, QueryResult]] = []
+    while True:
+        if should_stop is not None and should_stop():
+            return emitted, True
+        try:
+            item = next(results)
+        except StopIteration:
+            break
+        buffer.append(item)
+        if len(buffer) >= chunk_queries:
+            emit(buffer)
+            emitted += len(buffer)
+            buffer = []
+    if buffer:
+        emit(buffer)
+        emitted += len(buffer)
+    return emitted, False
+
+
+def _process_worker_stream_shard(payload) -> int:
+    """Worker entry point: evaluate one shard, streaming chunks as produced.
+
+    Result chunks — lists of ``(position, QueryResult)`` pairs — are shipped
+    over the pool's result queue (``("chunk", run_id, items)``) the moment
+    they are complete, followed by one ``("done", run_id, None)`` marker.
+    The queue is how partial results reach the parent *before* the shard
+    future resolves; the future's return value is only the emitted count.
+    On failure no marker is sent — the parent surfaces the future's
+    exception instead of waiting for a marker that will never come.
+    """
+    run_id, shard, config, cache_handle, chunk_queries = payload
+    out_queue = _WORKER_STATE["queue"]
+    results = _iter_shard_results(
+        _WORKER_STATE["graph"],
+        _WORKER_STATE["algorithm"],
+        config,
+        shard,
+        _attach_distance_cache(cache_handle),
+    )
+    emitted, _ = _pump_chunks(
+        results, chunk_queries, lambda chunk: out_queue.put(("chunk", run_id, chunk))
+    )
+    out_queue.put(("done", run_id, None))
+    return emitted
 
 
 def _default_start_method() -> str:
@@ -651,32 +774,161 @@ def _default_start_method() -> str:
     return "spawn"
 
 
-class ProcessBatchExecutor:
-    """Target-sharded batch evaluation across worker processes.
+class StreamRun:
+    """One in-flight workload evaluation, streaming result chunks.
 
-    The GIL caps :class:`BatchExecutor`'s thread pool at one core of useful
-    work; this executor fans out to real processes instead:
+    Returned by :meth:`ExecutorCore.start`.  :meth:`chunks` yields lists of
+    ``(position, QueryResult)`` pairs as workers complete them — positions
+    within one shard arrive in shard order, chunks of different shards
+    interleave by completion time.  A run is consumed exactly once; closing
+    the generator (or :meth:`cancel`) cancels every shard that has not
+    started and discards late chunks.
+    """
+
+    #: Seconds between worker-failure polls while waiting for chunks.
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        core: "ExecutorCore",
+        run_id: int,
+        num_queries: int,
+        num_shards: int,
+        fresh: List[Tuple[int, int]],
+    ) -> None:
+        self._core = core
+        self.run_id = run_id
+        self.num_queries = num_queries
+        self.num_shards = num_shards
+        #: ``(target, k)`` keys whose reverse BFS this run's warm phase paid
+        #: for (equivalently: the number of warm-phase BFS traversals).
+        self.fresh = fresh
+        self.cancelled = threading.Event()
+        self._queue: "queue_module.Queue" = queue_module.Queue()
+        self._futures: List = []
+        self._inline: Optional[Iterator[Tuple[int, QueryResult]]] = None
+        self._chunk_queries = DEFAULT_CHUNK_QUERIES
+        self._consumed = False
+
+    def cancel(self) -> None:
+        """Stop the run as soon as possible.
+
+        Shards that have not started are cancelled outright; thread-backend
+        shards stop between queries; a process-backend shard already
+        executing runs to completion in its worker (enumeration is
+        cooperative only towards its own deadline) and its chunks are
+        discarded.
+        """
+        self.cancelled.set()
+        for future in self._futures:
+            future.cancel()
+
+    def chunks(self) -> Iterator[List[Tuple[int, QueryResult]]]:
+        """Yield result chunks until every shard finished (or cancellation).
+
+        Re-raises the original exception of a failing shard.  Always drives
+        this generator to exhaustion (or close it) — the ``finally`` block
+        is what unregisters the run and cancels outstanding work.
+        """
+        if self._consumed:
+            raise RuntimeError("a StreamRun can only be consumed once")
+        self._consumed = True
+        try:
+            if self._inline is not None:
+                yield from self._inline_chunks()
+                return
+            remaining = self.num_shards
+            pending = set(self._futures)
+            while remaining > 0 and not self.cancelled.is_set():
+                try:
+                    kind, payload = self._queue.get(timeout=self._POLL_SECONDS)
+                except queue_module.Empty:
+                    # No chunk in flight: surface a shard that died without
+                    # ever sending its done marker (worker exception, broken
+                    # pool) instead of waiting forever.
+                    for future in [f for f in pending if f.done()]:
+                        pending.discard(future)
+                        error = None if future.cancelled() else future.exception()
+                        if error is not None:
+                            if isinstance(error, BrokenProcessPool):
+                                self._core._discard_broken_pool()
+                            raise error
+                    continue
+                if kind == "done":
+                    remaining -= 1
+                elif payload:
+                    yield payload
+        finally:
+            self.cancelled.set()
+            for future in self._futures:
+                future.cancel()
+            self._core._unregister_run(self.run_id)
+
+    def results(self) -> List[QueryResult]:
+        """Drain the stream and return results in workload order."""
+        out: List[Optional[QueryResult]] = [None] * self.num_queries
+        for chunk in self.chunks():
+            for position, result in chunk:
+                out[position] = result
+        missing = sum(1 for result in out if result is None)
+        if missing:
+            raise RuntimeError(
+                f"stream ended with {missing} of {self.num_queries} results "
+                "missing (run cancelled?)"
+            )
+        return out  # type: ignore[return-value]
+
+    def _inline_chunks(self) -> Iterator[List[Tuple[int, QueryResult]]]:
+        buffer: List[Tuple[int, QueryResult]] = []
+        for item in self._inline:
+            if self.cancelled.is_set():
+                return
+            buffer.append(item)
+            if len(buffer) >= self._chunk_queries:
+                yield buffer
+                buffer = []
+        if buffer:
+            yield buffer
+
+
+class ExecutorCore:
+    """Shard dispatch, pool lifecycle and result streaming — the shared core.
+
+    Every parallel execution mode (the process batch executor, the thread
+    backend, the async query service) runs through this object:
 
     1. the workload is partitioned by target with
        :func:`~repro.workloads.queries.partition_by_target` — every query of
        a ``(target, k)`` key lands in the same shard, so no distance array
        is ever computed twice across workers;
-    2. the graph is published once into shared memory
-       (:meth:`~repro.graph.digraph.DiGraph.share`) and the distinct
-       reverse-BFS arrays are warmed in the parent and packed into a second
-       read-mostly segment — workers attach both zero-copy;
-    3. each worker evaluates its shards sequentially, growing the forward
-       BFS trees of a target group in one multi-source sweep.
+    2. the distinct reverse-BFS arrays are warmed in the parent session;
+    3. shards are dispatched to a *persistent* worker pool, and results
+       stream back chunk by chunk while later shards are still running.
 
-    Results come back in workload order and are identical, path lists
-    included, to evaluating the same workload through a sequential
-    :class:`QuerySession`.  Constraints and streaming callbacks hold
-    process-local state and are rejected — use :class:`BatchExecutor` for
-    those.
+    Two pool backends:
 
-    The executor owns two shared-memory segments; call :meth:`close` (or use
-    it as a context manager) so they are unlinked deterministically instead
-    of at interpreter teardown.
+    * ``"process"`` — real worker processes.  The graph is published once
+      into shared memory (:meth:`~repro.graph.digraph.DiGraph.share`), the
+      warmed distance cache is packed into a second read-mostly segment, and
+      chunks cross the process boundary over one multiprocessing queue that
+      a router thread demultiplexes to the per-run streams (concurrent runs
+      share the pool).  With ``workers == 1`` shards are evaluated inline in
+      the caller's thread — no pool, no segments.
+    * ``"thread"`` — a thread pool against the caller's own graph.  GIL-bound
+      but free of process setup cost; shards stop between queries on
+      cancellation.  This is the synchronous precursor mode the async
+      service uses for single-process deployments.
+
+    Constraints are rejected on both backends (their edge filters are
+    process-local closures, and the shard loop would fall back to
+    unconstrained distance arrays); route constrained workloads through
+    :class:`BatchExecutor`.  ``on_result`` callbacks never enter the core —
+    callers replay the streamed chunks into the callback parent-side
+    (:meth:`ProcessBatchExecutor.run`).
+
+    The core owns shared segments and the pool; call :meth:`close` (or use
+    it as a context manager) so they are released deterministically.
+    ``close()`` is idempotent.
     """
 
     def __init__(
@@ -684,56 +936,89 @@ class ProcessBatchExecutor:
         graph: DiGraph,
         *,
         algorithm: Optional[Algorithm] = None,
-        processes: Optional[int] = None,
+        backend: str = "process",
+        workers: Optional[int] = None,
         shards: Optional[int] = None,
         start_method: Optional[str] = None,
         max_cached: int = 1024,
     ) -> None:
-        if processes is not None and processes < 1:
-            raise ValueError("processes must be at least 1")
+        if backend not in ("process", "thread"):
+            raise ValueError(f"unknown backend {backend!r}: use 'process' or 'thread'")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
         if shards is not None and shards < 1:
             raise ValueError("shards must be at least 1")
         self.graph = graph
         self.algorithm = algorithm if algorithm is not None else PathEnum()
-        self.processes = int(processes) if processes else (os.cpu_count() or 1)
+        self.backend = backend
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
         self.shards = None if shards is None else int(shards)
         self.start_method = start_method or _default_start_method()
-        self.stats = BatchStats()
         #: Parent-side distance cache — a :class:`QuerySession`, so warm /
         #: evict / charge semantics live in exactly one place.  It persists
-        #: across run() calls, letting later batches against the same
-        #: targets skip the warm phase entirely.
-        self._session = QuerySession(
-            graph, algorithm=self.algorithm, max_cached=max_cached
-        )
+        #: across runs, letting later workloads against the same targets
+        #: skip the warm phase entirely.
+        self.session = QuerySession(graph, algorithm=self.algorithm, max_cached=max_cached)
         self._cache_store: Optional[SharedMemoryStore] = None
         self._packed_keys: Tuple[Tuple[int, int], ...] = ()
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_workers = 0
+        self._pool = None
+        self._mp_queue = None
+        self._drainer: Optional[threading.Thread] = None
+        self._runs: Dict[int, StreamRun] = {}
+        self._runs_lock = threading.Lock()
+        #: Serialises warm + pack + dispatch (and close) across submitters.
+        self._submit_lock = threading.Lock()
+        self._run_ids = itertools.count()
         self._graph_published_here = False
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------- #
-    def __enter__(self) -> "ProcessBatchExecutor":
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` ran; further :meth:`start` calls fail."""
+        return self._closed
+
+    @property
+    def distance_aware(self) -> bool:
+        """Whether the algorithm shares the session's distance cache."""
+        return isinstance(self.algorithm, _DISTANCE_AWARE)
+
+    def __enter__(self) -> "ExecutorCore":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down and unlink owned shared segments.
+        """Cancel active runs, shut the pool down, unlink owned segments.
 
-        The graph segment is unlinked only when this executor published it;
-        the parent's (and any still-attached worker's) mapping stays valid
-        until closed — unlinking merely removes the name so nothing leaks
-        past process exit.
+        Idempotent.  The graph segment is unlinked only when this core
+        published it; the parent's (and any still-attached worker's) mapping
+        stays valid until closed — unlinking merely removes the name so
+        nothing leaks past process exit.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        with self._runs_lock:
+            active = list(self._runs.values())
+        for run in active:
+            run.cancel()
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._drainer is not None:
+            try:
+                self._mp_queue.put(("stop", None, None))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+            self._drainer.join(timeout=5.0)
+            self._drainer = None
+        if self._mp_queue is not None:
+            self._mp_queue.close()
+            self._mp_queue.cancel_join_thread()
+            self._mp_queue = None
         if self._cache_store is not None:
             self._cache_store.close(unlink=True)
             self._cache_store = None
@@ -748,6 +1033,88 @@ class ProcessBatchExecutor:
         except Exception:
             pass
 
+    # -- submission ---------------------------------------------------- #
+    def start(
+        self,
+        workload: Sequence[Query],
+        config: Optional[RunConfig] = None,
+        *,
+        chunk_queries: int = DEFAULT_CHUNK_QUERIES,
+    ) -> StreamRun:
+        """Warm, partition and dispatch ``workload``; return its stream.
+
+        The call itself performs the (sequential) warm phase; enumeration
+        happens as the returned run's :meth:`StreamRun.chunks` is consumed
+        concurrently with the workers.  ``chunk_queries`` bounds how many
+        results ride one chunk — use 1 when the consumer needs per-query
+        streaming latency.
+        """
+        from repro.workloads.queries import partition_by_target
+
+        config = config if config is not None else RunConfig()
+        self._check_config(config)
+        queries = list(workload)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("ExecutorCore is closed")
+            num_shards = self.shards if self.shards is not None else self.workers
+            shards = partition_by_target(queries, num_shards) if queries else []
+            plain = [
+                [(position, (q.source, q.target, q.k)) for position, q in shard]
+                for shard in shards
+            ]
+            distance_aware = self.distance_aware
+            fresh: List[Tuple[int, int]] = []
+            if distance_aware and queries:
+                fresh = self._warm_distances(queries)
+            run = StreamRun(self, next(self._run_ids), len(queries), len(plain), fresh)
+            run._chunk_queries = max(1, int(chunk_queries))
+            # Every run registers (not just process-backend ones): close()
+            # walks the registry to cancel whatever is in flight, whichever
+            # backend carries it.  chunks() unregisters on exhaustion.
+            self._register_run(run)
+            try:
+                if not queries:
+                    run._inline = iter(())
+                elif self.backend == "thread":
+                    pool = self._ensure_thread_pool()
+                    distances = self.session.export_distances()
+                    run._futures = [
+                        pool.submit(
+                            self._thread_stream_shard, run, shard, config, distances
+                        )
+                        for shard in plain
+                    ]
+                elif self.workers > 1:
+                    # Even a single shard goes to the pool: with a persistent
+                    # service, cross-job parallelism (every job one shard)
+                    # matters as much as intra-job sharding, and inline
+                    # evaluation would pin it all to the GIL-bound parent.
+                    cache_handle = None
+                    if distance_aware:
+                        cache_handle = self._pack_distances(
+                            {(q.target, q.k) for q in queries}
+                        )
+                    pool = self._ensure_process_pool()
+                    run._futures = [
+                        pool.submit(
+                            _process_worker_stream_shard,
+                            (run.run_id, shard, config, cache_handle, run._chunk_queries),
+                        )
+                        for shard in plain
+                    ]
+                else:
+                    distances = self.session.export_distances()
+                    run._inline = itertools.chain.from_iterable(
+                        _iter_shard_results(self.graph, self.algorithm, config, shard, distances)
+                        for shard in plain
+                    )
+            except BaseException:
+                run.cancel()
+                self._unregister_run(run.run_id)
+                raise
+            return run
+
     # -- internals ----------------------------------------------------- #
     def _check_config(self, config: RunConfig) -> None:
         if config.constraint is not None:
@@ -758,8 +1125,9 @@ class ProcessBatchExecutor:
             )
         if config.on_result is not None:
             raise ValueError(
-                "streaming callbacks cannot cross a process boundary; "
-                "use BatchExecutor for on_result workloads"
+                "on_result callbacks never enter the executor core; strip "
+                "the callback and replay the streamed chunks parent-side "
+                "(as ProcessBatchExecutor.run does)"
             )
 
     def _warm_distances(self, queries: Sequence[Query]) -> List[Tuple[int, int]]:
@@ -770,23 +1138,35 @@ class ProcessBatchExecutor:
         were actually computed, so per-query hit flags can be charged
         exactly as a sequential session would.
         """
-        distinct = {self._session._key(query, None) for query in queries}
-        self._session.ensure_capacity(len(distinct))
-        before = self._session.stats.reverse_bfs_runs
-        fresh_keys = self._session.prepare(queries)
-        self.stats.reverse_bfs_runs += self._session.stats.reverse_bfs_runs - before
+        distinct = {self.session._key(query, None) for query in queries}
+        self.session.ensure_capacity(len(distinct))
+        fresh_keys = self.session.prepare(queries)
         return [(key[0], key[1]) for key in fresh_keys]
 
-    def _pack_distances(self) -> Optional[StoreHandle]:
-        """Publish the parent distance cache as one shared ``(keys, n)`` matrix."""
-        distances = self._session.export_distances()
+    def _pack_distances(
+        self, required: Optional[set] = None
+    ) -> Optional[StoreHandle]:
+        """Publish the parent distance cache as one shared ``(keys, n)`` matrix.
+
+        ``required`` is the set of ``(target, k)`` keys the submitting run
+        actually needs: as long as the existing pack covers them, its handle
+        is reused — no O(cache × |V|) re-stack and, crucially on the
+        serving path, no unlink of a segment that concurrent in-flight runs
+        were handed.  A repack (covering the whole exported cache, so it
+        amortises) happens only when genuinely new keys appeared; racing
+        shards that still hold the retired handle fall back to per-group
+        BFS via :func:`_attach_distance_cache`.
+        """
+        distances = self.session.export_distances()
         if not distances:
             return None
-        keys = tuple(distances)
-        if self._cache_store is not None and keys == self._packed_keys:
-            return self._cache_store.handle()
         if self._cache_store is not None:
+            packed = set(self._packed_keys)
+            needed = set(distances) if required is None else required
+            if needed <= packed:
+                return self._cache_store.handle()
             self._cache_store.close(unlink=True)
+        keys = tuple(distances)
         matrix = np.stack([distances[key] for key in keys])
         self._cache_store = SharedMemoryStore.pack(
             {"distances": matrix}, meta={"keys": list(keys)}
@@ -794,11 +1174,9 @@ class ProcessBatchExecutor:
         self._packed_keys = keys
         return self._cache_store.handle()
 
-    def _ensure_pool(self, num_workers: int) -> ProcessPoolExecutor:
-        if self._pool is not None and self._pool_workers >= num_workers:
-            return self._pool
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            return self._pool
         store = self.graph.store
         already_shared = (
             store is not None
@@ -807,16 +1185,172 @@ class ProcessBatchExecutor:
         )
         graph_handle = self.graph.share()
         if not already_shared:
-            # Only unlink at close() what this executor itself published.
+            # Only unlink at close() what this core itself published.
             self._graph_published_here = True
-        self._pool_workers = num_workers
+        context = multiprocessing.get_context(self.start_method)
+        if self._mp_queue is None:
+            # One queue and one router thread outlive pool regenerations;
+            # the router demultiplexes chunks to per-run streams by run id
+            # and silently drops chunks of unregistered (finished or
+            # cancelled) runs.
+            self._mp_queue = context.Queue()
+            self._drainer = threading.Thread(
+                target=self._drain_loop, name="repro-stream-router", daemon=True
+            )
+            self._drainer.start()
+        # Always size the pool at full strength: a persistent pool serves
+        # runs of different shapes, and resizing it mid-flight would tear
+        # workers out from under a concurrent run.
         self._pool = ProcessPoolExecutor(
-            max_workers=num_workers,
-            mp_context=multiprocessing.get_context(self.start_method),
+            max_workers=self.workers,
+            mp_context=context,
             initializer=_process_worker_init,
-            initargs=(graph_handle, self.algorithm),
+            initargs=(graph_handle, self.algorithm, self._mp_queue),
         )
         return self._pool
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        return self._pool
+
+    def _discard_broken_pool(self) -> None:
+        """Drop a pool whose worker died; the next start() builds a fresh one."""
+        with self._submit_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def _thread_stream_shard(
+        self,
+        run: StreamRun,
+        shard: Sequence[Tuple[int, Tuple[int, int, int]]],
+        config: RunConfig,
+        distances: Mapping[Tuple[int, int], np.ndarray],
+    ) -> int:
+        """Thread-backend worker: same streaming contract, direct queue."""
+        results = _iter_shard_results(
+            self.graph, self.algorithm, config, shard, distances
+        )
+        emitted, stopped = _pump_chunks(
+            results,
+            run._chunk_queries,
+            lambda chunk: run._queue.put(("chunk", chunk)),
+            run.cancelled.is_set,
+        )
+        if not stopped:
+            run._queue.put(("done", None))
+        return emitted
+
+    def _register_run(self, run: StreamRun) -> None:
+        with self._runs_lock:
+            self._runs[run.run_id] = run
+
+    def _unregister_run(self, run_id: int) -> None:
+        with self._runs_lock:
+            self._runs.pop(run_id, None)
+
+    def _drain_loop(self) -> None:
+        """Router thread: demultiplex the shared queue to per-run streams."""
+        while True:
+            try:
+                kind, run_id, payload = self._mp_queue.get()
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            if kind == "stop":
+                return
+            with self._runs_lock:
+                run = self._runs.get(run_id)
+            if run is not None:
+                run._queue.put((kind, payload))
+
+
+class ProcessBatchExecutor:
+    """Target-sharded batch evaluation across worker processes.
+
+    The GIL caps :class:`BatchExecutor`'s thread pool at one core of useful
+    work; this executor fans out to real processes through a persistent
+    :class:`ExecutorCore` (process backend): the graph and the warmed
+    distance cache live in shared memory, each worker evaluates whole
+    target shards (growing the forward BFS trees of a target group in one
+    multi-source sweep), and results stream back chunk by chunk.
+
+    Results come back in workload order and are identical, path lists
+    included, to evaluating the same workload through a sequential
+    :class:`QuerySession`.  ``RunConfig.on_result`` callbacks are supported:
+    workers stream result chunks to the parent, which replays every path
+    into the callback *in workload order* (the exact sequence a sequential
+    session run would produce).  The ordering guarantee costs memory:
+    workers must materialise each query's paths to ship them (even under
+    ``store_paths=False``), and out-of-order arrivals buffer parent-side
+    until the workload-order prefix is contiguous — worst case the whole
+    batch's paths at once.  For bounded-memory streaming of huge result
+    sets, use :class:`BatchExecutor`, whose callback fires in-process
+    without materialisation (at the cost of cross-query ordering when its
+    thread pool is enabled).  Constraints hold process-local state and
+    are still rejected — use :class:`BatchExecutor` for those.
+
+    The executor owns two shared-memory segments; call :meth:`close` (or use
+    it as a context manager) so they are unlinked deterministically instead
+    of at interpreter teardown.  ``close()`` is idempotent.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        algorithm: Optional[Algorithm] = None,
+        processes: Optional[int] = None,
+        shards: Optional[int] = None,
+        start_method: Optional[str] = None,
+        max_cached: int = 1024,
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be at least 1")
+        self._core = ExecutorCore(
+            graph,
+            algorithm=algorithm,
+            backend="process",
+            workers=processes,
+            shards=shards,
+            start_method=start_method,
+            max_cached=max_cached,
+        )
+        self.graph = graph
+        self.algorithm = self._core.algorithm
+        self.stats = BatchStats()
+
+    # Introspection attributes of the pre-core API, kept for callers.
+    @property
+    def processes(self) -> int:
+        return self._core.workers
+
+    @property
+    def shards(self) -> Optional[int]:
+        return self._core.shards
+
+    @property
+    def start_method(self) -> str:
+        return self._core.start_method
+
+    # -- lifecycle ----------------------------------------------------- #
+    def __enter__(self) -> "ProcessBatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink owned shared segments."""
+        self._core.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- execution ----------------------------------------------------- #
     def run(
@@ -825,11 +1359,8 @@ class ProcessBatchExecutor:
         config: Optional[RunConfig] = None,
     ) -> BatchResult:
         """Evaluate every query of ``workload`` and return the batch result."""
-        from repro.workloads.queries import partition_by_target
-
         config = config if config is not None else RunConfig()
-        self._check_config(config)
-        if self._closed:
+        if self._core.closed:
             raise RuntimeError("ProcessBatchExecutor is closed")
         queries = list(workload)
         started = time.perf_counter()
@@ -837,63 +1368,56 @@ class ProcessBatchExecutor:
             self.stats.wall_seconds = time.perf_counter() - started
             return BatchResult(results=[], stats=replace(self.stats))
 
-        distance_aware = isinstance(self.algorithm, _DISTANCE_AWARE)
-        fresh: List[Tuple[int, int]] = []
-        cache_handle: Optional[StoreHandle] = None
-        num_shards = self.shards if self.shards is not None else self.processes
-        shards = partition_by_target(queries, num_shards)
-        plain = [
-            [(position, (q.source, q.target, q.k)) for position, q in shard]
-            for shard in shards
-        ]
-        if distance_aware:
-            fresh = self._warm_distances(queries)
-
-        if self.processes > 1 and len(shards) > 1:
-            if distance_aware:
-                cache_handle = self._pack_distances()
-            pool = self._ensure_pool(min(self.processes, len(shards)))
-            futures = [
-                pool.submit(_process_worker_run_shard, (shard, config, cache_handle))
-                for shard in plain
-            ]
-            try:
-                shard_results = [future.result() for future in futures]
-            except BaseException:
-                # Same contract as the thread pool: a failing shard cancels
-                # everything outstanding (shutdown does the cancelling) and
-                # surfaces the worker's original traceback, chained by the
-                # futures machinery.
-                self._pool.shutdown(wait=True, cancel_futures=True)
-                self._pool = None
-                raise
-        else:
-            inline_distances = self._session.export_distances()
-            shard_results = [
-                _run_shard_queries(
-                    self.graph, self.algorithm, config, shard, inline_distances
-                )
-                for shard in plain
-            ]
+        # The callback stays parent-side: workers get a config without it
+        # (but with path storage, so the paths to replay come back) and the
+        # parent releases queries to the callback in workload order.
+        stream_callback = config.on_result
+        worker_config = config
+        if stream_callback is not None:
+            worker_config = config.replace(on_result=None, store_paths=True)
+        run = self._core.start(
+            queries,
+            worker_config,
+            chunk_queries=1 if stream_callback is not None else DEFAULT_CHUNK_QUERIES,
+        )
+        self.stats.reverse_bfs_runs += len(run.fresh)
 
         results: List[Optional[QueryResult]] = [None] * len(queries)
-        for shard_result in shard_results:
-            for position, result in shard_result:
+        next_position = 0
+
+        def release_ready() -> None:
+            # Replay the contiguous ready prefix so the callback observes
+            # the exact path sequence of a sequential session run.
+            nonlocal next_position
+            while next_position < len(results) and results[next_position] is not None:
+                result = results[next_position]
+                for path in result.paths or ():
+                    stream_callback(path)
+                if not config.store_paths:
+                    result.paths = None
+                next_position += 1
+
+        for chunk in run.chunks():
+            for position, result in chunk:
                 results[position] = result
+            if stream_callback is not None:
+                release_ready()
+        missing = sum(1 for result in results if result is None)
+        if missing:
+            # chunks() exits cleanly when the run is cancelled under it
+            # (e.g. a concurrent close()); a partial batch must not escape
+            # as a BatchResult full of holes.
+            raise RuntimeError(
+                f"stream ended with {missing} of {len(queries)} results "
+                "missing (executor closed mid-run?)"
+            )
 
         self.stats.queries_run += len(queries)
-        if distance_aware:
-            # Charge each fresh reverse BFS to the first query that needed
-            # it (in workload order), exactly as a sequential session does.
-            fresh_set = set(fresh)
-            charged: set = set()
-            for position, query in enumerate(queries):
-                key = (query.target, query.k)
-                paid = key in fresh_set and key not in charged
-                if paid:
-                    charged.add(key)
-                results[position].stats.bfs_cache_hit = not paid
-            self.stats.bfs_cache_hits += len(queries) - len(charged)
+        if isinstance(self.algorithm, _DISTANCE_AWARE):
+            charged = _charge_fresh_to_first_query(
+                queries, results, set(run.fresh), lambda q: (q.target, q.k)
+            )
+            self.stats.bfs_cache_hits += len(queries) - charged
         self.stats.wall_seconds = time.perf_counter() - started
         return BatchResult(results=list(results), stats=replace(self.stats))
 

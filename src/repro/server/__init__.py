@@ -1,0 +1,52 @@
+"""Async query serving: a long-lived TCP front end over the batch engine.
+
+The paper's headline claim is *real-time* hop-constrained s-t path
+enumeration; this package turns the engine into a service that can actually
+be measured under open-loop concurrent traffic instead of one-shot CLI
+batches:
+
+* :mod:`repro.server.protocol` — the length-prefixed JSON wire format
+  (``submit`` / streamed ``path`` / ``result`` frames / ``done`` /
+  ``cancel`` / ``stats``);
+* :mod:`repro.server.service` — :class:`QueryService`, the asyncio-facing
+  core: it owns a shared graph image, a warm reverse-BFS distance cache and
+  a persistent worker pool (threads or processes) through
+  :class:`~repro.core.engine.ExecutorCore`, and streams per-query results to
+  submitted jobs as workers produce them;
+* :mod:`repro.server.server` — :class:`QueryServer`, the asyncio TCP
+  front end (``repro serve``);
+* :mod:`repro.server.client` — :class:`QueryClient` plus the open-loop
+  load driver behind ``repro client`` and the serving benchmark.
+"""
+
+from repro.server.client import LoadReport, QueryClient, open_loop_load, run_queries
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    FrameError,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import QueryServer, serve_forever
+from repro.server.service import JobState, QueryService, ServiceJob
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "QueryService",
+    "ServiceJob",
+    "JobState",
+    "QueryServer",
+    "serve_forever",
+    "QueryClient",
+    "run_queries",
+    "open_loop_load",
+    "LoadReport",
+]

@@ -1,0 +1,399 @@
+"""Asyncio client for the query service, plus the open-loop load driver.
+
+:class:`QueryClient` wraps one TCP connection: a background reader task
+demultiplexes incoming frames by job id, so any number of jobs (and
+``stats`` probes) can be in flight on one connection.  The convenience
+entry points cover the two scripted uses:
+
+* :func:`run_queries` — synchronous one-shot: connect, submit one workload,
+  collect the ordered results (the ``repro client`` default);
+* :func:`open_loop_load` — the serving benchmark's traffic generator: each
+  query becomes its own job, submitted at a scheduled arrival time
+  regardless of completions (open-loop, so queueing delay is *measured*,
+  not hidden), across a pool of concurrent connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.server.protocol import DEFAULT_PORT, read_frame, write_frame
+
+__all__ = [
+    "RemoteResult",
+    "JobOutcome",
+    "QueryClient",
+    "run_queries",
+    "open_loop_load",
+    "LoadReport",
+]
+
+
+@dataclass
+class RemoteResult:
+    """One query's result as received over the wire."""
+
+    position: int
+    source: object
+    target: object
+    k: int
+    count: int
+    paths: Optional[List[Tuple[object, ...]]]
+    query_ms: float
+    plan: Optional[str]
+    timed_out: bool
+    bfs_cache_hit: bool
+
+    @classmethod
+    def from_frame(
+        cls, frame: Dict[str, object], paths: Optional[List[Tuple[object, ...]]]
+    ) -> "RemoteResult":
+        return cls(
+            position=int(frame["position"]),
+            source=frame["source"],
+            target=frame["target"],
+            k=int(frame["k"]),
+            count=int(frame["count"]),
+            paths=paths,
+            query_ms=float(frame["query_ms"]),
+            plan=frame.get("plan"),
+            timed_out=bool(frame.get("timed_out", False)),
+            bfs_cache_hit=bool(frame.get("bfs_cache_hit", False)),
+        )
+
+
+@dataclass
+class JobOutcome:
+    """Everything one job streamed back, reassembled."""
+
+    job_id: str
+    #: Results in workload order (sorted by ``position``).
+    results: List[RemoteResult]
+    #: ``"done"``, ``"cancelled"`` or ``"error"``.
+    status: str
+    #: The terminal frame (carries ``total_paths`` / ``wall_ms`` on done).
+    info: Dict[str, object]
+    #: Client-side seconds from submit to the first streamed frame / the
+    #: terminal frame — the serving latency split the benchmark reports.
+    first_frame_seconds: Optional[float] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def total_paths(self) -> int:
+        return sum(result.count for result in self.results)
+
+    def raise_on_error(self) -> "JobOutcome":
+        if self.status == "error":
+            raise RuntimeError(f"job {self.job_id} failed: {self.info.get('error')}")
+        return self
+
+
+class QueryClient:
+    """One protocol connection with frame demultiplexing."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._jobs: Dict[str, asyncio.Queue] = {}
+        self._control: asyncio.Queue = asyncio.Queue()
+        self._control_lock = asyncio.Lock()
+        self._next_id = 0
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> "QueryClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "QueryClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _read_loop(self) -> None:
+        reason = "connection closed"
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                job_id = frame.get("id")
+                queue = self._jobs.get(job_id) if job_id is not None else None
+                if queue is not None:
+                    queue.put_nowait(frame)
+                else:
+                    self._control.put_nowait(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - reported through the poison frame
+            reason = f"connection failed: {type(error).__name__}: {error}"
+        finally:
+            # Wake every waiter so nobody blocks on a dead connection — and
+            # tell them *why* (protocol error vs. plain disconnect).  The
+            # marker lets control-frame waiters distinguish this local
+            # "connection is gone" signal from an ordinary server error
+            # frame that happens to carry no job id.
+            poison = {"type": "error", "error": reason, "_closed": True}
+            for job_id, queue in self._jobs.items():
+                queue.put_nowait({**poison, "id": job_id})
+            self._control.put_nowait(poison)
+
+    # -- requests ------------------------------------------------------ #
+    async def submit(
+        self,
+        queries: Sequence[Sequence[object]],
+        *,
+        store_paths: bool = True,
+        result_limit: Optional[int] = None,
+        time_limit_seconds: Optional[float] = None,
+        response_k: int = 1000,
+        external: bool = False,
+        frames: str = "result",
+    ) -> str:
+        """Send one submit frame; returns the job id to stream/collect."""
+        self._next_id += 1
+        job_id = f"c{self._next_id}"
+        self._jobs[job_id] = asyncio.Queue()
+        opts: Dict[str, object] = {
+            "store_paths": store_paths,
+            "response_k": response_k,
+        }
+        if result_limit is not None:
+            opts["result_limit"] = result_limit
+        if time_limit_seconds is not None:
+            opts["time_limit_seconds"] = time_limit_seconds
+        if external:
+            opts["external"] = True
+        if frames != "result":
+            opts["frames"] = frames
+        await write_frame(
+            self._writer,
+            {
+                "type": "submit",
+                "id": job_id,
+                "queries": [list(query) for query in queries],
+                "opts": opts,
+            },
+            lock=self._write_lock,
+        )
+        return job_id
+
+    async def frames(self, job_id: str):
+        """Yield the job's raw frames until (and including) the terminal one."""
+        queue = self._jobs[job_id]
+        try:
+            while True:
+                frame = await queue.get()
+                yield frame
+                if frame["type"] in ("done", "cancelled", "error"):
+                    return
+        finally:
+            self._jobs.pop(job_id, None)
+
+    async def collect(self, job_id: str) -> JobOutcome:
+        """Drain one job into a :class:`JobOutcome` (results position-sorted)."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        first: Optional[float] = None
+        pending_paths: Dict[int, List[Tuple[object, ...]]] = {}
+        results: List[RemoteResult] = []
+        status, info = "error", {"error": "stream ended without a terminal frame"}
+        async for frame in self.frames(job_id):
+            if first is None:
+                first = loop.time() - started
+            kind = frame["type"]
+            if kind == "path":
+                pending_paths.setdefault(int(frame["position"]), []).append(
+                    tuple(frame["path"])
+                )
+            elif kind == "result":
+                position = int(frame["position"])
+                if "paths" in frame:
+                    paths = [tuple(path) for path in frame["paths"]]
+                else:
+                    paths = pending_paths.pop(position, None)
+                results.append(RemoteResult.from_frame(frame, paths))
+            else:
+                status, info = kind, frame
+        results.sort(key=lambda result: result.position)
+        return JobOutcome(
+            job_id=job_id,
+            results=results,
+            status=status,
+            info=info,
+            first_frame_seconds=first,
+            wall_seconds=loop.time() - started,
+        )
+
+    async def run(self, queries: Sequence[Sequence[object]], **opts) -> JobOutcome:
+        """Submit one workload and collect its outcome."""
+        job_id = await self.submit(queries, **opts)
+        return await self.collect(job_id)
+
+    async def cancel(self, job_id: str) -> None:
+        await write_frame(
+            self._writer, {"type": "cancel", "id": job_id}, lock=self._write_lock
+        )
+
+    async def stats(self) -> Dict[str, object]:
+        """Request one service statistics snapshot."""
+        return await self._control_request({"type": "stats"}, "stats")
+
+    async def ping(self) -> bool:
+        await self._control_request({"type": "ping"}, "pong")
+        return True
+
+    async def _control_request(self, request: Dict[str, object], reply_type: str):
+        """Send a control frame and wait for its reply.
+
+        Unrelated control-queue traffic (e.g. a server error frame that
+        carries no job id) is skipped, not raised — only the dead-connection
+        poison aborts the wait.
+        """
+        async with self._control_lock:
+            await write_frame(self._writer, request, lock=self._write_lock)
+            while True:
+                frame = await self._control.get()
+                if frame["type"] == reply_type:
+                    return frame.get(reply_type)
+                if frame.get("_closed"):
+                    raise RuntimeError(frame.get("error", "connection closed"))
+
+
+def run_queries(
+    queries: Sequence[Sequence[object]],
+    *,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    **opts,
+) -> JobOutcome:
+    """Synchronous one-shot: connect, run one workload, disconnect."""
+
+    async def _run() -> JobOutcome:
+        client = await QueryClient.connect(host, port)
+        async with client:
+            return await client.run(queries, **opts)
+
+    return asyncio.run(_run())
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop load run."""
+
+    concurrency: int
+    offered_rate: float
+    wall_seconds: float
+    completed: int
+    errors: int
+    total_paths: int
+    #: Per-query completion latency in milliseconds, measured from each
+    #: query's *scheduled* arrival time (queueing delay included).
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return float(self.completed)
+        return self.completed / self.wall_seconds
+
+
+async def open_loop_load(
+    queries: Sequence[Sequence[object]],
+    arrivals_seconds: Sequence[float],
+    *,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    connections: int = 1,
+    store_paths: bool = False,
+    result_limit: Optional[int] = None,
+    time_limit_seconds: Optional[float] = None,
+    external: bool = False,
+) -> LoadReport:
+    """Drive open-loop traffic: query ``i`` is submitted at its arrival time.
+
+    Every query is its own single-query job; jobs round-robin over
+    ``connections`` concurrent client connections.  Submission times follow
+    ``arrivals_seconds`` (offsets from the start of the run) without waiting
+    for completions — when the service falls behind, latency grows instead
+    of the arrival process stalling, which is what makes the measured
+    percentiles honest.
+    """
+    if len(queries) != len(arrivals_seconds):
+        raise ValueError("queries and arrivals_seconds must have equal length")
+    if connections < 1:
+        raise ValueError("connections must be at least 1")
+    loop = asyncio.get_running_loop()
+    clients: List[QueryClient] = []
+    started = loop.time()
+
+    async def one(index: int, query: Sequence[object], offset: float):
+        scheduled = started + offset
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = clients[index % len(clients)]
+        job_id = await client.submit(
+            [query],
+            store_paths=store_paths,
+            result_limit=result_limit,
+            time_limit_seconds=time_limit_seconds,
+            external=external,
+        )
+        outcome = await client.collect(job_id)
+        latency_ms = (loop.time() - scheduled) * 1e3
+        return outcome, latency_ms
+
+    try:
+        # Connections open inside the try so a mid-list refusal (fd limit,
+        # server backlog) still closes the ones already established.
+        for _ in range(min(connections, max(1, len(queries)))):
+            clients.append(await QueryClient.connect(host, port))
+        started = loop.time()
+        settled = await asyncio.gather(
+            *(one(i, q, a) for i, (q, a) in enumerate(zip(queries, arrivals_seconds))),
+            return_exceptions=True,
+        )
+        wall = loop.time() - started
+    finally:
+        for client in clients:
+            await client.close()
+
+    latencies: List[float] = []
+    completed = errors = total_paths = 0
+    for entry in settled:
+        if isinstance(entry, BaseException):
+            errors += 1
+            continue
+        outcome, latency_ms = entry
+        if outcome.status != "done":
+            errors += 1
+            continue
+        completed += 1
+        total_paths += outcome.total_paths
+        latencies.append(latency_ms)
+    return LoadReport(
+        concurrency=len(clients),
+        offered_rate=(len(queries) / arrivals_seconds[-1]) if len(queries) and arrivals_seconds[-1] > 0 else 0.0,
+        wall_seconds=wall,
+        completed=completed,
+        errors=errors,
+        total_paths=total_paths,
+        latencies_ms=latencies,
+    )

@@ -1,0 +1,148 @@
+"""The wire format of the query service: length-prefixed JSON frames.
+
+Every message — in both directions — is one *frame*: a 4-byte big-endian
+unsigned length followed by that many bytes of UTF-8 JSON encoding one
+object.  Framing first keeps the protocol trivially incremental (a stream
+reader never needs to re-scan for delimiters) and JSON keeps it
+inspectable with ``nc`` and a hexdump.
+
+Client → server messages (``type`` field):
+
+``submit``
+    ``{"type": "submit", "id": <client job id>, "queries": [[s, t, k], ...],
+    "opts": {...}}``.  Recognised options: ``store_paths`` (bool, default
+    true), ``result_limit`` (int), ``time_limit_seconds`` (float),
+    ``response_k`` (int), ``external`` (bool — endpoints are external vertex
+    ids, translated server-side, results translated back), ``frames``
+    (``"result"`` (default) or ``"path"`` — additionally stream one frame
+    per emitted path).
+``cancel``
+    ``{"type": "cancel", "id": <job id>}``.
+``stats``
+    ``{"type": "stats"}`` — service statistics snapshot.
+``ping``
+    ``{"type": "ping"}`` — liveness probe; answered with ``pong``.
+
+Server → client messages:
+
+``path``
+    One enumerated path of one query (only with ``frames: "path"``):
+    ``{"type": "path", "id", "position", "path": [v, ...]}``.
+``result``
+    One completed query: ``{"type": "result", "id", "position", "source",
+    "target", "k", "count", "paths", "query_ms", "plan", "timed_out",
+    "bfs_cache_hit"}``.  ``paths`` is omitted when path storage is off or
+    per-path frames were requested.  Results of one job stream as each
+    query completes — a client sorting frames by ``position`` reconstructs
+    workload order.
+``done``
+    Job completion: ``{"type": "done", "id", "queries", "total_paths",
+    "wall_ms"}``.  Always the job's final frame.
+``cancelled``
+    ``{"type": "cancelled", "id", "delivered"}`` — terminal frame of a
+    cancelled job.
+``error``
+    ``{"type": "error", "error": <message>, "id"?}`` — malformed input or a
+    failed job; terminal when ``id`` is present.
+``stats`` / ``pong``
+    Responses to the matching requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Optional
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Default TCP port of ``repro serve`` (unassigned range, PATH on a phone pad).
+DEFAULT_PORT = 7284
+
+#: Upper bound on one frame's JSON body.  Generous — a frame carries at most
+#: one query's paths — but finite, so a corrupt length prefix cannot make the
+#: reader allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized, truncated or undecodable."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """Serialise one message to its on-wire bytes (length prefix included)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Dict[str, object]:
+    """Decode one frame *body* (the bytes after the length prefix)."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"undecodable frame body: {error}") from None
+    if not isinstance(message, dict):
+        raise FrameError("frame body must encode a JSON object")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, object]]:
+    """Read one frame from ``reader``; ``None`` on a clean EOF.
+
+    A connection closed mid-frame raises :class:`FrameError` — the peer
+    vanished with bytes on the wire, which is worth distinguishing from a
+    deliberate shutdown between frames.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FrameError("connection closed inside a frame length prefix") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed inside a frame body") from None
+    return decode_frame(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    message: Dict[str, object],
+    *,
+    lock: Optional[asyncio.Lock] = None,
+) -> None:
+    """Write one frame and drain.
+
+    ``lock`` serialises concurrent writers on one connection (a server
+    streams several jobs to the same client); frames must never interleave
+    on the wire.
+    """
+    data = encode_frame(message)
+    if lock is None:
+        writer.write(data)
+        await writer.drain()
+        return
+    async with lock:
+        writer.write(data)
+        await writer.drain()

@@ -1,0 +1,361 @@
+"""The serving core: jobs, streaming delivery and worker-pool ownership.
+
+:class:`QueryService` is the asyncio-facing layer over
+:class:`~repro.core.engine.ExecutorCore`: it owns one graph image (published
+to shared memory when the process backend is selected), one warm reverse-BFS
+distance cache and one persistent worker pool, shared by every job for the
+life of the service.  A *job* is one submitted workload; its per-query
+results stream to an :class:`asyncio.Queue` the moment a worker finishes
+them, so a network front end can ship frame ``n`` while query ``n+1`` is
+still enumerating.
+
+The bridge between the blocking executor world and asyncio is one *drive*
+thread per active job (from a bounded pool): it performs the warm phase,
+consumes the run's chunk stream and hands events into the event loop with
+``call_soon_threadsafe``.  Cancellation flows the other way — a flag the
+drive thread and the executor check between chunks/queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.algorithm import Algorithm
+from repro.core.engine import ExecutorCore, StreamRun
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.core.result import QueryResult
+from repro.graph.digraph import DiGraph
+
+__all__ = ["JobState", "ServiceJob", "QueryService"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+#: Events delivered on a job's queue:
+#: ``("result", position, QueryResult)`` — one completed query;
+#: ``("done", info)`` / ``("cancelled", delivered)`` / ``("error", message)``
+#: — exactly one terminal event per job.
+JobEvent = Tuple
+
+
+class ServiceJob:
+    """One submitted workload and its streaming event queue."""
+
+    def __init__(self, job_id: str, num_queries: int, loop: asyncio.AbstractEventLoop) -> None:
+        self.id = job_id
+        self.num_queries = num_queries
+        self.state = JobState.PENDING
+        #: Results delivered so far (drive-thread side counter).
+        self.delivered = 0
+        self._loop = loop
+        self._queue: "asyncio.Queue[JobEvent]" = asyncio.Queue()
+        self._cancel = threading.Event()
+        self._run: Optional[StreamRun] = None
+        self._drive_future = None
+
+    def cancel(self) -> None:
+        """Request cancellation; safe from any thread, idempotent.
+
+        Queries not yet started are dropped; the job's terminal event
+        becomes ``cancelled`` unless it already completed.
+        """
+        self._cancel.set()
+        run = self._run
+        if run is not None:
+            run.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    async def events(self) -> AsyncIterator[JobEvent]:
+        """Yield streamed events until (and including) the terminal one."""
+        while True:
+            event = await self._queue.get()
+            yield event
+            if event[0] in ("done", "cancelled", "error"):
+                return
+
+    # -- drive-thread side --------------------------------------------- #
+    def _deliver(self, event: JobEvent) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, event)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic service counters (guarded by the service lock)."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_cancelled: int = 0
+    jobs_failed: int = 0
+    queries_submitted: int = 0
+    queries_completed: int = 0
+    paths_streamed: int = 0
+    active_jobs: Dict[str, "ServiceJob"] = field(default_factory=dict)
+
+
+class QueryService:
+    """A long-lived query service over one graph.
+
+    Parameters mirror the batch executors: ``processes > 1`` selects the
+    process backend of :class:`~repro.core.engine.ExecutorCore` (shared
+    graph image, packed distance cache, worker processes), otherwise a
+    ``threads``-wide thread backend serves jobs in-process — the right
+    default for small graphs and tests, and the only mode that stops
+    mid-shard on cancellation.
+
+    One service hosts many concurrent jobs: they share the worker pool, the
+    distance cache (a query whose ``(target, k)`` any earlier job warmed
+    skips its reverse BFS) and the ``max_concurrent_jobs``-wide drive pool.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        algorithm: Optional[Algorithm] = None,
+        processes: int = 1,
+        threads: int = 2,
+        shards: Optional[int] = None,
+        start_method: Optional[str] = None,
+        max_cached: int = 1024,
+        max_concurrent_jobs: int = 32,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        if threads < 1:
+            raise ValueError("threads must be at least 1")
+        self.graph = graph
+        backend = "process" if processes > 1 else "thread"
+        self._core = ExecutorCore(
+            graph,
+            algorithm=algorithm,
+            backend=backend,
+            workers=processes if processes > 1 else threads,
+            shards=shards,
+            start_method=start_method,
+            max_cached=max_cached,
+        )
+        self._drive_pool = ThreadPoolExecutor(
+            max_workers=max(1, int(max_concurrent_jobs)), thread_name_prefix="repro-job"
+        )
+        self._stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._job_ids = itertools.count(1)
+        self._started_monotonic = time.monotonic()
+        self._closed = False
+
+    # -- introspection ------------------------------------------------- #
+    @property
+    def backend(self) -> str:
+        """Worker backend of the underlying core (``process`` / ``thread``)."""
+        return self._core.backend
+
+    @property
+    def workers(self) -> int:
+        return self._core.workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> Dict[str, object]:
+        """A flat snapshot for the ``stats`` protocol frame."""
+        with self._lock:
+            counters = {
+                "jobs_submitted": self._stats.jobs_submitted,
+                "jobs_completed": self._stats.jobs_completed,
+                "jobs_cancelled": self._stats.jobs_cancelled,
+                "jobs_failed": self._stats.jobs_failed,
+                "jobs_active": len(self._stats.active_jobs),
+                "queries_submitted": self._stats.queries_submitted,
+                "queries_completed": self._stats.queries_completed,
+                "paths_streamed": self._stats.paths_streamed,
+            }
+        session_stats = self._core.session.stats
+        return {
+            **counters,
+            "backend": self.backend,
+            "workers": self.workers,
+            "reverse_bfs_runs": session_stats.reverse_bfs_runs,
+            "distance_cache_entries": len(self._core.session.export_distances()),
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+            "graph_vertices": self.graph.num_vertices,
+            "graph_edges": self.graph.num_edges,
+        }
+
+    # -- job lifecycle ------------------------------------------------- #
+    async def submit(
+        self,
+        queries: Sequence[Query],
+        config: Optional[RunConfig] = None,
+    ) -> ServiceJob:
+        """Register a job and start driving it; returns immediately.
+
+        The returned job's :meth:`ServiceJob.events` yields one ``result``
+        event per query as workers complete them, then a terminal event.
+        ``config.on_result`` must be unset (results stream as events
+        instead); constraints are rejected by the core.
+        """
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        config = config if config is not None else RunConfig()
+        loop = asyncio.get_running_loop()
+        queries = list(queries)
+        job = ServiceJob(f"job-{next(self._job_ids)}", len(queries), loop)
+        with self._lock:
+            self._stats.jobs_submitted += 1
+            self._stats.queries_submitted += len(queries)
+            self._stats.active_jobs[job.id] = job
+        job._drive_future = self._drive_pool.submit(self._drive, job, queries, config)
+        return job
+
+    async def run(
+        self,
+        queries: Sequence[Query],
+        config: Optional[RunConfig] = None,
+    ) -> List[QueryResult]:
+        """Submit and await one workload, returning results in workload order."""
+        queries = list(queries)
+        job = await self.submit(queries, config)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        async for event in job.events():
+            if event[0] == "result":
+                results[event[1]] = event[2]
+            elif event[0] == "error":
+                raise RuntimeError(event[1])
+            elif event[0] == "cancelled":
+                raise asyncio.CancelledError(f"job {job.id} cancelled")
+        return results  # type: ignore[return-value]
+
+    def _drive(self, job: ServiceJob, queries: List[Query], config: RunConfig) -> None:
+        """Drive one job to completion (runs on a drive-pool thread)."""
+        started = time.perf_counter()
+        total_paths = 0
+        try:
+            if job.cancelled:
+                self._finish(job, JobState.CANCELLED)
+                job._deliver(("cancelled", 0))
+                return
+            job.state = JobState.RUNNING
+            run = self._core.start(queries, config, chunk_queries=1)
+            job._run = run
+            if job.cancelled:
+                run.cancel()
+            # Charge each warm-phase reverse BFS to the first query (in
+            # workload order) of its key, as the batch executors do, so a
+            # served result carries the same cache-hit flag a sequential
+            # session run would report.
+            paying_positions: set = set()
+            if self._core.distance_aware:
+                first_position: Dict[Tuple[int, int], int] = {}
+                for position, query in enumerate(queries):
+                    first_position.setdefault((query.target, query.k), position)
+                paying_positions = {
+                    first_position[key] for key in run.fresh if key in first_position
+                }
+            for chunk in run.chunks():
+                for position, result in chunk:
+                    if self._core.distance_aware:
+                        result.stats.bfs_cache_hit = position not in paying_positions
+                    job.delivered += 1
+                    total_paths += result.count
+                    job._deliver(("result", position, result))
+            if job.delivered == job.num_queries:
+                self._finish(job, JobState.DONE, queries=job.delivered, paths=total_paths)
+                job._deliver(
+                    (
+                        "done",
+                        {
+                            "queries": job.delivered,
+                            "total_paths": total_paths,
+                            "wall_ms": round((time.perf_counter() - started) * 1e3, 3),
+                        },
+                    )
+                )
+            elif job.cancelled:
+                self._finish(job, JobState.CANCELLED, queries=job.delivered, paths=total_paths)
+                job._deliver(("cancelled", job.delivered))
+            else:
+                raise RuntimeError(
+                    f"stream ended with {job.num_queries - job.delivered} results missing"
+                )
+        except Exception as error:  # noqa: BLE001 - forwarded to the client
+            self._finish(job, JobState.FAILED, queries=job.delivered, paths=total_paths)
+            job._deliver(("error", f"{type(error).__name__}: {error}"))
+
+    def _finish(self, job: ServiceJob, state: JobState, *, queries: int = 0, paths: int = 0) -> None:
+        job.state = state
+        with self._lock:
+            self._stats.active_jobs.pop(job.id, None)
+            self._stats.queries_completed += queries
+            self._stats.paths_streamed += paths
+            if state is JobState.DONE:
+                self._stats.jobs_completed += 1
+            elif state is JobState.CANCELLED:
+                self._stats.jobs_cancelled += 1
+            elif state is JobState.FAILED:
+                self._stats.jobs_failed += 1
+
+    # -- shutdown ------------------------------------------------------ #
+    async def close(self) -> None:
+        """Cancel active jobs and release the pool + shared segments.
+
+        Blocking teardown (pool joins, segment unlinks) runs on the default
+        executor so the event loop keeps serving terminal frames meanwhile.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            active = list(self._stats.active_jobs.values())
+        for job in active:
+            job.cancel()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._shutdown_blocking)
+
+    def close_sync(self) -> None:
+        """Synchronous variant of :meth:`close` for non-asyncio teardown."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            active = list(self._stats.active_jobs.values())
+        for job in active:
+            job.cancel()
+        self._shutdown_blocking()
+
+    def _shutdown_blocking(self) -> None:
+        self._drive_pool.shutdown(wait=True, cancel_futures=True)
+        # A job queued behind max_concurrent_jobs whose _drive never ran was
+        # cancelled as a bare future — nobody delivered its terminal event,
+        # and an events()/run() awaiter would hang on the empty queue.
+        with self._lock:
+            stranded = list(self._stats.active_jobs.values())
+        for job in stranded:
+            future = job._drive_future
+            if future is not None and future.cancelled():
+                self._finish(job, JobState.CANCELLED)
+                job._deliver(("cancelled", 0))
+        self._core.close()

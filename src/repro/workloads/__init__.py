@@ -17,7 +17,13 @@ from repro.workloads.datasets import (
     registry,
 )
 from repro.workloads.dynamic import DynamicWorkload, build_dynamic_workload
-from repro.workloads.queries import QuerySetting, QueryWorkload, generate_query_set, split_by_degree
+from repro.workloads.queries import (
+    QuerySetting,
+    QueryWorkload,
+    generate_query_set,
+    poisson_arrival_times,
+    split_by_degree,
+)
 
 __all__ = [
     "DatasetSpec",
@@ -29,6 +35,7 @@ __all__ = [
     "QuerySetting",
     "QueryWorkload",
     "generate_query_set",
+    "poisson_arrival_times",
     "split_by_degree",
     "DynamicWorkload",
     "build_dynamic_workload",

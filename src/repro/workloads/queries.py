@@ -28,6 +28,7 @@ __all__ = [
     "QueryWorkload",
     "split_by_degree",
     "partition_by_target",
+    "poisson_arrival_times",
     "generate_query_set",
     "generate_target_centric_set",
     "generate_all_settings",
@@ -141,6 +142,27 @@ def partition_by_target(
         shards[index].extend(group)
         heapq.heappush(heap, (load + len(group), index))
     return [shard for shard in shards if shard]
+
+
+def poisson_arrival_times(
+    count: int, rate_per_second: float, *, seed: Optional[int] = None
+) -> np.ndarray:
+    """Deterministic open-loop arrival schedule: Poisson process offsets.
+
+    Returns ``count`` monotonically increasing arrival times in seconds
+    (offsets from the start of a load run), with exponentially distributed
+    inter-arrival gaps of mean ``1 / rate_per_second`` drawn from a seeded
+    :class:`numpy.random.Generator` — the same seed always produces the same
+    schedule, so serving benchmarks are replayable.  The first arrival is at
+    the first gap, not at zero (no thundering herd at t=0).
+    """
+    if count < 1:
+        raise WorkloadError("count must be positive")
+    if not rate_per_second > 0.0:
+        raise WorkloadError("rate_per_second must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_per_second, size=count)
+    return np.cumsum(gaps)
 
 
 def split_by_degree(graph: DiGraph, *, top_fraction: float = 0.10) -> Tuple[np.ndarray, np.ndarray]:

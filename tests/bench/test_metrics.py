@@ -8,6 +8,7 @@ from repro.bench.metrics import (
     aggregate,
     cumulative_distribution,
     latency_percentile,
+    latency_summary,
     time_distribution,
 )
 from repro.core.result import EnumerationStats, Phase, QueryResult
@@ -94,3 +95,46 @@ class TestDistributions:
             time_distribution([], fast_threshold_ms=1.0, slow_threshold_ms=2.0)
         with pytest.raises(ValueError):
             cumulative_distribution([])
+
+
+class TestLatencySummary:
+    def test_default_keys_and_values(self):
+        values = [float(ms) for ms in range(1, 1001)]
+        summary = latency_summary(values)
+        assert set(summary) == {
+            "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "p99_9_ms", "max_ms",
+        }
+        assert summary["count"] == 1000
+        assert summary["mean_ms"] == pytest.approx(500.5)
+        assert summary["p50_ms"] == pytest.approx(500.5)
+        assert summary["p95_ms"] == pytest.approx(950.05, abs=1.0)
+        assert summary["max_ms"] == pytest.approx(1000.0)
+        # Percentiles are monotone by construction.
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"] <= summary["p99_9_ms"]
+
+    def test_matches_latency_percentile_on_the_same_series(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        values = rng.exponential(scale=10.0, size=500).tolist()
+        summary = latency_summary(values)
+        assert summary["p99_9_ms"] == pytest.approx(float(np.percentile(values, 99.9)))
+
+    def test_custom_percentiles(self):
+        summary = latency_summary([1.0, 2.0, 3.0, 4.0], percentiles=(25.0, 75.0))
+        assert set(summary) == {"count", "mean_ms", "p25_ms", "p75_ms", "max_ms"}
+
+    def test_single_sample(self):
+        summary = latency_summary([42.0])
+        assert summary["p50_ms"] == summary["p99_9_ms"] == summary["max_ms"] == 42.0
+
+    def test_accepts_numpy_input(self):
+        import numpy as np
+
+        summary = latency_summary(np.asarray([5.0, 1.0, 3.0]))
+        assert summary["count"] == 3
+        assert summary["max_ms"] == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary([])

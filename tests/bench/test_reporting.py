@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from repro.bench.reporting import format_series, format_table, format_value, print_series, print_table
+from repro.bench.reporting import (
+    format_latency_summary,
+    format_series,
+    format_table,
+    format_value,
+    print_series,
+    print_table,
+)
 
 
 class TestFormatValue:
@@ -64,6 +71,19 @@ class TestFormatSeries:
 
     def test_empty_series(self):
         assert "(no series)" in format_series({})
+
+
+class TestLatencySummaryRendering:
+    def test_renders_summary_keys_in_order(self):
+        from repro.bench.metrics import latency_summary
+
+        summary = latency_summary([1.0, 2.0, 3.0, 10.0])
+        rendered = format_latency_summary(summary, title="Latency (ms)")
+        lines = rendered.splitlines()
+        assert lines[0] == "Latency (ms)"
+        header = lines[1].split()
+        assert header == ["count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "p99_9_ms", "max_ms"]
+        assert "10.000" in rendered  # plain (non-scientific) by default
 
 
 class TestPrintHelpers:

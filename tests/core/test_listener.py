@@ -99,6 +99,53 @@ class TestDeadline:
         assert not deadline.expired
         assert deadline.remaining() > 0
 
+    def test_remaining_without_limit_is_none_and_never_clamps(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        time.sleep(0.002)
+        assert deadline.remaining() is None  # stays None however long we wait
+
+    def test_remaining_clamps_to_zero_after_expiry(self):
+        deadline = Deadline(0.001, poll_interval=1)
+        time.sleep(0.005)
+        assert deadline.remaining() == 0.0  # never negative
+
+    def test_expiry_raises_once_per_poll_window(self):
+        # After a raise the countdown resets: the next poll_interval - 1
+        # checks are free, then the expired deadline raises again.  Exactly
+        # one raise per window, not one per check.
+        deadline = Deadline(0.0, poll_interval=5)
+        raises = 0
+        for _ in range(20):
+            try:
+                deadline.check()
+            except EnumerationTimeout:
+                raises += 1
+        assert raises == 4  # checks 5, 10, 15, 20
+        assert deadline.expired
+
+    def test_poll_interval_is_clamped_to_one(self):
+        deadline = Deadline(0.0, poll_interval=0)
+        # A nonsensical poll interval must not disable checking entirely.
+        with pytest.raises(EnumerationTimeout):
+            deadline.check()
+
+    def test_expired_property_is_immediate_despite_poll_batching(self):
+        # ``expired`` reads the clock directly; only ``check()`` batches.
+        deadline = Deadline(0.0, poll_interval=1000)
+        deadline.check()  # consumes one countdown tick, does not raise
+        assert deadline.expired
+
+    def test_batched_checks_raise_on_the_polling_check(self):
+        deadline = Deadline(0.005, poll_interval=8)
+        time.sleep(0.01)
+        # Checks 1..7 never consult the clock even though the deadline has
+        # long passed; the 8th does and raises.
+        for _ in range(7):
+            deadline.check()
+        with pytest.raises(EnumerationTimeout):
+            deadline.check()
+
 
 class TestRunConfig:
     def test_factories(self):

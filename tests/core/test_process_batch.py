@@ -265,13 +265,6 @@ class TestProcessRejections:
                     shared_target_queries, RunConfig(constraint=constraint)
                 )
 
-    def test_rejects_streaming_callbacks(self, graph, shared_target_queries):
-        with ProcessBatchExecutor(graph, processes=2) as executor:
-            with pytest.raises(ValueError, match="on_result"):
-                executor.run(
-                    shared_target_queries, RunConfig(on_result=lambda path: None)
-                )
-
     def test_rejects_bad_worker_counts(self, graph):
         with pytest.raises(ValueError):
             ProcessBatchExecutor(graph, processes=0)
@@ -283,6 +276,72 @@ class TestProcessRejections:
         executor.close()
         with pytest.raises(RuntimeError):
             executor.run(shared_target_queries)
+
+    def test_close_is_idempotent(self, graph, shared_target_queries):
+        executor = ProcessBatchExecutor(graph, processes=2, start_method="fork")
+        executor.run(shared_target_queries[:4], RunConfig(store_paths=False))
+        executor.close()
+        executor.close()  # second close must be a no-op, not an error
+        executor.close()
+
+
+class TestStreamingCallbacks:
+    """``RunConfig.on_result`` routed through the chunked result stream."""
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_callback_sequence_matches_sequential_run(
+        self, graph, shared_target_queries, start_method
+    ):
+        config = RunConfig(store_paths=False)
+        expected: list = []
+        engine = PathEnum()
+        for query in shared_target_queries:
+            engine.run(graph, query, config.replace(on_result=expected.append))
+
+        streamed: list = []
+        with ProcessBatchExecutor(
+            graph, processes=2, start_method=start_method
+        ) as executor:
+            batch = executor.run(
+                shared_target_queries, config.replace(on_result=streamed.append)
+            )
+        # Workload order, per-query path order: the exact sequence the
+        # callback would observe from a sequential session run.
+        assert streamed == expected
+        # store_paths=False semantics are preserved even though workers
+        # internally materialise paths to ship them to the parent.
+        assert all(result.paths is None for result in batch.results)
+
+    def test_callback_with_stored_paths_keeps_paths(self, graph, shared_target_queries):
+        seen: list = []
+        with ProcessBatchExecutor(graph, processes=2, start_method="fork") as executor:
+            batch = executor.run(
+                shared_target_queries[:6],
+                RunConfig(store_paths=True, on_result=seen.append),
+            )
+        assert seen == [p for r in batch.results for p in r.paths]
+
+
+class TestCleanupRegressions:
+    def test_no_segment_leak_after_worker_exception(self, graph):
+        workload = generate_target_centric_set(graph, count=8, k=4, num_targets=2, seed=9)
+        queries = list(workload)
+        before = _shm_segments()
+        with pytest.raises(RuntimeError, match="poisoned"):
+            with ProcessBatchExecutor(
+                graph,
+                algorithm=_ExplodingAlgorithm(queries[0].target),
+                processes=2,
+                start_method="fork",
+            ) as executor:
+                executor.run(queries, RunConfig(store_paths=False))
+        assert _shm_segments() - before == set(), "leaked shared-memory segments"
+
+    def test_no_segment_leak_after_explicit_close_without_run(self, graph):
+        before = _shm_segments()
+        executor = ProcessBatchExecutor(graph, processes=2)
+        executor.close()
+        assert _shm_segments() - before == set()
 
 
 class _ExplodingAlgorithm(Algorithm):

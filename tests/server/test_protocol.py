@@ -1,0 +1,105 @@
+"""Unit tests for the length-prefixed JSON frame protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+def _feed(*chunks: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        message = {"type": "submit", "id": "c1", "queries": [[0, 1, 4]], "opts": {}}
+        encoded = encode_frame(message)
+        length = struct.unpack(">I", encoded[:4])[0]
+        assert length == len(encoded) - 4
+        assert decode_frame(encoded[4:]) == message
+
+    def test_rejects_non_object_bodies(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_rejects_undecodable_bodies(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"{not json")
+        with pytest.raises(FrameError):
+            decode_frame(b"\xff\xfe")
+
+    def test_rejects_oversized_messages(self):
+        huge = {"payload": "x" * (MAX_FRAME_BYTES + 1)}
+        with pytest.raises(FrameError):
+            encode_frame(huge)
+
+
+class TestReadFrame:
+    def test_reads_consecutive_frames(self):
+        first = encode_frame({"type": "ping"})
+        second = encode_frame({"type": "stats"})
+
+        async def scenario():
+            reader = _feed(first + second)
+            assert await read_frame(reader) == {"type": "ping"}
+            assert await read_frame(reader) == {"type": "stats"}
+            assert await read_frame(reader) is None  # clean EOF
+
+        asyncio.run(scenario())
+
+    def test_handles_arbitrarily_split_chunks(self):
+        data = encode_frame({"type": "result", "paths": [[0, 1, 2]] * 50})
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+
+            async def feeder():
+                for offset in range(0, len(data), 7):
+                    reader.feed_data(data[offset : offset + 7])
+                    await asyncio.sleep(0)
+                reader.feed_eof()
+
+            feed_task = asyncio.ensure_future(feeder())
+            frame = await read_frame(reader)
+            await feed_task
+            assert frame is not None and frame["type"] == "result"
+
+        asyncio.run(scenario())
+
+    def test_truncated_prefix_raises(self):
+        async def scenario():
+            with pytest.raises(FrameError, match="length prefix"):
+                await read_frame(_feed(b"\x00\x00"))
+
+        asyncio.run(scenario())
+
+    def test_truncated_body_raises(self):
+        whole = encode_frame({"type": "ping"})
+
+        async def scenario():
+            with pytest.raises(FrameError, match="frame body"):
+                await read_frame(_feed(whole[:-2]))
+
+        asyncio.run(scenario())
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        async def scenario():
+            reader = _feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameError, match="exceeds"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())

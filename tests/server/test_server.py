@@ -1,0 +1,323 @@
+"""End-to-end tests: TCP server + client over a real socket."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.algorithm import Algorithm
+from repro.core.engine import QuerySession
+from repro.core.listener import RunConfig
+from repro.core.result import EnumerationStats, QueryResult
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import erdos_renyi
+from repro.server.client import QueryClient, run_queries
+from repro.server.server import QueryServer
+from repro.server.service import QueryService
+from repro.workloads.queries import generate_target_centric_set
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(150, 4.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries(graph):
+    workload = generate_target_centric_set(graph, count=10, k=4, num_targets=3, seed=5)
+    return list(workload)
+
+
+class _SlowAlgorithm(Algorithm):
+    name = "SLOW"
+
+    def __init__(self, delay: float = 0.04) -> None:
+        self.delay = delay
+
+    def run(self, graph, query, config=None):
+        time.sleep(self.delay)
+        return QueryResult(
+            source=query.source, target=query.target, k=query.k,
+            algorithm=self.name, count=1, paths=[(query.source, query.target)],
+            stats=EnumerationStats(),
+        )
+
+
+def _serve(graph, scenario, **service_kwargs):
+    """Run ``scenario(client, server)`` against a freshly booted server."""
+
+    async def runner():
+        service = QueryService(graph, **service_kwargs)
+        server = QueryServer(service, port=0)
+        await server.start()
+        try:
+            client = await QueryClient.connect(port=server.port)
+            async with client:
+                return await scenario(client, server)
+        finally:
+            await server.close()
+            await service.close()
+
+    return asyncio.run(runner())
+
+
+class TestRoundTrip:
+    def test_results_byte_identical_to_sequential_session(self, graph, queries):
+        session = QuerySession(graph)
+        expected = [session.run(q, RunConfig(store_paths=True)) for q in queries]
+
+        async def scenario(client, server):
+            return await client.run([[q.source, q.target, q.k] for q in queries])
+
+        outcome = _serve(graph, scenario, threads=2)
+        assert outcome.status == "done"
+        assert outcome.info["queries"] == len(queries)
+        for exp, act in zip(expected, outcome.results):
+            assert (act.source, act.target, act.k) == (exp.source, exp.target, exp.k)
+            assert act.count == exp.count
+            # Same paths, same order — the wire format must not reorder.
+            assert act.paths == exp.paths
+            assert act.bfs_cache_hit == exp.stats.bfs_cache_hit
+
+    def test_path_frames_reassemble_identically(self, graph, queries):
+        session = QuerySession(graph)
+        expected = [session.run(q, RunConfig(store_paths=True)) for q in queries]
+
+        async def scenario(client, server):
+            return await client.run(
+                [[q.source, q.target, q.k] for q in queries], frames="path"
+            )
+
+        outcome = _serve(graph, scenario, threads=2)
+        assert outcome.status == "done"
+        for exp, act in zip(expected, outcome.results):
+            assert act.paths == exp.paths
+
+    def test_frames_stream_before_batch_completion(self, graph):
+        queries = [[i, 100 + i, 2] for i in range(6)]
+
+        async def scenario(client, server):
+            job_id = await client.submit(queries)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            arrival_times = []
+            async for frame in client.frames(job_id):
+                arrival_times.append((frame["type"], loop.time() - started))
+            return arrival_times
+
+        arrivals = _serve(graph, scenario, algorithm=_SlowAlgorithm(0.04), threads=1)
+        kinds = [kind for kind, _ in arrivals]
+        assert kinds[-1] == "done"
+        assert kinds.count("result") == len(queries)
+        first_result = next(t for kind, t in arrivals if kind == "result")
+        done_time = arrivals[-1][1]
+        # One worker, 40 ms per query: the first frame arrives while the
+        # batch is still enumerating, not with the final blob.
+        assert first_result < done_time / 2
+
+    def test_count_only_omits_paths(self, graph, queries):
+        async def scenario(client, server):
+            return await client.run(
+                [[q.source, q.target, q.k] for q in queries[:4]], store_paths=False
+            )
+
+        outcome = _serve(graph, scenario, threads=1)
+        assert outcome.status == "done"
+        assert all(result.paths is None for result in outcome.results)
+        assert all(result.count > 0 for result in outcome.results)
+
+    def test_external_ids_translated_both_ways(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        labelled = builder.build()
+
+        async def scenario(client, server):
+            return await client.run([["a", "c", 2]], external=True)
+
+        outcome = _serve(labelled, scenario, threads=1)
+        assert outcome.status == "done"
+        result = outcome.results[0]
+        assert (result.source, result.target) == ("a", "c")
+        assert sorted(result.paths) == [("a", "b", "c"), ("a", "c")]
+
+
+class TestProtocolErrors:
+    def test_malformed_queries_produce_error_frame(self, graph):
+        async def scenario(client, server):
+            job_id = await client.submit([[0, 1]])  # missing k
+            return [frame async for frame in client.frames(job_id)]
+
+        frames = _serve(graph, scenario, threads=1)
+        assert frames[-1]["type"] == "error"
+        assert "malformed query" in frames[-1]["error"]
+
+    def test_out_of_range_vertex_rejected(self, graph):
+        async def scenario(client, server):
+            job_id = await client.submit([[0, graph.num_vertices + 7, 3]])
+            return [frame async for frame in client.frames(job_id)]
+
+        frames = _serve(graph, scenario, threads=1)
+        assert frames[-1]["type"] == "error"
+        assert "out of range" in frames[-1]["error"]
+
+    def test_duplicate_in_flight_job_id_rejected(self, graph):
+        queries = [[i, 100 + i, 2] for i in range(10)]
+
+        async def scenario(client, server):
+            from repro.server.protocol import write_frame
+
+            # Two raw submits sharing one id: the second must be rejected
+            # (an overwritten jobs-map entry would orphan the first job).
+            await write_frame(
+                client._writer,
+                {"type": "submit", "id": "dup", "queries": queries, "opts": {}},
+            )
+            client._jobs["dup"] = asyncio.Queue()
+            await write_frame(
+                client._writer,
+                {"type": "submit", "id": "dup", "queries": queries, "opts": {}},
+            )
+            queue = client._jobs["dup"]
+            frames = []
+            while True:
+                frame = await asyncio.wait_for(queue.get(), timeout=15)
+                frames.append(frame)
+                if frame["type"] == "done":
+                    return frames
+
+        frames = _serve(graph, scenario, algorithm=_SlowAlgorithm(0.02), threads=1)
+        rejections = [f for f in frames if f["type"] == "error"]
+        assert rejections and "already in flight" in rejections[0]["error"]
+        # The first job still completes normally.
+        assert frames[-1]["type"] == "done"
+
+    def test_unknown_message_type_answered_not_fatal(self, graph):
+        async def scenario(client, server):
+            from repro.server.protocol import write_frame
+
+            await write_frame(client._writer, {"type": "frobnicate"})
+            frame = await client._control.get()
+            assert frame["type"] == "error"
+            # The connection survives: a ping still round-trips.
+            assert await client.ping()
+            return True
+
+        assert _serve(graph, scenario, threads=1)
+
+
+class TestCancelAndStats:
+    def test_cancel_over_the_wire(self, graph):
+        queries = [[i, 100 + i, 2] for i in range(20)]
+
+        async def scenario(client, server):
+            job_id = await client.submit(queries)
+            frames = []
+            async for frame in client.frames(job_id):
+                frames.append(frame)
+                if frame["type"] == "result" and len(frames) == 2:
+                    await client.cancel(job_id)
+            return frames
+
+        frames = _serve(graph, scenario, algorithm=_SlowAlgorithm(0.03), threads=1)
+        assert frames[-1]["type"] == "cancelled"
+        results = sum(1 for frame in frames if frame["type"] == "result")
+        assert 0 < results < len(queries)
+        assert frames[-1]["delivered"] == results
+
+    def test_stats_roundtrip(self, graph, queries):
+        async def scenario(client, server):
+            await client.run([[q.source, q.target, q.k] for q in queries[:5]])
+            return await client.stats()
+
+        stats = _serve(graph, scenario, threads=2)
+        assert stats["jobs_completed"] == 1
+        assert stats["queries_completed"] == 5
+        assert stats["backend"] == "thread"
+        assert stats["graph_vertices"] == graph.num_vertices
+
+    def test_disconnect_cancels_running_jobs(self, graph):
+        queries = [[i, 100 + i, 2] for i in range(30)]
+
+        async def runner():
+            service = QueryService(graph, algorithm=_SlowAlgorithm(0.03), threads=1)
+            server = QueryServer(service, port=0)
+            await server.start()
+            try:
+                client = await QueryClient.connect(port=server.port)
+                await client.submit(queries)
+                await asyncio.sleep(0.1)
+                await client.close()  # vanish mid-job
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while service.stats()["jobs_active"]:
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError("job survived its client")
+                    await asyncio.sleep(0.05)
+                return service.stats()
+            finally:
+                await server.close()
+                await service.close()
+
+        stats = asyncio.run(runner())
+        assert stats["jobs_cancelled"] == 1
+
+
+class TestShutdown:
+    def test_close_with_idle_client_does_not_hang(self, graph):
+        # Since Python 3.12.1 Server.wait_closed() waits for every
+        # connection handler; an idle client must not stall shutdown.
+        async def runner():
+            service = QueryService(graph, threads=1)
+            server = QueryServer(service, port=0)
+            await server.start()
+            client = await QueryClient.connect(port=server.port)
+            try:
+                assert await client.ping()
+                await asyncio.wait_for(server.close(), timeout=10.0)
+            finally:
+                await client.close()
+                await service.close()
+            return True
+
+        assert asyncio.run(runner())
+
+    def test_close_with_job_in_flight_cancels_it(self, graph):
+        queries = [[i, 100 + i, 2] for i in range(30)]
+
+        async def runner():
+            service = QueryService(graph, algorithm=_SlowAlgorithm(0.03), threads=1)
+            server = QueryServer(service, port=0)
+            await server.start()
+            client = await QueryClient.connect(port=server.port)
+            try:
+                await client.submit(queries)
+                await asyncio.sleep(0.1)
+                await asyncio.wait_for(server.close(), timeout=10.0)
+                await service.close()
+                return service.stats()
+            finally:
+                await client.close()
+
+        stats = asyncio.run(runner())
+        assert stats["jobs_active"] == 0
+
+
+class TestSyncHelpers:
+    def test_run_queries_helper(self, graph, queries):
+        async def runner():
+            service = QueryService(graph, threads=1)
+            server = QueryServer(service, port=0)
+            await server.start()
+            try:
+                workload = [[q.source, q.target, q.k] for q in queries[:3]]
+                return await asyncio.to_thread(
+                    run_queries, workload, port=server.port
+                )
+            finally:
+                await server.close()
+                await service.close()
+
+        outcome = asyncio.run(runner())
+        assert outcome.status == "done"
+        assert len(outcome.results) == 3

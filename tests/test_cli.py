@@ -34,6 +34,25 @@ class TestParser:
         assert args.dataset == "gg"
         assert args.hops == 4
 
+    def test_serve_requires_a_graph_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--dataset", "ye"])
+        assert args.port is None  # resolved to the protocol default later
+        assert args.processes == 1
+        assert args.threads == 2
+        assert args.host == "127.0.0.1"
+
+    def test_client_defaults(self):
+        from repro.server.protocol import DEFAULT_PORT
+
+        args = build_parser().parse_args(["client", "--dataset", "ye"])
+        assert args.port == DEFAULT_PORT
+        assert args.rate is None
+        assert args.connections == 1
+
 
 class TestQueryCommand:
     def test_query_on_edge_list(self, edge_list_file, capsys):

@@ -12,6 +12,7 @@ from repro.workloads.queries import (
     generate_all_settings,
     generate_query_set,
     generate_target_centric_set,
+    poisson_arrival_times,
     split_by_degree,
 )
 
@@ -156,3 +157,31 @@ class TestTargetCentricSet:
             if query.target not in seen:
                 seen.append(query.target)
         assert unique == seen
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_a_seed(self):
+        first = poisson_arrival_times(50, 100.0, seed=7)
+        second = poisson_arrival_times(50, 100.0, seed=7)
+        assert (first == second).all()
+        different = poisson_arrival_times(50, 100.0, seed=8)
+        assert not (first == different).all()
+
+    def test_strictly_increasing_and_positive(self):
+        arrivals = poisson_arrival_times(200, 50.0, seed=1)
+        assert arrivals[0] > 0.0  # no thundering herd at t=0
+        assert (arrivals[1:] > arrivals[:-1]).all()
+
+    def test_mean_gap_matches_rate(self):
+        rate = 250.0
+        arrivals = poisson_arrival_times(20_000, rate, seed=3)
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.05)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrival_times(0, 10.0)
+        with pytest.raises(WorkloadError):
+            poisson_arrival_times(10, 0.0)
+        with pytest.raises(WorkloadError):
+            poisson_arrival_times(10, -1.0)
