@@ -1,0 +1,334 @@
+"""Kernel benchmark: iterative array-native kernels vs the recursive engines.
+
+Two claims are checked, then measured:
+
+1. **Byte-identical results.**  A mixed workload is evaluated four ways —
+   recursive engines, iterative kernels, the threaded
+   :class:`~repro.core.engine.BatchExecutor` and the serving core
+   (:class:`~repro.server.service.QueryService`) — and every per-query path
+   list (order included) must be identical across all four.
+2. **>= 2x enumeration speedup.**  On enumeration-heavy workloads (dense
+   random digraphs and cliques where a single query yields 10^4..10^5
+   paths), the kernels must run the enumeration phase at least twice as
+   fast as the recursive engines, for both the DFS and the join plan.
+
+``--quick`` is the CI smoke mode: a scaled-down tracked workload, the full
+equivalence sweep, and a regression gate — divergence, or an enumeration
+speedup more than 20 % below the committed baseline
+(``results/BENCH_kernels.json``), fails the run.
+
+Run directly:  ``PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.engine import BatchExecutor, IdxDfs, IdxJoin, PathEnum, QuerySession
+from repro.core.listener import RunConfig
+from repro.core.query import Query
+from repro.core.result import Phase
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.server.service import QueryService
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_kernels.json"
+
+#: Repetitions per (workload, engine) measurement; the minimum is reported.
+REPEATS = 3
+
+#: The committed headline claim: kernels at least this much faster on the
+#: tracked enumeration-heavy workloads.
+REQUIRED_SPEEDUP = 2.0
+
+#: Quick mode tolerates this much regression against the committed baseline
+#: before failing the build.
+QUICK_REGRESSION_TOLERANCE = 0.8
+
+
+def _graph(spec: Dict) -> object:
+    kind = spec["kind"]
+    if kind == "erdos_renyi":
+        return erdos_renyi(spec["n"], spec["avg_out_degree"], seed=spec["seed"])
+    if kind == "complete":
+        return complete_graph(spec["n"])
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+#: Enumeration-heavy single queries.  ``tracked: True`` rows carry the >= 2x
+#: claim; the untracked rows document behaviour on moderate result counts.
+WORKLOADS = [
+    {
+        "name": "er-dense-k6",
+        "graph": {"kind": "erdos_renyi", "n": 60, "avg_out_degree": 15.0, "seed": 3},
+        "query": (0, 1, 6),
+        "tracked": True,
+    },
+    {
+        "name": "clique12-k6",
+        "graph": {"kind": "complete", "n": 12},
+        "query": (0, 11, 6),
+        "tracked": True,
+    },
+    {
+        "name": "er-mid-k5",
+        "graph": {"kind": "erdos_renyi", "n": 80, "avg_out_degree": 12.0, "seed": 2},
+        "query": (0, 1, 5),
+        "tracked": False,
+    },
+]
+
+#: Scaled-down tracked workload for the CI smoke gate: large enough
+#: (tens of milliseconds a side) that best-of-5 ratios are stable on noisy
+#: shared runners, small enough to stay a smoke test.
+QUICK_WORKLOAD = {
+    "name": "quick-er-k6",
+    "graph": {"kind": "erdos_renyi", "n": 50, "avg_out_degree": 12.0, "seed": 3},
+    "query": (0, 1, 6),
+    "tracked": True,
+}
+
+
+def _enum_seconds(result) -> float:
+    return result.stats.phase(Phase.ENUMERATION) + result.stats.phase(Phase.JOIN)
+
+
+def measure_workload(spec: Dict, repeats: int = REPEATS) -> List[Dict]:
+    """Measure kernel vs recursive for both fixed plans on one workload."""
+    graph = _graph(spec["graph"])
+    s, t, k = spec["query"]
+    query = Query(s, t, k)
+    rows = []
+    for plan_name, algorithm in (("dfs", IdxDfs()), ("join", IdxJoin())):
+        timings: Dict[str, Dict[str, float]] = {}
+        counts = {}
+        for engine in ("recursive", "kernel"):
+            config = RunConfig(store_paths=True, engine=engine)
+            best_total = best_enum = float("inf")
+            for _ in range(repeats):
+                # Collect leftovers, then keep the collector out of the
+                # timed region: ambient garbage from earlier measurements
+                # must not be charged to whichever engine happens to
+                # allocate next.
+                gc.collect()
+                gc.disable()
+                try:
+                    started = time.perf_counter()
+                    result = algorithm.run(graph, query, config)
+                    total = time.perf_counter() - started
+                finally:
+                    gc.enable()
+                best_total = min(best_total, total)
+                best_enum = min(best_enum, _enum_seconds(result))
+                counts[engine] = result.count
+            timings[engine] = {"total": best_total, "enum": best_enum}
+        assert counts["kernel"] == counts["recursive"]
+        rows.append(
+            {
+                "workload": spec["name"],
+                "graph": spec["graph"],
+                "query": {"source": s, "target": t, "k": k},
+                "plan": plan_name,
+                "paths": counts["kernel"],
+                "tracked": bool(spec["tracked"]),
+                "recursive_enum_ms": round(timings["recursive"]["enum"] * 1e3, 3),
+                "kernel_enum_ms": round(timings["kernel"]["enum"] * 1e3, 3),
+                "recursive_total_ms": round(timings["recursive"]["total"] * 1e3, 3),
+                "kernel_total_ms": round(timings["kernel"]["total"] * 1e3, 3),
+                "enum_speedup": round(
+                    timings["recursive"]["enum"] / max(timings["kernel"]["enum"], 1e-9), 3
+                ),
+                "total_speedup": round(
+                    timings["recursive"]["total"] / max(timings["kernel"]["total"], 1e-9), 3
+                ),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# equivalence across execution modes
+# --------------------------------------------------------------------- #
+def _equivalence_workload() -> tuple:
+    graph = erdos_renyi(80, 10.0, seed=7)
+    rng = np.random.default_rng(2021)
+    queries = []
+    while len(queries) < 12:
+        s, t = (int(v) for v in rng.choice(graph.num_vertices, size=2, replace=False))
+        queries.append(Query(s, t, int(rng.integers(3, 6))))
+    return graph, queries
+
+
+def check_equivalence() -> Dict[str, object]:
+    """Evaluate one workload through every execution mode; paths must match."""
+    graph, queries = _equivalence_workload()
+
+    def paths_of(results):
+        return [(r.count, r.paths) for r in results]
+
+    # Every mode evaluates through session semantics (shared reverse-BFS
+    # distance cache), exactly like the executors and the service do, so the
+    # reference is a sequential recursive QuerySession run.
+    config_recursive = RunConfig(store_paths=True, engine="recursive")
+    config_kernel = RunConfig(store_paths=True, engine="kernel")
+    reference_session = QuerySession(graph, algorithm=PathEnum())
+    reference = paths_of([reference_session.run(q, config_recursive) for q in queries])
+    kernel_session = QuerySession(graph, algorithm=PathEnum())
+    kernel = paths_of([kernel_session.run(q, config_kernel) for q in queries])
+
+    executor = BatchExecutor(graph, algorithm=PathEnum(), max_workers=2)
+    batch = paths_of(executor.run(queries, config_kernel).results)
+
+    async def _served():
+        service = QueryService(graph, algorithm=PathEnum(), threads=2)
+        try:
+            return await service.run(queries, config_kernel)
+        finally:
+            await service.close()
+
+    served = paths_of(asyncio.run(_served()))
+
+    modes = {"kernel": kernel, "batch_threads": batch, "served": served}
+    divergent = [name for name, got in modes.items() if got != reference]
+    return {
+        "queries": len(queries),
+        "total_paths": sum(count for count, _ in reference),
+        "modes": ["recursive"] + sorted(modes),
+        "byte_identical": not divergent,
+        "divergent_modes": divergent,
+    }
+
+
+def _print_rows(rows: List[Dict]) -> None:
+    header = f"{'workload':<14} {'plan':<5} {'paths':>8} {'recursive':>12} {'kernel':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['workload']:<14} {row['plan']:<5} {row['paths']:>8} "
+            f"{row['recursive_enum_ms']:>10.1f}ms {row['kernel_enum_ms']:>8.1f}ms "
+            f"{row['enum_speedup']:>7.2f}x"
+        )
+
+
+def _baseline_quick_speedups() -> Optional[Dict[str, float]]:
+    if not RESULT_FILE.exists():
+        return None
+    try:
+        committed = json.loads(RESULT_FILE.read_text())
+        return {
+            row["plan"]: row["enum_speedup"] for row in committed["quick"]["rows"]
+        }
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def run_quick() -> int:
+    print("equivalence sweep (recursive / kernel / batch / served) ...")
+    equivalence = check_equivalence()
+    if not equivalence["byte_identical"]:
+        print(f"FAIL: modes diverged from the recursive reference: "
+              f"{equivalence['divergent_modes']}")
+        return 1
+    print(f"byte-identical across {equivalence['modes']} "
+          f"({equivalence['queries']} queries, {equivalence['total_paths']} paths)")
+
+    rows = measure_workload(QUICK_WORKLOAD, repeats=5)
+    _print_rows(rows)
+    baseline = _baseline_quick_speedups()
+    failed = False
+    for row in rows:
+        floor = 1.0
+        if baseline and row["plan"] in baseline:
+            floor = max(floor, baseline[row["plan"]] * QUICK_REGRESSION_TOLERANCE)
+        if row["enum_speedup"] < floor:
+            print(
+                f"FAIL: {row['plan']} kernel speedup {row['enum_speedup']:.2f}x "
+                f"below the regression floor {floor:.2f}x"
+            )
+            failed = True
+    if not failed:
+        print("kernel speedups within the regression budget")
+    return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: equivalence + regression gate, no result file",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        return run_quick()
+
+    print("equivalence sweep (recursive / kernel / batch / served) ...")
+    equivalence = check_equivalence()
+    assert equivalence["byte_identical"], equivalence
+    print(f"byte-identical across {equivalence['modes']} "
+          f"({equivalence['queries']} queries, {equivalence['total_paths']} paths)")
+
+    rows: List[Dict] = []
+    for spec in WORKLOADS:
+        rows.extend(measure_workload(spec))
+    _print_rows(rows)
+
+    tracked = [row for row in rows if row["tracked"]]
+    min_tracked = min(row["enum_speedup"] for row in tracked)
+    if min_tracked < REQUIRED_SPEEDUP:
+        print(f"WARNING: minimum tracked speedup {min_tracked:.2f}x "
+              f"is below the {REQUIRED_SPEEDUP:.1f}x claim")
+
+    quick_rows = measure_workload(QUICK_WORKLOAD, repeats=5)
+
+    payload = {
+        "benchmark": "array_native_enumeration_kernels",
+        "claim": f">= {REQUIRED_SPEEDUP:.0f}x enumeration speedup on tracked "
+                 "enumeration-heavy workloads, byte-identical results",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "settings": {
+            "repeats": REPEATS,
+            "store_paths": True,
+            "timing": "best-of-N enumeration phase (index build excluded); "
+                      "total includes the identical index build",
+        },
+        "equivalence": equivalence,
+        "workloads": rows,
+        "summary": {
+            "min_tracked_enum_speedup": min_tracked,
+            "dfs_speedups": [r["enum_speedup"] for r in rows if r["plan"] == "dfs"],
+            "join_speedups": [r["enum_speedup"] for r in rows if r["plan"] == "join"],
+            "meets_claim": min_tracked >= REQUIRED_SPEEDUP,
+        },
+        "quick": {
+            "workload": QUICK_WORKLOAD["name"],
+            "regression_tolerance": QUICK_REGRESSION_TOLERANCE,
+            "rows": quick_rows,
+        },
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULT_FILE}")
+    print(f"minimum tracked enumeration speedup: {min_tracked:.2f}x "
+          f"(claim: >= {REQUIRED_SPEEDUP:.0f}x)")
+    return 0 if min_tracked >= REQUIRED_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

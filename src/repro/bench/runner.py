@@ -46,6 +46,9 @@ class BenchmarkSettings:
     store_paths: bool = False
     #: Optional cap on results per query, to bound the worst cases.
     result_limit: Optional[int] = None
+    #: Enumeration engine selection (``auto`` / ``kernel`` / ``recursive``),
+    #: see :attr:`repro.core.listener.RunConfig.engine`.
+    engine: str = "auto"
 
     def to_run_config(self) -> RunConfig:
         """The equivalent per-query :class:`RunConfig`."""
@@ -54,6 +57,7 @@ class BenchmarkSettings:
             result_limit=self.result_limit,
             time_limit_seconds=self.time_limit_seconds,
             response_k=self.response_k,
+            engine=self.engine,
         )
 
     def scaled(self, **changes) -> "BenchmarkSettings":

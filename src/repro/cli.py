@@ -52,7 +52,7 @@ from repro.bench.comparison import overall_comparison
 from repro.bench.reporting import format_table
 from repro.bench.runner import BenchmarkSettings
 from repro.core.engine import BatchExecutor, ProcessBatchExecutor
-from repro.core.listener import RunConfig
+from repro.core.listener import ENGINE_CHOICES, RunConfig
 from repro.errors import VertexNotFoundError
 from repro.core.query import Query
 from repro.graph.io import load_npz, read_edge_list
@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--limit", type=int, default=None, help="stop after N results")
     query_parser.add_argument(
         "--time-limit", type=float, default=None, help="per-query time limit in seconds"
+    )
+    query_parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="enumeration engine: iterative array kernels vs recursive reference",
     )
 
     batch_parser = subparsers.add_parser(
@@ -141,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--time-limit", type=float, default=None)
     batch_parser.add_argument("--limit", type=int, default=None, help="result cap per query")
     batch_parser.add_argument("--seed", type=int, default=0)
+    batch_parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="enumeration engine: iterative array kernels vs recursive reference",
+    )
 
     datasets_parser = subparsers.add_parser("datasets", help="list the synthetic dataset registry")
     datasets_parser.add_argument(
@@ -185,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
         help="multiprocessing start method for --processes (default: fork on Linux)",
+    )
+    bench_parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="enumeration engine: iterative array kernels vs recursive reference",
     )
 
     serve_parser = subparsers.add_parser(
@@ -279,6 +291,7 @@ def _command_query(args: argparse.Namespace) -> int:
         store_paths=not args.count_only,
         result_limit=args.limit,
         time_limit_seconds=args.time_limit,
+        engine=args.engine,
     )
     result = algorithm.run(graph, query, config)
     print(f"algorithm: {result.algorithm}")
@@ -347,6 +360,7 @@ def _command_batch_query(args: argparse.Namespace) -> int:
         store_paths=False,
         result_limit=args.limit,
         time_limit_seconds=args.time_limit,
+        engine=args.engine,
     )
     if args.processes > 1:
         with ProcessBatchExecutor(
@@ -475,7 +489,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         graph_name=args.dataset,
     )
-    settings = BenchmarkSettings(time_limit_seconds=args.time_limit)
+    settings = BenchmarkSettings(time_limit_seconds=args.time_limit, engine=args.engine)
     use_batch = args.batch or args.workers > 1 or args.processes > 1
     metrics = overall_comparison(
         graph,

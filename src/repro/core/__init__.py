@@ -12,6 +12,9 @@ Public surface:
   :class:`~repro.core.result.QueryResult` — query/result plumbing;
 * :class:`~repro.core.index.LightWeightIndex` and the estimator/optimizer
   helpers for users who want to drive the pieces individually;
+* the iterative enumeration kernels of :mod:`repro.core.kernels`
+  (:func:`run_dfs_kernel` / :func:`run_join_kernel`) and the columnar
+  :class:`~repro.core.result.PathBuffer` they emit into;
 * the constraint extensions of Appendix E.
 """
 
@@ -48,11 +51,12 @@ from repro.core.estimator import (
 )
 from repro.core.index import LightWeightIndex
 from repro.core.join import run_idx_join
-from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.kernels import run_dfs_kernel, run_join_kernel, run_subquery_kernel
+from repro.core.listener import ENGINE_CHOICES, Deadline, ResultCollector, RunConfig
 from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
 from repro.core.query import Query
 from repro.core.relations import ChainRelations, Relation, build_relations
-from repro.core.result import EnumerationStats, Phase, QueryResult
+from repro.core.result import EnumerationStats, PathBuffer, Phase, QueryResult
 from repro.core.reverse import IdxDfsReverse, run_idx_dfs_reverse
 
 __all__ = [
@@ -71,7 +75,9 @@ __all__ = [
     "count_paths",
     "Query",
     "RunConfig",
+    "ENGINE_CHOICES",
     "QueryResult",
+    "PathBuffer",
     "EnumerationStats",
     "Phase",
     "Deadline",
@@ -79,6 +85,9 @@ __all__ = [
     "LightWeightIndex",
     "run_idx_dfs",
     "run_idx_join",
+    "run_dfs_kernel",
+    "run_join_kernel",
+    "run_subquery_kernel",
     "IdxDfsReverse",
     "run_idx_dfs_reverse",
     "Plan",

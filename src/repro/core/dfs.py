@@ -62,19 +62,25 @@ def run_idx_dfs(
 
     def search(row: int, state) -> int:
         """Recursive Search procedure; returns the results in this subtree."""
-        if deadline is not None:
-            deadline.check()
         if row == t_row:
+            if deadline is not None:
+                deadline.check()
             if constraint is None or constraint.accepts(state):
                 collector.emit(path)
                 return 1
             return 0
 
         budget = k - len(path)
-        candidates = row_neighbors[row][: row_offsets[row][budget]]
-        stats.edges_accessed += len(candidates)
+        # The candidate count comes straight off the offset table — the
+        # slice below exists only for iteration, never to be measured (and
+        # is thus charged exactly once per node, not re-read on backtrack).
+        width = row_offsets[row][budget]
+        stats.edges_accessed += width
+        if deadline is not None:
+            # One amortised poll per node, charging the edges it scans.
+            deadline.check_every(width + 1)
         found = 0
-        for next_row in candidates:
+        for next_row in row_neighbors[row][:width]:
             if next_row in on_rows:
                 continue
             v_next = vertex_of[next_row]

@@ -70,7 +70,8 @@ from repro.core.constraints import PathConstraint
 from repro.core.dfs import run_idx_dfs
 from repro.core.index import LightWeightIndex
 from repro.core.join import run_idx_join
-from repro.core.listener import RunConfig
+from repro.core.kernels import run_dfs_kernel, run_join_kernel
+from repro.core.listener import ENGINE_CHOICES, RunConfig
 from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
 from repro.core.query import Query
 from repro.core.result import Phase, QueryResult
@@ -126,6 +127,20 @@ class _IndexedAlgorithm(Algorithm):
         constraint = config.constraint
         if constraint is not None and not isinstance(constraint, PathConstraint):
             raise TypeError("config.constraint must be a PathConstraint instance")
+        if config.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {config.engine!r}: use one of {ENGINE_CHOICES}"
+            )
+        if config.engine == "kernel" and constraint is not None:
+            raise ValueError(
+                "the iterative kernels cannot evaluate constrained queries "
+                "(per-level constraint state is recursive-only); use "
+                "engine='auto' to fall back automatically"
+            )
+        # Constraint extensions (Appendix E) carry per-level state the flat
+        # int frames cannot hold: constrained queries keep the recursive
+        # engines, everything else takes the array-native kernels.
+        use_kernel = config.engine != "recursive" and constraint is None
 
         def body(collector, deadline, stats) -> None:
             edge_filter = constraint.edge_filter() if constraint is not None else None
@@ -150,25 +165,35 @@ class _IndexedAlgorithm(Algorithm):
             if plan.kind == "join":
                 cut = plan.cut_position if plan.cut_position is not None else max(1, query.k // 2)
                 try:
-                    run_idx_join(
-                        index,
-                        cut,
-                        collector,
-                        deadline=deadline,
-                        stats=stats,
-                        constraint=constraint,
-                    )
+                    if use_kernel:
+                        run_join_kernel(
+                            index, cut, collector, deadline=deadline, stats=stats
+                        )
+                    else:
+                        run_idx_join(
+                            index,
+                            cut,
+                            collector,
+                            deadline=deadline,
+                            stats=stats,
+                            constraint=constraint,
+                        )
                 finally:
                     stats.add_phase(Phase.JOIN, time.perf_counter() - enumeration_started)
             else:
                 try:
-                    run_idx_dfs(
-                        index,
-                        collector,
-                        deadline=deadline,
-                        stats=stats,
-                        constraint=constraint,
-                    )
+                    if use_kernel:
+                        run_dfs_kernel(
+                            index, collector, deadline=deadline, stats=stats
+                        )
+                    else:
+                        run_idx_dfs(
+                            index,
+                            collector,
+                            deadline=deadline,
+                            stats=stats,
+                            constraint=constraint,
+                        )
                 finally:
                     stats.add_phase(
                         Phase.ENUMERATION, time.perf_counter() - enumeration_started

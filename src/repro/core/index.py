@@ -83,6 +83,7 @@ class LightWeightIndex:
         "_part_rows",
         "_gamma",
         "_flat",
+        "_kernel",
         "_in_csr",
         "num_index_edges",
         "build_seconds",
@@ -122,6 +123,7 @@ class LightWeightIndex:
         self._part_rows: Optional[np.ndarray] = None
         self._gamma = gamma
         self._flat: Optional[tuple] = None
+        self._kernel: Optional[tuple] = None
         self._in_csr: Optional[tuple] = None
         self.num_index_edges = int(len(indices))
         self.build_seconds = build_seconds
@@ -388,21 +390,55 @@ class LightWeightIndex:
         query and cached.
         """
         if self._flat is None:
-            neighbor_rows = (
-                self._row_of[self._indices].tolist() if len(self._indices) else []
-            )
-            bounds = self._indptr.tolist()
+            # Derived from the kernel mirrors so the expensive tolist() over
+            # the neighbour array happens once per query even when both the
+            # estimator (presliced rows) and a kernel (flat rows) run.
+            vertex_of, _, neighbor_rows, bounds, _ = self.kernel_csr()
             row_neighbors = [
                 neighbor_rows[bounds[r] : bounds[r + 1]]
                 for r in range(len(self._rows))
             ]
             self._flat = (
-                self._rows.tolist(),
+                vertex_of,
                 self._row_of,
                 row_neighbors,
                 self._offsets.tolist(),
             )
         return self._flat
+
+    def kernel_csr(self) -> tuple:
+        """Flat mirrors of the CSR arrays for the iterative kernels.
+
+        Returns ``(vertex_of, row_of, neighbor_rows, indptr, offsets)``:
+
+        * ``vertex_of`` — list mapping a row id back to its vertex id;
+        * ``row_of`` — the int64 vertex-to-row array (used once per query to
+          locate the start row);
+        * ``neighbor_rows`` — ONE flat Python list of neighbour row ids in
+          CSR order (no per-row sublists);
+        * ``indptr`` — row bounds into ``neighbor_rows`` as a Python list;
+        * ``offsets`` — the ``(|X|, k + 1)`` offset matrix flattened
+          row-major, so the candidates of row ``r`` under budget ``b`` are
+          ``neighbor_rows[indptr[r] : indptr[r] + offsets[r * (k + 1) + b]]``.
+
+        Unlike :meth:`flat_adjacency` nothing is presliced: the kernels read
+        candidate ranges straight off ``indptr``/``offsets``, and the only
+        per-query cost is one ``tolist`` per array (plain Python ints, so
+        the iterative inner loop never boxes a numpy scalar).  Materialised
+        once per query and cached.
+        """
+        if self._kernel is None:
+            neighbor_rows = (
+                self._row_of[self._indices].tolist() if len(self._indices) else []
+            )
+            self._kernel = (
+                self._rows.tolist(),
+                self._row_of,
+                neighbor_rows,
+                self._indptr.tolist(),
+                self._offsets.ravel().tolist(),
+            )
+        return self._kernel
 
     def partition_indptr(self) -> np.ndarray:
         """CSR bounds of the flat partition array: ``C_i`` spans

@@ -145,9 +145,9 @@ def evaluate_subquery(
     walk = [start]
 
     def extend(row: int) -> None:
-        if deadline is not None:
-            deadline.check()
         if len(walk) == length + 1:
+            if deadline is not None:
+                deadline.check()
             results.append(tuple(walk))
             return
         budget = k - offset - len(walk)
@@ -155,10 +155,17 @@ def evaluate_subquery(
             # Out-of-range sub-chains (offset + length > k) have no
             # candidates; without this guard the negative index would wrap
             # to the budget-k offset column.
+            if deadline is not None:
+                deadline.check()
             return
-        candidates = row_neighbors[row][: row_offsets[row][budget]]
-        stats.edges_accessed += len(candidates)
-        for next_row in candidates:
+        # Charge the candidate count straight off the offset table; the
+        # slice below exists only for iteration, so the count is never paid
+        # for twice.  The deadline poll is amortised over the scanned edges.
+        width = row_offsets[row][budget]
+        stats.edges_accessed += width
+        if deadline is not None:
+            deadline.check_every(width + 1)
+        for next_row in row_neighbors[row][:width]:
             stats.partial_results_generated += 1
             walk.append(vertex_of[next_row])
             try:

@@ -18,11 +18,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.result import PathBuffer
 from repro.errors import EnumerationTimeout, ResultLimitReached
 
-__all__ = ["Deadline", "ResultCollector", "RunConfig"]
+__all__ = ["Deadline", "ResultCollector", "RunConfig", "ENGINE_CHOICES"]
+
+#: Recognised values of :attr:`RunConfig.engine`.
+ENGINE_CHOICES = ("auto", "kernel", "recursive")
 
 Path = Tuple[int, ...]
 
@@ -65,6 +69,23 @@ class Deadline:
         if time.perf_counter() >= self._expires_at:
             raise EnumerationTimeout()
 
+    def check_every(self, n: int) -> None:
+        """Charge ``n`` work units against the poll countdown in one call.
+
+        Amortised form of :meth:`check`: a loop that expands ``n`` edges per
+        node pays one method call instead of ``n``, and the clock is still
+        read roughly once per ``poll_interval`` units of work.  ``n <= 0``
+        charges nothing (a dead end costs no edges).
+        """
+        if self._expires_at is None or n <= 0:
+            return
+        self._countdown -= n
+        if self._countdown > 0:
+            return
+        self._countdown = self._poll_interval
+        if time.perf_counter() >= self._expires_at:
+            raise EnumerationTimeout()
+
     def remaining(self) -> Optional[float]:
         """Seconds left before expiry, or ``None`` for unlimited deadlines."""
         if self._expires_at is None:
@@ -91,7 +112,7 @@ class ResultCollector:
     """
 
     __slots__ = ("store_paths", "result_limit", "response_k", "on_result", "paths", "count",
-                 "_started_at", "response_seconds")
+                 "_started_at", "response_seconds", "_buffer")
 
     def __init__(
         self,
@@ -109,6 +130,8 @@ class ResultCollector:
         self.count = 0
         self._started_at = time.perf_counter()
         self.response_seconds: Optional[float] = None
+        #: Columnar storage filled by :meth:`emit_block` (kernel runs).
+        self._buffer: Optional[PathBuffer] = None
 
     def restart_clock(self) -> None:
         """Reset the response-time clock (called when the query actually starts)."""
@@ -132,9 +155,86 @@ class ResultCollector:
         if self.result_limit is not None and self.count >= self.result_limit:
             raise ResultLimitReached()
 
-    def stored_paths(self) -> Optional[List[Path]]:
-        """The stored paths, or ``None`` when storage was disabled."""
-        return self.paths if self.store_paths else None
+    def emit_block(self, data: Sequence[int], bounds: Sequence[int]) -> None:
+        """Record a whole block of paths stored columnar.
+
+        ``data`` holds the block's vertices concatenated; ``bounds`` the end
+        offset of each path within ``data`` (no leading zero).  This is the
+        bulk entry point of the iterative kernels: with path storage on and
+        no streaming callback the block lands in a :class:`PathBuffer`
+        untouched — no per-path tuple is ever built.  Limit semantics match
+        :meth:`emit`: the block is truncated so that exactly
+        ``result_limit`` results exist, then :class:`ResultLimitReached` is
+        raised.
+        """
+        total = len(bounds)
+        if total == 0:
+            return
+        limit = self.result_limit
+        take = total
+        if limit is not None:
+            room = limit - self.count
+            if room <= 0:
+                raise ResultLimitReached()
+            take = min(total, room)
+        if self.store_paths:
+            if self.on_result is None and not self.paths:
+                if self._buffer is None:
+                    self._buffer = PathBuffer()
+                self._buffer.extend_block(data, bounds, take)
+            else:
+                # Mixed or streaming use: fall back to materialised tuples so
+                # ordering against previously emitted paths is preserved.
+                start = 0
+                for i in range(take):
+                    stop = bounds[i]
+                    self.paths.append(tuple(data[start:stop]))
+                    start = stop
+        if self.on_result is not None:
+            start = 0
+            for i in range(take):
+                stop = bounds[i]
+                self.on_result(tuple(data[start:stop]))
+                start = stop
+        self.count += take
+        if self.response_seconds is None and self.count >= self.response_k:
+            self.response_seconds = time.perf_counter() - self._started_at
+        if limit is not None and self.count >= limit:
+            raise ResultLimitReached()
+
+    def remaining_before_flush(self) -> Optional[int]:
+        """How many results a kernel may buffer before it must flush.
+
+        ``None`` means no constraint: the kernel flushes at its own block
+        granularity.  A finite value keeps the result-limit raise and the
+        response-time probe accurate to the path (not the block): the next
+        flush must happen when that many more results have been found.
+        """
+        bounds = []
+        if self.result_limit is not None:
+            bounds.append(self.result_limit - self.count)
+        if self.response_seconds is None and self.response_k > self.count:
+            bounds.append(self.response_k - self.count)
+        return min(bounds) if bounds else None
+
+    def stored_paths(self) -> Optional[Union[List[Path], PathBuffer]]:
+        """The stored paths, or ``None`` when storage was disabled.
+
+        Returns the columnar :class:`PathBuffer` when the paths arrived in
+        block form (kernel runs), otherwise the list of tuples; both read
+        identically through :attr:`QueryResult.paths`.
+        """
+        if not self.store_paths:
+            return None
+        if self._buffer is not None and len(self._buffer):
+            if self.paths:
+                # Mixed per-path and block emission (not produced by any
+                # shipped engine, but cheap to keep consistent).  Blocks land
+                # in the buffer only while the tuple list is empty, so the
+                # buffered paths always precede the loose ones.
+                return self._buffer.to_paths() + self.paths
+            return self._buffer
+        return self.paths
 
 
 @dataclass
@@ -156,6 +256,12 @@ class RunConfig:
     constraint: Optional[object] = None
     #: Streaming callback for each result.
     on_result: Optional[Callable[[Path], None]] = None
+    #: Enumeration engine selection: ``"auto"`` runs the iterative
+    #: array-native kernels whenever the query is unconstrained and falls
+    #: back to the recursive engines otherwise; ``"kernel"`` /
+    #: ``"recursive"`` force one side (forcing the kernels on a constrained
+    #: query raises, since the constraint protocol is recursive-only).
+    engine: str = "auto"
 
     def make_collector(self) -> ResultCollector:
         """Build a collector matching this configuration."""
@@ -180,6 +286,7 @@ class RunConfig:
             "tau": self.tau,
             "constraint": self.constraint,
             "on_result": self.on_result,
+            "engine": self.engine,
         }
         data.update(changes)
         return RunConfig(**data)

@@ -7,16 +7,192 @@ invalid partial results, and peak memory of the materialised partial
 results.  :class:`EnumerationStats` collects all of those counters so the
 benchmark harness never needs external profiling, and :class:`QueryResult`
 bundles the stats with the (optional) list of discovered paths.
+
+Paths come in two physical representations.  The recursive engines emit one
+Python tuple per path; the iterative kernels (:mod:`repro.core.kernels`)
+emit whole blocks into a :class:`PathBuffer` — two flat int64 columns
+(``paths_data`` holding every vertex of every path concatenated, and
+``paths_indptr`` holding the path boundaries, CSR style).  A
+:class:`QueryResult` can be backed by either: ``result.paths`` always reads
+as the familiar list of tuples (materialised lazily from the buffer), while
+``result.path_buffer`` exposes the columnar form for consumers that can use
+it directly — compact pickling across worker processes and buffer-slice
+serialisation in the query server.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["EnumerationStats", "QueryResult", "Phase"]
+import numpy as np
+
+__all__ = ["EnumerationStats", "PathBuffer", "QueryResult", "Phase"]
 
 Path = Tuple[int, ...]
+
+_INT32_MAX = 2**31 - 1
+
+
+class PathBuffer:
+    """Columnar storage for a sequence of paths.
+
+    Layout mirrors CSR: ``data`` is every vertex of every path, back to
+    back; ``indptr`` has one entry per path boundary (``indptr[0] == 0``),
+    so path ``i`` is ``data[indptr[i] : indptr[i + 1]]``.  While being
+    filled the columns are plain Python int lists (cheap appends from the
+    enumeration kernels); :meth:`arrays` seals them into int64 numpy arrays,
+    which is also the pickled wire form — two primitive buffers instead of
+    one tuple object per path.
+    """
+
+    __slots__ = ("_data", "_indptr")
+
+    def __init__(
+        self,
+        data: Optional[Union[List[int], np.ndarray]] = None,
+        indptr: Optional[Union[List[int], np.ndarray]] = None,
+    ) -> None:
+        if (data is None) != (indptr is None):
+            raise ValueError("data and indptr must be given together")
+        self._data = [] if data is None else data
+        self._indptr = [0] if indptr is None else indptr
+        if len(self._indptr) == 0:
+            raise ValueError("indptr must start with 0")
+
+    # -- construction --------------------------------------------------- #
+    @classmethod
+    def from_paths(cls, paths: Sequence[Sequence[int]]) -> "PathBuffer":
+        """Build a buffer from an iterable of paths."""
+        buffer = cls()
+        for path in paths:
+            buffer.append_path(path)
+        return buffer
+
+    def append_path(self, path: Sequence[int]) -> None:
+        """Append one path (slow per-path entry point)."""
+        self._unseal()
+        self._data.extend(int(v) for v in path)
+        self._indptr.append(len(self._data))
+
+    def extend_block(
+        self, data: Sequence[int], bounds: Sequence[int], take: Optional[int] = None
+    ) -> None:
+        """Append a block of paths stored columnar.
+
+        ``data`` holds the block's vertices concatenated and ``bounds`` the
+        *end* offset of each path within the block (no leading zero).
+        ``take`` keeps only the first that many paths — the result-limit
+        truncation path of :meth:`ResultCollector.emit_block`.
+        """
+        self._unseal()
+        count = len(bounds) if take is None else min(take, len(bounds))
+        if count <= 0:
+            return
+        stop = bounds[count - 1]
+        base = len(self._data)
+        if stop == len(data):
+            self._data.extend(data)
+        else:
+            self._data.extend(data[:stop])
+        indptr = self._indptr
+        for i in range(count):
+            indptr.append(base + bounds[i])
+
+    def _unseal(self) -> None:
+        """Return the columns to list mode so they can grow again."""
+        if not isinstance(self._data, list):
+            self._data = self._data.tolist()
+            self._indptr = self._indptr.tolist()
+
+    # -- access --------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._indptr) - 1
+
+    @property
+    def total_vertices(self) -> int:
+        """Total number of vertex slots across all stored paths."""
+        return int(self._indptr[-1])
+
+    def path(self, i: int) -> Path:
+        """The ``i``-th stored path as a tuple."""
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(f"path index {i} out of range")
+        start, stop = int(self._indptr[i]), int(self._indptr[i + 1])
+        chunk = self._data[start:stop]
+        if not isinstance(chunk, list):
+            chunk = chunk.tolist()
+        return tuple(chunk)
+
+    def __getitem__(self, i: int) -> Path:
+        return self.path(i)
+
+    def __iter__(self) -> Iterator[Path]:
+        for i in range(len(self)):
+            yield self.path(i)
+
+    def to_paths(self) -> List[Path]:
+        """Materialise the buffer as the classic list of path tuples."""
+        data = self._data if isinstance(self._data, list) else self._data.tolist()
+        indptr = self._indptr if isinstance(self._indptr, list) else self._indptr.tolist()
+        return [
+            tuple(data[indptr[i] : indptr[i + 1]]) for i in range(len(indptr) - 1)
+        ]
+
+    def to_lists(self) -> List[List[int]]:
+        """Paths as plain lists — the JSON wire shape, no tuple detour."""
+        data = self._data if isinstance(self._data, list) else self._data.tolist()
+        indptr = self._indptr if isinstance(self._indptr, list) else self._indptr.tolist()
+        return [data[indptr[i] : indptr[i + 1]] for i in range(len(indptr) - 1)]
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Seal and return the columns as ``(paths_data, paths_indptr)`` int64
+        arrays — the columnar wire format."""
+        if isinstance(self._data, list):
+            self._data = np.asarray(self._data, dtype=np.int64)
+            self._indptr = np.asarray(self._indptr, dtype=np.int64)
+        elif self._data.dtype != np.int64:
+            # Unpickled buffers may carry the downcast wire dtype.
+            self._data = self._data.astype(np.int64)
+            self._indptr = self._indptr.astype(np.int64)
+        return self._data, self._indptr
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate footprint of the columns (8 bytes per slot)."""
+        return 8 * (len(self._indptr) + int(self._indptr[-1]))
+
+    # -- equality / serialisation --------------------------------------- #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PathBuffer):
+            if len(self) != len(other):
+                return False
+            return self.to_paths() == other.to_paths()
+        if isinstance(other, (list, tuple)):
+            return self.to_paths() == [tuple(p) for p in other]
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PathBuffer(paths={len(self)}, vertices={self.total_vertices})"
+
+    def __getstate__(self):
+        """Pickle as two sealed primitive arrays (compact IPC form).
+
+        Columns are downcast to int32 when every value fits — for realistic
+        vertex-id ranges that halves the wire size, and unpickling is two
+        buffer copies instead of one object per path.
+        """
+        data, indptr = self.arrays()
+        if len(data) == 0 or int(data.max()) <= _INT32_MAX:
+            data = data.astype(np.int32)
+        if int(indptr[-1]) <= _INT32_MAX:
+            indptr = indptr.astype(np.int32)
+        return data, indptr
+
+    def __setstate__(self, state) -> None:
+        self._data, self._indptr = state
 
 
 class Phase:
@@ -142,35 +318,130 @@ class EnumerationStats:
             self.add_phase(name, seconds)
 
 
-@dataclass
 class QueryResult:
-    """The outcome of evaluating a single HcPE query."""
+    """The outcome of evaluating a single HcPE query.
 
-    #: The query that was evaluated (kept as plain ints to avoid import cycles).
-    source: int
-    target: int
-    k: int
-    #: Name of the algorithm that produced the result.
-    algorithm: str
-    #: Number of paths found (always populated, even when paths are not stored).
-    count: int
-    #: The discovered paths when path storage was enabled, otherwise ``None``.
-    paths: Optional[List[Path]]
-    #: Per-query statistics.
-    stats: EnumerationStats
-    #: Seconds from query start until the first ``response_k`` results were
-    #: found (the paper's response time); ``None`` when fewer results exist.
-    response_seconds: Optional[float] = None
-    #: The number of results the response time refers to.
-    response_k: int = 1000
+    ``paths`` accepts either the classic list of tuples or a
+    :class:`PathBuffer`; with a buffer, :attr:`paths` materialises the tuple
+    list lazily on first access while :attr:`path_buffer` keeps the columnar
+    form available for compact pickling and wire serialisation.
+    """
+
+    __slots__ = (
+        "source",
+        "target",
+        "k",
+        "algorithm",
+        "count",
+        "stats",
+        "response_seconds",
+        "response_k",
+        "_paths",
+        "_path_buffer",
+    )
+
+    def __init__(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        algorithm: str,
+        count: int,
+        paths: Optional[Union[List[Path], PathBuffer]],
+        stats: EnumerationStats,
+        response_seconds: Optional[float] = None,
+        response_k: int = 1000,
+    ) -> None:
+        #: The query that was evaluated (kept as plain ints to avoid import cycles).
+        self.source = source
+        self.target = target
+        self.k = k
+        #: Name of the algorithm that produced the result.
+        self.algorithm = algorithm
+        #: Number of paths found (always populated, even when paths are not stored).
+        self.count = count
+        #: Per-query statistics.
+        self.stats = stats
+        #: Seconds from query start until the first ``response_k`` results were
+        #: found (the paper's response time); ``None`` when fewer results exist.
+        self.response_seconds = response_seconds
+        #: The number of results the response time refers to.
+        self.response_k = response_k
+        if isinstance(paths, PathBuffer):
+            self._paths: Optional[List[Path]] = None
+            self._path_buffer: Optional[PathBuffer] = paths
+        else:
+            self._paths = paths
+            self._path_buffer = None
+
+    @property
+    def paths(self) -> Optional[List[Path]]:
+        """The discovered paths when storage was enabled, otherwise ``None``.
+
+        Materialised (and cached) from the columnar buffer on first access.
+        """
+        if self._paths is None and self._path_buffer is not None:
+            self._paths = self._path_buffer.to_paths()
+        return self._paths
+
+    @paths.setter
+    def paths(self, value: Optional[Union[List[Path], PathBuffer]]) -> None:
+        if isinstance(value, PathBuffer):
+            self._paths = None
+            self._path_buffer = value
+        else:
+            self._paths = value
+            self._path_buffer = None
+
+    @property
+    def path_buffer(self) -> Optional[PathBuffer]:
+        """The columnar path storage when the result came from a kernel run."""
+        return self._path_buffer
 
     def __getstate__(self):
-        """Tuple pickling, mirroring :meth:`EnumerationStats.__getstate__`."""
-        return tuple(getattr(self, f.name) for f in fields(self))
+        """Tuple pickling, mirroring :meth:`EnumerationStats.__getstate__`.
+
+        The columnar buffer (when present) rides instead of the tuple list,
+        so worker processes ship two int64 arrays per result rather than one
+        Python object per path.
+        """
+        paths = self._path_buffer if self._path_buffer is not None else self._paths
+        return (
+            self.source,
+            self.target,
+            self.k,
+            self.algorithm,
+            self.count,
+            paths,
+            self.stats,
+            self.response_seconds,
+            self.response_k,
+        )
 
     def __setstate__(self, state) -> None:
-        for f, value in zip(fields(self), state):
-            setattr(self, f.name, value)
+        (
+            self.source,
+            self.target,
+            self.k,
+            self.algorithm,
+            self.count,
+            paths,
+            self.stats,
+            self.response_seconds,
+            self.response_k,
+        ) = state
+        if isinstance(paths, PathBuffer):
+            self._paths = None
+            self._path_buffer = paths
+        else:
+            self._paths = paths
+            self._path_buffer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryResult(algorithm={self.algorithm!r}, "
+            f"q=({self.source}, {self.target}, {self.k}), count={self.count})"
+        )
 
     @property
     def query_seconds(self) -> float:

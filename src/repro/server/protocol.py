@@ -15,7 +15,9 @@ Client → server messages (``type`` field):
     ``response_k`` (int), ``external`` (bool — endpoints are external vertex
     ids, translated server-side, results translated back), ``frames``
     (``"result"`` (default) or ``"path"`` — additionally stream one frame
-    per emitted path).
+    per emitted path), ``engine`` (``"auto"`` (default), ``"kernel"`` or
+    ``"recursive"`` — enumeration engine selection, see
+    :attr:`repro.core.listener.RunConfig.engine`).
 ``cancel``
     ``{"type": "cancel", "id": <job id>}``.
 ``stats``
@@ -53,7 +55,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 __all__ = [
     "DEFAULT_PORT",
@@ -63,6 +65,7 @@ __all__ = [
     "decode_frame",
     "read_frame",
     "write_frame",
+    "render_result_paths",
 ]
 
 #: Default TCP port of ``repro serve`` (unassigned range, PATH on a phone pad).
@@ -78,6 +81,31 @@ _LENGTH = struct.Struct(">I")
 
 class FrameError(ValueError):
     """A malformed frame: oversized, truncated or undecodable."""
+
+
+def render_result_paths(result, graph=None, *, external: bool = False) -> Optional[List[List[int]]]:
+    """The JSON shape of one result's paths: a list of vertex-id lists.
+
+    Results produced by the iterative kernels carry their paths columnar
+    (:attr:`~repro.core.result.QueryResult.path_buffer`); the internal-id
+    wire shape is then sliced straight out of the buffer's flat columns —
+    no per-path tuple is ever materialised between the enumeration kernel
+    and ``json.dumps``.  Tuple-backed results and external-id translation
+    take the classic per-path route.  Returns ``None`` when the result
+    stored no paths.
+    """
+    if external:
+        paths = result.paths
+        if paths is None:
+            return None
+        return [list(graph.translate_path(p)) for p in paths]
+    buffer = result.path_buffer
+    if buffer is not None:
+        return buffer.to_lists()
+    paths = result.paths
+    if paths is None:
+        return None
+    return [list(p) for p in paths]
 
 
 def encode_frame(message: Dict[str, object]) -> bytes:

@@ -19,10 +19,16 @@ import itertools
 import signal
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.listener import RunConfig
+from repro.core.listener import ENGINE_CHOICES, RunConfig
 from repro.core.query import Query
 from repro.errors import ReproError, VertexNotFoundError
-from repro.server.protocol import DEFAULT_PORT, FrameError, read_frame, write_frame
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    FrameError,
+    read_frame,
+    render_result_paths,
+    write_frame,
+)
 from repro.server.service import QueryService, ServiceJob
 
 __all__ = ["QueryServer", "serve_forever"]
@@ -32,11 +38,15 @@ def _config_from_opts(opts: Dict[str, object]) -> RunConfig:
     """Build the per-job :class:`RunConfig` from a submit frame's options."""
     result_limit = opts.get("result_limit")
     time_limit = opts.get("time_limit_seconds")
+    engine = str(opts.get("engine", "auto"))
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(f"unknown engine {engine!r}: use one of {ENGINE_CHOICES}")
     return RunConfig(
         store_paths=bool(opts.get("store_paths", True)),
         result_limit=None if result_limit is None else int(result_limit),
         time_limit_seconds=None if time_limit is None else float(time_limit),
         response_k=int(opts.get("response_k", 1000)),
+        engine=engine,
     )
 
 
@@ -288,7 +298,9 @@ class QueryServer:
                 kind = event[0]
                 if kind == "result":
                     _, position, result = event
-                    paths: Optional[List[Tuple[int, ...]]] = result.paths
+                    # Kernel-produced results serialise straight from their
+                    # columnar buffer (no per-path tuples on the wire path).
+                    rendered = render_result_paths(result, graph, external=external)
                     frame: Dict[str, object] = {
                         "type": "result",
                         "id": client_id,
@@ -302,12 +314,7 @@ class QueryServer:
                         "timed_out": result.stats.timed_out,
                         "bfs_cache_hit": result.stats.bfs_cache_hit,
                     }
-                    if paths is not None:
-                        rendered = (
-                            [list(graph.translate_path(p)) for p in paths]
-                            if external
-                            else [list(p) for p in paths]
-                        )
+                    if rendered is not None:
                         if per_path:
                             for path in rendered:
                                 await write_frame(

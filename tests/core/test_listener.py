@@ -146,6 +146,35 @@ class TestDeadline:
         with pytest.raises(EnumerationTimeout):
             deadline.check()
 
+    def test_check_every_charges_many_units_in_one_call(self):
+        deadline = Deadline(0.0, poll_interval=100)
+        deadline.check_every(99)  # countdown not yet exhausted
+        with pytest.raises(EnumerationTimeout):
+            deadline.check_every(1)
+
+    def test_check_every_fires_when_charge_exceeds_window(self):
+        deadline = Deadline(0.0, poll_interval=100)
+        with pytest.raises(EnumerationTimeout):
+            deadline.check_every(1000)
+
+    def test_check_every_ignores_non_positive_charges(self):
+        deadline = Deadline(0.0, poll_interval=1)
+        deadline.check_every(0)
+        deadline.check_every(-5)
+        with pytest.raises(EnumerationTimeout):
+            deadline.check_every(1)
+
+    def test_check_every_unlimited_deadline_never_fires(self):
+        deadline = Deadline(None, poll_interval=1)
+        for _ in range(100):
+            deadline.check_every(10**6)
+        assert not deadline.expired
+
+    def test_check_every_resets_countdown_after_poll(self):
+        deadline = Deadline(60.0, poll_interval=10)
+        deadline.check_every(25)  # polls the (future) clock, resets window
+        assert not deadline.expired
+
 
 class TestRunConfig:
     def test_factories(self):
@@ -168,3 +197,8 @@ class TestRunConfig:
         assert config.response_k == 1000
         assert config.tau == pytest.approx(1e5)
         assert config.time_limit_seconds is None
+        assert config.engine == "auto"
+
+    def test_replace_carries_engine(self):
+        config = RunConfig(engine="recursive")
+        assert config.replace(store_paths=False).engine == "recursive"

@@ -103,3 +103,43 @@ class TestReadFrame:
                 await read_frame(reader)
 
         asyncio.run(scenario())
+
+
+class TestRenderResultPaths:
+    def _result(self, paths):
+        from repro.core.result import EnumerationStats, QueryResult
+
+        count = 0 if paths is None else len(paths)
+        return QueryResult(
+            source=0, target=5, k=4, algorithm="PathEnum", count=count,
+            paths=paths, stats=EnumerationStats(),
+        )
+
+    def test_buffer_backed_result_renders_from_slices(self):
+        from repro.core.result import PathBuffer
+        from repro.server.protocol import render_result_paths
+
+        buffer = PathBuffer.from_paths([(0, 1, 5), (0, 5)])
+        result = self._result(buffer)
+        assert render_result_paths(result) == [[0, 1, 5], [0, 5]]
+
+    def test_tuple_backed_result_renders(self):
+        from repro.server.protocol import render_result_paths
+
+        result = self._result([(0, 1, 5)])
+        assert render_result_paths(result) == [[0, 1, 5]]
+
+    def test_no_paths_renders_none(self):
+        from repro.server.protocol import render_result_paths
+
+        assert render_result_paths(self._result(None)) is None
+
+    def test_external_translation(self):
+        from repro.core.result import PathBuffer
+        from repro.server.protocol import render_result_paths
+        from tests.helpers import build_graph
+
+        graph = build_graph([("a", "b"), ("b", "c")])
+        a, b, c = (graph.to_internal(v) for v in "abc")
+        result = self._result(PathBuffer.from_paths([(a, b, c)]))
+        assert render_result_paths(result, graph, external=True) == [["a", "b", "c"]]
