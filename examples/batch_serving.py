@@ -2,9 +2,15 @@
 
 A payments team monitors a handful of suspicious hub accounts.  Every few
 seconds a fresh batch of source accounts must be checked for short paths
-into those hubs — the target-sharing traffic shape `BatchExecutor` is built
+into those hubs — the target-sharing traffic shape the batch layer is built
 for.  One reverse BFS per (hub, k) is paid once and reused across the whole
 batch; results are identical to one-at-a-time runs.
+
+Everything goes through the :class:`repro.Database` façade: the same
+``batch()`` call runs inline here, and switching to a thread pool
+(``backend="threads"``), worker processes (``backend="processes"``) or a
+running ``repro serve`` instance (``Database("host:port")``) changes one
+argument, not the workload.
 
 Run with:  PYTHONPATH=src python examples/batch_serving.py
 """
@@ -16,7 +22,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import BatchExecutor, PathEnum, Query, RunConfig
+from repro import Database, Q
 from repro.graph.generators import power_law_graph
 from repro.workloads.queries import generate_target_centric_set
 
@@ -32,22 +38,24 @@ def main() -> None:
     print(f"workload: {len(workload)} queries, "
           f"{len(workload.unique_targets())} distinct targets")
 
-    executor = BatchExecutor(graph)
-    batch = executor.run(list(workload), RunConfig(store_paths=False))
+    with Database(graph) as db:
+        stream = db.batch(workload.to_specs(store_paths=False))
+        results = stream.results()
+        stats = stream.stats()
 
-    stats = batch.stats
-    print(f"paths found:       {batch.total_paths}")
-    print(f"batch wall time:   {stats.wall_seconds * 1e3:.1f} ms "
-          f"({batch.throughput:,.0f} paths/s)")
-    print(f"reverse BFS runs:  {stats.reverse_bfs_runs} "
-          f"(cache hit rate {stats.hit_rate:.0%})")
+        throughput = stats.total_paths / max(stats.wall_seconds, 1e-9)
+        print(f"paths found:       {stats.total_paths}")
+        print(f"batch wall time:   {stats.wall_seconds * 1e3:.1f} ms "
+              f"({throughput:,.0f} paths/s)")
+        print(f"reverse BFS runs:  {stats.reverse_bfs_runs} "
+              f"(cache hit rate {stats.hit_rate:.0%})")
 
-    # Spot-check one query against the sequential engine.
-    probe = workload.queries[0]
-    direct = PathEnum().run(graph, Query(probe.source, probe.target, probe.k))
-    assert direct.count == batch.results[0].count
-    print(f"spot check q({probe.source}, {probe.target}, {probe.k}): "
-          f"{direct.count} paths either way")
+        # Spot-check one query against a fresh single-query run.
+        probe = workload.queries[0]
+        direct = db.query(Q(probe.source, probe.target, probe.k).count_only()).result()
+        assert direct.count == results[0].count
+        print(f"spot check q({probe.source}, {probe.target}, {probe.k}): "
+              f"{direct.count} paths either way")
 
 
 if __name__ == "__main__":

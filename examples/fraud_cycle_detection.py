@@ -23,7 +23,7 @@ import time
 
 import numpy as np
 
-from repro import DynamicGraph, PathEnum, Query, RunConfig
+from repro import Database, DynamicGraph, Q
 from repro.graph.generators import power_law_graph
 
 #: Hop constraint on cycle length; the paper's application uses k = 6 because
@@ -59,8 +59,6 @@ def main() -> None:
     base_graph = simulate_marketplace()
     stream = build_transaction_stream(base_graph)
     dynamic = DynamicGraph.from_graph(base_graph)
-    engine = PathEnum()
-    config = RunConfig(store_paths=True, time_limit_seconds=1.0)
 
     print(f"marketplace: {base_graph.num_vertices} users, {base_graph.num_edges} transactions")
     print(f"replaying {len(stream)} new transactions, cycle limit k={CYCLE_HOP_LIMIT}\n")
@@ -74,10 +72,10 @@ def main() -> None:
         snapshot = dynamic.snapshot()
         # Cycles through the new edge (buyer -> seller) are paths from the
         # seller back to the buyer with at most k - 1 hops.
-        query = Query(snapshot.to_internal(seller), snapshot.to_internal(buyer),
-                      CYCLE_HOP_LIMIT - 1)
+        spec = Q(seller, buyer, CYCLE_HOP_LIMIT - 1).deadline(1.0)
         started = time.perf_counter()
-        result = engine.run(snapshot, query, config)
+        with Database(snapshot) as db:
+            result = db.query(spec, external=True).result()
         latencies_ms.append(1e3 * (time.perf_counter() - started))
         if result.count:
             alerts += 1

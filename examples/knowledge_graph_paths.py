@@ -23,10 +23,9 @@ from collections import Counter
 
 from repro import (
     AutomatonConstraint,
+    Database,
     GraphBuilder,
-    PathEnum,
-    Query,
-    RunConfig,
+    Q,
     SequenceAutomaton,
 )
 
@@ -69,41 +68,49 @@ def relation_sequence(graph, path):
 
 def main() -> None:
     graph = build_knowledge_graph()
-    engine = PathEnum()
     print(f"knowledge graph: {graph.num_vertices} entities, {graph.num_edges} facts\n")
 
-    # 1. Every path feature between ada and topic:databases.
-    query = Query.from_external(graph, "ada", "topic:databases", MAX_HOPS)
-    result = engine.run(graph, query, RunConfig(store_paths=True))
-    print(f"1. {result.count} paths connect 'ada' and 'topic:databases' within {MAX_HOPS} hops")
-    pattern_counts = Counter(relation_sequence(graph, p) for p in result.paths)
-    for pattern, count in pattern_counts.most_common():
-        print(f"   {count}x  {' -> '.join(pattern)}")
+    with Database(graph) as db:
+        # 1. Every path feature between ada and topic:databases.
+        base = Q("ada", "topic:databases", MAX_HOPS)
+        result = db.query(base, external=True).result()
+        print(f"1. {result.count} paths connect 'ada' and 'topic:databases' "
+              f"within {MAX_HOPS} hops")
+        pattern_counts = Counter(relation_sequence(graph, p) for p in result.paths)
+        for pattern, count in pattern_counts.most_common():
+            print(f"   {count}x  {' -> '.join(pattern)}")
 
-    # 2. Only the write -> mention evidence pattern.
-    automaton = SequenceAutomaton.from_label_sequence(["write", "mention"])
-    constraint = AutomatonConstraint(graph, automaton)
-    constrained = engine.run(graph, query, RunConfig(store_paths=True, constraint=constraint))
-    print(f"\n2. {constrained.count} paths follow the required pattern write -> mention")
-    for path in constrained.paths:
-        print("   " + " -> ".join(str(graph.to_external(v)) for v in path))
+        # 2. Only the write -> mention evidence pattern (constrained specs
+        #    run on the inline backend — constraints are process-local).
+        automaton = SequenceAutomaton.from_label_sequence(["write", "mention"])
+        constraint = AutomatonConstraint(graph, automaton)
+        constrained = db.query(base.where(constraint), external=True).result()
+        print(f"\n2. {constrained.count} paths follow the required pattern write -> mention")
+        for path in constrained.paths:
+            print("   " + " -> ".join(str(graph.to_external(v)) for v in path))
 
-    # 3. Path-count features for candidate (author, topic) pairs.
-    candidates = [
-        ("ada", "topic:databases"),
-        ("ada", "topic:optimization"),
-        ("grace", "topic:databases"),
-        ("grace", "topic:computability"),
-        ("alan", "topic:databases"),
-    ]
-    print("\n3. path-count features for candidate relations (k = 3 and 4)")
-    print(f"   {'author':8s} {'topic':22s} {'#paths k=3':>10s} {'#paths k=4':>10s}")
-    for author, topic in candidates:
-        counts = []
-        for k in (3, 4):
-            candidate_query = Query.from_external(graph, author, topic, k)
-            counts.append(engine.run(graph, candidate_query, RunConfig(store_paths=False)).count)
-        print(f"   {author:8s} {topic:22s} {counts[0]:>10d} {counts[1]:>10d}")
+        # 3. Path-count features for candidate (author, topic) pairs — one
+        #    batch per hop budget (a batch shares its run options).
+        candidates = [
+            ("ada", "topic:databases"),
+            ("ada", "topic:optimization"),
+            ("grace", "topic:databases"),
+            ("grace", "topic:computability"),
+            ("alan", "topic:databases"),
+        ]
+        counts_by_k = {
+            k: db.batch(
+                [(author, topic, k) for author, topic in candidates],
+                external=True,
+                store_paths=False,
+            ).counts()
+            for k in (3, 4)
+        }
+        print("\n3. path-count features for candidate relations (k = 3 and 4)")
+        print(f"   {'author':8s} {'topic':22s} {'#paths k=3':>10s} {'#paths k=4':>10s}")
+        for row, (author, topic) in enumerate(candidates):
+            print(f"   {author:8s} {topic:22s} "
+                  f"{counts_by_k[3][row]:>10d} {counts_by_k[4][row]:>10d}")
 
 
 if __name__ == "__main__":

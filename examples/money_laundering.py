@@ -23,11 +23,10 @@ import numpy as np
 
 from repro import (
     AccumulativeConstraint,
+    Database,
     GraphBuilder,
-    PathEnum,
     PredicateConstraint,
-    Query,
-    RunConfig,
+    Q,
 )
 
 #: Hop constraint: the paper notes laundering flows tend to be short
@@ -76,32 +75,31 @@ def describe(graph, paths, *, limit: int = 8) -> None:
 
 def main() -> None:
     graph = build_bank_graph()
-    engine = PathEnum()
-    query = Query.from_external(graph, "acct:SOURCE", "acct:DEST", MAX_HOPS)
+    base = Q("acct:SOURCE", "acct:DEST", MAX_HOPS)
     print(f"bank graph: {graph.num_vertices} accounts, {graph.num_edges} transfers")
     print(f"investigating flows acct:SOURCE -> acct:DEST within {MAX_HOPS} hops\n")
 
-    # 1. All short flows between the two accounts.
-    all_flows = engine.run(graph, query, RunConfig(store_paths=True))
-    print(f"1. {all_flows.count} flows connect the two accounts "
-          f"(query time {all_flows.query_millis:.2f} ms)")
-    describe(graph, all_flows.paths)
+    with Database(graph) as db:
+        # 1. All short flows between the two accounts.
+        all_flows = db.query(base, external=True).result()
+        print(f"1. {all_flows.count} flows connect the two accounts "
+              f"(query time {all_flows.query_millis:.2f} ms)")
+        describe(graph, all_flows.paths)
 
-    # 2. Flows whose accumulated risk crosses the reporting threshold.
-    risk_constraint = AccumulativeConstraint(graph, accept=lambda total: total >= 2.0)
-    risky = engine.run(graph, query, RunConfig(store_paths=True, constraint=risk_constraint))
-    print(f"\n2. {risky.count} flows accumulate a total risk of at least 2.0")
-    describe(graph, risky.paths)
+        # 2. Flows whose accumulated risk crosses the reporting threshold
+        #    (constrained specs run on the inline backend).
+        risk_constraint = AccumulativeConstraint(graph, accept=lambda total: total >= 2.0)
+        risky = db.query(base.where(risk_constraint), external=True).result()
+        print(f"\n2. {risky.count} flows accumulate a total risk of at least 2.0")
+        describe(graph, risky.paths)
 
-    # 3. Flows that only ever use risky channels.
-    channel_constraint = PredicateConstraint(
-        lambda u, v, weight, label: label in RISKY_CHANNELS, graph
-    )
-    channel_only = engine.run(
-        graph, query, RunConfig(store_paths=True, constraint=channel_constraint)
-    )
-    print(f"\n3. {channel_only.count} flows use risky channels exclusively")
-    describe(graph, channel_only.paths)
+        # 3. Flows that only ever use risky channels.
+        channel_constraint = PredicateConstraint(
+            lambda u, v, weight, label: label in RISKY_CHANNELS, graph
+        )
+        channel_only = db.query(base.where(channel_constraint), external=True).result()
+        print(f"\n3. {channel_only.count} flows use risky channels exclusively")
+        describe(graph, channel_only.paths)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,9 @@
 """Quickstart: enumerate hop-constrained s-t paths with PathEnum.
 
 Builds a small directed graph (the running example of the paper, Figure 1),
-runs the query q(s, t, 4) with the full PathEnum pipeline and with each of
-its building blocks, and prints the paths together with the statistics the
-engine collects along the way.
+runs the query q(s, t, 4) through the public :class:`repro.Database` façade
+and with each of the engine's building blocks, and prints the paths
+together with the statistics the engine collects along the way.
 
 Run with:
 
@@ -12,7 +12,7 @@ Run with:
 
 from __future__ import annotations
 
-from repro import GraphBuilder, PathEnum, Query, RunConfig, enumerate_paths
+from repro import Database, GraphBuilder, Q, Query
 from repro.core import IdxDfs, IdxJoin, LightWeightIndex
 
 
@@ -37,17 +37,20 @@ def main() -> None:
     graph = build_example_graph()
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # --- the one-call API ------------------------------------------------
-    paths = enumerate_paths(graph, "s", "t", k=4, external_ids=True)
+    # --- the Database façade ---------------------------------------------
+    # The same call runs unchanged on a thread pool
+    # (``Database(graph, backend="threads")``), on worker processes, or
+    # against a running ``repro serve`` (``Database("host:port")``).
+    with Database(graph) as db:
+        result = db.query(Q("s", "t", 4), external=True).result()
+    paths = [graph.translate_path(p) for p in result.paths]
     print(f"\nq(s, t, 4) has {len(paths)} hop-constrained paths:")
     for path in sorted(paths, key=len):
         print("   " + " -> ".join(path))
 
-    # --- the engine API, with statistics ---------------------------------
-    query = Query.from_external(graph, "s", "t", 4)
-    engine = PathEnum()
-    result = engine.run(graph, query, RunConfig(store_paths=True))
+    # --- execution statistics --------------------------------------------
     stats = result.stats
+    query = Query.from_external(graph, "s", "t", 4)
     print("\nPathEnum execution details")
     print(f"   plan chosen:            {stats.plan}")
     print(f"   index vertices/edges:   {stats.index_vertices} / {stats.index_edges}")

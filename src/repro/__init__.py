@@ -12,34 +12,53 @@ regenerates every table and figure of the paper.
 Quickstart
 ----------
 
->>> from repro import GraphBuilder, enumerate_paths
+The public surface is the :class:`~repro.api.Database` façade: open it from
+a graph, a snapshot or a running server, submit declarative
+:class:`~repro.api.QuerySpec` queries (built fluently with
+:class:`~repro.api.Q`) and read the uniform
+:class:`~repro.api.ResultStream` back — the same code runs inline, on a
+thread or process pool, or against a ``repro serve`` instance.
+
+>>> from repro import Database, GraphBuilder, Q
 >>> builder = GraphBuilder()
 >>> builder.add_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
 4
->>> enumerate_paths(builder.build(), "a", "d", k=3, external_ids=True)
+>>> graph = builder.build()
+>>> with Database(graph) as db:
+...     result = db.query(Q("a", "d", 3), external=True).result()
+>>> [graph.translate_path(p) for p in result.paths]
 [('a', 'c', 'd'), ('a', 'b', 'c', 'd')]
+
+Deprecation policy
+------------------
+
+The pre-façade entry points — ``QuerySession``, ``BatchExecutor``,
+``ProcessBatchExecutor``, ``ExecutorCore`` and ``StreamRun`` — remain
+importable from this package as thin shims that emit a
+:class:`DeprecationWarning` pointing at the :class:`Database` equivalent.
+They will keep working for the foreseeable future (their internal homes in
+:mod:`repro.core.engine` are not deprecated — the façade is built on
+them), but new code should not reach for them.
 """
 
+import warnings as _warnings
+
 from repro._version import __version__
+from repro.api import BACKEND_CHOICES, Database, Q, QuerySpec, ResultStream, StreamStats
 from repro.core import (
     AccumulativeConstraint,
     AutomatonConstraint,
-    BatchExecutor,
     BatchResult,
     BatchStats,
-    ExecutorCore,
     IdxDfs,
     IdxJoin,
     LightWeightIndex,
     PathEnum,
     PredicateConstraint,
-    ProcessBatchExecutor,
     Query,
     QueryResult,
-    QuerySession,
     RunConfig,
     SequenceAutomaton,
-    StreamRun,
     count_paths,
     enumerate_paths,
 )
@@ -49,30 +68,70 @@ from repro.graph import DiGraph, DynamicGraph, GraphBuilder, read_edge_list
 
 __all__ = [
     "__version__",
+    # the unified façade
+    "Database",
+    "Q",
+    "QuerySpec",
+    "ResultStream",
+    "StreamStats",
+    "BACKEND_CHOICES",
+    # graphs
     "DiGraph",
     "GraphBuilder",
     "DynamicGraph",
     "read_edge_list",
+    # queries and results
     "Query",
     "QueryResult",
     "RunConfig",
     "PathEnum",
     "IdxDfs",
     "IdxJoin",
-    "QuerySession",
-    "BatchExecutor",
-    "ProcessBatchExecutor",
-    "ExecutorCore",
-    "StreamRun",
-    "BatchResult",
-    "BatchStats",
     "LightWeightIndex",
     "enumerate_paths",
     "count_paths",
+    "BatchResult",
+    "BatchStats",
+    # constraints
     "PredicateConstraint",
     "AccumulativeConstraint",
     "AutomatonConstraint",
     "SequenceAutomaton",
     "LandmarkOracle",
     "ReproError",
+    # deprecated execution entry points (shimmed via __getattr__)
+    "QuerySession",
+    "BatchExecutor",
+    "ProcessBatchExecutor",
+    "ExecutorCore",
+    "StreamRun",
 ]
+
+#: The pre-façade execution entry points and the façade call replacing each.
+_DEPRECATED_EXECUTORS = {
+    "QuerySession": 'Database(graph).query(...) / .batch(...)',
+    "BatchExecutor": 'Database(graph, backend="threads").batch(...)',
+    "ProcessBatchExecutor": 'Database(graph, backend="processes").batch(...)',
+    "ExecutorCore": 'Database(graph, backend="threads"|"processes").stream(...)',
+    "StreamRun": "ResultStream (returned by every Database call)",
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shims for the pre-façade execution entry points.
+
+    ``from repro import BatchExecutor`` still works, but warns once per
+    call site; the classes themselves live on unchanged in
+    :mod:`repro.core.engine`, which the façade builds on.
+    """
+    if name in _DEPRECATED_EXECUTORS:
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {_DEPRECATED_EXECUTORS[name]} "
+            "instead (see the repro.api module docs)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -47,17 +47,18 @@ def overall_comparison(
 ) -> Dict[str, WorkloadMetrics]:
     """One Table 3 row: every algorithm over the same query set on one graph.
 
-    ``batch=True`` evaluates each algorithm through the batch execution
-    engine (shared reverse-BFS distances, optional thread pool) instead of
-    one-query-at-a-time runs; ``processes > 1`` additionally fans each batch
-    out over target-sharded worker processes.  The per-query results are
+    ``batch=True`` evaluates each algorithm through the
+    :class:`~repro.api.Database` façade (shared reverse-BFS distances,
+    optional thread pool) instead of one-query-at-a-time runs;
+    ``processes > 1`` selects its process backend, fanning each batch out
+    over target-sharded worker processes.  The per-query results are
     identical in every mode, so the aggregated metrics remain comparable.
     """
     metrics: Dict[str, WorkloadMetrics] = {}
-    # Each algorithm gets its own process executor (the algorithm is baked
-    # into the worker pool), but the shared graph segment can be published
-    # once for the whole comparison: pre-sharing here makes every executor
-    # see an already-shared graph and leave its lifecycle alone.
+    # Each algorithm gets its own process-backend Database (the algorithm is
+    # baked into the worker pool), but the shared graph segment can be
+    # published once for the whole comparison: pre-sharing here makes every
+    # backend see an already-shared graph and leave its lifecycle alone.
     shared_here = False
     if processes > 1:
         store = graph.store

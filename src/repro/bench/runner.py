@@ -5,10 +5,11 @@ experimental setup (two-minute timeout, 1 000-query sets, response time at
 1 000 results); :func:`run_workload` evaluates one algorithm over one
 workload and returns the per-query results the rest of the harness
 aggregates.  :func:`run_workload_batched` routes the same measurement
-through the :class:`~repro.core.engine.BatchExecutor`, which shares
-reverse-BFS distance arrays across target-sharing queries — the execution
-path behind the Figure 13/14 throughput benchmarks and the ``--batch`` CLI
-mode.
+through the :class:`~repro.api.Database` façade — inline, thread-pool or
+process-pool backend depending on ``max_workers`` / ``processes`` — which
+shares reverse-BFS distance arrays across target-sharing queries; this is
+the execution path behind the Figure 13/14 throughput benchmarks and the
+``--batch`` CLI mode.
 """
 
 from __future__ import annotations
@@ -16,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import Database
 from repro.baselines.registry import get_algorithm
 from repro.core.algorithm import Algorithm
-from repro.core.engine import BatchExecutor, BatchResult, ProcessBatchExecutor
+from repro.core.engine import BatchResult, BatchStats
 from repro.core.listener import RunConfig
 from repro.core.result import QueryResult
 from repro.graph.digraph import DiGraph
@@ -100,7 +102,7 @@ def run_workload_batched(
     shards: Optional[int] = None,
     start_method: Optional[str] = None,
 ) -> BatchResult:
-    """Evaluate ``workload`` through the batch execution engine.
+    """Evaluate ``workload`` through the :class:`~repro.api.Database` façade.
 
     Per-query results match :func:`run_workload` exactly; the returned
     :class:`~repro.core.engine.BatchResult` additionally carries the batch
@@ -108,24 +110,46 @@ def run_workload_batched(
     baselines run unchanged — batching only removes work the index-based
     algorithms would otherwise repeat.
 
-    ``processes > 1`` routes the workload through the target-sharded
-    :class:`~repro.core.engine.ProcessBatchExecutor` instead of the thread
-    pool; ``shards`` (default: one per process) and ``start_method`` are
-    forwarded to it.  The shared graph and distance-cache segments are torn
-    down before returning.
+    ``processes > 1`` selects the process backend (target-sharded workers
+    over a shared-memory graph image); ``max_workers > 1`` the thread
+    backend; otherwise the workload runs inline.  ``shards`` (default: one
+    per worker) and ``start_method`` are forwarded.  Pools and shared
+    segments are torn down before returning.
     """
     algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     if processes > 1:
-        with ProcessBatchExecutor(
-            graph,
-            algorithm=algo,
-            processes=processes,
-            shards=shards,
-            start_method=start_method,
-        ) as executor:
-            return executor.run(list(workload), settings.to_run_config())
-    executor = BatchExecutor(graph, algorithm=algo, max_workers=max_workers)
-    return executor.run(list(workload), settings.to_run_config())
+        backend, workers = "processes", processes
+    elif max_workers > 1:
+        backend, workers = "threads", max_workers
+    else:
+        backend, workers = "inline", None
+    with Database(
+        graph,
+        backend=backend,
+        algorithm=algo,
+        workers=workers,
+        shards=shards,
+        start_method=start_method,
+    ) as db:
+        stream = db.batch(
+            list(workload),
+            store_paths=settings.store_paths,
+            limit=settings.result_limit,
+            deadline=settings.time_limit_seconds,
+            response_k=settings.response_k,
+            engine=settings.engine,
+        )
+        results = stream.results()
+        stats = stream.stats()
+    return BatchResult(
+        results=results,
+        stats=BatchStats(
+            queries_run=stats.completed,
+            reverse_bfs_runs=stats.reverse_bfs_runs,
+            bfs_cache_hits=stats.bfs_cache_hits,
+            wall_seconds=stats.wall_seconds,
+        ),
+    )
 
 
 def run_algorithms(

@@ -39,6 +39,11 @@ Both ``batch-query`` and ``bench`` accept ``--processes`` (and ``--shards``)
 to fan the batch out over target-sharded worker processes attached to a
 shared-memory copy of the graph; ``--workers`` keeps selecting the in-process
 thread pool.
+
+Every execution command routes through the :class:`repro.api.Database`
+façade — the flags select its backend (``inline`` / ``threads`` /
+``processes`` locally, ``remote`` for ``client``), so the CLI exercises
+exactly the code paths library users get.
 """
 
 from __future__ import annotations
@@ -47,12 +52,12 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api import Database, Q
 from repro.baselines.registry import PAPER_ALGORITHMS, available_algorithms, get_algorithm
 from repro.bench.comparison import overall_comparison
 from repro.bench.reporting import format_table
 from repro.bench.runner import BenchmarkSettings
-from repro.core.engine import BatchExecutor, ProcessBatchExecutor
-from repro.core.listener import ENGINE_CHOICES, RunConfig
+from repro.core.listener import ENGINE_CHOICES
 from repro.errors import VertexNotFoundError
 from repro.core.query import Query
 from repro.graph.io import load_npz, read_edge_list
@@ -271,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument(
         "--count-only", action="store_true", help="do not stream paths back"
     )
+    client_parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="enumeration engine applied server-side, exactly like a local run",
+    )
     return parser
 
 
@@ -285,15 +294,15 @@ def _command_query(args: argparse.Namespace) -> int:
     except (ValueError, KeyError):
         source = graph.to_internal(args.source)
         target = graph.to_internal(args.target)
-    query = Query(source, target, args.hops)
-    algorithm = get_algorithm(args.algorithm)
-    config = RunConfig(
-        store_paths=not args.count_only,
-        result_limit=args.limit,
-        time_limit_seconds=args.time_limit,
-        engine=args.engine,
+    spec = (
+        Q(source, target, args.hops)
+        .limit(args.limit)
+        .deadline(args.time_limit)
+        .engine(args.engine)
+        .store_paths(not args.count_only)
     )
-    result = algorithm.run(graph, query, config)
+    with Database(graph, algorithm=get_algorithm(args.algorithm)) as db:
+        result = db.query(spec).result()
     print(f"algorithm: {result.algorithm}")
     print(f"query: q({args.source}, {args.target}, {args.hops})")
     print(f"paths: {result.count}")
@@ -356,26 +365,29 @@ def _command_batch_query(args: argparse.Namespace) -> int:
         )
         queries = list(workload)
 
-    config = RunConfig(
-        store_paths=False,
-        result_limit=args.limit,
-        time_limit_seconds=args.time_limit,
-        engine=args.engine,
-    )
     if args.processes > 1:
-        with ProcessBatchExecutor(
-            graph,
-            algorithm=get_algorithm(args.algorithm),
-            processes=args.processes,
-            shards=args.shards,
-            start_method=args.start_method,
-        ) as executor:
-            batch = executor.run(queries, config)
+        backend, workers = "processes", args.processes
+    elif args.workers > 1:
+        backend, workers = "threads", args.workers
     else:
-        executor = BatchExecutor(
-            graph, algorithm=get_algorithm(args.algorithm), max_workers=args.workers
+        backend, workers = "inline", None
+    with Database(
+        graph,
+        backend=backend,
+        algorithm=get_algorithm(args.algorithm),
+        workers=workers,
+        shards=args.shards,
+        start_method=args.start_method,
+    ) as db:
+        stream = db.batch(
+            queries,
+            store_paths=False,
+            limit=args.limit,
+            deadline=args.time_limit,
+            engine=args.engine,
         )
-        batch = executor.run(queries, config)
+        results = stream.results()
+        stats = stream.stats()
     rows = [
         {
             "source": graph.to_external(result.source),
@@ -386,17 +398,18 @@ def _command_batch_query(args: argparse.Namespace) -> int:
             "plan": result.stats.plan,
             "bfs_cached": result.stats.bfs_cache_hit,
         }
-        for result in batch.results
+        for result in results
     ]
     print(format_table(rows, title=f"Batch of {len(queries)} queries ({args.algorithm})",
                        scientific=False))
-    stats = batch.stats.as_row()
-    print(f"total paths: {batch.total_paths}")
-    print(f"batch wall time: {stats['wall_ms']} ms "
-          f"({batch.throughput:.0f} paths/s)")
+    row = stats.as_row()
+    throughput = stats.total_paths / stats.wall_seconds if stats.wall_seconds > 0 else 0.0
+    print(f"total paths: {stats.total_paths}")
+    print(f"batch wall time: {row['wall_ms']} ms "
+          f"({throughput:.0f} paths/s)")
     print(
-        f"reverse BFS runs: {stats['reverse_bfs_runs']} for {stats['queries']} queries "
-        f"(cache hit rate {stats['hit_rate']:.0%})"
+        f"reverse BFS runs: {row['reverse_bfs_runs']} for {row['queries']} queries "
+        f"(cache hit rate {stats.hit_rate:.0%})"
     )
     return 0
 
@@ -569,7 +582,7 @@ def _command_client(args: argparse.Namespace) -> int:
 
     from repro.bench.metrics import latency_summary
     from repro.bench.reporting import format_latency_summary
-    from repro.server.client import QueryClient, open_loop_load, run_queries
+    from repro.server.client import QueryClient, open_loop_load
     from repro.workloads.queries import poisson_arrival_times
 
     if args.server_stats:
@@ -599,6 +612,7 @@ def _command_client(args: argparse.Namespace) -> int:
                 result_limit=args.limit,
                 time_limit_seconds=args.time_limit,
                 external=external,
+                engine=None if args.engine == "auto" else args.engine,
             )
         )
         if report.errors:
@@ -615,17 +629,23 @@ def _command_client(args: argparse.Namespace) -> int:
             ))
         return 1 if report.errors else 0
 
-    outcome = run_queries(
-        queries,
-        host=args.host,
-        port=args.port,
-        store_paths=not args.count_only,
-        result_limit=args.limit,
-        time_limit_seconds=args.time_limit,
-        external=external,
-    )
-    if outcome.status != "done":
-        print(f"job {outcome.status}: {outcome.info.get('error', '')}", file=sys.stderr)
+    # One-shot batch mode goes through the same façade as local execution:
+    # the remote backend ships the specs (engine selection included) as one
+    # submit frame and rebuilds the streamed result frames.
+    try:
+        with Database(f"{args.host}:{args.port}") as db:
+            stream = db.batch(
+                queries,
+                external=external,
+                store_paths=not args.count_only,
+                limit=args.limit,
+                deadline=args.time_limit,
+                engine=args.engine,
+            )
+            results = stream.results()
+            stats = stream.stats()
+    except (RuntimeError, ConnectionError, OSError) as error:
+        print(f"job failed: {error}", file=sys.stderr)
         return 1
     rows = [
         {
@@ -633,23 +653,18 @@ def _command_client(args: argparse.Namespace) -> int:
             "target": result.target,
             "k": result.k,
             "paths": result.count,
-            "query_ms": round(result.query_ms, 3),
-            "plan": result.plan,
-            "bfs_cached": result.bfs_cache_hit,
+            "query_ms": round(result.query_millis, 3),
+            "plan": result.stats.plan,
+            "bfs_cached": result.stats.bfs_cache_hit,
         }
-        for result in outcome.results
+        for result in results
     ]
     print(format_table(
         rows, title=f"Batch of {len(queries)} queries via {args.host}:{args.port}",
         scientific=False,
     ))
-    info = outcome.info
-    print(f"total paths: {outcome.total_paths}")
-    print(
-        f"server wall time: {info.get('wall_ms')} ms; first frame after "
-        f"{(outcome.first_frame_seconds or 0.0) * 1e3:.1f} ms, job done after "
-        f"{outcome.wall_seconds * 1e3:.1f} ms (client clock)"
-    )
+    print(f"total paths: {stats.total_paths}")
+    print(f"job done after {stats.wall_seconds * 1e3:.1f} ms (client clock)")
     return 0
 
 

@@ -98,6 +98,7 @@ __all__ = [
     "BatchStats",
     "enumerate_paths",
     "count_paths",
+    "is_distance_aware",
 ]
 
 
@@ -265,6 +266,15 @@ class PathEnum(_IndexedAlgorithm):
 #: Algorithms whose ``run`` accepts injected distance arrays and can
 #: therefore share the session / batch distance cache.
 _DISTANCE_AWARE = (_IndexedAlgorithm, IdxDfsReverse)
+
+
+def is_distance_aware(algorithm: Algorithm) -> bool:
+    """Whether ``algorithm`` shares the session / batch distance cache.
+
+    Distance-aware algorithms accept injected reverse-BFS arrays, so their
+    results carry meaningful ``bfs_cache_hit`` flags; baselines do not.
+    """
+    return isinstance(algorithm, _DISTANCE_AWARE)
 
 
 # --------------------------------------------------------------------- #

@@ -14,6 +14,8 @@ __all__ = [
     "EdgeNotFoundError",
     "QueryError",
     "InvalidQueryError",
+    "QuerySpecError",
+    "BackendError",
     "EnumerationTimeout",
     "ResultLimitReached",
     "DatasetError",
@@ -53,6 +55,24 @@ class QueryError(ReproError):
 
 class InvalidQueryError(QueryError, ValueError):
     """The query parameters violate the problem statement (e.g. s == t, k < 2)."""
+
+
+class QuerySpecError(QueryError, ValueError):
+    """A declarative :class:`repro.api.QuerySpec` is ill-formed.
+
+    Raised with a precise message naming the offending field (negative hop
+    budget, identical endpoints, unknown engine name, mixed per-batch
+    options, ...) so callers can surface it verbatim.
+    """
+
+
+class BackendError(ReproError, ValueError):
+    """An execution backend cannot be selected or opened.
+
+    Raised by :class:`repro.api.Database` for unknown backend names, targets
+    that cannot be resolved (not a graph, snapshot, edge list or
+    ``host:port`` URL) and local/remote mismatches.
+    """
 
 
 class EnumerationTimeout(ReproError):

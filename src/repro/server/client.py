@@ -165,8 +165,15 @@ class QueryClient:
         response_k: int = 1000,
         external: bool = False,
         frames: str = "result",
+        engine: Optional[str] = None,
     ) -> str:
-        """Send one submit frame; returns the job id to stream/collect."""
+        """Send one submit frame; returns the job id to stream/collect.
+
+        ``engine`` selects the enumeration engine server-side
+        (``auto`` / ``kernel`` / ``recursive``), exactly like the ``engine``
+        option of a local :class:`~repro.core.listener.RunConfig`; ``None``
+        leaves the server default (``auto``) in place.
+        """
         self._next_id += 1
         job_id = f"c{self._next_id}"
         self._jobs[job_id] = asyncio.Queue()
@@ -182,6 +189,8 @@ class QueryClient:
             opts["external"] = True
         if frames != "result":
             opts["frames"] = frames
+        if engine is not None:
+            opts["engine"] = engine
         await write_frame(
             self._writer,
             {
@@ -325,6 +334,7 @@ async def open_loop_load(
     result_limit: Optional[int] = None,
     time_limit_seconds: Optional[float] = None,
     external: bool = False,
+    engine: Optional[str] = None,
 ) -> LoadReport:
     """Drive open-loop traffic: query ``i`` is submitted at its arrival time.
 
@@ -355,6 +365,7 @@ async def open_loop_load(
             result_limit=result_limit,
             time_limit_seconds=time_limit_seconds,
             external=external,
+            engine=engine,
         )
         outcome = await client.collect(job_id)
         latency_ms = (loop.time() - scheduled) * 1e3

@@ -92,6 +92,21 @@ class QueryWorkload:
             seed=self.seed,
         )
 
+    def to_specs(self, **options) -> List["QuerySpec"]:
+        """The workload as :class:`~repro.api.QuerySpec` objects.
+
+        ``options`` (``limit``, ``deadline``, ``engine``, ``store_paths``,
+        ...) apply to every spec, which also makes the list a valid single
+        :meth:`~repro.api.Database.batch` argument — one batch must share
+        its run options.
+        """
+        from repro.api import QuerySpec
+
+        return [
+            QuerySpec(query.source, query.target, query.k, **options)
+            for query in self.queries
+        ]
+
     def unique_targets(self) -> List[int]:
         """The distinct query targets, in first-appearance order.
 

@@ -1,0 +1,199 @@
+"""Cross-backend equivalence: one spec list, byte-identical payloads.
+
+The acceptance contract of the façade: the same :class:`~repro.api.QuerySpec`
+batch produces byte-identical :meth:`~repro.api.ResultStream.payload_bytes`
+whichever backend executes it — inline, thread pool, worker processes or a
+TCP server — including runs interrupted by a result limit or a deadline,
+and under forced engine selection (the ``engine`` option travels in the
+remote submit frame and is honored server-side).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.api import Database
+from repro.graph.generators import erdos_renyi
+from repro.server.client import QueryClient
+from repro.server.server import QueryServer
+from repro.server.service import QueryService
+from repro.workloads.queries import generate_target_centric_set
+
+BACKENDS = ("inline", "threads", "processes", "remote")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Dense enough that a zero deadline interrupts mid-enumeration (the
+    # cooperative deadline only polls the clock every ~256 work units).
+    return erdos_renyi(300, 8.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def shared_target_triples(graph):
+    """Ten queries over three targets — the cache-sharing traffic shape."""
+    workload = generate_target_centric_set(graph, count=10, k=4, num_targets=3, seed=5)
+    return [(q.source, q.target, q.k) for q in workload]
+
+
+@pytest.fixture(scope="module")
+def distinct_target_triples(graph):
+    """Queries with pairwise-distinct ``(target, k)`` keys.
+
+    Used for the deadline scenario: with no key shared, no backend injects
+    multi-source forward sweeps, so the cooperative deadline's poll
+    countdown sees the identical call sequence everywhere and interruption
+    points coincide exactly.
+    """
+    workload = generate_target_centric_set(graph, count=12, k=6, num_targets=8, seed=9)
+    triples, seen = [], set()
+    for q in workload:
+        if (q.target, q.k) not in seen:
+            seen.add((q.target, q.k))
+            triples.append((q.source, q.target, q.k))
+    triples = triples[:6]
+    assert len(triples) == 6
+    return triples
+
+
+@pytest.fixture(scope="module")
+def remote_url(graph):
+    """A live ``repro serve`` equivalent on a free port, torn down after."""
+    holder = {}
+    ready = threading.Event()
+
+    def serve() -> None:
+        async def main() -> None:
+            service = QueryService(graph, threads=2)
+            server = QueryServer(service, port=0)
+            await server.start()
+            holder["port"] = server.port
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            ready.set()
+            await holder["stop"].wait()
+            await server.close()
+            await service.close()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, name="equivalence-server", daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to boot"
+    yield f"127.0.0.1:{holder['port']}"
+    holder["loop"].call_soon_threadsafe(holder["stop"].set)
+    thread.join(10)
+
+
+def _open(graph, backend, remote_url):
+    if backend == "remote":
+        return Database(remote_url)
+    if backend == "inline":
+        return Database(graph)
+    return Database(graph, backend=backend, workers=2)
+
+
+def _payload(graph, backend, remote_url, triples, options):
+    with _open(graph, backend, remote_url) as db:
+        return db.batch(triples, **options).payload_bytes()
+
+
+#: Scenario name -> run options; every scenario runs the same spec list on
+#: all four backends and the payloads must agree byte for byte.
+SCENARIOS = {
+    "plain": {},
+    "count_only": {"store_paths": False},
+    "limit_interrupted": {"limit": 3},
+    "engine_kernel": {"engine": "kernel"},
+    "engine_recursive": {"engine": "recursive"},
+}
+
+
+class TestPayloadEquivalence:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_matches_inline_reference(
+        self, graph, shared_target_triples, remote_url, backend, scenario
+    ):
+        options = SCENARIOS[scenario]
+        reference = _payload(graph, "inline", remote_url, shared_target_triples, options)
+        actual = _payload(graph, backend, remote_url, shared_target_triples, options)
+        assert actual == reference
+
+    def test_limit_scenario_actually_truncates(self, graph, shared_target_triples):
+        with Database(graph) as db:
+            results = db.batch(shared_target_triples, limit=3).results()
+        assert any(r.stats.truncated for r in results)
+        assert all(r.count <= 3 for r in results)
+
+    def test_engine_choice_does_not_change_the_payload(
+        self, graph, shared_target_triples, remote_url
+    ):
+        kernel = _payload(
+            graph, "remote", remote_url, shared_target_triples, {"engine": "kernel"}
+        )
+        recursive = _payload(
+            graph, "remote", remote_url, shared_target_triples, {"engine": "recursive"}
+        )
+        assert kernel == recursive
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_deadline_interruption_is_identical(
+        self, graph, distinct_target_triples, remote_url, backend
+    ):
+        options = {"deadline": 0.0}
+        reference = _payload(
+            graph, "inline", remote_url, distinct_target_triples, options
+        )
+        assert any(
+            entry["timed_out"] for entry in json.loads(reference)
+        ), "deadline scenario never timed out — not exercising interruption"
+        actual = _payload(graph, backend, remote_url, distinct_target_triples, options)
+        assert actual == reference
+
+
+class TestCacheFlagEquivalence:
+    """Local backends charge cache flags the way a sequential session would.
+
+    The remote backend is excluded: a long-lived server keeps its distance
+    cache warm across jobs (flags go to all-hit), which is exactly why the
+    flags are not part of the canonical payload.
+    """
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_flags_match_a_fresh_inline_run(
+        self, graph, shared_target_triples, backend
+    ):
+        def flags(chosen: str):
+            kwargs = {} if chosen == "inline" else {"workers": 2}
+            with Database(graph, backend=chosen, **kwargs) as db:
+                return [
+                    r.stats.bfs_cache_hit for r in db.batch(shared_target_triples).results()
+                ]
+
+        assert flags(backend) == flags("inline")
+
+
+class TestRemoteEnginePlumbing:
+    def test_unknown_engine_is_rejected_server_side(self, remote_url):
+        """The submit frame carries the engine opt — the server validates it."""
+        host, port = remote_url.rsplit(":", 1)
+
+        async def scenario():
+            client = await QueryClient.connect(host, int(port))
+            async with client:
+                job_id = await client.submit([[0, 10, 4]], engine="bogus")
+                return await client.collect(job_id)
+
+        outcome = asyncio.run(scenario())
+        assert outcome.status == "error"
+        assert "unknown engine 'bogus'" in str(outcome.info.get("error"))
+
+    def test_explicit_engine_runs_server_side(self, remote_url):
+        with Database(remote_url) as db:
+            result = db.query((0, 10, 4), engine="kernel").result()
+        assert result.count >= 0
