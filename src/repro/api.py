@@ -145,7 +145,7 @@ class QuerySpec:
     limit: Optional[int] = None
     #: Cooperative per-query time limit in seconds (``None`` = no limit).
     deadline: Optional[float] = None
-    #: Enumeration engine: ``auto`` / ``kernel`` / ``recursive``.
+    #: Enumeration engine: ``auto`` / ``native`` / ``kernel`` / ``recursive``.
     engine: str = "auto"
     #: Keep the enumerated paths on the result (off = count only).
     store_paths: bool = True
@@ -232,7 +232,7 @@ class Q:
         return self._with(deadline=seconds)
 
     def engine(self, name: str) -> "Q":
-        """Select the enumeration engine (``auto`` / ``kernel`` / ``recursive``)."""
+        """Select the engine (``auto`` / ``native`` / ``kernel`` / ``recursive``)."""
         return self._with(engine=name)
 
     def count_only(self) -> "Q":

@@ -102,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_parser.add_argument(
         "--engine", choices=ENGINE_CHOICES, default="auto",
-        help="enumeration engine: iterative array kernels vs recursive reference",
+        help="enumeration engine: vectorised/compiled native, iterative kernels or recursive reference",
     )
 
     batch_parser = subparsers.add_parser(
@@ -152,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--seed", type=int, default=0)
     batch_parser.add_argument(
         "--engine", choices=ENGINE_CHOICES, default="auto",
-        help="enumeration engine: iterative array kernels vs recursive reference",
+        help="enumeration engine: vectorised/compiled native, iterative kernels or recursive reference",
     )
 
     datasets_parser = subparsers.add_parser("datasets", help="list the synthetic dataset registry")
@@ -201,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--engine", choices=ENGINE_CHOICES, default="auto",
-        help="enumeration engine: iterative array kernels vs recursive reference",
+        help="enumeration engine: vectorised/compiled native, iterative kernels or recursive reference",
     )
 
     serve_parser = subparsers.add_parser(

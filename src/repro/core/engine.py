@@ -62,6 +62,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, 
 import multiprocessing
 import os
 import sys
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -72,13 +73,20 @@ from repro.core.index import LightWeightIndex
 from repro.core.join import run_idx_join
 from repro.core.kernels import run_dfs_kernel, run_join_kernel
 from repro.core.listener import ENGINE_CHOICES, RunConfig
+from repro.core.native import (
+    jit_ready,
+    jit_required,
+    run_dfs_native,
+    run_join_native,
+    warn_jit_fallback,
+)
 from repro.core.optimizer import DEFAULT_TAU, Plan, choose_plan
 from repro.core.query import Query
 from repro.core.result import Phase, QueryResult
 from repro.core.reverse import IdxDfsReverse
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
-from repro.graph.store import SharedMemoryStore, StoreHandle
+from repro.graph.store import SharedMemoryStore, StoreHandle, _open_untracked
 from repro.graph.traversal import (
     DEFAULT_SOURCE_CHUNK,
     bfs_distances_bounded,
@@ -116,13 +124,16 @@ class _IndexedAlgorithm(Algorithm):
         *,
         dist_to_t: Optional[np.ndarray] = None,
         dist_from_s: Optional[np.ndarray] = None,
+        index: Optional[LightWeightIndex] = None,
     ) -> QueryResult:
         """Evaluate ``query`` on ``graph``.
 
         ``dist_to_t`` optionally injects a precomputed reverse-BFS distance
         array (the :class:`QuerySession` cache path); ``dist_from_s`` a
         precomputed forward array (the sharded executor's multi-source
-        sweep).  Single-query callers leave both unset.
+        sweep); ``index`` a fully prebuilt light-weight index (the sharded
+        executor's group-fused build).  Single-query callers leave all
+        three unset.
         """
         config = config if config is not None else RunConfig()
         constraint = config.constraint
@@ -140,20 +151,37 @@ class _IndexedAlgorithm(Algorithm):
             )
         # Constraint extensions (Appendix E) carry per-level state the flat
         # int frames cannot hold: constrained queries keep the recursive
-        # engines, everything else takes the array-native kernels.
-        use_kernel = config.engine != "recursive" and constraint is None
+        # engines.  Otherwise ``native`` takes the vectorised/compiled
+        # engine (under ``REPRO_NATIVE=jit`` it demands the Numba toolchain
+        # and falls back to ``kernel`` with one warning when absent), and
+        # ``auto`` prefers ``native`` exactly when the JIT tier is ready —
+        # so environments without Numba keep their kernel behaviour
+        # unchanged.
+        engine = config.engine
+        if constraint is not None:
+            engine = "recursive"
+        elif engine == "native" and jit_required() and not jit_ready():
+            warn_jit_fallback()
+            engine = "kernel"
+        elif engine == "auto":
+            engine = "native" if jit_ready() else "kernel"
+        prebuilt = index
 
         def body(collector, deadline, stats) -> None:
-            edge_filter = constraint.edge_filter() if constraint is not None else None
-            index = LightWeightIndex.build(
-                graph,
-                query,
-                edge_filter=edge_filter,
-                deadline=deadline,
-                stats=stats,
-                dist_to_t=dist_to_t,
-                dist_from_s=dist_from_s,
-            )
+            if prebuilt is not None:
+                index = prebuilt
+                index.record_stats(stats)
+            else:
+                edge_filter = constraint.edge_filter() if constraint is not None else None
+                index = LightWeightIndex.build(
+                    graph,
+                    query,
+                    edge_filter=edge_filter,
+                    deadline=deadline,
+                    stats=stats,
+                    dist_to_t=dist_to_t,
+                    dist_from_s=dist_from_s,
+                )
             plan = choose_plan(
                 index, tau=config.tau, deadline=deadline, stats=stats, force=self._force
             )
@@ -166,7 +194,11 @@ class _IndexedAlgorithm(Algorithm):
             if plan.kind == "join":
                 cut = plan.cut_position if plan.cut_position is not None else max(1, query.k // 2)
                 try:
-                    if use_kernel:
+                    if engine == "native":
+                        run_join_native(
+                            index, cut, collector, deadline=deadline, stats=stats
+                        )
+                    elif engine == "kernel":
                         run_join_kernel(
                             index, cut, collector, deadline=deadline, stats=stats
                         )
@@ -183,7 +215,11 @@ class _IndexedAlgorithm(Algorithm):
                     stats.add_phase(Phase.JOIN, time.perf_counter() - enumeration_started)
             else:
                 try:
-                    if use_kernel:
+                    if engine == "native":
+                        run_dfs_native(
+                            index, collector, deadline=deadline, stats=stats
+                        )
+                    elif engine == "kernel":
                         run_dfs_kernel(
                             index, collector, deadline=deadline, stats=stats
                         )
@@ -249,12 +285,14 @@ class PathEnum(_IndexedAlgorithm):
         *,
         dist_to_t: Optional[np.ndarray] = None,
         dist_from_s: Optional[np.ndarray] = None,
+        index: Optional[LightWeightIndex] = None,
     ) -> QueryResult:
         config = config if config is not None else RunConfig()
         if config.tau == DEFAULT_TAU and self._tau != DEFAULT_TAU:
             config = config.replace(tau=self._tau)
         return super().run(
-            graph, query, config, dist_to_t=dist_to_t, dist_from_s=dist_from_s
+            graph, query, config,
+            dist_to_t=dist_to_t, dist_from_s=dist_from_s, index=index,
         )
 
     def explain(self, graph: DiGraph, query: Query, *, tau: Optional[float] = None) -> Plan:
@@ -634,6 +672,39 @@ def _process_worker_init(
     _WORKER_STATE["cache_store"] = None
     _WORKER_STATE["cache_name"] = None
     _WORKER_STATE["distances"] = {}
+    _WORKER_STATE["cancel_segments"] = {}
+
+
+#: One-byte cancellation slots per :class:`ExecutorCore` segment; a run's
+#: slot is ``run_id % _CANCEL_SLOTS``.  Slot reuse needs 4096 in-flight run
+#: ids between a run and its successor, and the successor's dispatch clears
+#: the slot anyway.
+_CANCEL_SLOTS = 4096
+
+
+def _cancel_probe(cancel_ref):
+    """Build the worker-side ``should_stop`` poll for a dispatched shard.
+
+    ``cancel_ref`` is ``(segment_name, slot)`` of the core's shared
+    cancellation page, or ``None`` (inline/thread paths, or a core without
+    the segment).  The segment is attached once per worker process and
+    cached; attach failure (the parent already unlinked at close) degrades
+    to no cancellation polling rather than failing the shard.
+    """
+    if cancel_ref is None:
+        return None
+    name, slot = cancel_ref
+    segments = _WORKER_STATE.setdefault("cancel_segments", {})
+    if name not in segments:
+        try:
+            segments[name] = _open_untracked(name)
+        except (OSError, ValueError):
+            segments[name] = None
+    segment = segments[name]
+    if segment is None:
+        return None
+    buf = segment.buf
+    return lambda: buf[slot] != 0
 
 
 def _attach_distance_cache(cache_handle: Optional[StoreHandle]) -> Mapping:
@@ -701,6 +772,7 @@ def _iter_shard_results(
         # Sweep (and hold) the forward distance matrix one source chunk at a
         # time: peak extra memory stays at O(chunk * |V|) however many
         # queries share the target, and chunking cannot change any row.
+        fuse_builds = isinstance(algorithm, _IndexedAlgorithm) and config.constraint is None
         for start in range(0, len(members), DEFAULT_SOURCE_CHUNK):
             chunk = members[start : start + DEFAULT_SOURCE_CHUNK]
             forward = None
@@ -708,6 +780,18 @@ def _iter_shard_results(
                 forward = multi_source_bfs_distances_bounded(
                     graph, [s for _, s in chunk], cutoff=k, no_expand=t
                 )
+            if forward is not None and fuse_builds:
+                # Group-fused index construction: one candidate sweep, one
+                # edge sort for the whole chunk.  Each query's index — and
+                # therefore its result — is byte-identical to a per-query
+                # build from the same distance rows.
+                chunk_queries = [Query(s, t, k) for _, s in chunk]
+                indexes = LightWeightIndex.build_group(
+                    graph, chunk_queries, dist_from_s_rows=forward, dist_to_t=dist_to_t
+                )
+                for (position, _), query, index in zip(chunk, chunk_queries, indexes):
+                    yield position, algorithm.run(graph, query, config, index=index)
+                continue
             for row, (position, s) in enumerate(chunk):
                 result = algorithm.run(
                     graph,
@@ -779,8 +863,14 @@ def _process_worker_stream_shard(payload) -> int:
     future resolves; the future's return value is only the emitted count.
     On failure no marker is sent — the parent surfaces the future's
     exception instead of waiting for a marker that will never come.
+
+    ``payload`` carries the run's cancellation reference: the shared flag is
+    polled between queries, so a cancelled run stops emitting after at most
+    one more query instead of running its whole shard to completion.  A
+    stopped shard sends no marker either — the cancelling parent is no
+    longer counting.
     """
-    run_id, shard, config, cache_handle, chunk_queries = payload
+    run_id, shard, config, cache_handle, chunk_queries, cancel_ref = payload
     out_queue = _WORKER_STATE["queue"]
     results = _iter_shard_results(
         _WORKER_STATE["graph"],
@@ -789,10 +879,14 @@ def _process_worker_stream_shard(payload) -> int:
         shard,
         _attach_distance_cache(cache_handle),
     )
-    emitted, _ = _pump_chunks(
-        results, chunk_queries, lambda chunk: out_queue.put(("chunk", run_id, chunk))
+    emitted, stopped = _pump_chunks(
+        results,
+        chunk_queries,
+        lambda chunk: out_queue.put(("chunk", run_id, chunk)),
+        _cancel_probe(cancel_ref),
     )
-    out_queue.put(("done", run_id, None))
+    if not stopped:
+        out_queue.put(("done", run_id, None))
     return emitted
 
 
@@ -844,17 +938,28 @@ class StreamRun:
         self._inline: Optional[Iterator[Tuple[int, QueryResult]]] = None
         self._chunk_queries = DEFAULT_CHUNK_QUERIES
         self._consumed = False
+        #: ``(shared_memory_segment, slot)`` of this run's cancellation
+        #: byte, set by the core on process-backend dispatch.
+        self._cancel_cell: Optional[Tuple[object, int]] = None
 
     def cancel(self) -> None:
         """Stop the run as soon as possible.
 
         Shards that have not started are cancelled outright; thread-backend
         shards stop between queries; a process-backend shard already
-        executing runs to completion in its worker (enumeration is
-        cooperative only towards its own deadline) and its chunks are
-        discarded.
+        executing observes the shared cancellation byte between queries and
+        abandons the rest of its shard (the query being enumerated still
+        runs to completion — enumeration is cooperative only towards its own
+        deadline) and any late chunks are discarded.
         """
         self.cancelled.set()
+        cell = self._cancel_cell
+        if cell is not None:
+            segment, slot = cell
+            try:
+                segment.buf[slot] = 1
+            except (ValueError, TypeError):  # pragma: no cover - core closed
+                pass
         for future in self._futures:
             future.cancel()
 
@@ -996,6 +1101,8 @@ class ExecutorCore:
         self.session = QuerySession(graph, algorithm=self.algorithm, max_cached=max_cached)
         self._cache_store: Optional[SharedMemoryStore] = None
         self._packed_keys: Tuple[Tuple[int, int], ...] = ()
+        #: Shared page of per-run cancellation bytes (process backend).
+        self._cancel_shm = None
         self._pool = None
         self._mp_queue = None
         self._drainer: Optional[threading.Thread] = None
@@ -1057,6 +1164,14 @@ class ExecutorCore:
         if self._cache_store is not None:
             self._cache_store.close(unlink=True)
             self._cache_store = None
+        if self._cancel_shm is not None:
+            segment = self._cancel_shm
+            self._cancel_shm = None
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
         store = self.graph.store
         if self._graph_published_here and store is not None and store.shareable:
             if store.is_owner:
@@ -1131,10 +1246,22 @@ class ExecutorCore:
                             {(q.target, q.k) for q in queries}
                         )
                     pool = self._ensure_process_pool()
+                    segment = self._ensure_cancel_segment()
+                    slot = run.run_id % _CANCEL_SLOTS
+                    segment.buf[slot] = 0
+                    run._cancel_cell = (segment, slot)
+                    cancel_ref = (segment.name, slot)
                     run._futures = [
                         pool.submit(
                             _process_worker_stream_shard,
-                            (run.run_id, shard, config, cache_handle, run._chunk_queries),
+                            (
+                                run.run_id,
+                                shard,
+                                config,
+                                cache_handle,
+                                run._chunk_queries,
+                                cancel_ref,
+                            ),
                         )
                         for shard in plain
                     ]
@@ -1243,6 +1370,19 @@ class ExecutorCore:
             initargs=(graph_handle, self.algorithm, self._mp_queue),
         )
         return self._pool
+
+    def _ensure_cancel_segment(self):
+        """The core's shared page of per-run cancellation bytes.
+
+        Created lazily with the first process-backend dispatch and unlinked
+        at :meth:`close`; workers attach it once per process (untracked, so
+        a child's exit never unlinks the parent's page).
+        """
+        if self._cancel_shm is None:
+            self._cancel_shm = shared_memory.SharedMemory(
+                create=True, size=_CANCEL_SLOTS
+            )
+        return self._cancel_shm
 
     def _ensure_thread_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:

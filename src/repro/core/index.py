@@ -84,6 +84,7 @@ class LightWeightIndex:
         "_gamma",
         "_flat",
         "_kernel",
+        "_native",
         "_in_csr",
         "num_index_edges",
         "build_seconds",
@@ -124,6 +125,7 @@ class LightWeightIndex:
         self._gamma = gamma
         self._flat: Optional[tuple] = None
         self._kernel: Optional[tuple] = None
+        self._native: Optional[tuple] = None
         self._in_csr: Optional[tuple] = None
         self.num_index_edges = int(len(indices))
         self.build_seconds = build_seconds
@@ -230,6 +232,50 @@ class LightWeightIndex:
             order = np.lexsort((dt[edge_dst], edge_src))
             edge_src = edge_src[order]
             edge_dst = edge_dst[order]
+
+        index = cls._assemble(
+            graph,
+            query,
+            dist_from_s,
+            dist_to_t,
+            rows,
+            row_of,
+            edge_src,
+            edge_dst,
+            bfs_seconds=bfs_seconds,
+            started=started,
+            used_cache=used_cache,
+        )
+        if stats is not None:
+            index.record_stats(stats)
+        return index
+
+    @classmethod
+    def _assemble(
+        cls,
+        graph: DiGraph,
+        query: Query,
+        dist_from_s: np.ndarray,
+        dist_to_t: np.ndarray,
+        rows: np.ndarray,
+        row_of: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        *,
+        bfs_seconds: float,
+        started: float,
+        used_cache: bool,
+    ) -> "LightWeightIndex":
+        """Assemble an index from presorted candidate edges.
+
+        Shared tail of :meth:`build` and :meth:`build_group`: ``edge_src`` /
+        ``edge_dst`` must already be filtered and sorted by
+        ``(source, neighbour distance to t)``.
+        """
+        ds = dist_from_s
+        dt = dist_to_t
+        k = query.k
+        num_rows = len(rows)
         edge_rows = row_of[edge_src]
 
         indptr = np.zeros(num_rows + 1, dtype=np.int64)
@@ -275,7 +321,7 @@ class LightWeightIndex:
             np.divide(sums, counts, out=gamma, where=counts > 0)
 
         build_seconds = time.perf_counter() - started
-        index = cls(
+        return cls(
             graph,
             query,
             dist_from_s,
@@ -292,14 +338,136 @@ class LightWeightIndex:
             bfs_seconds,
             used_cached_distances=used_cache,
         )
-        if stats is not None:
-            stats.add_phase(Phase.BFS, bfs_seconds)
-            stats.add_phase(Phase.INDEX, build_seconds)
-            stats.index_edges = index.num_index_edges
-            stats.index_vertices = index.num_index_vertices
-            stats.index_bytes = index.estimated_bytes()
-            stats.bfs_cache_hit = used_cache
-        return index
+
+    @classmethod
+    def build_group(
+        cls,
+        graph: DiGraph,
+        queries: Sequence[Query],
+        *,
+        dist_from_s_rows: np.ndarray,
+        dist_to_t: np.ndarray,
+    ) -> List["LightWeightIndex"]:
+        """Build the indexes of a target-sharing query group in one fused sweep.
+
+        All ``queries`` must share the same target ``t`` and hop constraint
+        ``k``.  ``dist_from_s_rows`` is the ``(len(queries), |V|)`` forward
+        restricted-distance matrix — one multi-source sweep row per query,
+        computed exactly like :meth:`build`'s forward BFS — and ``dist_to_t``
+        the shared reverse distances.  The candidate masks, the ragged
+        neighbour gather, the edge filtering and the ``(source, distance)``
+        sort all run once over the whole group with a query-id sort column;
+        each query's segment then assembles into an index byte-identical to
+        what :meth:`build` would have produced from the same distances.
+        """
+        if not len(queries):
+            return []
+        t = queries[0].target
+        k = queries[0].k
+        for query in queries:
+            if query.target != t or query.k != k:
+                raise ValueError("build_group requires a target- and k-sharing group")
+            query.validate(graph)
+        started = time.perf_counter()
+        m = len(queries)
+        ds_m = dist_from_s_rows
+        dt = dist_to_t
+        sources = np.asarray([q.source for q in queries], dtype=np.int64)
+
+        # Partition X per query, as one boolean matrix.
+        in_x = (
+            (ds_m != UNREACHABLE)
+            & (dt != UNREACHABLE)[None, :]
+            & (ds_m + dt[None, :] <= k)
+        )
+        q_of_row, rows_flat = np.nonzero(in_x)
+        q_of_row = q_of_row.astype(np.int64, copy=False)
+        rows_flat = rows_flat.astype(np.int64, copy=False)
+        row_counts = np.bincount(q_of_row, minlength=m)
+        row_bounds = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=row_bounds[1:])
+        local_row = np.arange(len(rows_flat), dtype=np.int64) - np.repeat(
+            row_bounds[:-1], row_counts
+        )
+        row_of_m = np.full((m, graph.num_vertices), -1, dtype=np.int64)
+        row_of_m[q_of_row, rows_flat] = local_row
+
+        # Fused candidate-edge gather: every query's member sources in one
+        # ragged expansion, tagged with a per-edge query id.
+        out_indptr, out_indices = graph.out_csr()
+        src_sel = rows_flat != t
+        gather_src = rows_flat[src_sel]
+        gather_qid = q_of_row[src_sel]
+        widths = out_indptr[gather_src + 1] - out_indptr[gather_src]
+        edge_src, edge_dst = ragged_gather(out_indptr, out_indices, gather_src)
+        edge_qid = np.repeat(gather_qid, widths)
+        if len(edge_src):
+            dt_dst = dt[edge_dst]
+            keep = (
+                (edge_dst != sources[edge_qid])
+                & (dt_dst != UNREACHABLE)
+                & (ds_m[edge_qid, edge_src] + dt_dst + 1 <= k)
+            )
+            edge_src = edge_src[keep]
+            edge_dst = edge_dst[keep]
+            edge_qid = edge_qid[keep]
+
+        # Per-query t self-loops (join padding), fed through the shared sort.
+        loop_qids = np.flatnonzero(in_x[:, t]).astype(np.int64)
+        if len(loop_qids):
+            loop_vertices = np.full(len(loop_qids), t, dtype=np.int64)
+            edge_src = np.concatenate([edge_src, loop_vertices])
+            edge_dst = np.concatenate([edge_dst, loop_vertices])
+            edge_qid = np.concatenate([edge_qid, loop_qids])
+
+        # One stable sort for the whole group: the query-id major key keeps
+        # each segment in exactly the (source, distance, adjacency) order of
+        # the per-query sort in :meth:`build`.
+        if len(edge_src):
+            order = np.lexsort((dt[edge_dst], edge_src, edge_qid))
+            edge_src = edge_src[order]
+            edge_dst = edge_dst[order]
+            edge_qid = edge_qid[order]
+        edge_counts = np.bincount(edge_qid, minlength=m)
+        edge_bounds = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(edge_counts, out=edge_bounds[1:])
+
+        # The shared sweep is charged evenly across the group; each query
+        # additionally pays for its own assembly.
+        shared_share = (time.perf_counter() - started) / m
+        indexes: List["LightWeightIndex"] = []
+        for i, query in enumerate(queries):
+            q_started = time.perf_counter()
+            lo, hi = int(edge_bounds[i]), int(edge_bounds[i + 1])
+            index = cls._assemble(
+                graph,
+                query,
+                ds_m[i],
+                dt,
+                rows_flat[row_bounds[i] : row_bounds[i + 1]],
+                row_of_m[i],
+                edge_src[lo:hi],
+                edge_dst[lo:hi],
+                bfs_seconds=0.0,
+                started=q_started,
+                used_cache=True,
+            )
+            index.build_seconds += shared_share
+            indexes.append(index)
+        return indexes
+
+    def record_stats(self, stats: EnumerationStats) -> None:
+        """Record the build phases and index sizes into ``stats``.
+
+        Used by :meth:`build` and by engines receiving a prebuilt index
+        (group-fused batch execution), so both paths report identically.
+        """
+        stats.add_phase(Phase.BFS, self.bfs_seconds)
+        stats.add_phase(Phase.INDEX, self.build_seconds)
+        stats.index_edges = self.num_index_edges
+        stats.index_vertices = self.num_index_vertices
+        stats.index_bytes = self.estimated_bytes()
+        stats.bfs_cache_hit = self.used_cached_distances
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -439,6 +607,29 @@ class LightWeightIndex:
                 self._offsets.ravel().tolist(),
             )
         return self._kernel
+
+    def native_csr(self) -> tuple:
+        """Int64 numpy views of the CSR arrays for the vectorised engine.
+
+        Returns ``(vertex_of, row_of, neighbor_rows, indptr, offsets)`` with
+        the same meaning as :meth:`kernel_csr`, except every component stays
+        a numpy array (``offsets`` keeps its ``(|X|, k + 1)`` shape): the
+        native engine gathers candidate ranges with array ops directly, so
+        no Python-int mirror is ever materialised.  The only derived array —
+        neighbour *row* ids — is computed once per query and cached.
+        """
+        if self._native is None:
+            neighbor_rows = (
+                self._row_of[self._indices] if len(self._indices) else _EMPTY
+            )
+            self._native = (
+                self._rows,
+                self._row_of,
+                neighbor_rows,
+                self._indptr,
+                self._offsets,
+            )
+        return self._native
 
     def partition_indptr(self) -> np.ndarray:
         """CSR bounds of the flat partition array: ``C_i`` spans

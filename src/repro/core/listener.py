@@ -26,7 +26,7 @@ from repro.errors import EnumerationTimeout, ResultLimitReached
 __all__ = ["Deadline", "ResultCollector", "RunConfig", "ENGINE_CHOICES"]
 
 #: Recognised values of :attr:`RunConfig.engine`.
-ENGINE_CHOICES = ("auto", "kernel", "recursive")
+ENGINE_CHOICES = ("auto", "native", "kernel", "recursive")
 
 Path = Tuple[int, ...]
 
@@ -202,6 +202,55 @@ class ResultCollector:
         if limit is not None and self.count >= limit:
             raise ResultLimitReached()
 
+    def emit_array_block(self, data, bounds) -> None:
+        """Record a block of paths stored as numpy int64 arrays.
+
+        Same contract as :meth:`emit_block` (``bounds`` holds end offsets, no
+        leading zero), but the columns arrive as sealed numpy arrays from the
+        vectorised native engine and — with path storage on and no streaming
+        callback — land in the :class:`PathBuffer` as whole array segments:
+        no per-vertex Python int is ever created on the fast path.
+        """
+        total = len(bounds)
+        if total == 0:
+            return
+        limit = self.result_limit
+        take = total
+        if limit is not None:
+            room = limit - self.count
+            if room <= 0:
+                raise ResultLimitReached()
+            take = min(total, room)
+        if self.store_paths:
+            if self.on_result is None and not self.paths:
+                if self._buffer is None:
+                    self._buffer = PathBuffer()
+                self._buffer.extend_array_block(data, bounds, take)
+            else:
+                # Mixed or streaming use: materialise plain-int tuples so
+                # ordering against previously emitted paths is preserved and
+                # no numpy scalar leaks into a path.
+                flat = data.tolist()
+                ends = bounds.tolist()
+                start = 0
+                for i in range(take):
+                    stop = ends[i]
+                    self.paths.append(tuple(flat[start:stop]))
+                    start = stop
+        if self.on_result is not None:
+            flat = data.tolist()
+            ends = bounds.tolist()
+            start = 0
+            for i in range(take):
+                stop = ends[i]
+                self.on_result(tuple(flat[start:stop]))
+                start = stop
+        self.count += take
+        if self.response_seconds is None and self.count >= self.response_k:
+            self.response_seconds = time.perf_counter() - self._started_at
+        if limit is not None and self.count >= limit:
+            raise ResultLimitReached()
+
     def remaining_before_flush(self) -> Optional[int]:
         """How many results a kernel may buffer before it must flush.
 
@@ -256,11 +305,16 @@ class RunConfig:
     constraint: Optional[object] = None
     #: Streaming callback for each result.
     on_result: Optional[Callable[[Path], None]] = None
-    #: Enumeration engine selection: ``"auto"`` runs the iterative
-    #: array-native kernels whenever the query is unconstrained and falls
-    #: back to the recursive engines otherwise; ``"kernel"`` /
-    #: ``"recursive"`` force one side (forcing the kernels on a constrained
-    #: query raises, since the constraint protocol is recursive-only).
+    #: Enumeration engine selection: ``"auto"`` picks the fastest engine the
+    #: query supports — the compiled/vectorised native engine
+    #: (:mod:`repro.core.native`) when its JIT toolchain is importable, the
+    #: iterative kernels otherwise, and the recursive engines whenever the
+    #: query is constrained.  ``"native"`` / ``"kernel"`` / ``"recursive"``
+    #: force one tier; a forced ``"native"`` run uses the pure-numpy
+    #: vectorised tier when Numba is absent (falling back to ``"kernel"``
+    #: only under ``REPRO_NATIVE=jit``), and constrained specs fall back to
+    #: the recursive engines (forcing ``"kernel"`` on a constrained query
+    #: raises, since the constraint protocol is recursive-only).
     engine: str = "auto"
 
     def make_collector(self) -> ResultCollector:

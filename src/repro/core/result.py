@@ -44,9 +44,15 @@ class PathBuffer:
     enumeration kernels); :meth:`arrays` seals them into int64 numpy arrays,
     which is also the pickled wire form — two primitive buffers instead of
     one tuple object per path.
+
+    The vectorised native engine grows a buffer from whole numpy blocks
+    instead (:meth:`extend_array_block`): segments accumulate in a side list
+    and are concatenated into the sealed columns the first time anything
+    reads the buffer, so appends stay O(block) and no vertex ever round-trips
+    through a Python int.
     """
 
-    __slots__ = ("_data", "_indptr")
+    __slots__ = ("_data", "_indptr", "_segments")
 
     def __init__(
         self,
@@ -57,6 +63,10 @@ class PathBuffer:
             raise ValueError("data and indptr must be given together")
         self._data = [] if data is None else data
         self._indptr = [0] if indptr is None else indptr
+        #: Pending numpy blocks from :meth:`extend_array_block`, merged into
+        #: the main columns lazily: ``[data_arrays, indptr_arrays, vertices,
+        #: paths]`` or ``None`` when nothing is pending.
+        self._segments = None
         if len(self._indptr) == 0:
             raise ValueError("indptr must start with 0")
 
@@ -99,20 +109,67 @@ class PathBuffer:
         for i in range(count):
             indptr.append(base + bounds[i])
 
+    def extend_array_block(self, data, bounds, take: Optional[int] = None) -> None:
+        """Append a block of paths given as numpy int64 arrays.
+
+        Same ``(data, bounds)`` contract as :meth:`extend_block`, but the
+        block is kept as a pending array segment (O(1) bookkeeping, no
+        per-vertex conversion); segments merge into the sealed columns the
+        first time the buffer is read.
+        """
+        count = len(bounds) if take is None else min(take, len(bounds))
+        if count <= 0:
+            return
+        data = np.asarray(data, dtype=np.int64)
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if count != len(bounds):
+            bounds = bounds[:count]
+        stop = int(bounds[-1])
+        if stop != len(data):
+            data = data[:stop]
+        if self._segments is None:
+            self._segments = [[], [], 0, 0]
+        segments = self._segments
+        base = int(self._indptr[-1]) + segments[2]
+        segments[0].append(data)
+        segments[1].append(bounds + base if base else bounds)
+        segments[2] += stop
+        segments[3] += count
+
+    def _consolidate(self) -> None:
+        """Merge pending array segments into the sealed columns."""
+        if self._segments is None:
+            return
+        seg_data, seg_indptr, _, _ = self._segments
+        self._segments = None
+        if isinstance(self._data, list):
+            head_data = np.asarray(self._data, dtype=np.int64)
+            head_indptr = np.asarray(self._indptr, dtype=np.int64)
+        else:
+            head_data = self._data.astype(np.int64, copy=False)
+            head_indptr = self._indptr.astype(np.int64, copy=False)
+        # Segment indptr entries are already absolute end offsets, so the
+        # concatenation below is a valid indptr (head keeps the leading 0).
+        self._data = np.concatenate([head_data] + seg_data)
+        self._indptr = np.concatenate([head_indptr] + seg_indptr)
+
     def _unseal(self) -> None:
         """Return the columns to list mode so they can grow again."""
+        self._consolidate()
         if not isinstance(self._data, list):
             self._data = self._data.tolist()
             self._indptr = self._indptr.tolist()
 
     # -- access --------------------------------------------------------- #
     def __len__(self) -> int:
-        return len(self._indptr) - 1
+        pending = self._segments[3] if self._segments is not None else 0
+        return len(self._indptr) - 1 + pending
 
     @property
     def total_vertices(self) -> int:
         """Total number of vertex slots across all stored paths."""
-        return int(self._indptr[-1])
+        pending = self._segments[2] if self._segments is not None else 0
+        return int(self._indptr[-1]) + pending
 
     def path(self, i: int) -> Path:
         """The ``i``-th stored path as a tuple."""
@@ -120,6 +177,7 @@ class PathBuffer:
             i += len(self)
         if not 0 <= i < len(self):
             raise IndexError(f"path index {i} out of range")
+        self._consolidate()
         start, stop = int(self._indptr[i]), int(self._indptr[i + 1])
         chunk = self._data[start:stop]
         if not isinstance(chunk, list):
@@ -135,6 +193,7 @@ class PathBuffer:
 
     def to_paths(self) -> List[Path]:
         """Materialise the buffer as the classic list of path tuples."""
+        self._consolidate()
         data = self._data if isinstance(self._data, list) else self._data.tolist()
         indptr = self._indptr if isinstance(self._indptr, list) else self._indptr.tolist()
         return [
@@ -143,6 +202,7 @@ class PathBuffer:
 
     def to_lists(self) -> List[List[int]]:
         """Paths as plain lists — the JSON wire shape, no tuple detour."""
+        self._consolidate()
         data = self._data if isinstance(self._data, list) else self._data.tolist()
         indptr = self._indptr if isinstance(self._indptr, list) else self._indptr.tolist()
         return [data[indptr[i] : indptr[i + 1]] for i in range(len(indptr) - 1)]
@@ -150,6 +210,7 @@ class PathBuffer:
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Seal and return the columns as ``(paths_data, paths_indptr)`` int64
         arrays — the columnar wire format."""
+        self._consolidate()
         if isinstance(self._data, list):
             self._data = np.asarray(self._data, dtype=np.int64)
             self._indptr = np.asarray(self._indptr, dtype=np.int64)
@@ -162,7 +223,7 @@ class PathBuffer:
     @property
     def nbytes(self) -> int:
         """Approximate footprint of the columns (8 bytes per slot)."""
-        return 8 * (len(self._indptr) + int(self._indptr[-1]))
+        return 8 * (len(self) + 1 + self.total_vertices)
 
     # -- equality / serialisation --------------------------------------- #
     def __eq__(self, other: object) -> bool:
@@ -193,6 +254,7 @@ class PathBuffer:
 
     def __setstate__(self, state) -> None:
         self._data, self._indptr = state
+        self._segments = None
 
 
 class Phase:

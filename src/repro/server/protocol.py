@@ -15,8 +15,8 @@ Client → server messages (``type`` field):
     ``response_k`` (int), ``external`` (bool — endpoints are external vertex
     ids, translated server-side, results translated back), ``frames``
     (``"result"`` (default) or ``"path"`` — additionally stream one frame
-    per emitted path), ``engine`` (``"auto"`` (default), ``"kernel"`` or
-    ``"recursive"`` — enumeration engine selection, see
+    per emitted path), ``engine`` (``"auto"`` (default), ``"native"``,
+    ``"kernel"`` or ``"recursive"`` — enumeration engine selection, see
     :attr:`repro.core.listener.RunConfig.engine`).
 ``cancel``
     ``{"type": "cancel", "id": <job id>}``.

@@ -29,6 +29,7 @@ from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.algorithm import Algorithm
 from repro.core.engine import ExecutorCore, StreamRun
+from repro.core.native import warmup as native_warmup
 from repro.core.listener import RunConfig
 from repro.core.query import Query
 from repro.core.result import QueryResult
@@ -159,6 +160,11 @@ class QueryService:
         self._drive_pool = ThreadPoolExecutor(
             max_workers=max(1, int(max_concurrent_jobs)), thread_name_prefix="repro-job"
         )
+        # Warm the native engine's JIT compile cache before the first job:
+        # compilation writes a disk cache, so worker processes spawned later
+        # load it instead of compiling on a live query (p99 protection).
+        # A no-op without the Numba toolchain.
+        native_warmup()
         self._stats = ServiceStats()
         self._lock = threading.Lock()
         self._job_ids = itertools.count(1)

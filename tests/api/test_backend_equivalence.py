@@ -109,7 +109,9 @@ SCENARIOS = {
     "count_only": {"store_paths": False},
     "limit_interrupted": {"limit": 3},
     "engine_kernel": {"engine": "kernel"},
+    "engine_native": {"engine": "native"},
     "engine_recursive": {"engine": "recursive"},
+    "engine_native_limit": {"engine": "native", "limit": 3},
 }
 
 
@@ -139,7 +141,11 @@ class TestPayloadEquivalence:
         recursive = _payload(
             graph, "remote", remote_url, shared_target_triples, {"engine": "recursive"}
         )
+        native = _payload(
+            graph, "remote", remote_url, shared_target_triples, {"engine": "native"}
+        )
         assert kernel == recursive
+        assert native == recursive
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_deadline_interruption_is_identical(

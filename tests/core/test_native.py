@@ -1,0 +1,451 @@
+"""Equivalence and unit tests for the native enumeration engine.
+
+The contract under test is the same byte-identity the kernels are held to:
+:func:`run_dfs_native` / :func:`run_join_native` emit exactly the same
+paths in exactly the same order as the recursive engines, charge the same
+statistics counters, and behave identically under result-limit
+interruption; deadline interruption yields a prefix of the full
+enumeration.  The vectorised tier needs only numpy and is exercised
+everywhere; the Numba-compiled tier's *logic* is additionally driven
+uncompiled (pure Python) so its resumable state machine is covered even on
+machines without the toolchain, and the compiled tier itself runs under a
+``skipif`` when Numba is importable.
+
+Also covered here: the engine-selection matrix around ``"native"`` (auto
+preference, strict-JIT fallback with a single warning, constrained-query
+fallback), the group-fused index build, and CSR-mirror memoisation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import native
+from repro.core.dfs import run_idx_dfs
+from repro.core.engine import IdxDfs, IdxJoin, PathEnum
+from repro.core.index import LightWeightIndex
+from repro.core.kernels import run_dfs_kernel, run_join_kernel, run_subquery_kernel
+from repro.core.listener import Deadline, ResultCollector, RunConfig
+from repro.core.native import (
+    jit_ready,
+    run_dfs_native,
+    run_join_native,
+    run_subquery_native,
+    warmup,
+)
+from repro.core.constraints import PredicateConstraint
+from repro.core.query import Query
+from repro.core.result import EnumerationStats, PathBuffer
+from repro.errors import EnumerationTimeout, ResultLimitReached
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.traversal import multi_source_bfs_distances_bounded, bfs_distances_bounded
+
+#: Counters that must agree exactly between a native and a recursive run.
+COUNTERS = (
+    "edges_accessed",
+    "partial_results_generated",
+    "invalid_partial_results",
+    "results_emitted",
+)
+
+#: Join runs additionally pin the partial-result peaks.
+JOIN_COUNTERS = COUNTERS + (
+    "peak_partial_result_tuples",
+    "peak_partial_result_bytes",
+)
+
+requires_numba = pytest.mark.skipif(
+    not jit_ready(), reason="Numba toolchain not importable"
+)
+
+
+def _paths_of(collector: ResultCollector):
+    stored = collector.stored_paths()
+    if isinstance(stored, PathBuffer):
+        return stored.to_paths()
+    return stored
+
+
+def _random_cases(count: int, seed: int = 11):
+    rng = random.Random(seed)
+    for trial in range(count):
+        graph = erdos_renyi(
+            rng.randint(8, 40), rng.uniform(1.5, 5.0), seed=1000 + trial
+        )
+        s, t = rng.sample(range(graph.num_vertices), 2)
+        k = rng.randint(2, 7)
+        yield rng, graph, Query(s, t, k)
+
+
+def _dfs_runners():
+    """The native DFS entry points under test: vectorised always, and the
+    resumable fill loop driven uncompiled (the JIT tier's exact logic)."""
+    yield "vectorised", lambda index, collector, *, deadline=None, stats=None: (
+        native._run_dfs_vectorised(
+            index,
+            collector,
+            deadline=deadline,
+            stats=stats if stats is not None else EnumerationStats(),
+        )
+    )
+    yield "fill-loop", lambda index, collector, *, deadline=None, stats=None: (
+        native._run_dfs_fill_loop(
+            index,
+            collector,
+            deadline=deadline,
+            stats=stats if stats is not None else EnumerationStats(),
+            filler=native._dfs_fill,
+        )
+    )
+
+
+class TestDfsNativeEquivalence:
+    def test_paper_example(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        recursive, r_stats = ResultCollector(), EnumerationStats()
+        run_idx_dfs(index, recursive, stats=r_stats)
+        for label, runner in _dfs_runners():
+            collector, stats = ResultCollector(), EnumerationStats()
+            runner(index, collector, stats=stats)
+            assert _paths_of(collector) == _paths_of(recursive), label
+            for name in COUNTERS:
+                assert getattr(stats, name) == getattr(r_stats, name), (label, name)
+
+    def test_random_graphs_same_paths_same_order_same_stats(self):
+        for _, graph, query in _random_cases(30):
+            index = LightWeightIndex.build(graph, query)
+            recursive, r_stats = ResultCollector(), EnumerationStats()
+            run_idx_dfs(index, recursive, stats=r_stats)
+            for label, runner in _dfs_runners():
+                collector, stats = ResultCollector(), EnumerationStats()
+                runner(index, collector, stats=stats)
+                assert _paths_of(collector) == _paths_of(recursive), (label, query)
+                for name in COUNTERS:
+                    assert getattr(stats, name) == getattr(r_stats, name), (
+                        label, query, name,
+                    )
+
+    def test_k2_and_dense_cliques(self):
+        cases = [(complete_graph(8), Query(0, 7, 2))]
+        cases += [
+            (complete_graph(n), Query(0, n - 1, k))
+            for n, k in ((10, 5), (12, 6), (9, 7))
+        ]
+        for graph, query in cases:
+            index = LightWeightIndex.build(graph, query)
+            recursive, r_stats = ResultCollector(), EnumerationStats()
+            run_idx_dfs(index, recursive, stats=r_stats)
+            collector, stats = ResultCollector(), EnumerationStats()
+            run_dfs_native(index, collector, stats=stats)
+            assert _paths_of(collector) == _paths_of(recursive), query
+            for name in COUNTERS:
+                assert getattr(stats, name) == getattr(r_stats, name), (query, name)
+
+    def test_paths_are_plain_python_ints(self):
+        index = LightWeightIndex.build(complete_graph(6), Query(0, 5, 3))
+        collector = ResultCollector()
+        run_dfs_native(index, collector)
+        for path in _paths_of(collector):
+            assert all(type(v) is int for v in path)
+
+    def test_result_limit_interruption_identical(self):
+        for rng, graph, query in _random_cases(20, seed=23):
+            index = LightWeightIndex.build(graph, query)
+            probe = ResultCollector()
+            run_dfs_native(index, probe)
+            if probe.count < 2:
+                continue
+            limit = rng.randint(1, probe.count - 1)
+            recursive, r_stats = ResultCollector(result_limit=limit), EnumerationStats()
+            with pytest.raises(ResultLimitReached):
+                run_idx_dfs(index, recursive, stats=r_stats)
+            for label, runner in _dfs_runners():
+                collector = ResultCollector(result_limit=limit)
+                stats = EnumerationStats()
+                with pytest.raises(ResultLimitReached):
+                    runner(index, collector, stats=stats)
+                assert collector.count == limit, (label, query)
+                assert _paths_of(collector) == _paths_of(recursive), (label, query)
+                for name in COUNTERS:
+                    assert getattr(stats, name) == getattr(r_stats, name), (
+                        label, query, name,
+                    )
+
+    def test_limit_on_bulk_block_boundary(self):
+        # complete_graph(10)/k=6 bulk-expands whole subtrees; limits around
+        # block boundaries exercise the flush-and-replay path.
+        index = LightWeightIndex.build(complete_graph(10), Query(0, 9, 6))
+        full = ResultCollector()
+        run_dfs_native(index, full)
+        total = full.count
+        for limit in (1, 999, 1000, 1001, 4096, total - 1):
+            if not 0 < limit < total:
+                continue
+            recursive = ResultCollector(result_limit=limit)
+            with pytest.raises(ResultLimitReached):
+                run_idx_dfs(index, recursive)
+            collector = ResultCollector(result_limit=limit)
+            with pytest.raises(ResultLimitReached):
+                run_dfs_native(index, collector)
+            assert collector.count == limit
+            assert _paths_of(collector) == _paths_of(recursive), limit
+
+    def test_deadline_interruption_yields_prefix(self):
+        index = LightWeightIndex.build(complete_graph(10), Query(0, 9, 6))
+        full = ResultCollector()
+        run_dfs_native(index, full)
+        everything = _paths_of(full)
+        for label, runner in _dfs_runners():
+            collector = ResultCollector()
+            with pytest.raises(EnumerationTimeout):
+                runner(
+                    index, collector, deadline=Deadline(0.0, poll_interval=1),
+                    stats=EnumerationStats(),
+                )
+            emitted = _paths_of(collector)
+            assert emitted == everything[: len(emitted)], label
+            assert len(emitted) < len(everything), label
+
+    def test_store_paths_disabled_still_counts(self):
+        index = LightWeightIndex.build(complete_graph(8), Query(0, 7, 4))
+        reference = ResultCollector()
+        run_dfs_native(index, reference)
+        collector = ResultCollector(store_paths=False)
+        run_dfs_native(index, collector)
+        assert collector.count == reference.count
+        assert collector.stored_paths() is None
+
+
+class TestJoinNativeEquivalence:
+    def test_random_graphs_all_cut_positions(self):
+        for _, graph, query in _random_cases(20, seed=37):
+            index = LightWeightIndex.build(graph, query)
+            for cut in range(1, query.k):
+                kernel, k_stats = ResultCollector(), EnumerationStats()
+                run_join_kernel(index, cut, kernel, stats=k_stats)
+                collector, stats = ResultCollector(), EnumerationStats()
+                run_join_native(index, cut, collector, stats=stats)
+                assert _paths_of(collector) == _paths_of(kernel), (query, cut)
+                for name in JOIN_COUNTERS:
+                    assert getattr(stats, name) == getattr(k_stats, name), (
+                        query, cut, name,
+                    )
+
+    def test_result_limit_interruption_identical(self):
+        for rng, graph, query in _random_cases(15, seed=41):
+            index = LightWeightIndex.build(graph, query)
+            cut = rng.randint(1, query.k - 1)
+            probe = ResultCollector()
+            run_join_native(index, cut, probe)
+            if probe.count < 2:
+                continue
+            limit = rng.randint(1, probe.count - 1)
+            kernel, k_stats = ResultCollector(result_limit=limit), EnumerationStats()
+            with pytest.raises(ResultLimitReached):
+                run_join_kernel(index, cut, kernel, stats=k_stats)
+            collector, stats = ResultCollector(result_limit=limit), EnumerationStats()
+            with pytest.raises(ResultLimitReached):
+                run_join_native(index, cut, collector, stats=stats)
+            assert collector.count == limit
+            assert _paths_of(collector) == _paths_of(kernel), (query, cut)
+            for name in COUNTERS:
+                assert getattr(stats, name) == getattr(k_stats, name), (query, cut)
+
+    def test_invalid_cut_position_rejected(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        with pytest.raises(ValueError):
+            run_join_native(index, 0, ResultCollector())
+        with pytest.raises(ValueError):
+            run_join_native(index, paper_query.k, ResultCollector())
+
+
+class TestSubqueryNative:
+    def test_matches_kernel_walks_and_counters(self):
+        for _, graph, query in _random_cases(15, seed=53):
+            index = LightWeightIndex.build(graph, query)
+            for offset in range(query.k):
+                for length in range(1, query.k - offset + 1):
+                    k_stats = EnumerationStats()
+                    k_data, k_width = run_subquery_kernel(
+                        index, start=query.source, offset=offset, length=length,
+                        stats=k_stats,
+                    )
+                    stats = EnumerationStats()
+                    data, width = run_subquery_native(
+                        index, start=query.source, offset=offset, length=length,
+                        stats=stats,
+                    )
+                    assert width == k_width
+                    assert list(data) == list(k_data), (query, offset, length)
+                    for name in COUNTERS:
+                        assert getattr(stats, name) == getattr(k_stats, name)
+
+    def test_start_outside_index(self, paper_graph, paper_query):
+        index = LightWeightIndex.build(paper_graph, paper_query)
+        outside = paper_graph.num_vertices + 5
+        data, width = run_subquery_native(index, start=outside, offset=0, length=0)
+        assert list(data) == [outside] and width == 1
+        data, width = run_subquery_native(index, start=outside, offset=0, length=2)
+        assert list(data) == [] and width == 3
+
+
+class TestEngineSelection:
+    def test_native_runs_match_recursive(self, paper_graph, paper_query):
+        for algorithm in (PathEnum(), IdxDfs(), IdxJoin()):
+            recursive = algorithm.run(
+                paper_graph, paper_query, RunConfig(engine="recursive")
+            )
+            native_run = algorithm.run(
+                paper_graph, paper_query, RunConfig(engine="native")
+            )
+            assert native_run.paths == recursive.paths
+            assert native_run.count == recursive.count
+            assert native_run.stats.plan == recursive.stats.plan
+
+    def test_native_uses_columnar_fast_path(self, paper_graph, paper_query):
+        result = IdxDfs().run(paper_graph, paper_query, RunConfig(engine="native"))
+        assert result.path_buffer is not None
+
+    def test_auto_without_numba_keeps_kernel_tier(self, paper_graph, paper_query):
+        if jit_ready():
+            pytest.skip("Numba installed: auto legitimately selects native")
+        kernel = IdxDfs().run(paper_graph, paper_query, RunConfig(engine="kernel"))
+        auto = IdxDfs().run(paper_graph, paper_query, RunConfig())
+        assert auto.paths == kernel.paths
+
+    def test_constrained_native_falls_back_to_recursive(
+        self, paper_graph, paper_query
+    ):
+        constraint = PredicateConstraint(lambda u, v, w, l: True, paper_graph)
+        plain = PathEnum().run(paper_graph, paper_query, RunConfig())
+        constrained = PathEnum().run(
+            paper_graph, paper_query,
+            RunConfig(constraint=constraint, engine="native"),
+        )
+        assert constrained.paths == plain.paths
+
+    def test_strict_jit_fallback_warns_once(
+        self, paper_graph, paper_query, monkeypatch
+    ):
+        if jit_ready():
+            pytest.skip("Numba installed: the strict knob is satisfied")
+        monkeypatch.setenv("REPRO_NATIVE", "jit")
+        monkeypatch.setitem(native._WARNED, "fallback", False)
+        with pytest.warns(RuntimeWarning, match="falling back to engine='kernel'"):
+            first = IdxDfs().run(
+                paper_graph, paper_query, RunConfig(engine="native")
+            )
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            second = IdxDfs().run(
+                paper_graph, paper_query, RunConfig(engine="native")
+            )
+        kernel = IdxDfs().run(paper_graph, paper_query, RunConfig(engine="kernel"))
+        assert first.paths == kernel.paths == second.paths
+
+    def test_warmup_reports_toolchain(self):
+        assert warmup() is jit_ready()
+
+
+@requires_numba
+class TestCompiledTier:
+    def test_compiled_filler_matches_recursive(self):
+        assert warmup() is True
+        for _, graph, query in _random_cases(10, seed=71):
+            index = LightWeightIndex.build(graph, query)
+            recursive, r_stats = ResultCollector(), EnumerationStats()
+            run_idx_dfs(index, recursive, stats=r_stats)
+            collector, stats = ResultCollector(), EnumerationStats()
+            run_dfs_native(index, collector, stats=stats)
+            assert _paths_of(collector) == _paths_of(recursive), query
+            for name in COUNTERS:
+                assert getattr(stats, name) == getattr(r_stats, name), (query, name)
+
+    def test_auto_selects_native(self, paper_graph, paper_query):
+        recursive = IdxDfs().run(
+            paper_graph, paper_query, RunConfig(engine="recursive")
+        )
+        auto = IdxDfs().run(paper_graph, paper_query, RunConfig())
+        assert auto.paths == recursive.paths
+
+
+class TestGroupFusedIndexBuild:
+    def test_group_build_matches_per_query_build(self):
+        graph = erdos_renyi(120, 4.0, seed=19)
+        t, k = 5, 4
+        sources = [s for s in range(16) if s != t]
+        queries = [Query(s, t, k) for s in sources]
+        dist_to_t = bfs_distances_bounded(graph, t, cutoff=k, reverse=True)
+        forward = multi_source_bfs_distances_bounded(
+            graph, sources, cutoff=k, no_expand=t
+        )
+        fused = LightWeightIndex.build_group(
+            graph, queries, dist_from_s_rows=forward, dist_to_t=dist_to_t
+        )
+        assert len(fused) == len(queries)
+        for row, (query, index) in enumerate(zip(queries, fused)):
+            solo = LightWeightIndex.build(
+                graph, query, dist_to_t=dist_to_t, dist_from_s=forward[row]
+            )
+            assert index.num_index_vertices == solo.num_index_vertices
+            assert index.num_index_edges == solo.num_index_edges
+            v_f, _, nbr_f, ptr_f, off_f = index.native_csr()
+            v_s, _, nbr_s, ptr_s, off_s = solo.native_csr()
+            assert np.array_equal(v_f, v_s), query
+            assert np.array_equal(nbr_f, nbr_s), query
+            assert np.array_equal(ptr_f, ptr_s), query
+            assert np.array_equal(off_f, off_s), query
+
+    def test_group_build_rejects_mixed_targets(self):
+        graph = erdos_renyi(30, 3.0, seed=7)
+        dist_to_t = bfs_distances_bounded(graph, 5, cutoff=3, reverse=True)
+        forward = multi_source_bfs_distances_bounded(graph, [0, 1], cutoff=3)
+        with pytest.raises(ValueError):
+            LightWeightIndex.build_group(
+                graph,
+                [Query(0, 5, 3), Query(1, 6, 3)],
+                dist_from_s_rows=forward,
+                dist_to_t=dist_to_t,
+            )
+
+    def test_prebuilt_index_through_algorithm_run(self):
+        graph = erdos_renyi(80, 4.0, seed=29)
+        t, k = 3, 4
+        queries = [Query(s, t, k) for s in (0, 1, 2, 4, 5)]
+        dist_to_t = bfs_distances_bounded(graph, t, cutoff=k, reverse=True)
+        forward = multi_source_bfs_distances_bounded(
+            graph, [q.source for q in queries], cutoff=k, no_expand=t
+        )
+        fused = LightWeightIndex.build_group(
+            graph, queries, dist_from_s_rows=forward, dist_to_t=dist_to_t
+        )
+        for query, index in zip(queries, fused):
+            direct = PathEnum().run(graph, query, RunConfig())
+            injected = PathEnum().run(graph, query, RunConfig(), index=index)
+            assert injected.paths == direct.paths
+            assert injected.count == direct.count
+            assert injected.stats.index_edges == direct.stats.index_edges
+
+
+class TestCsrMemoisation:
+    def test_kernel_csr_cached_per_index(self):
+        index = LightWeightIndex.build(complete_graph(8), Query(0, 7, 4))
+        assert index.kernel_csr() is index.kernel_csr()
+
+    def test_native_csr_cached_per_index(self):
+        index = LightWeightIndex.build(complete_graph(8), Query(0, 7, 4))
+        assert index.native_csr() is index.native_csr()
+
+    def test_mirrors_survive_repeated_runs(self):
+        index = LightWeightIndex.build(complete_graph(8), Query(0, 7, 4))
+        first_mirror = index.kernel_csr()
+        collectors = [ResultCollector() for _ in range(3)]
+        for collector in collectors:
+            run_dfs_kernel(index, collector)
+        assert index.kernel_csr() is first_mirror
+        assert len({c.count for c in collectors}) == 1

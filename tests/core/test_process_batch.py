@@ -24,6 +24,7 @@ from repro.baselines.bc_dfs import BcDfs
 from repro.core.constraints import PredicateConstraint
 from repro.core.engine import (
     BatchExecutor,
+    ExecutorCore,
     IdxDfs,
     PathEnum,
     ProcessBatchExecutor,
@@ -33,7 +34,7 @@ from repro.core.algorithm import Algorithm
 from repro.core.listener import RunConfig
 from repro.core.query import Query
 from repro.core.result import paths_are_valid
-from repro.graph.generators import erdos_renyi, power_law_graph
+from repro.graph.generators import complete_graph, erdos_renyi, power_law_graph
 from repro.graph.traversal import (
     bfs_distances_bounded,
     multi_source_bfs_distances_bounded,
@@ -142,10 +143,11 @@ class TestPartitionByTarget:
 
 class TestProcessEquivalence:
     @pytest.mark.parametrize("start_method", START_METHODS)
+    @pytest.mark.parametrize("engine", ["auto", "native"])
     def test_results_identical_to_sequential_session(
-        self, graph, shared_target_queries, start_method
+        self, graph, shared_target_queries, start_method, engine
     ):
-        config = RunConfig(store_paths=True)
+        config = RunConfig(store_paths=True, engine=engine)
         sequential = BatchExecutor(graph).run(shared_target_queries, config)
         before = _shm_segments()
         with ProcessBatchExecutor(
@@ -394,3 +396,35 @@ class TestErrorPropagation:
         ) as executor:
             with pytest.raises(RuntimeError, match=f"poisoned target {poison}"):
                 executor.run(queries, RunConfig(store_paths=False))
+
+
+class TestProcessCancellation:
+    def test_cancelled_stream_stops_emitting_promptly(self):
+        """A cancelled run must not let workers finish their whole shard.
+
+        One target means one shard: a single worker owns all 100 queries,
+        so without the shared cancellation flag it would run every one of
+        them to completion after ``cancel()``.  The flag is polled between
+        queries, so the worker's emitted count must stay far below the
+        shard size.
+        """
+        graph = complete_graph(11)
+        queries = [Query(s, 10, 6) for s in range(10)] * 10
+        with ExecutorCore(graph, backend="process", workers=2) as core:
+            run = core.start(queries, RunConfig(store_paths=False), chunk_queries=1)
+            consumed = 0
+            for chunk in run.chunks():
+                consumed += len(chunk)
+                if consumed >= 3:
+                    run.cancel()
+                    break
+            deadline = time.time() + 20.0
+            while any(not f.done() for f in run._futures) and time.time() < deadline:
+                time.sleep(0.05)
+            emitted = sum(
+                f.result() for f in run._futures if f.done() and not f.cancelled()
+            )
+        assert consumed >= 3
+        assert emitted < len(queries) // 2, (
+            f"worker emitted {emitted} of {len(queries)} queries after cancel"
+        )
