@@ -1,0 +1,412 @@
+"""Distributed router benchmark: equivalence, shard scaling, hedged tails.
+
+Boots a real fleet of ``repro serve`` shard processes plus a ``repro route``
+front end holding no graph, then measures the three claims the router tier
+makes:
+
+* **equivalence** — a :class:`~repro.api.Database` opened on
+  ``router://host:port`` must return payloads byte-identical to the
+  ``inline`` backend for the same workload, including the interrupted
+  variants (``limit=3`` result caps, ``deadline=0.0`` time-outs).  Every
+  shard replica holds the full graph, so routing is pure placement and the
+  merged stream must be indistinguishable from a local run;
+* **scaling** — every shard host gets an injected per-query service delay
+  (``repro serve --delay-ms``), which turns open-loop throughput into a
+  controlled function of host count instead of a property of the benchmark
+  machine.  Offered load is 2x the aggregate fleet capacity, so achieved
+  throughput reads out capacity; it must grow >= 1.7x from one shard to
+  two and >= 3x from one to four;
+* **hedging** — one shard with a slow primary replica and a fast second
+  replica.  With hedging on the router duplicates stragglers to the
+  replica after a latency-percentile-derived delay, so client p99 must
+  drop well below the hedging-off run against the identical fleet.
+
+Scaling levels use a *target-balanced* workload sample (round-robin over
+the per-shard hash buckets) so they measure router capacity rather than
+the hash skew of one particular random workload; the equivalence section
+uses the raw workload untouched.
+
+Run directly:  ``PYTHONPATH=src python benchmarks/bench_router.py``
+(``--quick`` trims levels and durations for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.api import Database
+from repro.bench.metrics import latency_summary
+from repro.server.client import QueryClient, open_loop_load
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import (
+    consistent_hash,
+    generate_query_set,
+    poisson_arrival_times,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+DATASET = "ye"
+K = 3
+WORKLOAD_QUERIES = 200
+SEED = 2021
+
+SHARD_THREADS = 2
+DELAY_MS = 60.0  # injected service time -> per-shard capacity = threads/delay
+OVERLOAD = 2.0  # offered load as a multiple of aggregate fleet capacity
+SHARD_LEVELS = (1, 2, 4, 8)
+DURATION_SECONDS = 3.0
+MIN_SPEEDUP_2 = 1.7
+MIN_SPEEDUP_4 = 3.0
+
+SLOW_DELAY_MS = 250.0
+FAST_DELAY_MS = 5.0
+HEDGE_RATE_QPS = 5.0
+HEDGE_WARMUP = 12
+HEDGE_QUERIES = 40
+MAX_HEDGED_P99_RATIO = 0.7
+
+EQUIV_QUERIES = 32
+
+
+def boot_shard(shard_id: int, delay_ms: float) -> subprocess.Popen:
+    """Start one ``repro serve`` shard host on a free port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", DATASET, "--port", "0",
+            "--threads", str(SHARD_THREADS),
+            "--shard-id", str(shard_id),
+            "--delay-ms", str(delay_ms),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"serving on [\d.]+:(\d+)", banner)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"shard {shard_id} failed to boot: {banner!r}")
+    process.bench_port = int(match.group(1))  # type: ignore[attr-defined]
+    return process
+
+
+def boot_router(shard_args: Sequence[str], *, hedge: bool) -> subprocess.Popen:
+    """Start ``repro route`` over the given ``HOST:PORT[,HOST:PORT...]`` shards."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    command = [sys.executable, "-m", "repro", "route", "--port", "0"]
+    for entry in shard_args:
+        command.extend(["--shard", entry])
+    if not hedge:
+        command.append("--no-hedge")
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"routing on [\d.]+:(\d+)", banner)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"router failed to boot: {banner!r}")
+    process.bench_port = int(match.group(1))  # type: ignore[attr-defined]
+    return process
+
+
+def stop(process: subprocess.Popen, what: str) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+    assert process.returncode == 0, f"{what} exited with {process.returncode}"
+
+
+def router_stats(port: int) -> Dict[str, object]:
+    async def go():
+        client = await QueryClient.connect("127.0.0.1", port)
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    return asyncio.run(go())
+
+
+def check_equivalence(graph, router_port: int, triples) -> Dict[str, object]:
+    """Router payloads must be byte-identical to the inline backend."""
+    scenarios = {
+        "full_paths": {"store_paths": True},
+        "limit_3": {"store_paths": True, "limit": 3},
+        "deadline_0": {"store_paths": True, "deadline": 0.0},
+    }
+    report: Dict[str, object] = {"queries": len(triples)}
+    with Database(graph) as inline_db, Database(
+        f"router://127.0.0.1:{router_port}"
+    ) as router_db:
+        for name, opts in scenarios.items():
+            expected = inline_db.batch(triples, **opts).payload_bytes()
+            actual = router_db.batch(triples, **opts).payload_bytes()
+            assert actual == expected, f"router diverged from inline ({name})"
+            report[name] = {"byte_identical": True, "payload_bytes": len(expected)}
+            print(f"equivalence [{name}]: {len(triples)} queries byte-identical")
+    return report
+
+
+def balanced_sample(pool, num_shards: int, count: int) -> List[List[int]]:
+    """``count`` triples drawn round-robin over the per-shard hash buckets."""
+    buckets: List[List[List[int]]] = [[] for _ in range(num_shards)]
+    for query in pool:
+        shard = consistent_hash(query.target, num_shards)
+        buckets[shard].append([query.source, query.target, query.k])
+    assert all(buckets), "workload pool left a shard empty; enlarge the pool"
+    triples: List[List[int]] = []
+    index = 0
+    while len(triples) < count:
+        bucket = buckets[index % num_shards]
+        triples.append(bucket[(index // num_shards) % len(bucket)])
+        index += 1
+    return triples
+
+
+def bench_level(
+    pool, shard_ports: Sequence[int], num_shards: int, duration: float
+) -> Dict[str, object]:
+    capacity = SHARD_THREADS / (DELAY_MS / 1e3) * num_shards
+    rate = OVERLOAD * capacity
+    count = int(rate * duration)
+    triples = balanced_sample(pool, num_shards, count)
+    arrivals = poisson_arrival_times(count, rate, seed=SEED + num_shards).tolist()
+    router = boot_router(
+        [f"127.0.0.1:{port}" for port in shard_ports[:num_shards]], hedge=False
+    )
+    try:
+        report = asyncio.run(
+            open_loop_load(
+                triples,
+                arrivals,
+                port=router.bench_port,  # type: ignore[attr-defined]
+                connections=min(32, 8 * num_shards),
+            )
+        )
+    finally:
+        stop(router, f"router({num_shards} shards)")
+    assert report.errors == 0, f"{report.errors} queries failed at {num_shards} shards"
+    summary = latency_summary(report.latencies_ms)
+    print(
+        f"shards={num_shards}: capacity {capacity:6.1f} q/s | offered "
+        f"{rate:6.1f} q/s | achieved {report.achieved_qps:6.1f} q/s"
+    )
+    return {
+        "shards": num_shards,
+        "fleet_capacity_qps": round(capacity, 1),
+        "offered_qps": round(rate, 1),
+        "achieved_qps": round(report.achieved_qps, 1),
+        "queries": report.completed,
+        "errors": report.errors,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "latency_ms": {key: round(value, 3) for key, value in summary.items()},
+    }
+
+
+def bench_hedging(
+    pool, slow_port: int, fast_port: int, *, hedge: bool, queries: int, warmup: int
+) -> Dict[str, object]:
+    """One shard, slow primary + fast replica; report client p99."""
+    label = "hedged" if hedge else "unhedged"
+    triples = [[q.source, q.target, q.k] for q in pool]
+    router = boot_router([f"127.0.0.1:{slow_port},127.0.0.1:{fast_port}"], hedge=hedge)
+    try:
+        port = router.bench_port  # type: ignore[attr-defined]
+        # Warm connections and (when hedging) the latency estimator that
+        # derives the hedge delay, so the measured window reflects steady
+        # state on both configurations.
+        warm = [triples[i % len(triples)] for i in range(warmup)]
+        warm_arrivals = poisson_arrival_times(
+            warmup, HEDGE_RATE_QPS, seed=SEED
+        ).tolist()
+        asyncio.run(open_loop_load(warm, warm_arrivals, port=port, connections=4))
+        run = [triples[i % len(triples)] for i in range(queries)]
+        arrivals = poisson_arrival_times(queries, HEDGE_RATE_QPS, seed=SEED + 1).tolist()
+        report = asyncio.run(open_loop_load(run, arrivals, port=port, connections=4))
+        stats = router_stats(port)
+    finally:
+        stop(router, f"router({label})")
+    assert report.errors == 0, f"{report.errors} queries failed ({label})"
+    summary = latency_summary(report.latencies_ms)
+    print(
+        f"{label:>8}: p50 {summary['p50_ms']:7.1f} ms | p99 "
+        f"{summary['p99_ms']:7.1f} ms | hedges fired {stats['hedges_fired']}, "
+        f"won {stats['hedge_wins']}"
+    )
+    return {
+        "queries": report.completed,
+        "errors": report.errors,
+        "latency_ms": {key: round(value, 3) for key, value in summary.items()},
+        "hedges_fired": stats["hedges_fired"],
+        "hedge_wins": stats["hedge_wins"],
+        "duplicates_dropped": stats["duplicates_dropped"],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: 1/2-shard levels, shorter windows, fewer hedge queries",
+    )
+    args = parser.parse_args(argv)
+
+    levels = (1, 2) if args.quick else SHARD_LEVELS
+    duration = 1.5 if args.quick else DURATION_SECONDS
+    hedge_queries = 16 if args.quick else HEDGE_QUERIES
+    hedge_warmup = 10 if args.quick else HEDGE_WARMUP
+
+    graph = load_dataset(DATASET)
+    pool = generate_query_set(graph, count=WORKLOAD_QUERIES, k=K, seed=SEED).queries
+    print(
+        f"dataset {DATASET}: |V|={graph.num_vertices}, |E|={graph.num_edges}, "
+        f"cpus={os.cpu_count()}, shard threads={SHARD_THREADS}, "
+        f"delay {DELAY_MS:.0f} ms -> {SHARD_THREADS / (DELAY_MS / 1e3):.1f} q/s per shard"
+    )
+
+    # --- fleet boot (max level once; routers per level are cheap) ------------
+    started = time.monotonic()
+    shards = [boot_shard(i, DELAY_MS) for i in range(max(levels))]
+    shard_ports = [s.bench_port for s in shards]  # type: ignore[attr-defined]
+    print(f"booted {len(shards)} shard hosts in {time.monotonic() - started:.1f}s")
+
+    try:
+        # --- equivalence over a 2-shard fleet --------------------------------
+        router = boot_router([f"127.0.0.1:{p}" for p in shard_ports[:2]], hedge=False)
+        try:
+            equiv_triples = [[q.source, q.target, q.k] for q in pool[:EQUIV_QUERIES]]
+            equivalence = check_equivalence(
+                graph, router.bench_port, equiv_triples  # type: ignore[attr-defined]
+            )
+        finally:
+            stop(router, "router(equivalence)")
+
+        # --- open-loop scaling ----------------------------------------------
+        level_reports = [
+            bench_level(pool, shard_ports, num_shards, duration)
+            for num_shards in levels
+        ]
+    finally:
+        for index, shard in enumerate(shards):
+            stop(shard, f"shard {index}")
+
+    base_qps = level_reports[0]["achieved_qps"]
+    for report in level_reports:
+        report["speedup_vs_1_shard"] = round(report["achieved_qps"] / base_qps, 2)
+    by_shards = {report["shards"]: report for report in level_reports}
+    speedup_2 = by_shards[2]["speedup_vs_1_shard"]
+    assert speedup_2 >= MIN_SPEEDUP_2, (
+        f"2-shard speedup {speedup_2} below the {MIN_SPEEDUP_2}x floor"
+    )
+    print(f"scaling: 2 shards -> {speedup_2}x (floor {MIN_SPEEDUP_2}x)")
+    if 4 in by_shards:
+        speedup_4 = by_shards[4]["speedup_vs_1_shard"]
+        assert speedup_4 >= MIN_SPEEDUP_4, (
+            f"4-shard speedup {speedup_4} below the {MIN_SPEEDUP_4}x floor"
+        )
+        print(f"scaling: 4 shards -> {speedup_4}x (floor {MIN_SPEEDUP_4}x)")
+
+    # --- hedged requests: slow primary, fast replica -------------------------
+    slow = boot_shard(0, SLOW_DELAY_MS)
+    fast = boot_shard(0, FAST_DELAY_MS)
+    try:
+        hedge_args = dict(queries=hedge_queries, warmup=hedge_warmup)
+        unhedged = bench_hedging(
+            pool, slow.bench_port, fast.bench_port, hedge=False, **hedge_args
+        )  # type: ignore[attr-defined]
+        hedged = bench_hedging(
+            pool, slow.bench_port, fast.bench_port, hedge=True, **hedge_args
+        )  # type: ignore[attr-defined]
+    finally:
+        stop(slow, "slow shard")
+        stop(fast, "fast shard")
+    p99_ratio = hedged["latency_ms"]["p99_ms"] / unhedged["latency_ms"]["p99_ms"]
+    assert hedged["hedges_fired"] > 0, "hedging run never fired a hedge"
+    assert p99_ratio < MAX_HEDGED_P99_RATIO, (
+        f"hedged p99 is {p99_ratio:.2f}x unhedged; "
+        f"needed < {MAX_HEDGED_P99_RATIO}x"
+    )
+    print(f"hedging: p99 ratio {p99_ratio:.2f}x (ceiling {MAX_HEDGED_P99_RATIO}x)")
+
+    payload = {
+        "benchmark": "distributed_shard_router",
+        "dataset": DATASET,
+        "quick": args.quick,
+        "workload": {
+            "pool_queries": WORKLOAD_QUERIES,
+            "k": K,
+            "seed": SEED,
+            "arrivals": "Poisson (seeded numpy Generator), open loop",
+            "scaling_sample": "target-balanced round-robin over shard hash buckets",
+            "latency": "client-observed completion from scheduled arrival, ms",
+        },
+        "router": {
+            "transport": "tcp, length-prefixed JSON frames",
+            "placement": "rendezvous hash by query target",
+            "graph_held_by_router": False,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "equivalence": equivalence,
+        "scaling": {
+            "delay_ms": DELAY_MS,
+            "shard_threads": SHARD_THREADS,
+            "overload_factor": OVERLOAD,
+            "duration_seconds": duration,
+            "levels": level_reports,
+            "floors": {"2_shards": MIN_SPEEDUP_2, "4_shards": MIN_SPEEDUP_4},
+        },
+        "hedging": {
+            "slow_replica_delay_ms": SLOW_DELAY_MS,
+            "fast_replica_delay_ms": FAST_DELAY_MS,
+            "offered_qps": HEDGE_RATE_QPS,
+            "unhedged": unhedged,
+            "hedged": hedged,
+            "hedged_p99_over_unhedged_p99": round(p99_ratio, 3),
+            "ceiling": MAX_HEDGED_P99_RATIO,
+        },
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_router.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,14 @@ target) all satisfy the :class:`ExecutionBackend` protocol:
     per-query result frames stream back into the same ``ResultStream``
     shape — including the ``engine`` option, which is honored server-side
     exactly like a local run.
+``router``
+    A distributed deployment: either a running ``repro route`` front end
+    (``Database("router://host:port")``) or a client-side
+    :class:`~repro.server.router.ShardRouter` opened straight from a
+    shard-map ``.json`` file / :class:`~repro.server.router.ShardMap`.
+    Queries are consistent-hashed by target across the shard hosts and the
+    per-shard streams merge back into one workload-ordered
+    ``ResultStream`` — with replica failover and hedged requests underneath.
 
 Every backend produces byte-identical payloads for the same spec list
 (asserted in ``tests/api/test_backend_equivalence.py``); switching from an
@@ -99,7 +107,7 @@ __all__ = [
 ]
 
 #: Recognised ``backend=`` names of :class:`Database`.
-BACKEND_CHOICES = ("inline", "threads", "processes", "remote")
+BACKEND_CHOICES = ("inline", "threads", "processes", "remote", "router")
 
 
 def _as_int(value) -> Optional[int]:
@@ -928,6 +936,157 @@ class RemoteBackend(ExecutionBackend):
             await client.close()
 
 
+class RouterBackend(RemoteBackend):
+    """Execution against a running ``repro route`` front end.
+
+    The router speaks the exact protocol of ``repro serve`` — it rewrites
+    job ids and positions so the merged multi-shard stream is
+    indistinguishable from a single-host stream — so this backend is the
+    remote one under a different name: the name records *what* answered
+    (a routed fleet), which ``Database.backend_name`` and stream stats
+    report.
+    """
+
+    name = "router"
+
+
+class ShardMapBackend(ExecutionBackend):
+    """Client-side routing: the database itself is the router.
+
+    Opened from a shard-map ``.json`` file or a
+    :class:`~repro.server.router.ShardMap`, this backend embeds a
+    :class:`~repro.server.router.ShardRouter` on a private event-loop
+    thread that lives as long as the database: shard connections stay
+    persistent across batches (so shard-side distance caches stay hot),
+    and every batch gets the full routing treatment — consistent-hash
+    fan-out, merged workload-ordered streaming, replica failover, hedged
+    requests — without any ``repro route`` process in between.
+    """
+
+    name = "router"
+
+    #: Seconds between cancellation polls in the driver coroutine.
+    _CANCEL_POLL_SECONDS = 0.02
+
+    def __init__(self, shard_map, *, router_options: Optional[Dict[str, object]] = None, **_ignored) -> None:
+        import asyncio
+
+        from repro.server.router import ShardRouter
+
+        self.shard_map = shard_map
+        # Construction is loop-free (validation + channel bookkeeping); all
+        # awaiting happens later on the private loop below.
+        self._router = ShardRouter(shard_map, **(router_options or {}))
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-router-loop", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self,
+        specs: Sequence[QuerySpec],
+        options: QuerySpec,
+        *,
+        external: bool = False,
+        ordered: bool = True,
+        chunk_queries: int = DEFAULT_CHUNK_QUERIES,
+    ) -> ResultStream:
+        if options.constraint is not None:
+            raise BackendError(
+                "path constraints hold process-local state (their edge "
+                "filters are closures) and cannot cross the wire; evaluate "
+                "constrained specs on a local inline Database"
+            )
+        started = time.perf_counter()
+        triples = [list(spec.triple) for spec in specs]
+        wire_opts: Dict[str, object] = {
+            "store_paths": options.store_paths,
+            "response_k": options.response_k,
+        }
+        if options.limit is not None:
+            wire_opts["result_limit"] = options.limit
+        if options.deadline is not None:
+            wire_opts["time_limit_seconds"] = options.deadline
+        if external:
+            wire_opts["external"] = True
+        if options.engine != "auto":
+            wire_opts["engine"] = options.engine
+        events: "queue_module.Queue[Tuple[str, object, object]]" = queue_module.Queue()
+        cancelled = threading.Event()
+        import asyncio
+
+        asyncio.run_coroutine_threadsafe(
+            self._pump(triples, wire_opts, events, cancelled), self._loop
+        )
+
+        def produce() -> Iterator[Tuple[int, QueryResult]]:
+            while True:
+                kind, a, b = events.get()
+                if kind == "item":
+                    yield a, b  # type: ignore[misc]
+                elif kind == "error":
+                    raise RuntimeError(f"routed query failed: {a}")
+                else:  # done / cancelled
+                    return
+
+        return ResultStream(
+            produce(),
+            num_queries=len(triples),
+            backend=self.name,
+            cancel=cancelled.set,
+            ordered=ordered,
+            started_at=started,
+        )
+
+    async def _pump(self, triples, wire_opts, events, cancelled) -> None:
+        import asyncio
+        import contextlib
+
+        try:
+            job = await self._router.submit(triples, wire_opts)
+
+            async def watch_cancel() -> None:
+                while not cancelled.is_set():
+                    await asyncio.sleep(self._CANCEL_POLL_SECONDS)
+                await self._router.cancel(job)
+
+            watcher = asyncio.ensure_future(watch_cancel())
+            try:
+                async for frame in job.frames():
+                    kind = frame["type"]
+                    if kind == "result":
+                        events.put(
+                            ("item", int(frame["position"]), _result_from_frame(frame))
+                        )
+                    elif kind == "done":
+                        events.put(("done", frame, None))
+                    elif kind == "cancelled":
+                        events.put(("cancelled", frame, None))
+                    elif kind == "error":
+                        events.put(("error", frame.get("error"), None))
+            finally:
+                watcher.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await watcher
+        except Exception as error:  # noqa: BLE001 - surfaced to the consumer
+            events.put(("error", f"{type(error).__name__}: {error}", None))
+
+    def close(self) -> None:
+        import asyncio
+        import contextlib
+
+        if self._loop.is_closed():
+            return
+        with contextlib.suppress(Exception):
+            asyncio.run_coroutine_threadsafe(
+                self._router.close(), self._loop
+            ).result(timeout=10.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+
 # --------------------------------------------------------------------- #
 # the façade
 # --------------------------------------------------------------------- #
@@ -950,6 +1109,8 @@ class Database:
         Database("snapshot.npz", backend="processes", workers=4)
         Database("edges.txt")                    # SNAP-style edge list
         Database("127.0.0.1:7284")               # a running `repro serve`
+        Database("router://127.0.0.1:7285")      # a running `repro route`
+        Database("shards.json")                  # shard map: client-side routing
 
     The backend is inferred from the arguments (URL → ``remote``, local
     graph → ``inline``, or ``threads`` when ``workers > 1`` asks for
@@ -984,24 +1145,44 @@ class Database:
             raise BackendError(
                 f"unknown backend {backend!r}: use one of {BACKEND_CHOICES}"
             )
-        graph, remote = self._resolve_target(target, backend, store)
-        if remote is not None:
-            if backend not in (None, "remote"):
-                raise BackendError(
-                    f"backend {backend!r} cannot run against the remote target "
-                    f"{target!r}; open a local graph instead"
-                )
+        graph, remote, router = self._resolve_target(target, backend, store)
+        if router is not None or remote is not None:
             if algorithm is not None:
                 raise BackendError(
                     "a remote Database serves whatever algorithm `repro "
                     "serve` was started with; drop the algorithm argument"
                 )
-            self.backend_name = "remote"
-            self._backend: ExecutionBackend = RemoteBackend(*remote)
+        if router is not None:
+            if backend not in (None, "router"):
+                raise BackendError(
+                    f"backend {backend!r} cannot run against the routed target "
+                    f"{target!r}; open a local graph instead"
+                )
+            self.backend_name = "router"
+            if router[0] == "url":
+                self._backend: ExecutionBackend = RouterBackend(router[1], router[2])
+            else:
+                self._backend = ShardMapBackend(router[1])
+        elif remote is not None:
+            if backend not in (None, "remote", "router"):
+                raise BackendError(
+                    f"backend {backend!r} cannot run against the remote target "
+                    f"{target!r}; open a local graph instead"
+                )
+            # backend="router" against a plain host:port says the endpoint
+            # is a `repro route` front end (same wire protocol either way).
+            self.backend_name = "router" if backend == "router" else "remote"
+            factory = RouterBackend if backend == "router" else RemoteBackend
+            self._backend = factory(*remote)
         else:
             if backend == "remote":
                 raise BackendError(
                     f"backend 'remote' needs a host:port target, got {target!r}"
+                )
+            if backend == "router":
+                raise BackendError(
+                    "backend 'router' needs a router://host:port URL, a "
+                    f"shard-map .json file or a ShardMap, got {target!r}"
                 )
             parallel = workers is not None and workers > 1
             if backend is None:
@@ -1033,29 +1214,51 @@ class Database:
 
     @staticmethod
     def _resolve_target(target, backend, store):
-        """``(graph, None)`` for local targets, ``(None, (host, port))`` remote."""
+        """Classify the open target: ``(graph, remote, router)``.
+
+        Exactly one element is non-``None``: a loaded graph for local
+        execution, a ``(host, port)`` tuple for a plain ``repro serve``
+        endpoint, or a router descriptor — ``("url", host, port)`` for a
+        ``repro route`` front end, ``("map", ShardMap)`` for client-side
+        routing.  Shard-map ``.json`` files are recognised *before* the
+        generic existing-file branch, which would otherwise read them as an
+        edge list.
+        """
         import os
         from pathlib import Path
 
         if isinstance(target, DiGraph):
-            return target, None
+            return target, None, None
+        from repro.server.router import ShardMap
+
+        if isinstance(target, ShardMap):
+            return None, None, ("map", target)
         if isinstance(target, os.PathLike):
             target = os.fspath(target)
         if not isinstance(target, str):
             raise BackendError(
                 f"cannot open {target!r}: expected a DiGraph, a snapshot / "
-                "edge-list path or a host:port URL"
+                "edge-list path, a host:port URL, or a shard map"
             )
+        if target.startswith("router://"):
+            url = _looks_like_url(target[len("router://"):])
+            if url is None:
+                raise BackendError(
+                    f"cannot open {target!r}: expected router://host:port"
+                )
+            return None, None, ("url",) + url
         path = Path(target)
+        if target.endswith(".json") and path.exists():
+            return None, None, ("map", ShardMap.from_file(target))
         if target.endswith(".npz") or path.exists():
             from repro.graph.io import load_npz, read_edge_list
 
             if target.endswith(".npz"):
-                return load_npz(target, store=store), None
-            return read_edge_list(target), None
+                return load_npz(target, store=store), None, None
+            return read_edge_list(target), None, None
         url = _looks_like_url(target)
         if url is not None:
-            return None, url
+            return None, url, None
         raise BackendError(
             f"cannot open {target!r}: not an existing snapshot / edge-list "
             "file and not a host:port URL"

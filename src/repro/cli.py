@@ -29,11 +29,20 @@ Sub-commands
     per-query result frames over the length-prefixed JSON protocol of
     :mod:`repro.server.protocol`.  Runs until SIGINT/SIGTERM.
 
+``route``
+    Boot the distributed shard router: a graph-free front end that
+    consistent-hashes queries by target across a fleet of ``repro serve``
+    shard hosts (``--shard`` entries or a ``--shard-map`` file), merges the
+    per-shard result streams back into workload order, and layers replica
+    failover plus hedged requests on top.  Speaks the same wire protocol as
+    ``serve``, so every client works against it unchanged.
+
 ``client``
-    Scripted load against a running server: submit one workload and print
-    the streamed results, drive an open-loop Poisson arrival process
-    (``--rate``/``--connections``) and print the latency percentiles, or
-    fetch server statistics (``--server-stats``).
+    Scripted load against a running server *or router*: submit one workload
+    and print the streamed results, drive an open-loop Poisson arrival
+    process (``--rate``/``--connections``) and print the latency
+    percentiles, or fetch server statistics (``--server-stats`` — for a
+    router this includes the per-shard health probe).
 
 Both ``batch-query`` and ``bench`` accept ``--processes`` (and ``--shards``)
 to fan the batch out over target-sharded worker processes attached to a
@@ -62,6 +71,7 @@ from repro.errors import VertexNotFoundError
 from repro.core.query import Query
 from repro.graph.io import load_npz, read_edge_list
 from repro.server.protocol import DEFAULT_PORT as SERVE_DEFAULT_PORT
+from repro.server.protocol import DEFAULT_ROUTER_PORT as ROUTE_DEFAULT_PORT
 from repro.graph.properties import summarize
 from repro.workloads.datasets import dataset_names, load_dataset, registry
 from repro.workloads.queries import (
@@ -235,6 +245,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
         help="multiprocessing start method for --processes (default: fork on Linux)",
+    )
+    serve_parser.add_argument(
+        "--shard-id", type=int, default=None,
+        help="identity of this host in a routed deployment (reported in stats/pong)",
+    )
+    serve_parser.add_argument(
+        "--delay-ms", type=float, default=0.0,
+        help="fixed artificial service delay per query (capacity experiments)",
+    )
+
+    route_parser = subparsers.add_parser(
+        "route", help="run the distributed shard router (holds no graph)"
+    )
+    route_source_group = route_parser.add_mutually_exclusive_group(required=True)
+    route_source_group.add_argument(
+        "--shard", action="append", metavar="HOST:PORT[,HOST:PORT...]",
+        help="one shard's replica list (repeat once per shard, in shard order)",
+    )
+    route_source_group.add_argument(
+        "--shard-map", help="path to a JSON shard-map file ({'shards': [...]})"
+    )
+    route_parser.add_argument("--host", default="127.0.0.1")
+    route_parser.add_argument(
+        "--port", type=int, default=None,
+        help=f"TCP port (default {ROUTE_DEFAULT_PORT}; 0 picks a free port)",
+    )
+    route_parser.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged requests (duplicate straggling sub-batches)",
+    )
+    route_parser.add_argument(
+        "--hedge-percentile", type=float, default=95.0,
+        help="latency percentile of winning attempts that sets the hedge delay",
+    )
+    route_parser.add_argument(
+        "--hedge-min-delay-ms", type=float, default=25.0,
+        help="lower clamp of the hedge delay",
+    )
+    route_parser.add_argument(
+        "--hedge-max-delay-ms", type=float, default=2000.0,
+        help="upper clamp of the hedge delay",
+    )
+    route_parser.add_argument(
+        "--max-attempts", type=int, default=4,
+        help="replica attempts per shard sub-batch before the job fails",
+    )
+    route_parser.add_argument(
+        "--connect-retries", type=int, default=2,
+        help="redial attempts per shard connection (exponential backoff + jitter)",
     )
 
     client_parser = subparsers.add_parser(
@@ -529,21 +588,54 @@ def _command_bench(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.core.algorithm import DelayedAlgorithm
     from repro.server.server import serve_forever
     from repro.server.service import QueryService
 
     graph = _load_graph(args)
+    algorithm = get_algorithm(args.algorithm)
+    if args.delay_ms:
+        # Capacity-experiment mode: a fixed per-query service delay makes
+        # a shard's throughput a known constant (results are unchanged).
+        algorithm = DelayedAlgorithm(algorithm, args.delay_ms / 1e3)
     service = QueryService(
         graph,
-        algorithm=get_algorithm(args.algorithm),
+        algorithm=algorithm,
         processes=args.processes,
         threads=args.threads,
         shards=args.shards,
         start_method=args.start_method,
+        shard_id=args.shard_id,
     )
     port = SERVE_DEFAULT_PORT if args.port is None else args.port
     try:
         return asyncio.run(serve_forever(service, host=args.host, port=port))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+
+
+def _command_route(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.client import ReconnectPolicy
+    from repro.server.router import ShardMap, ShardRouter, route_forever
+
+    if args.shard_map:
+        shard_map = ShardMap.from_file(args.shard_map)
+    else:
+        shard_map = ShardMap.from_entries(args.shard)
+    router = ShardRouter(
+        shard_map,
+        hedge=not args.no_hedge,
+        hedge_percentile=args.hedge_percentile,
+        hedge_min_delay=args.hedge_min_delay_ms / 1e3,
+        hedge_max_delay=args.hedge_max_delay_ms / 1e3,
+        max_attempts=args.max_attempts,
+        policy=ReconnectPolicy(attempts=1 + max(0, args.connect_retries)),
+    )
+    port = ROUTE_DEFAULT_PORT if args.port is None else args.port
+    try:
+        return asyncio.run(route_forever(router, host=args.host, port=port))
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
         return 0
 
@@ -591,11 +683,33 @@ def _command_client(args: argparse.Namespace) -> int:
             async with client:
                 return await client.stats()
 
+        stats = asyncio.run(_stats())
+        # A router's snapshot nests a per-shard health probe under "shards";
+        # render it as its own table instead of a flat value.
+        shard_probe = stats.pop("shards", None)
         rows = [
             {"statistic": key, "value": value}
-            for key, value in sorted(asyncio.run(_stats()).items())
+            for key, value in sorted(stats.items())
         ]
-        print(format_table(rows, title="Server statistics", scientific=False))
+        title = "Router statistics" if stats.get("role") == "router" else "Server statistics"
+        print(format_table(rows, title=title, scientific=False))
+        if shard_probe:
+            shard_rows = []
+            for shard in shard_probe:
+                for replica in shard["replicas"]:
+                    shard_rows.append(
+                        {
+                            "shard": shard["shard"],
+                            "address": replica.get("address"),
+                            "connected": replica.get("connected"),
+                            "shard_id": replica.get("shard_id"),
+                            "version": replica.get("server_version"),
+                            "rtt_ms": replica.get("rtt_ms"),
+                            "jobs_active": replica.get("jobs_active"),
+                            "queries_done": replica.get("queries_completed"),
+                        }
+                    )
+            print(format_table(shard_rows, title="Shard health", scientific=False))
         return 0
 
     queries, external = _client_queries(args)
@@ -684,6 +798,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_bench(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "route":
+        return _command_route(args)
     if args.command == "client":
         return _command_client(args)
     parser.error(f"unknown command {args.command!r}")

@@ -19,7 +19,7 @@ from repro.core.query import Query
 from repro.core.result import EnumerationStats, Phase, QueryResult
 from repro.graph.digraph import DiGraph
 
-__all__ = ["Algorithm", "timed_run"]
+__all__ = ["Algorithm", "DelayedAlgorithm", "timed_run"]
 
 
 class Algorithm(ABC):
@@ -44,6 +44,30 @@ class Algorithm(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DelayedAlgorithm(Algorithm):
+    """An algorithm wrapper adding a fixed per-query service delay.
+
+    The results are exactly the inner algorithm's — only wall time changes —
+    so equivalence checks hold across delayed and undelayed deployments.
+    Exists for capacity experiments: ``repro serve --delay-ms`` gives every
+    shard host a known service time, which turns open-loop throughput into
+    a controlled function of host count instead of a property of whatever
+    CPU the benchmark happens to run on.  Picklable whenever the inner
+    algorithm is, so it rides the process backend too.
+    """
+
+    def __init__(self, inner: Algorithm, delay_seconds: float) -> None:
+        if delay_seconds < 0.0:
+            raise ValueError("delay_seconds must be non-negative")
+        self.inner = inner
+        self.delay_seconds = float(delay_seconds)
+        self.name = inner.name
+
+    def run(self, graph: DiGraph, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
+        time.sleep(self.delay_seconds)
+        return self.inner.run(graph, query, config)
 
 
 def timed_run(

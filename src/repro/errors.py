@@ -16,6 +16,7 @@ __all__ = [
     "InvalidQueryError",
     "QuerySpecError",
     "BackendError",
+    "ConnectionLost",
     "EnumerationTimeout",
     "ResultLimitReached",
     "DatasetError",
@@ -73,6 +74,27 @@ class BackendError(ReproError, ValueError):
     that cannot be resolved (not a graph, snapshot, edge list or
     ``host:port`` URL) and local/remote mismatches.
     """
+
+
+class ConnectionLost(ReproError, ConnectionError):
+    """A query-service connection could not be established or died.
+
+    Raised by :class:`repro.server.client.QueryClient` when dialling a
+    server fails after every reconnect attempt, and by control requests
+    whose connection vanished mid-flight.  Subclasses ``ConnectionError``
+    so pre-existing ``except (ConnectionError, OSError)`` handlers keep
+    working; carries the endpoint and the number of attempts made.
+    """
+
+    def __init__(self, host: str, port: int, attempts: int = 1, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"lost connection to {host}:{port} after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}{detail}"
+        )
+        self.host = host
+        self.port = port
+        self.attempts = attempts
 
 
 class EnumerationTimeout(ReproError):

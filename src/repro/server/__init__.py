@@ -7,7 +7,7 @@ batches:
 
 * :mod:`repro.server.protocol` — the length-prefixed JSON wire format
   (``submit`` / streamed ``path`` / ``result`` frames / ``done`` /
-  ``cancel`` / ``stats``);
+  ``cancel`` / ``stats``), now versioned for fleet rollouts;
 * :mod:`repro.server.service` — :class:`QueryService`, the asyncio-facing
   core: it owns a shared graph image, a warm reverse-BFS distance cache and
   a persistent worker pool (threads or processes) through
@@ -16,37 +16,78 @@ batches:
 * :mod:`repro.server.server` — :class:`QueryServer`, the asyncio TCP
   front end (``repro serve``);
 * :mod:`repro.server.client` — :class:`QueryClient` plus the open-loop
-  load driver behind ``repro client`` and the serving benchmark.
+  load driver behind ``repro client`` and the serving benchmark, with
+  backoff-based reconnection (:class:`~repro.server.client.ReconnectPolicy`);
+* :mod:`repro.server.router` — the distributed tier: :class:`ShardRouter`
+  consistent-hashes queries by target across per-shard serve hosts, merges
+  the streamed results back into workload order, and layers replica
+  failover plus hedged requests on top; :class:`RouterServer` exposes it
+  over the same wire protocol (``repro route``).
 """
 
-from repro.server.client import LoadReport, QueryClient, open_loop_load, run_queries
+from repro.server.client import (
+    LoadReport,
+    Pong,
+    QueryClient,
+    ReconnectPolicy,
+    open_loop_load,
+    run_queries,
+)
 from repro.server.protocol import (
     DEFAULT_PORT,
+    DEFAULT_ROUTER_PORT,
+    MIN_SUPPORTED_PROTOCOL,
+    PROTOCOL_VERSION,
     FrameError,
     MAX_FRAME_BYTES,
+    ProtocolMismatch,
     decode_frame,
     encode_frame,
+    negotiate_protocol,
     read_frame,
     write_frame,
+)
+from repro.server.router import (
+    RouterJob,
+    RouterServer,
+    ShardChannel,
+    ShardMap,
+    ShardRouter,
+    parse_address,
+    route_forever,
 )
 from repro.server.server import QueryServer, serve_forever
 from repro.server.service import JobState, QueryService, ServiceJob
 
 __all__ = [
     "DEFAULT_PORT",
+    "DEFAULT_ROUTER_PORT",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "MIN_SUPPORTED_PROTOCOL",
     "FrameError",
+    "ProtocolMismatch",
     "encode_frame",
     "decode_frame",
     "read_frame",
     "write_frame",
+    "negotiate_protocol",
     "QueryService",
     "ServiceJob",
     "JobState",
     "QueryServer",
     "serve_forever",
     "QueryClient",
+    "ReconnectPolicy",
+    "Pong",
     "run_queries",
     "open_loop_load",
     "LoadReport",
+    "parse_address",
+    "ShardMap",
+    "ShardChannel",
+    "RouterJob",
+    "ShardRouter",
+    "RouterServer",
+    "route_forever",
 ]

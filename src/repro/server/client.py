@@ -16,19 +16,71 @@ entry points cover the two scripted uses:
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.server.protocol import DEFAULT_PORT, read_frame, write_frame
+from repro.errors import ConnectionLost
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    negotiate_protocol,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
+    "ReconnectPolicy",
     "RemoteResult",
     "JobOutcome",
+    "Pong",
     "QueryClient",
     "run_queries",
     "open_loop_load",
     "LoadReport",
 ]
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Exponential backoff with jitter for (re)dialling a query server.
+
+    ``attempts`` counts connection *tries*: 1 means a single dial and no
+    retry.  The delay before retry ``n`` is ``base_delay * 2**(n-1)``
+    capped at ``max_delay``, stretched by a uniform random factor in
+    ``[1, 1 + jitter]`` — the jitter keeps a fleet of clients (or a router's
+    shard channels) from redialling a recovering server in lockstep.
+    """
+
+    attempts: int = 1
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to sleep after failed attempt number ``attempt`` (1-based)."""
+        base = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        spread = (rng.random() if rng is not None else random.random()) * self.jitter
+        return base * (1.0 + spread)
+
+
+@dataclass
+class Pong:
+    """A ``pong`` reply: liveness plus identity plus round-trip latency.
+
+    Truthy (so ``assert await client.ping()`` keeps reading naturally);
+    ``rtt_ms`` is measured on the client's clock around the full control
+    round trip; ``protocol`` / ``server_version`` / ``shard_id`` are absent
+    (``None`` / 1) when the peer predates protocol version 2.
+    """
+
+    rtt_ms: float
+    protocol: int = 1
+    server_version: Optional[str] = None
+    shard_id: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return True
 
 
 @dataclass
@@ -93,20 +145,86 @@ class JobOutcome:
 class QueryClient:
     """One protocol connection with frame demultiplexing."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        endpoint: Optional[Tuple[str, int]] = None,
+        policy: Optional[ReconnectPolicy] = None,
+    ) -> None:
+        self._endpoint = endpoint
+        self._policy = policy if policy is not None else ReconnectPolicy()
+        self._connected = True
+        self._attach(reader, writer)
+
+    def _attach(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """(Re)bind the connection state around a fresh socket."""
         self._reader = reader
         self._writer = writer
         self._write_lock = asyncio.Lock()
         self._jobs: Dict[str, asyncio.Queue] = {}
         self._control: asyncio.Queue = asyncio.Queue()
         self._control_lock = asyncio.Lock()
-        self._next_id = 0
+        self._next_id = getattr(self, "_next_id", 0)
+        self._connected = True
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
+    @staticmethod
+    async def _dial(
+        host: str, port: int, policy: ReconnectPolicy
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Open a connection under ``policy``; :class:`ConnectionLost` when spent."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return await asyncio.open_connection(host, port)
+            except OSError as error:
+                if attempt >= max(1, policy.attempts):
+                    raise ConnectionLost(host, port, attempt, str(error)) from error
+                await asyncio.sleep(policy.delay(attempt))
+
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = DEFAULT_PORT) -> "QueryClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        retries: int = 0,
+        policy: Optional[ReconnectPolicy] = None,
+    ) -> "QueryClient":
+        """Dial a server; a refused/unreachable endpoint raises
+        :class:`~repro.errors.ConnectionLost` (never a raw ``OSError``).
+
+        ``retries`` adds that many redial attempts with the default
+        exponential backoff + jitter; ``policy`` overrides the whole
+        schedule.  The policy is remembered for :meth:`reconnect`.
+        """
+        policy = policy if policy is not None else ReconnectPolicy(attempts=1 + max(0, retries))
+        reader, writer = await cls._dial(host, port, policy)
+        return cls(reader, writer, endpoint=(host, port), policy=policy)
+
+    @property
+    def connected(self) -> bool:
+        """Whether the reader loop still considers the connection live."""
+        return self._connected and not self._reader_task.done()
+
+    async def reconnect(self) -> None:
+        """Redial the remembered endpoint under the connect-time policy.
+
+        Jobs in flight on the old connection are already poisoned (their
+        server-side state died with the socket) — reconnecting restores the
+        *connection*, not the jobs; resubmission is the caller's decision.
+        Raises :class:`~repro.errors.ConnectionLost` when the policy's
+        attempts are exhausted, ``RuntimeError`` when the client was built
+        from a raw stream pair and no endpoint is known.
+        """
+        if self._endpoint is None:
+            raise RuntimeError("cannot reconnect: client was not built via connect()")
+        await self.close()
+        reader, writer = await self._dial(*self._endpoint, self._policy)
+        self._attach(reader, writer)
 
     async def __aenter__(self) -> "QueryClient":
         return self
@@ -149,6 +267,7 @@ class QueryClient:
             # marker lets control-frame waiters distinguish this local
             # "connection is gone" signal from an ordinary server error
             # frame that happens to carry no job id.
+            self._connected = False
             poison = {"type": "error", "error": reason, "_closed": True}
             for job_id, queue in self._jobs.items():
                 queue.put_nowait({**poison, "id": job_id})
@@ -262,27 +381,59 @@ class QueryClient:
 
     async def stats(self) -> Dict[str, object]:
         """Request one service statistics snapshot."""
-        return await self._control_request({"type": "stats"}, "stats")
+        return (await self._control_request({"type": "stats"}, "stats")).get("stats")
 
-    async def ping(self) -> bool:
-        await self._control_request({"type": "ping"}, "pong")
-        return True
+    async def ping(self) -> Pong:
+        """Round-trip a liveness probe; returns the (truthy) :class:`Pong`.
 
-    async def _control_request(self, request: Dict[str, object], reply_type: str):
-        """Send a control frame and wait for its reply.
+        The ping frame carries the client's monotonic clock sample and
+        protocol version; the pong echoes the former (round-trip latency
+        measured on one clock) and reports the server's identity fields.
+        """
+        loop = asyncio.get_running_loop()
+        sent = loop.time()
+        frame = await self._control_request(
+            {"type": "ping", "protocol": PROTOCOL_VERSION, "t": sent}, "pong"
+        )
+        rtt_ms = (loop.time() - sent) * 1e3
+        return Pong(
+            rtt_ms=rtt_ms,
+            protocol=1 if frame.get("protocol") is None else int(frame["protocol"]),
+            server_version=frame.get("server_version"),
+            shard_id=frame.get("shard_id"),
+        )
+
+    async def negotiate(self) -> int:
+        """Ping the server and validate its protocol version.
+
+        Returns the negotiated version; raises
+        :class:`~repro.server.protocol.ProtocolMismatch` when the server
+        speaks a version outside this build's supported window.  A pong
+        without a ``protocol`` field is a version-1 server.
+        """
+        pong = await self.ping()
+        return negotiate_protocol(pong.protocol)
+
+    async def _control_request(
+        self, request: Dict[str, object], reply_type: str
+    ) -> Dict[str, object]:
+        """Send a control frame and wait for its reply (the whole frame).
 
         Unrelated control-queue traffic (e.g. a server error frame that
         carries no job id) is skipped, not raised — only the dead-connection
-        poison aborts the wait.
+        poison aborts the wait, as :class:`~repro.errors.ConnectionLost`.
         """
         async with self._control_lock:
             await write_frame(self._writer, request, lock=self._write_lock)
             while True:
                 frame = await self._control.get()
                 if frame["type"] == reply_type:
-                    return frame.get(reply_type)
+                    return frame
                 if frame.get("_closed"):
-                    raise RuntimeError(frame.get("error", "connection closed"))
+                    host, port = self._endpoint if self._endpoint else ("?", 0)
+                    raise ConnectionLost(
+                        host, port, 1, str(frame.get("error", "connection closed"))
+                    )
 
 
 def run_queries(

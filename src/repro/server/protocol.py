@@ -23,7 +23,11 @@ Client → server messages (``type`` field):
 ``stats``
     ``{"type": "stats"}`` — service statistics snapshot.
 ``ping``
-    ``{"type": "ping"}`` — liveness probe; answered with ``pong``.
+    ``{"type": "ping", "protocol"?: <client protocol version>, "t"?: <opaque
+    client clock>}`` — liveness probe; answered with ``pong``.  ``t`` is
+    echoed back verbatim so the client can compute the round-trip latency
+    from its own clock; ``protocol`` announces the client's protocol
+    version for negotiation (absent ⇒ version 1).
 
 Server → client messages:
 
@@ -47,7 +51,22 @@ Server → client messages:
     ``{"type": "error", "error": <message>, "id"?}`` — malformed input or a
     failed job; terminal when ``id`` is present.
 ``stats`` / ``pong``
-    Responses to the matching requests.
+    Responses to the matching requests.  A ``pong`` carries ``protocol``
+    (the server's :data:`PROTOCOL_VERSION`), ``server_version`` (the repro
+    package version), ``shard_id`` (when the server was started as one
+    shard of a routed deployment) and the echoed ``t``; a ``stats`` reply's
+    payload likewise includes ``shard_id``, ``server_version`` and
+    ``protocol`` so a router can report per-shard health.
+
+Protocol versioning
+-------------------
+
+:data:`PROTOCOL_VERSION` is bumped whenever the frame vocabulary changes;
+version 2 added the ``pong`` / ``stats`` identity fields above.  Servers
+stay backward compatible down to :data:`MIN_SUPPORTED_PROTOCOL`, and
+negotiation is pull-based: a client pings, reads the server's ``protocol``
+(a missing field means a version-1 server) and decides with
+:func:`negotiate_protocol` whether it can speak to it.
 """
 
 from __future__ import annotations
@@ -59,8 +78,13 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "DEFAULT_PORT",
+    "DEFAULT_ROUTER_PORT",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "MIN_SUPPORTED_PROTOCOL",
     "FrameError",
+    "ProtocolMismatch",
+    "negotiate_protocol",
     "encode_frame",
     "decode_frame",
     "read_frame",
@@ -70,6 +94,20 @@ __all__ = [
 
 #: Default TCP port of ``repro serve`` (unassigned range, PATH on a phone pad).
 DEFAULT_PORT = 7284
+
+#: Default TCP port of ``repro route`` (one above the serve port, so a
+#: single-host demo topology needs no flags).
+DEFAULT_ROUTER_PORT = 7285
+
+#: Version of the frame vocabulary this build speaks.  2 added ``protocol``
+#: / ``server_version`` / ``shard_id`` to ``pong`` and ``stats`` replies and
+#: the ``t`` echo on ``ping``.
+PROTOCOL_VERSION = 2
+
+#: Oldest peer protocol version this build can still talk to.  Version-1
+#: peers simply lack the identity fields — every frame they do send is
+#: understood — so the floor stays at 1 until a breaking change.
+MIN_SUPPORTED_PROTOCOL = 1
 
 #: Upper bound on one frame's JSON body.  Generous — a frame carries at most
 #: one query's paths — but finite, so a corrupt length prefix cannot make the
@@ -81,6 +119,28 @@ _LENGTH = struct.Struct(">I")
 
 class FrameError(ValueError):
     """A malformed frame: oversized, truncated or undecodable."""
+
+
+class ProtocolMismatch(FrameError):
+    """The peer speaks a protocol version outside our supported window."""
+
+
+def negotiate_protocol(peer_version: Optional[object]) -> int:
+    """Validate a peer's announced protocol version; returns it as an int.
+
+    ``None`` (the field is absent from the peer's frame) means a version-1
+    peer — the field itself arrived with version 2.  Raises
+    :class:`ProtocolMismatch` when the peer is older than
+    :data:`MIN_SUPPORTED_PROTOCOL` or newer than :data:`PROTOCOL_VERSION`
+    (a newer peer may depend on frames this build does not emit).
+    """
+    version = 1 if peer_version is None else int(peer_version)
+    if version < MIN_SUPPORTED_PROTOCOL or version > PROTOCOL_VERSION:
+        raise ProtocolMismatch(
+            f"peer speaks protocol {version}, supported range is "
+            f"[{MIN_SUPPORTED_PROTOCOL}, {PROTOCOL_VERSION}]"
+        )
+    return version
 
 
 def render_result_paths(result, graph=None, *, external: bool = False) -> Optional[List[List[int]]]:

@@ -160,7 +160,21 @@ class QueryServer:
                 writer, {"type": "stats", "stats": self.service.stats()}, lock=lock
             )
         elif kind == "ping":
-            await write_frame(writer, {"type": "pong"}, lock=lock)
+            from repro._version import __version__
+            from repro.server.protocol import PROTOCOL_VERSION
+
+            pong: Dict[str, object] = {
+                "type": "pong",
+                "protocol": PROTOCOL_VERSION,
+                "server_version": __version__,
+                "shard_id": self.service.shard_id,
+            }
+            # Echo the client's clock sample verbatim: the round trip is
+            # then measured entirely on the client's clock, no cross-host
+            # clock agreement needed.
+            if "t" in message:
+                pong["t"] = message["t"]
+            await write_frame(writer, pong, lock=lock)
         else:
             await write_frame(
                 writer,

@@ -141,12 +141,18 @@ class QueryService:
         start_method: Optional[str] = None,
         max_cached: int = 1024,
         max_concurrent_jobs: int = 32,
+        shard_id: Optional[int] = None,
     ) -> None:
         if processes < 1:
             raise ValueError("processes must be at least 1")
         if threads < 1:
             raise ValueError("threads must be at least 1")
         self.graph = graph
+        #: Identity of this host in a routed deployment (``repro serve
+        #: --shard-id N``); ``None`` for a standalone server.  Reported in
+        #: ``stats`` / ``pong`` frames so a router (and ``repro client
+        #: --server-stats``) can attribute per-shard health.
+        self.shard_id = shard_id
         backend = "process" if processes > 1 else "thread"
         self._core = ExecutorCore(
             graph,
@@ -198,11 +204,17 @@ class QueryService:
                 "queries_completed": self._stats.queries_completed,
                 "paths_streamed": self._stats.paths_streamed,
             }
+        from repro._version import __version__
+        from repro.server.protocol import PROTOCOL_VERSION
+
         session_stats = self._core.session.stats
         return {
             **counters,
             "backend": self.backend,
             "workers": self.workers,
+            "shard_id": self.shard_id,
+            "server_version": __version__,
+            "protocol": PROTOCOL_VERSION,
             "reverse_bfs_runs": session_stats.reverse_bfs_runs,
             "distance_cache_entries": len(self._core.session.export_distances()),
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),

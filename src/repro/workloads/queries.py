@@ -12,6 +12,7 @@ setting, and the paper's default, draws both endpoints from ``V'``.
 from __future__ import annotations
 
 import enum
+import hashlib
 import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -27,7 +28,9 @@ __all__ = [
     "QuerySetting",
     "QueryWorkload",
     "split_by_degree",
+    "consistent_hash",
     "partition_by_target",
+    "partition_by_shard",
     "poisson_arrival_times",
     "generate_query_set",
     "generate_target_centric_set",
@@ -120,6 +123,70 @@ class QueryWorkload:
                 seen.add(query.target)
                 targets.append(query.target)
         return targets
+
+
+def consistent_hash(target, num_shards: int) -> int:
+    """The shard owning ``target`` under rendezvous (HRW) consistent hashing.
+
+    Deterministic across runs, processes and machines: the weight of each
+    ``(target, shard)`` pair is the first 8 bytes of a BLAKE2b digest over a
+    canonical byte encoding of the target id — never Python's seeded
+    ``hash()``.  The highest-weight shard wins; ties (astronomically rare,
+    but the contract matters) break toward the *lowest* shard index because
+    the comparison is strict.
+
+    Rendezvous hashing is what makes the mapping *consistent*: growing the
+    fleet from ``n`` to ``n + 1`` shards only moves the ``1 / (n + 1)``
+    fraction of targets whose new shard wins — every other target keeps its
+    shard, and with it the reverse-BFS distance cache that shard has warmed.
+
+    ``target`` may be an internal vertex id (int) or an external id (str);
+    the two spaces are encoded distinctly so ``5`` and ``"5"`` hash
+    independently.
+    """
+    if num_shards < 1:
+        raise WorkloadError("num_shards must be positive")
+    if num_shards == 1:
+        return 0
+    if isinstance(target, (int, np.integer)) and not isinstance(target, bool):
+        key = b"i:%d" % int(target)
+    else:
+        key = b"s:" + str(target).encode("utf-8", errors="surrogatepass")
+    best_shard, best_weight = 0, -1
+    for shard in range(num_shards):
+        digest = hashlib.blake2b(
+            key + b"|%d" % shard, digest_size=8
+        ).digest()
+        weight = int.from_bytes(digest, "big")
+        if weight > best_weight:
+            best_shard, best_weight = shard, weight
+    return best_shard
+
+
+def partition_by_shard(
+    queries: Sequence, num_shards: int
+) -> List[List[Tuple[int, object]]]:
+    """Partition ``queries`` across ``num_shards`` by target consistent hash.
+
+    The routing-tier counterpart of :func:`partition_by_target`: instead of
+    balancing load greedily across an ephemeral worker pool, every query is
+    pinned to the shard :func:`consistent_hash` assigns its target — the
+    property a distributed router needs so that the *same* shard host serves
+    a target across batches, processes and router restarts (its distance
+    cache stays hot, and no two shards ever own one target).
+
+    Accepts :class:`~repro.core.query.Query` objects or ``(s, t, k)``
+    triples.  Returns exactly ``num_shards`` lists of
+    ``(original_position, query)`` pairs; unlike :func:`partition_by_target`
+    empty shards are kept, so indexes align with the shard map.
+    """
+    if num_shards < 1:
+        raise WorkloadError("num_shards must be positive")
+    shards: List[List[Tuple[int, object]]] = [[] for _ in range(num_shards)]
+    for position, query in enumerate(queries):
+        target = query.target if hasattr(query, "target") else query[1]
+        shards[consistent_hash(target, num_shards)].append((position, query))
+    return shards
 
 
 def partition_by_target(

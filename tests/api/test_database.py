@@ -66,10 +66,14 @@ class TestOpening:
 
     def test_every_documented_backend_is_constructible(self, graph):
         for backend in BACKEND_CHOICES:
-            if backend == "remote":
+            if backend in ("remote", "router"):  # need a live host / fleet
                 continue
             workers = None if backend == "inline" else 2
             Database(graph, backend=backend, workers=workers).close()
+
+    def test_router_backend_needs_a_shard_target(self, graph):
+        with pytest.raises(BackendError, match="router"):
+            Database(graph, backend="router")
 
     def test_workers_argument_infers_the_thread_backend(self, graph):
         with Database(graph, workers=4) as db:

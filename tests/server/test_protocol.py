@@ -143,3 +143,41 @@ class TestRenderResultPaths:
         a, b, c = (graph.to_internal(v) for v in "abc")
         result = self._result(PathBuffer.from_paths([(a, b, c)]))
         assert render_result_paths(result, graph, external=True) == [["a", "b", "c"]]
+
+
+class TestProtocolVersioning:
+    def test_current_version_window(self):
+        from repro.server.protocol import (
+            MIN_SUPPORTED_PROTOCOL,
+            PROTOCOL_VERSION,
+            negotiate_protocol,
+        )
+
+        assert MIN_SUPPORTED_PROTOCOL <= PROTOCOL_VERSION
+        assert negotiate_protocol(PROTOCOL_VERSION) == PROTOCOL_VERSION
+        assert negotiate_protocol(MIN_SUPPORTED_PROTOCOL) == MIN_SUPPORTED_PROTOCOL
+
+    def test_missing_field_is_a_version_one_peer(self):
+        from repro.server.protocol import negotiate_protocol
+
+        # Pongs from servers that predate versioning carry no field at all.
+        assert negotiate_protocol(None) == 1
+
+    def test_future_and_ancient_versions_are_rejected(self):
+        from repro.server.protocol import (
+            MIN_SUPPORTED_PROTOCOL,
+            PROTOCOL_VERSION,
+            ProtocolMismatch,
+            negotiate_protocol,
+        )
+
+        with pytest.raises(ProtocolMismatch):
+            negotiate_protocol(PROTOCOL_VERSION + 1)
+        if MIN_SUPPORTED_PROTOCOL > 0:
+            with pytest.raises(ProtocolMismatch):
+                negotiate_protocol(MIN_SUPPORTED_PROTOCOL - 1)
+
+    def test_mismatch_is_a_frame_error(self):
+        from repro.server.protocol import FrameError, ProtocolMismatch
+
+        assert issubclass(ProtocolMismatch, FrameError)

@@ -321,3 +321,129 @@ class TestSyncHelpers:
         outcome = asyncio.run(runner())
         assert outcome.status == "done"
         assert len(outcome.results) == 3
+
+
+class TestProtocolIdentity:
+    """Protocol v2: identity fields on pong/stats, RTT, negotiation."""
+
+    def test_ping_returns_identity_and_rtt(self, graph):
+        from repro._version import __version__
+        from repro.server.protocol import PROTOCOL_VERSION
+
+        async def scenario(client, server):
+            return await client.ping()
+
+        pong = _serve(graph, scenario, threads=1, shard_id=3)
+        assert pong  # still truthy for liveness asserts
+        assert pong.protocol == PROTOCOL_VERSION
+        assert pong.server_version == __version__
+        assert pong.shard_id == 3
+        assert 0.0 < pong.rtt_ms < 5_000.0
+
+    def test_stats_carry_shard_identity(self, graph):
+        from repro._version import __version__
+        from repro.server.protocol import PROTOCOL_VERSION
+
+        async def scenario(client, server):
+            return await client.stats()
+
+        stats = _serve(graph, scenario, threads=1, shard_id=7)
+        assert stats["shard_id"] == 7
+        assert stats["server_version"] == __version__
+        assert stats["protocol"] == PROTOCOL_VERSION
+
+    def test_standalone_server_has_no_shard_id(self, graph):
+        async def scenario(client, server):
+            return (await client.ping()).shard_id, (await client.stats())["shard_id"]
+
+        assert _serve(graph, scenario, threads=1) == (None, None)
+
+    def test_negotiate_against_live_server(self, graph):
+        from repro.server.protocol import PROTOCOL_VERSION
+
+        async def scenario(client, server):
+            return await client.negotiate()
+
+        assert _serve(graph, scenario, threads=1) == PROTOCOL_VERSION
+
+
+class TestReconnect:
+    def test_dead_endpoint_raises_connection_lost(self, graph):
+        import socket
+
+        from repro.errors import ConnectionLost
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+
+        async def runner():
+            with pytest.raises(ConnectionLost) as info:
+                await QueryClient.connect("127.0.0.1", dead_port)
+            return info.value
+
+        error = asyncio.run(runner())
+        assert error.port == dead_port
+        assert error.attempts == 1
+        # The old behaviour leaked raw OSErrors; the typed error still
+        # satisfies except-ConnectionError handlers.
+        assert isinstance(error, ConnectionError)
+
+    def test_retries_follow_backoff_then_raise(self, graph):
+        import socket
+
+        from repro.errors import ConnectionLost
+        from repro.server.client import ReconnectPolicy
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+
+        policy = ReconnectPolicy(attempts=3, base_delay=0.01, max_delay=0.02, jitter=0.0)
+
+        async def runner():
+            started = asyncio.get_running_loop().time()
+            with pytest.raises(ConnectionLost) as info:
+                await QueryClient.connect("127.0.0.1", dead_port, policy=policy)
+            return info.value, asyncio.get_running_loop().time() - started
+
+        error, elapsed = asyncio.run(runner())
+        assert error.attempts == 3
+        assert elapsed >= 0.02  # slept between attempts (0.01 + 0.02)
+
+    def test_reconnect_restores_a_working_connection(self, graph):
+        async def runner():
+            service = QueryService(graph, threads=1)
+            server = QueryServer(service, port=0)
+            await server.start()
+            try:
+                client = await QueryClient.connect(port=server.port, retries=2)
+                assert client.connected
+                # Simulate a dropped connection by closing the transport.
+                client._writer.close()
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while client.connected:
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError("reader loop never noticed the drop")
+                    await asyncio.sleep(0.01)
+                await client.reconnect()
+                assert client.connected
+                outcome = await client.run([[0, 100, 3]])
+                await client.close()
+                return outcome
+            finally:
+                await server.close()
+                await service.close()
+
+        outcome = asyncio.run(runner())
+        assert outcome.status == "done"
+
+    def test_reconnect_policy_delay_schedule(self):
+        from repro.server.client import ReconnectPolicy
+
+        policy = ReconnectPolicy(attempts=5, base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.5]
+        jittered = ReconnectPolicy(base_delay=0.1, jitter=0.5)
+        samples = {round(jittered.delay(1), 6) for _ in range(20)}
+        assert all(0.1 <= delay <= 0.15 for delay in samples)
+        assert len(samples) > 1  # actually randomised

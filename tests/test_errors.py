@@ -36,3 +36,24 @@ class TestHierarchy:
     def test_catching_the_base_class(self):
         with pytest.raises(errors.ReproError):
             raise errors.DatasetError("missing")
+
+
+class TestConnectionLost:
+    def test_is_a_connection_error(self):
+        # Typed replacement for the raw OSError the client used to leak:
+        # callers can catch ConnectionError/OSError as before, or the
+        # precise class for retry logic.
+        assert issubclass(errors.ConnectionLost, ConnectionError)
+        assert issubclass(errors.ConnectionLost, errors.ReproError)
+
+    def test_carries_endpoint_and_attempts(self):
+        exc = errors.ConnectionLost("10.0.0.7", 7284, attempts=3, reason="refused")
+        assert (exc.host, exc.port, exc.attempts) == ("10.0.0.7", 7284, 3)
+        assert "10.0.0.7:7284" in str(exc)
+        assert "3 attempts" in str(exc)
+        assert "refused" in str(exc)
+
+    def test_singular_attempt_message(self):
+        exc = errors.ConnectionLost("h", 1)
+        assert "1 attempt" in str(exc)
+        assert "attempts" not in str(exc)
