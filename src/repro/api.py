@@ -1090,6 +1090,17 @@ class ShardMapBackend(ExecutionBackend):
 # --------------------------------------------------------------------- #
 # the façade
 # --------------------------------------------------------------------- #
+def _is_snapshot(path) -> bool:
+    """``True`` when ``path`` starts with the binary snapshot magic."""
+    from repro.graph.snapshot import SNAPSHOT_MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SNAPSHOT_MAGIC)) == SNAPSHOT_MAGIC
+    except OSError:
+        return False
+
+
 def _looks_like_url(target: str) -> Optional[Tuple[str, int]]:
     """Parse ``host:port`` / ``tcp://host:port``; ``None`` when not a URL."""
     candidate = target[len("tcp://"):] if target.startswith("tcp://") else target
@@ -1107,6 +1118,9 @@ class Database:
         Database(graph)                          # a DiGraph, inline execution
         Database(graph, backend="threads")       # same graph, thread pool
         Database("snapshot.npz", backend="processes", workers=4)
+        Database("graph.rsnap")                  # mappable snapshot: attaches
+        Database("graph.rsnap", store="heap")    # ... or materialise it
+
         Database("edges.txt")                    # SNAP-style edge list
         Database("127.0.0.1:7284")               # a running `repro serve`
         Database("router://127.0.0.1:7285")      # a running `repro route`
@@ -1210,6 +1224,10 @@ class Database:
                 max_cached=max_cached,
             )
         self.graph = graph
+        # A graph loaded from a path is this Database's to clean up —
+        # mmap'd snapshot mappings and compressed block buffers included.
+        # A caller-provided DiGraph keeps its own store lifecycle.
+        self._owns_graph_store = graph is not None and not isinstance(target, DiGraph)
         self._closed = False
 
     @staticmethod
@@ -1251,10 +1269,14 @@ class Database:
         if target.endswith(".json") and path.exists():
             return None, None, ("map", ShardMap.from_file(target))
         if target.endswith(".npz") or path.exists():
-            from repro.graph.io import load_npz, read_edge_list
+            from repro.graph.io import _load_npz, read_edge_list
 
+            if path.exists() and _is_snapshot(path):
+                from repro.graph.snapshot import load_snapshot
+
+                return load_snapshot(target, store=store or "auto"), None, None
             if target.endswith(".npz"):
-                return load_npz(target, store=store), None, None
+                return _load_npz(target, store=store), None, None
             return read_edge_list(target), None, None
         url = _looks_like_url(target)
         if url is not None:
@@ -1275,10 +1297,20 @@ class Database:
         return self._closed
 
     def close(self) -> None:
-        """Release the backend's resources; idempotent."""
+        """Release the backend's resources; idempotent.
+
+        Backends go first (worker pools may still read the graph), then any
+        graph store this Database opened itself — dropping snapshot mappings
+        without deleting the snapshot, and shared segments via the owner
+        path.  Both layers are themselves idempotent, so a second
+        ``close()`` (or an explicit ``graph.close_store()`` before this) is
+        harmless.
+        """
         if not self._closed:
             self._closed = True
             self._backend.close()
+            if self._owns_graph_store and self.graph is not None:
+                self.graph.close_store()
 
     def __enter__(self) -> "Database":
         return self

@@ -105,6 +105,7 @@ class DiGraph:
         "_vertex_ids",
         "_id_index",
         "_store",
+        "_reverse_view",
     )
 
     def __init__(
@@ -155,6 +156,7 @@ class DiGraph:
                 "out-adjacency rows must be sorted ascending; build graphs "
                 "through GraphBuilder, which guarantees the invariant"
             )
+        self._reverse_view: Optional["DiGraph"] = None
         self._store: Optional[GraphStore] = None
         if isinstance(store, GraphStore):
             self._bind_store(store)
@@ -268,20 +270,43 @@ class DiGraph:
 
     @classmethod
     def from_handle(cls, handle: StoreHandle) -> "DiGraph":
-        """Attach a graph published by :meth:`share` in another process."""
-        store = SharedMemoryStore.attach(handle)
+        """Attach a graph published by :meth:`share` in another process.
+
+        Shared-memory handles map the owner's segment; file-backed handles
+        (``mmap`` / ``compressed``) re-map the snapshot, so a worker attach
+        costs page tables and a header parse, never a copy.
+        """
+        store = handle.attach()
+        return cls._from_store(store)
+
+    @classmethod
+    def _from_store(cls, store: GraphStore) -> "DiGraph":
+        """Bind a graph directly to an attached store's views (trusted path).
+
+        Snapshot writers and :meth:`share` publishers only ever emit arrays
+        that already passed the constructor's invariants, so re-validating —
+        which would force a full decode of compressed neighbour arrays via
+        ``__array__`` — is skipped.
+        """
         arrays = store.arrays()
-        return cls(
-            int(store.meta["num_vertices"]),
-            arrays["out_indptr"],
-            arrays["out_indices"],
-            arrays["in_indptr"],
-            arrays["in_indices"],
-            edge_weights=arrays.get("edge_weights"),
-            edge_labels=store.meta.get("edge_labels"),
-            vertex_ids=store.meta.get("vertex_ids"),
-            store=store,
-        )
+        meta = getattr(store, "meta", None) or {}
+        graph = object.__new__(cls)
+        graph._num_vertices = int(meta["num_vertices"])
+        graph._out_indptr = arrays["out_indptr"]
+        graph._out_indices = arrays["out_indices"]
+        graph._in_indptr = arrays["in_indptr"]
+        graph._in_indices = arrays["in_indices"]
+        graph._edge_weights = arrays.get("edge_weights")
+        labels = meta.get("edge_labels")
+        graph._edge_labels = None if labels is None else list(labels)
+        ids = meta.get("vertex_ids")
+        graph._vertex_ids = None if ids is None else list(ids)
+        graph._id_index = None
+        if graph._vertex_ids is not None:
+            graph._id_index = {vid: i for i, vid in enumerate(graph._vertex_ids)}
+        graph._reverse_view = None
+        graph._store = store
+        return graph
 
     def close_store(self, *, unlink: bool = False) -> None:
         """Release the backing store mapping (no-op for heap graphs).
@@ -293,14 +318,33 @@ class DiGraph:
             self._store.close(unlink=unlink)
 
     def memory_usage(self) -> Dict[str, object]:
-        """Node/edge counts plus per-array nbytes of the bulk storage."""
-        per_array = {name: int(a.nbytes) for name, a in self._csr_arrays().items()}
+        """Node/edge counts plus per-array byte accounting of the storage.
+
+        ``arrays`` holds *stored* bytes per array (compressed size for
+        block-coded neighbour arrays).  ``resident_bytes`` is what sits in
+        this process's private heap / shared segment, ``mapped_bytes`` what
+        is served from a memory-mapped snapshot (page cache, shared across
+        processes, reclaimable).  ``logical_bytes`` is the flat-CSR
+        equivalent, so ``compression_ratio = total / logical`` < 1 for
+        compressed storage and 1.0 for flat backends.
+        """
+        file_backed = self._store is not None and getattr(self._store, "path", None) is not None
+        per_array: Dict[str, int] = {}
+        logical = 0
+        for name, array in self._csr_arrays().items():
+            per_array[name] = int(array.nbytes)
+            logical += int(getattr(array, "logical_nbytes", array.nbytes))
+        total = sum(per_array.values())
         return {
             "backend": self.store_backend,
             "num_vertices": self.num_vertices,
             "num_edges": self.num_edges,
             "arrays": per_array,
-            "total_bytes": sum(per_array.values()),
+            "total_bytes": total,
+            "resident_bytes": 0 if file_backed else total,
+            "mapped_bytes": total if file_backed else 0,
+            "logical_bytes": logical,
+            "compression_ratio": (total / logical) if logical else 1.0,
         }
 
     def vertices(self) -> range:
@@ -470,11 +514,39 @@ class DiGraph:
     # ------------------------------------------------------------------ #
     # derived graphs
     # ------------------------------------------------------------------ #
+    def reverse_view(self) -> "DiGraph":
+        """``G^r`` as a zero-copy view sharing this graph's arrays.
+
+        The transpose is stored permanently alongside the forward graph (the
+        ``BidirectionalImmutableGraph`` pattern), so reversing is a swap of
+        the in/out CSR pairs — no copy, no re-sort, valid for every storage
+        backend including memory-mapped and compressed snapshots.  The view
+        is cached; its own :meth:`reverse_view` is the original graph.  Edge
+        weights and labels are not carried over (they are aligned with the
+        *forward* out-adjacency), matching :meth:`reverse` semantics.
+        """
+        if self._reverse_view is None:
+            rev = object.__new__(DiGraph)
+            rev._num_vertices = self._num_vertices
+            rev._out_indptr = self._in_indptr
+            rev._out_indices = self._in_indices
+            rev._in_indptr = self._out_indptr
+            rev._in_indices = self._out_indices
+            rev._edge_weights = None
+            rev._edge_labels = None
+            rev._vertex_ids = self._vertex_ids
+            rev._id_index = self._id_index
+            rev._store = None
+            rev._reverse_view = self
+            self._reverse_view = rev
+        return self._reverse_view
+
     def reverse(self) -> "DiGraph":
         """Return ``G^r``, the graph with every edge direction flipped.
 
         Edge weights and labels are dropped: the reverse graph is only used
-        for distance computations, which do not consult them.
+        for distance computations, which do not consult them.  This copies;
+        prefer :meth:`reverse_view` when a shared-storage view suffices.
         """
         return DiGraph(
             self._num_vertices,

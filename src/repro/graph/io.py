@@ -6,25 +6,30 @@ reader accepts both, plus optional per-edge weight and label columns, and
 transparently handles gzip-compressed files.
 
 For serving deployments the text formats are the wrong tool: parsing and
-builder relabelling dominate start-up.  :func:`save_npz` / :func:`load_npz`
-persist the CSR arrays directly (the immutable "graph image" pattern of
-compressed-graph serving systems), and ``load_npz(..., store="shared_memory")``
-materialises the image straight into a shareable
-:class:`~repro.graph.store.GraphStore` so a fleet of worker processes can
-attach it without ever holding a private copy.
+builder relabelling dominate start-up.  The binary image format of choice is
+the page-aligned snapshot (:mod:`repro.graph.snapshot`), which memory-maps
+in milliseconds; :func:`save_npz` / :func:`load_npz` keep the older
+compressed-``.npz`` image working as **deprecated** shims.  The loader
+decompresses each member *directly into* the target store's buffers
+(``readinto`` on preallocated heap or shared-memory views) rather than
+materialising a private heap copy first and packing it afterwards.
 """
 
 from __future__ import annotations
 
 import gzip
+import warnings
+import zipfile
 from pathlib import Path
-from typing import IO, Iterable, Optional, Tuple, Union
+from typing import IO, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
+from numpy.lib import format as npy_format
 
 from repro.errors import GraphError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
+from repro.graph.store import SharedMemoryStore
 
 __all__ = [
     "read_edge_list",
@@ -114,7 +119,22 @@ def read_edge_list(
 
 
 def save_npz(graph: DiGraph, path: PathLike) -> Path:
-    """Persist ``graph`` as a compressed binary CSR snapshot.
+    """Deprecated: persist ``graph`` as a compressed ``.npz`` CSR image.
+
+    Use :func:`repro.graph.snapshot.save_snapshot` (or ``repro convert``)
+    instead — snapshots memory-map on load instead of decompressing.
+    """
+    warnings.warn(
+        "save_npz is deprecated; write a mappable snapshot with "
+        "repro.graph.snapshot.save_snapshot (or `repro convert`)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _save_npz(graph, path)
+
+
+def _save_npz(graph: DiGraph, path: PathLike) -> Path:
+    """Non-deprecated internal writer behind the :func:`save_npz` shim.
 
     External vertex ids are stored when they are all integers or all
     strings (the shapes produced by the edge-list readers); exotic hashable
@@ -162,44 +182,145 @@ def save_npz(graph: DiGraph, path: PathLike) -> Path:
 
 
 def load_npz(path: PathLike, *, store: Optional[str] = None) -> DiGraph:
-    """Load a :func:`save_npz` snapshot, optionally into a store backend.
+    """Deprecated: load a :func:`save_npz` image, optionally into a store.
 
-    ``store="shared_memory"`` copies the arrays into a fresh shared-memory
-    segment during construction, so the loading process can immediately
-    :meth:`~repro.graph.digraph.DiGraph.share` the graph with worker
-    processes without holding a second private copy.
+    Use :func:`repro.graph.snapshot.load_snapshot` on a converted snapshot
+    instead — it attaches by memory-mapping instead of decompressing.
+    """
+    warnings.warn(
+        "load_npz is deprecated; convert the image with `repro convert` and "
+        "open it with repro.graph.snapshot.load_snapshot",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_npz(path, store=store)
+
+
+#: The O(|V| + |E|) members that belong in a graph store; everything else in
+#: an ``.npz`` image is per-element metadata read onto the heap.
+_BULK_MEMBERS = ("out_indptr", "out_indices", "in_indptr", "in_indices", "edge_weights")
+
+
+def _npy_header(fp) -> Tuple[Tuple[int, ...], bool, np.dtype]:
+    """Parse one ``.npy`` member header: ``(shape, fortran_order, dtype)``."""
+    version = npy_format.read_magic(fp)
+    if version == (1, 0):
+        return npy_format.read_array_header_1_0(fp)
+    if version == (2, 0):
+        return npy_format.read_array_header_2_0(fp)
+    raise GraphError(f"unsupported .npy member version {version}")
+
+
+#: Decompression chunk for :func:`_readinto_exact` — bounds the transient
+#: buffer (``ZipExtFile.readinto`` would otherwise ``read()`` the whole
+#: member into a throwaway bytes object, the very copy this path removes).
+_READ_CHUNK = 4 << 20
+
+
+def _readinto_exact(fp, view: memoryview) -> bool:
+    """Fill ``view`` completely from ``fp``; ``False`` on short read."""
+    filled = 0
+    while filled < len(view):
+        count = fp.readinto(view[filled : filled + _READ_CHUNK])
+        if not count:
+            return False
+        filled += count
+    return True
+
+
+def _load_npz(path: PathLike, *, store: Optional[str] = None) -> DiGraph:
+    """Non-deprecated internal loader behind the :func:`load_npz` shim.
+
+    The bulk CSR members are decompressed *directly into* their final
+    buffers — preallocated heap arrays, or views of a freshly allocated
+    shared-memory segment (``store="shared_memory"``) — via ``readinto``,
+    so loading costs exactly one copy of each array regardless of the
+    target store.  (``store="compressed"`` necessarily decodes to the heap
+    first and then block-codes.)
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        num_vertices = int(data["num_vertices"][0])
-        edge_weights = data["edge_weights"] if "edge_weights" in data.files else None
-        vertex_ids = None
-        if "vertex_ids" in data.files:
-            raw_ids = data["vertex_ids"]
-            kind = str(data["vertex_id_kind"][0]) if "vertex_id_kind" in data.files else "int"
-            vertex_ids = (
-                [int(vid) for vid in raw_ids]
-                if kind == "int"
-                else [str(vid) for vid in raw_ids]
+    with zipfile.ZipFile(path) as archive:
+        members = {
+            name[:-4] if name.endswith(".npy") else name: name
+            for name in archive.namelist()
+        }
+        specs: Dict[str, Tuple[Tuple[int, ...], bool, np.dtype]] = {}
+        for key in _BULK_MEMBERS:
+            if key not in members:
+                continue
+            with archive.open(members[key]) as fp:
+                specs[key] = _npy_header(fp)
+
+        seg = None
+        if store in ("shared_memory", "shm"):
+            seg = SharedMemoryStore.allocate(
+                {key: (shape, dtype.str) for key, (shape, _, dtype) in specs.items()}
             )
-        edge_labels = None
-        if "edge_labels" in data.files:
-            mask = data["edge_label_mask"]
-            edge_labels = [
-                str(label) if present else None
-                for label, present in zip(data["edge_labels"], mask)
-            ]
-        return DiGraph(
-            num_vertices,
-            data["out_indptr"],
-            data["out_indices"],
-            data["in_indptr"],
-            data["in_indices"],
-            edge_weights=edge_weights,
-            edge_labels=edge_labels,
-            vertex_ids=vertex_ids,
-            store=store,
-        )
+            bulk = seg.arrays()
+        else:
+            bulk = {
+                key: np.empty(shape, dtype=dtype)
+                for key, (shape, _, dtype) in specs.items()
+            }
+        try:
+            for key, (shape, fortran, dtype) in specs.items():
+                with archive.open(members[key]) as fp:
+                    _npy_header(fp)  # skip past the header bytes
+                    if fortran and len(shape) > 1:  # pragma: no cover - 1-D in practice
+                        bulk[key][...] = npy_format.read_array(fp, allow_pickle=False)
+                        continue
+                    view = memoryview(bulk[key].reshape(-1)).cast("B")
+                    if not _readinto_exact(fp, view):
+                        raise GraphError(f"truncated member {key!r} in {path}")
+
+            def read_small(key: str) -> Optional[np.ndarray]:
+                if key not in members:
+                    return None
+                with archive.open(members[key]) as fp:
+                    return npy_format.read_array(fp, allow_pickle=False)
+
+            num_vertices = int(read_small("num_vertices")[0])
+            vertex_ids = None
+            raw_ids = read_small("vertex_ids")
+            if raw_ids is not None:
+                kind_member = read_small("vertex_id_kind")
+                kind = str(kind_member[0]) if kind_member is not None else "int"
+                vertex_ids = (
+                    [int(vid) for vid in raw_ids]
+                    if kind == "int"
+                    else [str(vid) for vid in raw_ids]
+                )
+            edge_labels = None
+            raw_labels = read_small("edge_labels")
+            if raw_labels is not None:
+                mask = read_small("edge_label_mask")
+                edge_labels = [
+                    str(label) if present else None
+                    for label, present in zip(raw_labels, mask)
+                ]
+            if seg is not None:
+                seg.meta.update(
+                    {
+                        "num_vertices": num_vertices,
+                        "edge_labels": edge_labels,
+                        "vertex_ids": vertex_ids,
+                    }
+                )
+            return DiGraph(
+                num_vertices,
+                bulk["out_indptr"],
+                bulk["out_indices"],
+                bulk["in_indptr"],
+                bulk["in_indices"],
+                edge_weights=bulk.get("edge_weights"),
+                edge_labels=edge_labels,
+                vertex_ids=vertex_ids,
+                store=seg if seg is not None else store,
+            )
+        except BaseException:
+            if seg is not None:
+                seg.close(unlink=True)
+            raise
 
 
 def write_edge_list(

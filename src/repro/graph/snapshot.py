@@ -1,0 +1,302 @@
+"""Page-aligned binary graph snapshots: write once, attach in milliseconds.
+
+The ``.npz`` image (:mod:`repro.graph.io`) must be *decompressed and copied*
+on every process start — cold-start cost grows with graph size, and N
+processes on one box hold N private copies.  The snapshot format here is the
+storage counterpart of large compressed-graph serving systems (WebGraph,
+swh-graph): an immutable file whose arrays are stored raw, little-endian and
+page-aligned, so a reader memory-maps them in place.  Opening costs a header
+parse plus page tables regardless of size, the kernel's page cache holds one
+image shared by every process on the host, and graphs larger than RAM page
+in on demand.
+
+Layout::
+
+    bytes 0..7    magic  b"RSNAP001"
+    bytes 8..15   uint64 little-endian header length H
+    bytes 16..    UTF-8 JSON header
+    data          starts at the first 4096-byte boundary >= 16 + H
+
+The JSON header records the codec (``"raw"`` flat arrays or ``"compressed"``
+gap/varint blocks, :mod:`repro.graph.blocks`), the graph meta (vertex count,
+external ids, edge labels) and, per array, its *relative* byte offset into
+the data region, shape and dtype.  Offsets are relative so the header can be
+serialised before its own length is known; every array is itself 4096-byte
+aligned within the data region.
+
+Both codecs store the transpose (``in_indptr`` / ``in_indices``) permanently
+alongside the forward graph — the ``BidirectionalImmutableGraph`` pattern —
+so reverse-BFS distance warming never pays an on-demand transposition.
+
+:func:`save_snapshot` / :func:`load_snapshot` are the high-level graph API;
+:func:`write_snapshot` / :func:`map_snapshot` are the array-level primitives
+shared with :class:`~repro.graph.store.MmapStore` and
+:class:`~repro.graph.store.CompressedStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.blocks import CompressedIndices
+from repro.graph.store import CompressedStore, MmapStore
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_PAGE",
+    "load_snapshot",
+    "map_snapshot",
+    "read_snapshot_header",
+    "save_snapshot",
+    "snapshot_codec",
+    "write_snapshot",
+]
+
+PathLike = Union[str, Path]
+
+#: First eight bytes of every snapshot file.
+SNAPSHOT_MAGIC = b"RSNAP001"
+
+#: Alignment unit for the data region and for every array inside it.  One
+#: page on effectively every platform numpy runs on; mapped views are then
+#: page-aligned, which is what lets the OS share them across processes.
+SNAPSHOT_PAGE = 4096
+
+#: Store choices accepted by :func:`load_snapshot`.
+_LOAD_STORES = ("auto", "mmap", "compressed", "heap", "shared_memory", "shm")
+
+#: The arrays a compressed snapshot block-codes (everything else stays flat).
+_BLOCKED = ("out_indices", "in_indices")
+
+
+def _page_aligned(size: int) -> int:
+    return (size + SNAPSHOT_PAGE - 1) // SNAPSHOT_PAGE * SNAPSHOT_PAGE
+
+
+# --------------------------------------------------------------------- #
+# array-level primitives
+# --------------------------------------------------------------------- #
+def write_snapshot(
+    path: PathLike,
+    arrays: Mapping[str, np.ndarray],
+    meta: Optional[Mapping[str, object]] = None,
+    *,
+    codec: str = "raw",
+) -> Path:
+    """Write ``arrays`` + ``meta`` as a snapshot file; return the path.
+
+    ``meta`` must be JSON-serialisable (it lives in the header).  Arrays are
+    written contiguous and little-endian regardless of their in-memory
+    byte order, so a snapshot is portable across hosts.
+    """
+    path = Path(path)
+    specs: Dict[str, Dict[str, object]] = {}
+    payload = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.byteorder == ">":
+            array = array.astype(array.dtype.newbyteorder("<"))
+        specs[name] = {
+            "offset": offset,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        }
+        payload.append((offset, array))
+        offset = _page_aligned(offset + array.nbytes)
+    header = json.dumps(
+        {"codec": codec, "meta": dict(meta or {}), "arrays": specs},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    data_start = _page_aligned(16 + len(header))
+    with open(path, "wb") as handle:
+        handle.write(SNAPSHOT_MAGIC)
+        handle.write(struct.pack("<Q", len(header)))
+        handle.write(header)
+        for rel, array in payload:
+            if array.nbytes:
+                handle.seek(data_start + rel)
+                handle.write(memoryview(array).cast("B"))
+        # Pad to the full aligned extent so every declared offset is
+        # mappable even when the last array leaves a partial page.
+        handle.truncate(data_start + max(offset, SNAPSHOT_PAGE))
+    return path
+
+
+def _read_header(handle) -> Tuple[Dict[str, object], int]:
+    prefix = handle.read(16)
+    if len(prefix) < 16 or prefix[:8] != SNAPSHOT_MAGIC:
+        raise GraphError(
+            f"{handle.name!r} is not a graph snapshot (bad magic); "
+            "write one with save_snapshot or `repro convert`"
+        )
+    (header_len,) = struct.unpack("<Q", prefix[8:16])
+    try:
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GraphError(f"corrupt snapshot header in {handle.name!r}") from exc
+    return header, _page_aligned(16 + header_len)
+
+
+def read_snapshot_header(path: PathLike) -> Dict[str, object]:
+    """Parse just the JSON header of a snapshot (codec, meta, array specs)."""
+    with open(path, "rb") as handle:
+        header, _ = _read_header(handle)
+    return header
+
+
+def snapshot_codec(path: PathLike) -> str:
+    """The codec (``"raw"`` / ``"compressed"``) of the snapshot at ``path``."""
+    return str(read_snapshot_header(path)["codec"])
+
+
+def map_snapshot(
+    path: PathLike, *, expected_codec: Optional[str] = None
+) -> Tuple[Dict[str, object], mmap.mmap]:
+    """Map a snapshot read-only; return ``(header, mapping)``.
+
+    Array offsets in the returned header are rewritten to be *absolute*
+    within the mapping.  The file descriptor is closed before returning —
+    the mapping keeps the file open, so no fd is held per attached store.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header, data_start = _read_header(handle)
+        if expected_codec is not None and header.get("codec") != expected_codec:
+            raise GraphError(
+                f"snapshot {str(path)!r} has codec {header.get('codec')!r}, "
+                f"expected {expected_codec!r}; convert it with `repro convert`"
+            )
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    for spec in header["arrays"].values():
+        spec["offset"] = int(spec["offset"]) + data_start
+    return header, mapping
+
+
+# --------------------------------------------------------------------- #
+# graph-level API
+# --------------------------------------------------------------------- #
+def _snapshot_meta(graph) -> Dict[str, object]:
+    """Graph extras for the JSON header (mirrors the ``save_npz`` rules)."""
+    meta: Dict[str, object] = {"num_vertices": graph.num_vertices}
+    if graph.has_external_ids:
+        ids = [graph.to_external(v) for v in graph.vertices()]
+        if all(isinstance(vid, (int, np.integer)) for vid in ids):
+            meta["vertex_ids"] = [int(vid) for vid in ids]
+        elif all(isinstance(vid, str) for vid in ids):
+            meta["vertex_ids"] = ids
+        else:
+            raise GraphError(
+                "snapshots support integer or string vertex ids only; "
+                "write an edge list for graphs with other id types"
+            )
+    if graph.has_edge_labels:
+        meta["edge_labels"] = list(graph._edge_labels)
+    return meta
+
+
+def save_snapshot(graph, path: PathLike, *, codec: str = "raw") -> Path:
+    """Persist ``graph`` as a mappable snapshot.
+
+    ``codec="raw"`` writes the flat CSR arrays (the :class:`MmapStore`
+    format); ``codec="compressed"`` gap/varint block-codes the two neighbour
+    arrays (the :class:`CompressedStore` format).  Both store forward and
+    reverse adjacency.
+    """
+    if codec not in ("raw", "compressed"):
+        raise GraphError(f"unknown snapshot codec {codec!r}; use 'raw' or 'compressed'")
+    source = graph._csr_arrays()
+    arrays: Dict[str, np.ndarray] = {}
+    for name, array in source.items():
+        if codec == "compressed" and name in _BLOCKED:
+            indptr = source[name.replace("_indices", "_indptr")]
+            if isinstance(array, CompressedIndices):
+                blocked = array
+            else:
+                blocked = CompressedIndices.from_csr(
+                    np.asarray(indptr, dtype=np.int64), array
+                )
+            prefix = name[: -len("_indices")]
+            for part, data in blocked.arrays().items():
+                arrays[f"{prefix}_{part}"] = data
+        elif isinstance(array, CompressedIndices):
+            arrays[name] = array.materialize()
+        else:
+            arrays[name] = array
+    return write_snapshot(path, arrays, _snapshot_meta(graph), codec=codec)
+
+
+def load_snapshot(path: PathLike, *, store: str = "auto"):
+    """Load a snapshot into a :class:`~repro.graph.digraph.DiGraph`.
+
+    ``store`` selects the backend holding the arrays:
+
+    * ``"auto"`` — the zero-copy mapping matching the file's codec
+      (``mmap`` for raw snapshots, ``compressed`` for compressed ones);
+    * ``"mmap"`` — map a raw snapshot in place (read-only views);
+    * ``"compressed"`` — map a compressed snapshot in place, or block-code
+      a raw one in memory;
+    * ``"heap"`` / ``"shared_memory"`` — materialise flat arrays on the
+      heap or into a fresh shared-memory segment.
+    """
+    from repro.graph.digraph import DiGraph
+
+    if store not in _LOAD_STORES:
+        raise GraphError(
+            f"unknown snapshot store {store!r}; available: {', '.join(_LOAD_STORES)}"
+        )
+    path = Path(path)
+    codec = snapshot_codec(path)
+    if store == "auto":
+        store = "compressed" if codec == "compressed" else "mmap"
+
+    if store == "mmap":
+        return DiGraph._from_store(MmapStore.open(path))
+    if store == "compressed":
+        if codec == "compressed":
+            return DiGraph._from_store(CompressedStore.open(path))
+        # Raw file: encode in memory off the mapped views (one read pass).
+        raw = MmapStore.open(path)
+        packed = CompressedStore.pack(raw.arrays(), raw.meta)
+        return DiGraph._from_store(packed)
+
+    # Flat materialisation paths (heap / shared memory).
+    if codec == "compressed":
+        mapped = CompressedStore.open(path)
+        views = {
+            name: view.materialize() if isinstance(view, CompressedIndices) else view
+            for name, view in mapped.arrays().items()
+        }
+        meta = mapped.meta
+    else:
+        mapped = MmapStore.open(path)
+        views = mapped.arrays()
+        meta = mapped.meta
+    graph = DiGraph(
+        int(meta["num_vertices"]),
+        views["out_indptr"],
+        views["out_indices"],
+        views["in_indptr"],
+        views["in_indices"],
+        edge_weights=views.get("edge_weights"),
+        edge_labels=meta.get("edge_labels"),
+        vertex_ids=meta.get("vertex_ids"),
+        store=None if store == "heap" else store,
+    )
+    if store == "heap":
+        # Detach from the mapping: heap means process-private flat arrays.
+        graph._out_indptr = np.array(graph._out_indptr)
+        graph._out_indices = np.array(graph._out_indices)
+        graph._in_indptr = np.array(graph._in_indptr)
+        graph._in_indices = np.array(graph._in_indices)
+        if graph._edge_weights is not None:
+            graph._edge_weights = np.array(graph._edge_weights)
+        mapped.close()
+    return graph

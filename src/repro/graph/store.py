@@ -1,19 +1,30 @@
 """Pluggable array storage backends for graph and distance-cache data.
 
 :class:`~repro.graph.digraph.DiGraph` keeps its CSR arrays inside a
-:class:`GraphStore`.  Two backends exist:
+:class:`GraphStore`.  Four backends exist:
 
 * :class:`HeapStore` — plain process-private numpy arrays (the default; the
   behaviour the package always had);
 * :class:`SharedMemoryStore` — one ``multiprocessing.shared_memory`` segment
   holding every array back to back, so a graph (or a distance cache) can be
-  *published once* and attached zero-copy by any number of worker processes.
+  *published once* and attached zero-copy by any number of worker processes;
+* :class:`MmapStore` — a page-aligned snapshot file
+  (:mod:`repro.graph.snapshot`) mapped read-only with ``mmap``: a cold
+  process attaches in milliseconds regardless of graph size, and every
+  process on the box shares one page cache image with zero copies;
+* :class:`CompressedStore` — the neighbour arrays gap/varint-encoded into
+  fixed-size blocks (:mod:`repro.graph.blocks`), decoded block-at-a-time on
+  access; file-backed instances map the compressed snapshot the same way
+  :class:`MmapStore` maps a raw one, so both resident *and* mapped bytes
+  shrink by the compression ratio.
 
-A shared store is described by a small picklable :class:`StoreHandle` (the
-segment name plus an array layout); sending the handle to a worker costs a
-few hundred bytes regardless of graph size, which is the pattern large
-compressed-graph systems (e.g. swh-graph) use to fan one immutable graph
-image out to many readers.
+A shareable store is described by a small picklable :class:`StoreHandle` (a
+segment name or snapshot path plus an array layout); sending the handle to a
+worker costs a few hundred bytes regardless of graph size, which is the
+pattern large compressed-graph systems (e.g. swh-graph) use to fan one
+immutable graph image out to many readers.  File-backed handles re-attach by
+re-mapping the snapshot — no segment lifecycle, no resource tracker, no
+owner.
 
 Lifecycle rules
 ---------------
@@ -32,18 +43,23 @@ Lifecycle rules
 
 from __future__ import annotations
 
+import mmap as mmap_module
 import threading
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graph.blocks import CompressedIndices
 
 __all__ = [
+    "CompressedStore",
     "GraphStore",
     "HeapStore",
+    "MmapStore",
     "SharedMemoryStore",
     "StoreHandle",
     "open_store",
@@ -89,19 +105,28 @@ def _open_untracked(name: str) -> shared_memory.SharedMemory:
 
 @dataclass(frozen=True)
 class StoreHandle:
-    """Picklable description of a shared-memory array pack.
+    """Picklable description of a shareable array pack.
 
+    For the shared-memory backend ``segment_name`` names the segment and
     ``layout`` maps each array name to ``(offset, shape, dtype_str)`` inside
-    the segment; ``meta`` carries small picklable extras (external vertex
-    ids, edge labels, ...) that ride the pickle instead of the segment.
+    it; ``meta`` carries small picklable extras (external vertex ids, edge
+    labels, ...) that ride the pickle instead of the segment.  For the
+    file-backed backends (``"mmap"`` / ``"compressed"``) ``segment_name``
+    holds the snapshot path and the attacher re-reads layout and meta from
+    the snapshot header — the handle stays a few hundred bytes either way.
     """
 
     segment_name: str
     layout: Dict[str, Tuple[int, Tuple[int, ...], str]]
     meta: Dict[str, object] = field(default_factory=dict)
+    backend: str = "shared_memory"
 
-    def attach(self) -> "SharedMemoryStore":
-        """Open the described segment in this process (read-only views)."""
+    def attach(self) -> "GraphStore":
+        """Open the described store in this process (read-only views)."""
+        if self.backend == "mmap":
+            return MmapStore.open(self.segment_name)
+        if self.backend == "compressed":
+            return CompressedStore.open(self.segment_name)
         return SharedMemoryStore.attach(self)
 
 
@@ -224,6 +249,30 @@ class SharedMemoryStore(GraphStore):
         return store
 
     @classmethod
+    def allocate(
+        cls,
+        shapes: Mapping[str, Tuple[Tuple[int, ...], str]],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "SharedMemoryStore":
+        """Create an owned segment with uninitialised arrays of given shapes.
+
+        ``shapes`` maps each array name to ``(shape, dtype_str)``.  Loaders
+        use this to decompress file data *directly into* the segment views,
+        skipping the intermediate heap copy that :meth:`pack` implies.
+        """
+        layout: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+        offset = 0
+        for name, (shape, dtype) in shapes.items():
+            dt = np.dtype(dtype)
+            count = 1
+            for dim in shape:
+                count *= int(dim)
+            layout[name] = (offset, tuple(int(dim) for dim in shape), dt.str)
+            offset = _aligned(offset + count * dt.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, _ALIGNMENT))
+        return cls(shm, layout, dict(meta or {}), owner=True)
+
+    @classmethod
     def attach(cls, handle: StoreHandle) -> "SharedMemoryStore":
         """Map an existing segment described by ``handle`` into this process."""
         try:
@@ -292,12 +341,234 @@ class SharedMemoryStore(GraphStore):
             pass
 
 
+class MmapStore(GraphStore):
+    """Read-only views straight into a page-aligned raw snapshot file.
+
+    Created with :meth:`open` against a ``codec="raw"`` snapshot written by
+    :func:`repro.graph.snapshot.save_snapshot`.  Attachment maps the file
+    once and wraps each array as a zero-copy ``np.frombuffer`` view, so a
+    cold start costs a header parse plus page-table setup — milliseconds,
+    independent of graph size — and N processes mapping the same snapshot
+    share one page-cache image.  There is no owner and nothing to unlink:
+    :meth:`close` merely drops this process's mapping.
+    """
+
+    backend = "mmap"
+    shareable = True
+
+    def __init__(
+        self,
+        path: Path,
+        mm: mmap_module.mmap,
+        views: Dict[str, np.ndarray],
+        meta: Dict[str, object],
+    ) -> None:
+        self._path = path
+        self._mm = mm
+        self._views = views
+        self.meta = meta
+        self._closed = False
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "MmapStore":
+        """Map the raw snapshot at ``path`` read-only."""
+        from repro.graph.snapshot import map_snapshot
+
+        path = Path(path)
+        header, mm = map_snapshot(path, expected_codec="raw")
+        views = {
+            name: _view_from_mapping(mm, spec)
+            for name, spec in header["arrays"].items()
+        }
+        return cls(path, mm, views, dict(header.get("meta", {})))
+
+    @property
+    def path(self) -> Path:
+        """The snapshot file backing this mapping."""
+        return self._path
+
+    @property
+    def is_owner(self) -> bool:
+        """Snapshot files have no owning process; nothing is ever unlinked."""
+        return False
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return self._views
+
+    def handle(self) -> StoreHandle:
+        return StoreHandle(str(self._path), {}, {}, backend=self.backend)
+
+    def close(self, *, unlink: bool = False) -> None:
+        """Drop the mapping; ``unlink`` is ignored (the file is never deleted)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views = {}
+        _close_mapping(self._mm)
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class CompressedStore(GraphStore):
+    """Gap/varint block-coded neighbour arrays behind the store interface.
+
+    Arrays named ``*_indices`` whose companion ``*_indptr`` is present are
+    held as :class:`~repro.graph.blocks.CompressedIndices` — decoded
+    block-at-a-time into a small reusable buffer on access — while the
+    O(|V|) offset arrays (and edge weights) stay flat.  Two lives:
+
+    * :meth:`pack` encodes flat arrays in memory (heap-resident compressed);
+    * :meth:`open` maps a ``codec="compressed"`` snapshot file, combining
+      the compression with :class:`MmapStore`'s millisecond attach and
+      shared page cache.  Only file-backed instances are shareable.
+    """
+
+    backend = "compressed"
+
+    def __init__(
+        self,
+        views: Dict[str, object],
+        meta: Dict[str, object],
+        *,
+        path: Optional[Path] = None,
+        mm: Optional[mmap_module.mmap] = None,
+    ) -> None:
+        self._views = views
+        self.meta = meta
+        self._path = path
+        self._mm = mm
+        self._closed = False
+
+    @classmethod
+    def pack(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "CompressedStore":
+        """Encode ``arrays`` in memory (indices blocked, the rest flat)."""
+        views: Dict[str, object] = {}
+        for name, array in arrays.items():
+            indptr_name = name.replace("_indices", "_indptr")
+            if name.endswith("_indices") and indptr_name in arrays:
+                views[name] = CompressedIndices.from_csr(
+                    np.asarray(arrays[indptr_name], dtype=np.int64), array
+                )
+            else:
+                views[name] = np.ascontiguousarray(array)
+        return cls(views, dict(meta or {}))
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "CompressedStore":
+        """Map the compressed snapshot at ``path`` read-only."""
+        from repro.graph.snapshot import map_snapshot
+
+        path = Path(path)
+        header, mm = map_snapshot(path, expected_codec="compressed")
+        specs = header["arrays"]
+        raw = {name: _view_from_mapping(mm, spec) for name, spec in specs.items()}
+        views: Dict[str, object] = {}
+        consumed = set()
+        for name in list(raw):
+            if not name.endswith("_stream"):
+                continue
+            prefix = name[: -len("_stream")]
+            part_names = [f"{prefix}_{part}" for part in ("stream", "offsets", "anchors", "starts")]
+            views[f"{prefix}_indices"] = CompressedIndices(
+                *(raw[part] for part in part_names)
+            )
+            consumed.update(part_names)
+        for name, view in raw.items():
+            if name not in consumed:
+                views[name] = view
+        return cls(views, dict(header.get("meta", {})), path=path, mm=mm)
+
+    @property
+    def shareable(self) -> bool:  # type: ignore[override]
+        """Only file-backed instances can be attached from another process."""
+        return self._path is not None
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The snapshot file backing this store, or ``None`` for heap packs."""
+        return self._path
+
+    @property
+    def is_owner(self) -> bool:
+        """Snapshot files have no owning process; nothing is ever unlinked."""
+        return False
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return self._views  # type: ignore[return-value]
+
+    def nbytes(self) -> Dict[str, int]:
+        """Per-array *stored* bytes (compressed for the blocked arrays)."""
+        return {name: int(view.nbytes) for name, view in self._views.items()}
+
+    def handle(self) -> StoreHandle:
+        if self._path is None:
+            raise GraphError(
+                "a heap-packed compressed store cannot be shared across "
+                "processes; save a compressed snapshot and open that instead"
+            )
+        return StoreHandle(str(self._path), {}, {}, backend=self.backend)
+
+    def close(self, *, unlink: bool = False) -> None:
+        """Drop the views (and mapping); ``unlink`` is ignored."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views = {}
+        if self._mm is not None:
+            _close_mapping(self._mm)
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _view_from_mapping(mm: mmap_module.mmap, spec) -> np.ndarray:
+    """A zero-copy read-only array over one region of a snapshot mapping."""
+    offset, shape, dtype = spec["offset"], spec["shape"], spec["dtype"]
+    dt = np.dtype(dtype)
+    count = 1
+    for dim in shape:
+        count *= dim
+    view = np.frombuffer(mm, dtype=dt, count=count, offset=offset).reshape(shape)
+    # ACCESS_READ mappings already yield read-only buffers; this keeps the
+    # invariant explicit (and covers copy-on-write mappings, if ever used).
+    view.flags.writeable = False
+    return view
+
+
+def _close_mapping(mm: mmap_module.mmap) -> None:
+    """Close a snapshot mapping, tolerating still-exported buffer views.
+
+    Dropping the store's own views is usually enough for ``mmap.close`` to
+    succeed; if the caller still holds an array pulled out earlier, closing
+    would invalidate it mid-use, so the mapping is left to the garbage
+    collector instead of raising.
+    """
+    try:
+        mm.close()
+    except BufferError:  # pragma: no cover - caller still holds views
+        pass
+
+
 #: Registry of backend names accepted by :func:`open_store` and by
 #: :class:`~repro.graph.digraph.DiGraph`'s ``store=`` parameter.
+#: ``mmap`` is attach-only (it needs a snapshot file, not loose arrays), so
+#: it is deliberately absent here; use ``load_snapshot(..., store="mmap")``.
 _BACKENDS = {
     HeapStore.backend: HeapStore,
     SharedMemoryStore.backend: SharedMemoryStore,
     "shm": SharedMemoryStore,
+    CompressedStore.backend: CompressedStore,
 }
 
 

@@ -220,6 +220,8 @@ class QueryService:
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "graph_vertices": self.graph.num_vertices,
             "graph_edges": self.graph.num_edges,
+            "graph_store": self.graph.store_backend,
+            "graph_resident_bytes": self.graph.memory_usage()["resident_bytes"],
         }
 
     # -- job lifecycle ------------------------------------------------- #

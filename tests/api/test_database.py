@@ -11,7 +11,8 @@ from repro.core.listener import RunConfig
 from repro.errors import BackendError, QuerySpecError
 from repro.graph.builder import GraphBuilder
 from repro.graph.generators import erdos_renyi
-from repro.graph.io import save_npz, write_edge_list
+from repro.graph.io import _save_npz as save_npz
+from repro.graph.io import write_edge_list
 from repro.workloads.queries import generate_target_centric_set
 
 

@@ -1,0 +1,177 @@
+"""Unit tests for the delta + varint block codec behind CompressedStore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.blocks import (
+    BLOCK_VALUES,
+    CompressedIndices,
+    decode_varints,
+    encode_blocked,
+    encode_varints,
+)
+from repro.graph.generators import erdos_renyi
+
+
+def _random_csr(num_rows, max_degree, num_cols, seed):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(num_rows):
+        degree = int(rng.integers(0, max_degree + 1))
+        rows.append(np.unique(rng.integers(0, num_cols, size=degree)))
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum([len(r) for r in rows])
+    indices = (
+        np.concatenate(rows).astype(np.int64) if indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    return indptr, indices
+
+
+class TestVarints:
+    def test_round_trip_boundary_values(self):
+        # 0 and 127 fit in one byte; 128 needs two; the rest exercise
+        # every continuation length up to the int64 maximum.
+        values = np.array(
+            [0, 1, 127, 128, 129, 16383, 16384, 2**31 - 1, 2**40, 2**62], dtype=np.int64
+        )
+        stream, ends = encode_varints(values)
+        assert np.array_equal(decode_varints(stream), values)
+        # Byte sizing: ceil(bit_length / 7), minimum 1.
+        sizes = np.diff(np.concatenate([[0], ends]))
+        expected = [max(1, -(-int(v).bit_length() // 7)) for v in values]
+        assert sizes.tolist() == expected
+
+    def test_round_trip_random(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**45, size=5000).astype(np.int64)
+        stream, _ = encode_varints(values)
+        assert np.array_equal(decode_varints(stream), values)
+
+    def test_empty_round_trip(self):
+        stream, ends = encode_varints(np.empty(0, dtype=np.int64))
+        assert stream.size == 0 and ends.size == 0
+        assert decode_varints(stream).size == 0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            encode_varints(np.array([3, -1], dtype=np.int64))
+
+    def test_truncated_stream_rejected(self):
+        stream, _ = encode_varints(np.array([300], dtype=np.int64))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varints(stream[:-1])
+
+
+class TestEncodeBlocked:
+    def test_empty_csr(self):
+        parts = encode_blocked(np.zeros(5, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert parts["stream"].size == 0
+        assert parts["anchors"].size == 0
+        assert parts["offsets"].tolist() == [0]
+        assert parts["starts"].tolist() == [0]
+
+    def test_blocks_never_span_rows(self):
+        indptr, indices = _random_csr(40, 3 * BLOCK_VALUES, 10_000, seed=11)
+        parts = encode_blocked(indptr, indices)
+        starts = parts["starts"][:-1]
+        # Every row boundary with a non-empty row must start a block.
+        row_starts = indptr[:-1][np.diff(indptr) > 0]
+        assert np.isin(row_starts, starts).all()
+
+    def test_anchors_are_block_first_values(self):
+        indptr, indices = _random_csr(30, 200, 5_000, seed=3)
+        parts = encode_blocked(indptr, indices)
+        assert np.array_equal(parts["anchors"], indices[parts["starts"][:-1]])
+
+    def test_unsorted_rows_rejected(self):
+        indptr = np.array([0, 3], dtype=np.int64)
+        indices = np.array([5, 2, 9], dtype=np.int64)
+        with pytest.raises(ValueError, match="ascending"):
+            encode_blocked(indptr, indices)
+
+
+class TestCompressedIndices:
+    @pytest.fixture(scope="class")
+    def csr(self):
+        graph = erdos_renyi(400, 12.0, seed=21)
+        indptr, indices = graph.out_csr()
+        return np.asarray(indptr), np.asarray(indices)
+
+    @pytest.fixture(scope="class")
+    def compressed(self, csr):
+        indptr, indices = csr
+        return CompressedIndices.from_csr(indptr, indices)
+
+    def test_full_decode_matches(self, csr, compressed):
+        _, indices = csr
+        assert np.array_equal(np.asarray(compressed), indices)
+        assert np.array_equal(compressed.materialize(), indices)
+        assert len(compressed) == len(indices)
+        assert compressed.shape == indices.shape
+
+    def test_every_row_slice_matches(self, csr, compressed):
+        indptr, indices = csr
+        for row in range(len(indptr) - 1):
+            lo, hi = int(indptr[row]), int(indptr[row + 1])
+            assert np.array_equal(compressed[lo:hi], indices[lo:hi])
+
+    def test_integer_and_negative_indexing(self, csr, compressed):
+        _, indices = csr
+        for position in (0, 1, len(indices) // 2, len(indices) - 1):
+            assert compressed[position] == indices[position]
+        assert compressed[-1] == indices[-1]
+        with pytest.raises(IndexError):
+            compressed[len(indices)]
+
+    def test_strided_slice(self, csr, compressed):
+        _, indices = csr
+        assert np.array_equal(compressed[10:500:7], indices[10:500:7])
+
+    def test_gather_unsorted_with_repeats(self, csr, compressed):
+        _, indices = csr
+        rng = np.random.default_rng(5)
+        positions = rng.integers(0, len(indices), size=3000)
+        assert np.array_equal(compressed[positions], indices[positions])
+
+    def test_boolean_mask(self, csr, compressed):
+        _, indices = csr
+        mask = (np.arange(len(indices)) % 3) == 0
+        assert np.array_equal(compressed[mask], indices[mask])
+        with pytest.raises(IndexError, match="mask length"):
+            compressed[mask[:-1]]
+
+    def test_byte_accounting(self, csr, compressed):
+        _, indices = csr
+        assert compressed.logical_nbytes == indices.nbytes
+        assert 0 < compressed.nbytes < compressed.logical_nbytes
+        parts = compressed.arrays()
+        assert compressed.nbytes == sum(a.nbytes for a in parts.values())
+
+    def test_copy_is_writable_and_detached(self, csr, compressed):
+        _, indices = csr
+        copied = compressed.copy()
+        assert copied.flags.writeable
+        copied[0] = -1
+        assert compressed[0] == indices[0]
+
+    def test_decode_range_cache_is_read_only(self, compressed):
+        values = compressed.decode_range(0, BLOCK_VALUES)
+        with pytest.raises(ValueError):
+            values[0] = 99
+
+    def test_single_row_graph(self):
+        # One row longer than several blocks, including gap 1 runs.
+        indices = np.unique(np.concatenate([np.arange(100), np.arange(200, 1000, 3)]))
+        indptr = np.array([0, len(indices)], dtype=np.int64)
+        compressed = CompressedIndices.from_csr(indptr, indices.astype(np.int64))
+        assert np.array_equal(np.asarray(compressed), indices)
+
+    def test_empty_indices(self):
+        compressed = CompressedIndices.from_csr(
+            np.zeros(4, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert len(compressed) == 0
+        assert np.asarray(compressed).size == 0
+        assert compressed.logical_nbytes == 0

@@ -109,9 +109,21 @@ class TestReadWriteRoundTrip:
 
 
 class TestNpzSnapshots:
-    def test_round_trip_structure(self, tmp_path):
+    def test_public_api_is_deprecated(self, tmp_path):
         from repro.graph.generators import erdos_renyi
         from repro.graph.io import load_npz, save_npz
+
+        graph = erdos_renyi(10, 2.0, seed=1)
+        with pytest.warns(DeprecationWarning, match="save_snapshot"):
+            path = save_npz(graph, tmp_path / "dep.npz")
+        with pytest.warns(DeprecationWarning, match="load_snapshot"):
+            loaded = load_npz(path)
+        assert loaded.num_edges == graph.num_edges
+
+    def test_round_trip_structure(self, tmp_path):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import _load_npz as load_npz
+        from repro.graph.io import _save_npz as save_npz
 
         graph = erdos_renyi(40, 3.0, seed=2)
         path = save_npz(graph, tmp_path / "graph.npz")
@@ -122,7 +134,8 @@ class TestNpzSnapshots:
 
     def test_round_trip_attributes_and_ids(self, tmp_path):
         from repro.graph.builder import GraphBuilder
-        from repro.graph.io import load_npz, save_npz
+        from repro.graph.io import _load_npz as load_npz
+        from repro.graph.io import _save_npz as save_npz
 
         builder = GraphBuilder()
         builder.add_edge("a", "b", weight=2.0, label="x")
@@ -141,7 +154,8 @@ class TestNpzSnapshots:
 
     def test_load_into_shared_memory_store(self, tmp_path):
         from repro.graph.generators import erdos_renyi
-        from repro.graph.io import load_npz, save_npz
+        from repro.graph.io import _load_npz as load_npz
+        from repro.graph.io import _save_npz as save_npz
 
         graph = erdos_renyi(30, 3.0, seed=4)
         path = save_npz(graph, tmp_path / "shared.npz")
@@ -162,7 +176,7 @@ class TestNpzSnapshots:
 
     def test_exotic_vertex_ids_are_rejected(self, tmp_path):
         from repro.graph.builder import GraphBuilder
-        from repro.graph.io import save_npz
+        from repro.graph.io import _save_npz as save_npz
 
         builder = GraphBuilder()
         builder.add_edge(("tuple", 1), ("tuple", 2))

@@ -1,0 +1,345 @@
+"""Property tests for the snapshot file format and its storage backends.
+
+Every storage backend must be observationally identical to the heap CSR
+graph: byte-identical neighbour lists and degrees (forward and transpose),
+identical reverse-BFS distances, and byte-identical enumeration payloads.
+On top of equivalence, the suite pins the operational contract: mapped
+views are read-only, handles attach across processes, close is idempotent
+and fd-clean, and corrupt files fail loudly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.snapshot import (
+    SNAPSHOT_MAGIC,
+    load_snapshot,
+    read_snapshot_header,
+    save_snapshot,
+    snapshot_codec,
+    write_snapshot,
+)
+from repro.graph.store import CompressedStore, MmapStore
+from repro.graph.traversal import bfs_distances
+
+#: Every load_snapshot store choice that must be equivalent to the heap.
+STORES = ("mmap", "compressed", "heap", "shared_memory")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(300, 8.0, seed=13)
+
+
+@pytest.fixture(scope="module")
+def raw_path(graph, tmp_path_factory):
+    return save_snapshot(graph, tmp_path_factory.mktemp("snap") / "graph.rsnap")
+
+
+@pytest.fixture(scope="module")
+def compressed_path(graph, tmp_path_factory):
+    return save_snapshot(
+        graph, tmp_path_factory.mktemp("snap") / "graph.crsnap", codec="compressed"
+    )
+
+
+def _open_variant(store, raw_path, compressed_path):
+    # Compressed loads come from the compressed file; everything else from raw.
+    return load_snapshot(compressed_path if store == "compressed" else raw_path, store=store)
+
+
+class TestFileFormat:
+    def test_header_layout(self, raw_path, graph):
+        header = read_snapshot_header(raw_path)
+        assert header["codec"] == "raw"
+        assert header["meta"]["num_vertices"] == graph.num_vertices
+        for spec in header["arrays"].values():
+            assert spec["offset"] % 4096 == 0
+
+    def test_codec_sniffing(self, raw_path, compressed_path):
+        assert snapshot_codec(raw_path) == "raw"
+        assert snapshot_codec(compressed_path) == "compressed"
+
+    def test_magic_prefix(self, raw_path):
+        assert raw_path.read_bytes()[:8] == SNAPSHOT_MAGIC
+
+    def test_bad_magic_is_rejected(self, tmp_path):
+        path = tmp_path / "not_a_snapshot.rsnap"
+        path.write_bytes(b"GARBAGE!" + b"\x00" * 64)
+        with pytest.raises(GraphError, match="bad magic"):
+            load_snapshot(path)
+
+    def test_corrupt_header_is_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.rsnap"
+        path.write_bytes(SNAPSHOT_MAGIC + struct.pack("<Q", 10) + b"\xff" * 10)
+        with pytest.raises(GraphError, match="corrupt snapshot header"):
+            load_snapshot(path)
+
+    def test_codec_mismatch_is_rejected(self, raw_path, compressed_path):
+        with pytest.raises(GraphError, match="codec"):
+            MmapStore.open(compressed_path)
+        with pytest.raises(GraphError, match="codec"):
+            CompressedStore.open(raw_path)
+
+    def test_unknown_codec_and_store_are_rejected(self, graph, raw_path, tmp_path):
+        with pytest.raises(GraphError, match="unknown snapshot codec"):
+            save_snapshot(graph, tmp_path / "bad.rsnap", codec="zstd")
+        with pytest.raises(GraphError, match="unknown snapshot store"):
+            load_snapshot(raw_path, store="tape")
+
+    def test_exotic_vertex_ids_are_rejected(self, tmp_path):
+        builder = GraphBuilder()
+        builder.add_edge(("tuple", 1), ("tuple", 2))
+        with pytest.raises(GraphError, match="vertex ids"):
+            save_snapshot(builder.build(), tmp_path / "bad.rsnap")
+
+    def test_empty_meta_write_read(self, tmp_path):
+        path = write_snapshot(tmp_path / "arrays.rsnap", {"x": np.arange(10)})
+        header = read_snapshot_header(path)
+        assert header["meta"] == {}
+        assert header["arrays"]["x"]["shape"] == [10]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("store", STORES)
+    def test_neighbour_lists_and_degrees(self, store, graph, raw_path, compressed_path):
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            assert loaded.num_vertices == graph.num_vertices
+            assert loaded.num_edges == graph.num_edges
+            assert np.array_equal(loaded.out_degrees(), graph.out_degrees())
+            assert np.array_equal(loaded.in_degrees(), graph.in_degrees())
+            for v in range(graph.num_vertices):
+                assert np.array_equal(loaded.neighbors(v), graph.neighbors(v))
+                assert np.array_equal(loaded.in_neighbors(v), graph.in_neighbors(v))
+        finally:
+            loaded.close_store()
+
+    @pytest.mark.parametrize("store", STORES)
+    def test_transpose_view_matches(self, store, graph, raw_path, compressed_path):
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            view = loaded.reverse_view()
+            assert view.num_edges == graph.num_edges
+            for v in range(0, graph.num_vertices, 7):
+                assert np.array_equal(view.neighbors(v), graph.in_neighbors(v))
+                assert np.array_equal(view.in_neighbors(v), graph.neighbors(v))
+            # The view is cached and swaps back to the original.
+            assert loaded.reverse_view() is view
+            assert view.reverse_view() is loaded
+        finally:
+            loaded.close_store()
+
+    @pytest.mark.parametrize("store", STORES)
+    def test_reverse_bfs_distances_match(self, store, graph, raw_path, compressed_path):
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            for target in (0, 17, 123):
+                expected = bfs_distances(graph, target, reverse=True)
+                assert np.array_equal(bfs_distances(loaded, target, reverse=True), expected)
+                # Forward BFS on the transpose view is the same computation.
+                assert np.array_equal(
+                    bfs_distances(loaded.reverse_view(), target), expected
+                )
+        finally:
+            loaded.close_store()
+
+    def test_attributes_round_trip(self, tmp_path):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b", weight=2.0, label="x")
+        builder.add_edge("b", "c", weight=0.5, label=None)
+        builder.add_edge("c", "a", weight=1.0, label="")
+        original = builder.build()
+        for codec in ("raw", "compressed"):
+            path = save_snapshot(original, tmp_path / f"attrs.{codec}.rsnap", codec=codec)
+            loaded = load_snapshot(path)
+            try:
+                a, b = loaded.to_internal("a"), loaded.to_internal("b")
+                assert loaded.edge_weight(a, b) == pytest.approx(2.0)
+                assert loaded.edge_label(a, b) == "x"
+                b, c = loaded.to_internal("b"), loaded.to_internal("c")
+                assert loaded.edge_label(b, c, default=None) is None
+            finally:
+                loaded.close_store()
+
+    def test_compressed_from_raw_matches(self, graph, raw_path):
+        loaded = load_snapshot(raw_path, store="compressed")
+        try:
+            assert loaded.store_backend == "compressed"
+            for v in range(0, graph.num_vertices, 11):
+                assert np.array_equal(loaded.neighbors(v), graph.neighbors(v))
+        finally:
+            loaded.close_store()
+
+
+class TestEnumerationPayloads:
+    @pytest.mark.parametrize("store", STORES)
+    def test_payloads_byte_identical(self, store, graph, raw_path, compressed_path):
+        queries = [(0, 25, 4), (3, 200, 5), (17, 40, 3)]
+        with Database(graph) as db:
+            reference = db.batch(queries).payload()
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            with Database(loaded) as db:
+                assert db.batch(queries).payload() == reference
+        finally:
+            loaded.close_store()
+
+    @pytest.mark.parametrize("store", ("mmap", "compressed"))
+    def test_interrupted_payloads_match(self, store, graph, raw_path, compressed_path):
+        # limit and an already-expired deadline interrupt deterministically.
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            for options in ({"limit": 5}, {"deadline": 0.0}):
+                with Database(graph) as db:
+                    reference = db.query((0, 25, 4), **options).result()
+                with Database(loaded) as db:
+                    result = db.query((0, 25, 4), **options).result()
+                assert result.count == reference.count
+                assert result.paths == reference.paths
+        finally:
+            loaded.close_store()
+
+
+class TestReadOnly:
+    def test_mmap_views_reject_writes(self, raw_path):
+        loaded = load_snapshot(raw_path, store="mmap")
+        try:
+            indptr, indices = loaded.out_csr()
+            with pytest.raises(ValueError):
+                indices[0] = 99
+            with pytest.raises(ValueError):
+                indptr[0] = 99
+        finally:
+            loaded.close_store()
+
+    def test_compressed_flat_views_reject_writes(self, compressed_path):
+        loaded = load_snapshot(compressed_path)
+        try:
+            indptr, _ = loaded.out_csr()
+            with pytest.raises(ValueError):
+                indptr[0] = 99
+        finally:
+            loaded.close_store()
+
+
+def _attach_and_probe(payload, vertex, queue):
+    handle = pickle.loads(payload)
+    twin = DiGraph.from_handle(handle)
+    try:
+        neighbours = twin.neighbors(vertex)
+        writable = neighbours.flags.writeable if hasattr(neighbours, "flags") else False
+        queue.put((list(map(int, neighbours)), int(twin.num_edges), writable))
+    finally:
+        twin.close_store()
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("store", ("mmap", "compressed"))
+    def test_concurrent_attach(self, store, graph, raw_path, compressed_path):
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            payload = pickle.dumps(loaded.share())
+            ctx = multiprocessing.get_context()
+            queue = ctx.Queue()
+            vertex = 5
+            workers = [
+                ctx.Process(target=_attach_and_probe, args=(payload, vertex, queue))
+                for _ in range(3)
+            ]
+            for worker in workers:
+                worker.start()
+            results = [queue.get(timeout=30) for _ in workers]
+            for worker in workers:
+                worker.join(timeout=30)
+                assert worker.exitcode == 0
+            expected = list(map(int, graph.neighbors(vertex)))
+            for neighbours, num_edges, writable in results:
+                assert neighbours == expected
+                assert num_edges == graph.num_edges
+                assert not writable
+        finally:
+            loaded.close_store()
+
+    def test_handle_survives_pickle_locally(self, raw_path):
+        loaded = load_snapshot(raw_path)
+        try:
+            handle = pickle.loads(pickle.dumps(loaded.share()))
+            twin = DiGraph.from_handle(handle)
+            try:
+                assert twin.num_edges == loaded.num_edges
+            finally:
+                twin.close_store()
+        finally:
+            loaded.close_store()
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("store", ("mmap", "compressed"))
+    def test_close_is_idempotent(self, store, raw_path, compressed_path):
+        loaded = _open_variant(store, raw_path, compressed_path)
+        loaded.close_store()
+        loaded.close_store()
+
+    def test_attach_holds_no_fd(self, raw_path):
+        fd_dir = "/proc/self/fd"
+        if not os.path.isdir(fd_dir):
+            pytest.skip("needs /proc")
+        before = len(os.listdir(fd_dir))
+        loaded = load_snapshot(raw_path)
+        open_delta = len(os.listdir(fd_dir)) - before
+        loaded.close_store()
+        del loaded
+        after = len(os.listdir(fd_dir))
+        # The opening fd is closed immediately; only the mapping's internal
+        # dup remains while attached, and close releases it.
+        assert open_delta <= 1
+        assert after == before
+
+    def test_database_owns_and_closes_file_stores(self, raw_path):
+        db = Database(str(raw_path))
+        graph = db.graph
+        assert graph.store_backend == "mmap"
+        db.close()
+        # The database opened the store, so closing the database closed it.
+        assert graph._store._closed
+        # A caller-supplied graph is NOT closed with the database.
+        supplied = load_snapshot(raw_path)
+        try:
+            with Database(supplied):
+                pass
+            assert not supplied._store._closed
+            assert supplied.num_edges > 0
+        finally:
+            supplied.close_store()
+
+    def test_memory_usage_reports_mapping(self, graph, raw_path, compressed_path):
+        mapped = load_snapshot(raw_path)
+        try:
+            usage = mapped.memory_usage()
+            assert usage["backend"] == "mmap"
+            assert usage["resident_bytes"] == 0
+            assert usage["mapped_bytes"] == usage["total_bytes"] > 0
+        finally:
+            mapped.close_store()
+        packed = load_snapshot(compressed_path)
+        try:
+            usage = packed.memory_usage()
+            assert usage["backend"] == "compressed"
+            assert usage["logical_bytes"] > usage["total_bytes"]
+            assert usage["compression_ratio"] < 1.0
+        finally:
+            packed.close_store()
+        assert graph.memory_usage()["resident_bytes"] == graph.memory_usage()["total_bytes"]
