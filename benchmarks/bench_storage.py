@@ -18,8 +18,11 @@ Three claims are checked, then measured:
 ``--quick`` is the CI smoke mode: a scaled-down graph, the full payload
 equivalence sweep, the compression-ratio check, and a regression gate —
 payload divergence, a ratio above 0.6, or a kernel enumeration slowdown
-more than 20 % worse than the committed baseline
-(``results/BENCH_storage.json``) fails the run.
+(each store timed against the heap *in the same run*, so host speed cancels
+out) above its per-store ceiling fails the run.  The committed baseline
+(``results/BENCH_storage.json``) can only *widen* a ceiling, never tighten
+it below the floor — shared CI runners are too variable for an absolute
+cross-machine time comparison to hold.
 
 Run directly:  ``PYTHONPATH=src python benchmarks/bench_storage.py [--quick]``
 """
@@ -55,8 +58,16 @@ REPEATS = 3
 MAX_COMPRESSED_RATIO = 0.6
 REQUIRED_ATTACH_SPEEDUP = 20.0
 
-#: Quick mode tolerates this much regression of the kernel enumeration
-#: slowdown against the committed baseline before failing the build.
+#: Quick-mode ceilings on each store's kernel enumeration slowdown relative
+#: to the heap measured in the *same* run: the flat stores must stay close
+#: to the heap, the compressed store may pay a bounded decode tax.  Both
+#: sides of the ratio come from the same host, so runner speed cancels out.
+QUICK_SLOWDOWN_CEILINGS = {"shared_memory": 1.5, "mmap": 1.5, "compressed": 3.0}
+
+#: A committed baseline slowdown (measured on a different machine) may only
+#: *widen* a ceiling by this factor — e.g. to admit a legitimately slower
+#: accepted trade-off — never tighten it below the floor above, which would
+#: make the gate flake on variable shared runners.
 QUICK_REGRESSION_TOLERANCE = 1.2
 
 #: The storage claims are degree-sensitive (gap coding pays off once rows
@@ -302,11 +313,9 @@ def run_quick() -> int:
         for row in rows:
             if row["store"] == "heap":
                 continue
-            # No-baseline fallback: the compressed store pays a decode tax,
-            # the flat stores must stay close to the heap.
-            ceiling = 3.0 if row["store"] == "compressed" else 1.5
+            ceiling = QUICK_SLOWDOWN_CEILINGS[row["store"]]
             if baseline and row["store"] in baseline:
-                ceiling = baseline[row["store"]] * QUICK_REGRESSION_TOLERANCE
+                ceiling = max(ceiling, baseline[row["store"]] * QUICK_REGRESSION_TOLERANCE)
             if row["slowdown"] > ceiling:
                 print(f"FAIL: {row['store']} kernel slowdown {row['slowdown']:.2f}x "
                       f"above the regression ceiling {ceiling:.2f}x")

@@ -179,6 +179,13 @@ class CompressedIndices:
     one-run buffer caches the most recently decoded block range, so
     row-at-a-time loops (``neighbors`` in a Python loop, binary edge
     search) decode each block once rather than per access.
+
+    The cache is a single ``(lo, hi, values)`` tuple published and read
+    with one attribute access apiece, which CPython makes atomic: the
+    thread execution backend runs many workers over one graph object, and
+    a reader must never pair a fresh buffer with a stale range (or vice
+    versa).  The decoded values are immutable, so a concurrent swap can at
+    worst cost a reader its cache hit, never its correctness.
     """
 
     __slots__ = (
@@ -187,8 +194,7 @@ class CompressedIndices:
         "_anchors",
         "_starts",
         "_length",
-        "_buffer_range",
-        "_buffer",
+        "_cache",
     )
 
     def __init__(
@@ -203,8 +209,7 @@ class CompressedIndices:
         self._anchors = anchors
         self._starts = starts
         self._length = int(starts[-1])
-        self._buffer_range: Tuple[int, int] = (0, 0)
-        self._buffer: Optional[np.ndarray] = None
+        self._cache: Optional[Tuple[int, int, np.ndarray]] = None
 
     @classmethod
     def from_csr(
@@ -306,16 +311,15 @@ class CompressedIndices:
             return _EMPTY_I64
         lo = max(0, int(lo))
         hi = min(self._length, int(hi))
-        buf_lo, buf_hi = self._buffer_range
-        if self._buffer is not None and buf_lo <= lo and hi <= buf_hi:
-            return self._buffer[lo - buf_lo : hi - buf_lo]
+        cache = self._cache  # atomic snapshot: range and buffer travel together
+        if cache is not None and cache[0] <= lo and hi <= cache[1]:
+            return cache[2][lo - cache[0] : hi - cache[0]]
         first_block = int(np.searchsorted(self._starts, lo, side="right")) - 1
         last_block = int(np.searchsorted(self._starts, hi - 1, side="right")) - 1
         decoded = self._decode_blocks(first_block, last_block)
         decoded.flags.writeable = False
         base = int(self._starts[first_block])
-        self._buffer = decoded
-        self._buffer_range = (base, base + len(decoded))
+        self._cache = (base, base + len(decoded), decoded)
         return decoded[lo - base : hi - base]
 
     def gather(self, positions: np.ndarray) -> np.ndarray:
@@ -330,9 +334,9 @@ class CompressedIndices:
             return _EMPTY_I64
         lo = int(positions.min())
         hi = int(positions.max()) + 1
-        buf_lo, buf_hi = self._buffer_range
-        if self._buffer is not None and buf_lo <= lo and hi <= buf_hi:
-            return self._buffer[positions - buf_lo]
+        cache = self._cache  # atomic snapshot: range and buffer travel together
+        if cache is not None and cache[0] <= lo and hi <= cache[1]:
+            return cache[2][positions - cache[0]]
         block_of = np.searchsorted(self._starts, positions, side="right") - 1
         unique_blocks = np.unique(block_of)
         # Dense access (BFS frontiers touch most blocks of a span): one
@@ -373,8 +377,13 @@ class CompressedIndices:
     def __getitem__(self, key):
         if isinstance(key, slice):
             lo, hi, step = key.indices(self._length)
-            values = self.decode_range(lo, hi)
-            return values if step == 1 else values[::step]
+            if step > 0:
+                values = self.decode_range(lo, hi)
+                return values if step == 1 else values[::step]
+            # Negative step: ``indices`` yields (start, stop) walking
+            # downwards, so decode the ascending span they bracket and let
+            # the stride pick from its end — numpy's own selection order.
+            return self.decode_range(hi + 1, lo + 1)[::step]
         if isinstance(key, (int, np.integer)):
             index = int(key)
             if index < 0:
@@ -395,11 +404,11 @@ class CompressedIndices:
 
     def materialize(self) -> np.ndarray:
         """The whole flat int64 array (one full decode, no caching)."""
-        buffer_range, buffer = self._buffer_range, self._buffer
+        cache = self._cache
         try:
-            self._buffer = None
+            self._cache = None
             full = self.decode_range(0, self._length)
             out = np.array(full, dtype=np.int64)  # detach from the cache slot
         finally:
-            self._buffer_range, self._buffer = buffer_range, buffer
+            self._cache = cache
         return out

@@ -21,7 +21,7 @@ stored aligned with ``out_indices`` so that constraint-aware enumeration
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -279,19 +279,66 @@ class DiGraph:
         store = handle.attach()
         return cls._from_store(store)
 
+    @staticmethod
+    def _check_store_arrays(num_vertices: int, arrays: Mapping[str, object]) -> None:
+        """Cheap O(|V|) structural checks on attached store arrays.
+
+        Database / CLI auto-sniff any file with the snapshot magic, so a
+        truncated or corrupt-but-parseable snapshot must fail here with a
+        clear error instead of surfacing later as wrong results or deep
+        IndexErrors.  Only the indptr / length invariants are checked — the
+        O(|E|) sorted-rows decode stays skipped (see :meth:`_from_store`).
+        """
+        if num_vertices < 0:
+            raise GraphError("corrupt graph store: negative vertex count")
+        out_indices = arrays["out_indices"]
+        in_indices = arrays["in_indices"]
+        if len(out_indices) != len(in_indices):
+            raise GraphError(
+                "corrupt graph store: out and in adjacency encode different "
+                "edge counts"
+            )
+        for direction in ("out", "in"):
+            indptr = np.asarray(arrays[f"{direction}_indptr"])
+            if len(indptr) != num_vertices + 1:
+                raise GraphError(
+                    f"corrupt graph store: {direction}_indptr length does not "
+                    "match the vertex count"
+                )
+            if int(indptr[0]) != 0 or (np.diff(indptr) < 0).any():
+                raise GraphError(
+                    f"corrupt graph store: {direction}_indptr is not a "
+                    "monotone offset array starting at 0"
+                )
+            if int(indptr[-1]) != len(arrays[f"{direction}_indices"]):
+                raise GraphError(
+                    f"corrupt graph store: {direction}_indptr does not cover "
+                    f"the {direction}_indices array (truncated snapshot?)"
+                )
+        weights = arrays.get("edge_weights")
+        if weights is not None and len(weights) != len(out_indices):
+            raise GraphError(
+                "corrupt graph store: edge_weights do not align with "
+                "out_indices"
+            )
+
     @classmethod
     def _from_store(cls, store: GraphStore) -> "DiGraph":
         """Bind a graph directly to an attached store's views (trusted path).
 
         Snapshot writers and :meth:`share` publishers only ever emit arrays
-        that already passed the constructor's invariants, so re-validating —
-        which would force a full decode of compressed neighbour arrays via
-        ``__array__`` — is skipped.
+        that already passed the constructor's invariants, so re-validating
+        the sorted-rows invariant — which would force a full decode of
+        compressed neighbour arrays via ``__array__`` — is skipped; the
+        O(|V|) structural checks of :meth:`_check_store_arrays` still run so
+        a damaged snapshot fails at attach time.
         """
         arrays = store.arrays()
         meta = getattr(store, "meta", None) or {}
+        num_vertices = int(meta["num_vertices"])
+        cls._check_store_arrays(num_vertices, arrays)
         graph = object.__new__(cls)
-        graph._num_vertices = int(meta["num_vertices"])
+        graph._num_vertices = num_vertices
         graph._out_indptr = arrays["out_indptr"]
         graph._out_indices = arrays["out_indices"]
         graph._in_indptr = arrays["in_indptr"]
@@ -301,6 +348,10 @@ class DiGraph:
         graph._edge_labels = None if labels is None else list(labels)
         ids = meta.get("vertex_ids")
         graph._vertex_ids = None if ids is None else list(ids)
+        if graph._vertex_ids is not None and len(graph._vertex_ids) != num_vertices:
+            raise GraphError(
+                "corrupt graph store: vertex_ids do not match the vertex count"
+            )
         graph._id_index = None
         if graph._vertex_ids is not None:
             graph._id_index = {vid: i for i, vid in enumerate(graph._vertex_ids)}

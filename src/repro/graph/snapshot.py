@@ -19,8 +19,10 @@ Layout::
 
 The JSON header records the codec (``"raw"`` flat arrays or ``"compressed"``
 gap/varint blocks, :mod:`repro.graph.blocks`), the graph meta (vertex count,
-external ids, edge labels) and, per array, its *relative* byte offset into
-the data region, shape and dtype.  Offsets are relative so the header can be
+edge labels, how external ids are encoded) and, per array, its *relative*
+byte offset into the data region, shape and dtype.  External vertex ids are
+stored as data arrays — int64, or offsets + UTF-8 bytes for strings — so the
+header stays O(1) and attach cost is independent of graph size.  Offsets are relative so the header can be
 serialised before its own length is known; every array is itself 4096-byte
 aligned within the data region.
 
@@ -51,6 +53,7 @@ from repro.graph.store import CompressedStore, MmapStore
 __all__ = [
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_PAGE",
+    "decode_vertex_ids",
     "load_snapshot",
     "map_snapshot",
     "read_snapshot_header",
@@ -183,15 +186,30 @@ def map_snapshot(
 # --------------------------------------------------------------------- #
 # graph-level API
 # --------------------------------------------------------------------- #
-def _snapshot_meta(graph) -> Dict[str, object]:
-    """Graph extras for the JSON header (mirrors the ``save_npz`` rules)."""
+def _snapshot_meta(graph) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Graph extras for the header plus the vertex-id data arrays.
+
+    External vertex ids are stored as regular snapshot arrays — int64, or
+    offsets + UTF-8 bytes for strings — never inline in the JSON header:
+    the header must stay O(1) so attach cost is independent of graph size.
+    The header only records ``vertex_ids_kind`` (``"int"`` / ``"str"``);
+    :func:`decode_vertex_ids` rebuilds the id list on attach.
+    """
     meta: Dict[str, object] = {"num_vertices": graph.num_vertices}
+    id_arrays: Dict[str, np.ndarray] = {}
     if graph.has_external_ids:
         ids = [graph.to_external(v) for v in graph.vertices()]
         if all(isinstance(vid, (int, np.integer)) for vid in ids):
-            meta["vertex_ids"] = [int(vid) for vid in ids]
+            meta["vertex_ids_kind"] = "int"
+            id_arrays["vertex_ids"] = np.asarray([int(vid) for vid in ids], dtype=np.int64)
         elif all(isinstance(vid, str) for vid in ids):
-            meta["vertex_ids"] = ids
+            meta["vertex_ids_kind"] = "str"
+            encoded = [vid.encode("utf-8") for vid in ids]
+            offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+            np.cumsum([len(raw) for raw in encoded], out=offsets[1:])
+            blob = b"".join(encoded)
+            id_arrays["vertex_id_offsets"] = offsets
+            id_arrays["vertex_id_bytes"] = np.frombuffer(blob, dtype=np.uint8)
         else:
             raise GraphError(
                 "snapshots support integer or string vertex ids only; "
@@ -199,7 +217,29 @@ def _snapshot_meta(graph) -> Dict[str, object]:
             )
     if graph.has_edge_labels:
         meta["edge_labels"] = list(graph._edge_labels)
-    return meta
+    return meta, id_arrays
+
+
+def decode_vertex_ids(meta: Dict[str, object], views: Dict[str, object]) -> None:
+    """Pop the vertex-id arrays out of ``views`` into ``meta["vertex_ids"]``.
+
+    Called by the stores right after mapping a snapshot, so the graph layer
+    keeps seeing a plain ``meta["vertex_ids"]`` list whichever way the ids
+    were persisted.  Snapshots from before the arrays existed carry the ids
+    directly in the JSON header; those pass through untouched.
+    """
+    kind = meta.pop("vertex_ids_kind", None)
+    if kind == "int":
+        meta["vertex_ids"] = views.pop("vertex_ids").tolist()
+    elif kind == "str":
+        offsets = views.pop("vertex_id_offsets")
+        blob = views.pop("vertex_id_bytes").tobytes()
+        meta["vertex_ids"] = [
+            blob[int(offsets[i]) : int(offsets[i + 1])].decode("utf-8")
+            for i in range(len(offsets) - 1)
+        ]
+    elif kind is not None:
+        raise GraphError(f"unknown snapshot vertex id kind {kind!r}")
 
 
 def save_snapshot(graph, path: PathLike, *, codec: str = "raw") -> Path:
@@ -212,6 +252,7 @@ def save_snapshot(graph, path: PathLike, *, codec: str = "raw") -> Path:
     """
     if codec not in ("raw", "compressed"):
         raise GraphError(f"unknown snapshot codec {codec!r}; use 'raw' or 'compressed'")
+    meta, id_arrays = _snapshot_meta(graph)
     source = graph._csr_arrays()
     arrays: Dict[str, np.ndarray] = {}
     for name, array in source.items():
@@ -230,7 +271,8 @@ def save_snapshot(graph, path: PathLike, *, codec: str = "raw") -> Path:
             arrays[name] = array.materialize()
         else:
             arrays[name] = array
-    return write_snapshot(path, arrays, _snapshot_meta(graph), codec=codec)
+    arrays.update(id_arrays)
+    return write_snapshot(path, arrays, meta, codec=codec)
 
 
 def load_snapshot(path: PathLike, *, store: str = "auto"):

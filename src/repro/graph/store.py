@@ -372,7 +372,7 @@ class MmapStore(GraphStore):
     @classmethod
     def open(cls, path: Union[str, Path]) -> "MmapStore":
         """Map the raw snapshot at ``path`` read-only."""
-        from repro.graph.snapshot import map_snapshot
+        from repro.graph.snapshot import decode_vertex_ids, map_snapshot
 
         path = Path(path)
         header, mm = map_snapshot(path, expected_codec="raw")
@@ -380,7 +380,9 @@ class MmapStore(GraphStore):
             name: _view_from_mapping(mm, spec)
             for name, spec in header["arrays"].items()
         }
-        return cls(path, mm, views, dict(header.get("meta", {})))
+        meta = dict(header.get("meta", {}))
+        decode_vertex_ids(meta, views)
+        return cls(path, mm, views, meta)
 
     @property
     def path(self) -> Path:
@@ -464,7 +466,7 @@ class CompressedStore(GraphStore):
     @classmethod
     def open(cls, path: Union[str, Path]) -> "CompressedStore":
         """Map the compressed snapshot at ``path`` read-only."""
-        from repro.graph.snapshot import map_snapshot
+        from repro.graph.snapshot import decode_vertex_ids, map_snapshot
 
         path = Path(path)
         header, mm = map_snapshot(path, expected_codec="compressed")
@@ -484,7 +486,9 @@ class CompressedStore(GraphStore):
         for name, view in raw.items():
             if name not in consumed:
                 views[name] = view
-        return cls(views, dict(header.get("meta", {})), path=path, mm=mm)
+        meta = dict(header.get("meta", {}))
+        decode_vertex_ids(meta, views)
+        return cls(views, meta, path=path, mm=mm)
 
     @property
     def shareable(self) -> bool:  # type: ignore[override]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -129,6 +131,19 @@ class TestCompressedIndices:
         _, indices = csr
         assert np.array_equal(compressed[10:500:7], indices[10:500:7])
 
+    def test_negative_step_slices(self, csr, compressed):
+        _, indices = csr
+        for key in (
+            slice(None, None, -1),
+            slice(None, None, -3),
+            slice(500, 10, -1),
+            slice(500, 10, -7),
+            slice(-1, None, -2),
+            slice(5, 5, -1),
+            slice(10, 500, -1),  # empty: start below stop
+        ):
+            assert np.array_equal(compressed[key], indices[key]), key
+
     def test_gather_unsorted_with_repeats(self, csr, compressed):
         _, indices = csr
         rng = np.random.default_rng(5)
@@ -175,3 +190,36 @@ class TestCompressedIndices:
         assert len(compressed) == 0
         assert np.asarray(compressed).size == 0
         assert compressed.logical_nbytes == 0
+
+    def test_concurrent_readers_never_see_torn_cache(self, csr):
+        # The thread execution backend runs many workers over one graph
+        # object; the single-slot decode cache must never pair a fresh
+        # buffer with a stale range.  Hammer one instance from several
+        # threads with overlapping row reads and gathers and compare every
+        # result against the flat reference.
+        indptr, indices = csr
+        compressed = CompressedIndices.from_csr(indptr, indices)
+        rows = len(indptr) - 1
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(400):
+                row = int(rng.integers(0, rows))
+                lo, hi = int(indptr[row]), int(indptr[row + 1])
+                if not np.array_equal(compressed[lo:hi], indices[lo:hi]):
+                    errors.append(f"slice mismatch at row {row}")
+                    return
+                positions = rng.integers(0, len(indices), size=64)
+                if not np.array_equal(compressed[positions], indices[positions]):
+                    errors.append(f"gather mismatch (seed {seed})")
+                    return
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors

@@ -111,6 +111,123 @@ class TestFileFormat:
         assert header["meta"] == {}
         assert header["arrays"]["x"]["shape"] == [10]
 
+    @pytest.mark.parametrize("codec", ("raw", "compressed"))
+    def test_vertex_ids_live_in_arrays_not_header(self, codec, tmp_path):
+        # The JSON header must stay O(1): ids go into data arrays, the
+        # header only records how they are encoded.
+        builder = GraphBuilder()
+        for u, v in ((10, 20), (20, 30), (30, 10)):
+            builder.add_edge(u, v)
+        int_graph = builder.build()
+        path = save_snapshot(int_graph, tmp_path / f"ids.{codec}.rsnap", codec=codec)
+        header = read_snapshot_header(path)
+        assert "vertex_ids" not in header["meta"]
+        assert header["meta"]["vertex_ids_kind"] == "int"
+        assert "vertex_ids" in header["arrays"]
+        loaded = load_snapshot(path)
+        try:
+            assert [loaded.to_external(v) for v in loaded.vertices()] == [10, 20, 30]
+            assert loaded.to_internal(30) == 2
+        finally:
+            loaded.close_store()
+
+    @pytest.mark.parametrize("codec", ("raw", "compressed"))
+    def test_string_vertex_ids_round_trip_as_arrays(self, codec, tmp_path):
+        builder = GraphBuilder()
+        ids = ["alpha", "", "βeta", "x" * 300]
+        for u, v in zip(ids, ids[1:] + ids[:1]):
+            builder.add_edge(u, v)
+        original = builder.build()
+        path = save_snapshot(original, tmp_path / f"sids.{codec}.rsnap", codec=codec)
+        header = read_snapshot_header(path)
+        assert "vertex_ids" not in header["meta"]
+        assert header["meta"]["vertex_ids_kind"] == "str"
+        assert "vertex_id_offsets" in header["arrays"]
+        assert "vertex_id_bytes" in header["arrays"]
+        loaded = load_snapshot(path)
+        try:
+            original_ids = [original.to_external(v) for v in original.vertices()]
+            assert [loaded.to_external(v) for v in loaded.vertices()] == original_ids
+            assert loaded.to_internal("βeta") == original.to_internal("βeta")
+        finally:
+            loaded.close_store()
+
+    def test_legacy_header_vertex_ids_still_load(self, tmp_path):
+        # Snapshots from before the id arrays existed carry the ids inline
+        # in the JSON header; they must keep loading unchanged.
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        path = write_snapshot(
+            tmp_path / "legacy.rsnap",
+            {
+                "out_indptr": indptr,
+                "out_indices": indices,
+                "in_indptr": indptr,
+                "in_indices": indices,
+            },
+            {"num_vertices": 2, "vertex_ids": ["north", "south"]},
+        )
+        loaded = load_snapshot(path)
+        try:
+            assert loaded.to_external(0) == "north"
+            assert loaded.to_internal("south") == 1
+        finally:
+            loaded.close_store()
+
+
+class TestCorruptAttach:
+    def _write(self, tmp_path, arrays, num_vertices):
+        return write_snapshot(
+            tmp_path / "corrupt.rsnap", arrays, {"num_vertices": num_vertices}
+        )
+
+    def test_truncated_indices_rejected(self, tmp_path):
+        # indptr promises more edges than the indices array holds.
+        indptr = np.array([0, 2, 4], dtype=np.int64)
+        path = self._write(
+            tmp_path,
+            {
+                "out_indptr": indptr,
+                "out_indices": np.array([1, 0, 1], dtype=np.int64),
+                "in_indptr": indptr,
+                "in_indices": np.array([1, 0, 1], dtype=np.int64),
+            },
+            2,
+        )
+        with pytest.raises(GraphError, match="corrupt graph store"):
+            load_snapshot(path)
+
+    def test_non_monotone_indptr_rejected(self, tmp_path):
+        indices = np.array([1, 0], dtype=np.int64)
+        path = self._write(
+            tmp_path,
+            {
+                "out_indptr": np.array([0, 2, 2], dtype=np.int64),
+                "out_indices": indices,
+                "in_indptr": np.array([0, 3, 2], dtype=np.int64),
+                "in_indices": indices,
+            },
+            2,
+        )
+        with pytest.raises(GraphError, match="monotone"):
+            load_snapshot(path)
+
+    def test_vertex_count_mismatch_rejected(self, tmp_path):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        path = self._write(
+            tmp_path,
+            {
+                "out_indptr": indptr,
+                "out_indices": indices,
+                "in_indptr": indptr,
+                "in_indices": indices,
+            },
+            5,
+        )
+        with pytest.raises(GraphError, match="vertex count"):
+            load_snapshot(path)
+
 
 class TestEquivalence:
     @pytest.mark.parametrize("store", STORES)
@@ -194,6 +311,23 @@ class TestEnumerationPayloads:
         try:
             with Database(loaded) as db:
                 assert db.batch(queries).payload() == reference
+        finally:
+            loaded.close_store()
+
+    @pytest.mark.parametrize("store", ("mmap", "compressed"))
+    def test_threaded_backend_payloads_match(self, store, graph, raw_path, compressed_path):
+        # `repro serve --snapshot <file> --threads N` runs several worker
+        # threads over one mapped graph object; with the compressed store
+        # that hammers the shared single-slot decode cache, so the threaded
+        # payload must stay byte-identical to the inline heap reference.
+        queries = [(0, 25, 4), (3, 200, 5), (17, 40, 3), (42, 7, 4), (99, 150, 5)]
+        with Database(graph) as db:
+            reference = db.batch(queries).payload()
+        loaded = _open_variant(store, raw_path, compressed_path)
+        try:
+            with Database(loaded, backend="threads", workers=4) as db:
+                for _ in range(3):
+                    assert db.batch(queries).payload() == reference
         finally:
             loaded.close_store()
 
