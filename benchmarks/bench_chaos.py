@@ -1,0 +1,357 @@
+"""Chaos benchmark: goodput and tail latency while the stack is on fire.
+
+Three seeded fault scenarios, each against a real server:
+
+* **worker kill** — a ``REPRO_FAULTS`` plan kills one pool worker
+  mid-batch (``os._exit`` in the child, exactly what OOM looks like to the
+  pool).  The batch must still complete with results byte-identical to an
+  inline :class:`~repro.core.engine.QuerySession` run, and the recovery
+  cost is reported as wall-time overhead against an undisturbed run.
+* **sustained overload** — open-loop traffic offered at a multiple of a
+  deliberately tiny admission budget.  Every arrival must settle
+  (completed or shed — zero hung clients, zero transport errors), every
+  *admitted* query must be byte-identical to inline, and goodput / p99 of
+  the survivors are recorded alongside the shed count.
+* **replica flap** — one shard, two replicas behind the router; the
+  primary dies mid-run and later comes back.  The breaker trips, traffic
+  rides the surviving replica, the half-open probe re-admits the revived
+  host — with every job completing throughout.
+
+Run directly:  ``PYTHONPATH=src python benchmarks/bench_chaos.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import random
+
+from repro.bench.metrics import latency_summary
+from repro.core.engine import QuerySession
+from repro.core.listener import RunConfig
+from repro.server.client import run_queries, open_loop_load
+from repro.testing import faults
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_target_centric_set, poisson_arrival_times
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DATASET = "up"
+K = 3
+TARGETS = 6
+SEED = 2021
+QUICK = "--quick" in sys.argv
+
+WORKLOAD_QUERIES = 40 if QUICK else 120
+OVERLOAD_ARRIVALS = 24 if QUICK else 80
+FLAP_JOBS = 6 if QUICK else 12
+
+
+def _workload(graph):
+    return list(
+        generate_target_centric_set(
+            graph, count=WORKLOAD_QUERIES, k=K, num_targets=TARGETS,
+            seed=SEED, graph_name=DATASET,
+        )
+    )
+
+
+def _inline_results(graph, queries):
+    session = QuerySession(graph)
+    return [session.run(q, RunConfig(store_paths=True)) for q in queries]
+
+
+def boot_server(*extra_args, env_extra=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    if env_extra:
+        env.update(env_extra)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", DATASET, "--port", "0", *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"serving on [\d.]+:(\d+)", banner)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"server failed to boot: {banner!r}")
+    process.bench_port = int(match.group(1))  # type: ignore[attr-defined]
+    return process
+
+
+def shutdown(process) -> bool:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+    return process.returncode == 0
+
+
+def _assert_identical(expected, results) -> None:
+    assert len(expected) == len(results)
+    for exp, act in zip(expected, results):
+        assert (act.source, act.target, act.k) == (exp.source, exp.target, exp.k)
+        assert act.count == exp.count
+        assert act.paths == exp.paths, "served paths diverged from inline"
+
+
+# --------------------------------------------------------------------- #
+# scenario 1: worker kill mid-batch
+# --------------------------------------------------------------------- #
+def scenario_worker_kill(graph, queries, expected) -> Dict[str, object]:
+    triples = [[q.source, q.target, q.k] for q in queries]
+    kill_position = len(queries) // 2
+
+    # Baseline: the same batch on an undisturbed process pool.
+    server = boot_server("--processes", "2")
+    try:
+        started = time.perf_counter()
+        outcome = run_queries(triples, port=server.bench_port, store_paths=True)
+        baseline_seconds = time.perf_counter() - started
+        assert outcome.status == "done", outcome.info
+        _assert_identical(expected, outcome.results)
+    finally:
+        assert shutdown(server), "baseline server exited non-zero"
+
+    # The same batch with one worker killed at the marked position.
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as state_dir:
+        plan = {
+            "seed": SEED,
+            "state_dir": state_dir,
+            "faults": [
+                {"site": "worker.task", "op": "kill", "position": kill_position}
+            ],
+        }
+        server = boot_server(
+            "--processes", "2",
+            env_extra={faults.ENV_VAR: json.dumps(plan)},
+        )
+        try:
+            started = time.perf_counter()
+            outcome = run_queries(triples, port=server.bench_port, store_paths=True)
+            faulted_seconds = time.perf_counter() - started
+            assert outcome.status == "done", outcome.info
+            _assert_identical(expected, outcome.results)
+        finally:
+            assert shutdown(server), "faulted server exited non-zero"
+
+    overhead = faulted_seconds - baseline_seconds
+    print(
+        f"worker kill: {len(queries)} queries byte-identical after a worker "
+        f"death at position {kill_position} "
+        f"(baseline {baseline_seconds * 1e3:.0f} ms, with recovery "
+        f"{faulted_seconds * 1e3:.0f} ms, overhead {overhead * 1e3:.0f} ms)"
+    )
+    return {
+        "queries": len(queries),
+        "kill_position": kill_position,
+        "byte_identical": True,
+        "baseline_ms": round(baseline_seconds * 1e3, 1),
+        "with_recovery_ms": round(faulted_seconds * 1e3, 1),
+        "recovery_overhead_ms": round(overhead * 1e3, 1),
+    }
+
+
+# --------------------------------------------------------------------- #
+# scenario 2: sustained overload against a tiny admission budget
+# --------------------------------------------------------------------- #
+def scenario_overload(graph, queries, expected) -> Dict[str, object]:
+    budget = 4
+    pool = [[q.source, q.target, q.k] for q in queries]
+    offered = [pool[i % len(pool)] for i in range(OVERLOAD_ARRIVALS)]
+    index_of = [i % len(pool) for i in range(OVERLOAD_ARRIVALS)]
+    # Two sustained bursts: all arrivals packed into two short windows.
+    half = len(offered) // 2
+    arrivals = [0.001 * i for i in range(half)]
+    arrivals += [0.5 + 0.001 * i for i in range(len(offered) - half)]
+
+    server = boot_server(
+        "--threads", "1", "--delay-ms", "40",
+        "--max-pending-queries", str(budget),
+    )
+    try:
+        report = asyncio.run(
+            open_loop_load(
+                offered, arrivals, port=server.bench_port, connections=4,
+                store_paths=True, overload_retries=1, rng=random.Random(SEED),
+                keep_outcomes=True,
+            )
+        )
+    finally:
+        assert shutdown(server), "overloaded server exited non-zero"
+
+    assert report.errors == 0, f"{report.errors} transport errors under overload"
+    assert report.completed + report.shed == len(offered), "arrivals unaccounted"
+    assert report.shed > 0, "overload scenario never shed load"
+    # NOTE: --delay-ms wraps the algorithm in a fixed service delay; results
+    # are unchanged, so admitted queries still compare against inline.
+    for arrival_index, outcome in report.outcomes:
+        _assert_identical([expected[index_of[arrival_index]]], outcome.results)
+    summary = latency_summary(report.latencies_ms) if report.latencies_ms else {}
+    print(
+        f"overload: {len(offered)} offered vs budget {budget} -> "
+        f"{report.completed} admitted (byte-identical), {report.shed} shed, "
+        f"{report.retried} retries, goodput {report.achieved_qps:.1f} q/s, "
+        f"p99 {summary.get('p99_ms', float('nan')):.0f} ms"
+    )
+    return {
+        "offered": len(offered),
+        "admission_budget": budget,
+        "completed": report.completed,
+        "shed": report.shed,
+        "retried": report.retried,
+        "errors": report.errors,
+        "admitted_byte_identical": True,
+        "goodput_qps": round(report.achieved_qps, 1),
+        "latency_ms": {key: round(value, 3) for key, value in summary.items()},
+    }
+
+
+# --------------------------------------------------------------------- #
+# scenario 3: replica flap behind the router
+# --------------------------------------------------------------------- #
+def scenario_replica_flap(graph, queries, expected) -> Dict[str, object]:
+    from repro.server.client import ReconnectPolicy
+    from repro.server.router import ShardMap, ShardRouter
+    from repro.server.server import QueryServer
+    from repro.server.service import QueryService
+
+    triples = [[q.source, q.target, q.k] for q in queries]
+
+    async def run() -> Dict[str, object]:
+        primary_service = QueryService(graph, threads=2, shard_id=0)
+        primary_server = QueryServer(primary_service, port=0)
+        await primary_server.start()
+        primary_port = primary_server.port
+        standby_service = QueryService(graph, threads=2, shard_id=0)
+        standby_server = QueryServer(standby_service, port=0)
+        await standby_server.start()
+        router = ShardRouter(
+            ShardMap.from_entries(
+                [f"127.0.0.1:{primary_port},127.0.0.1:{standby_server.port}"]
+            ),
+            hedge=False,
+            policy=ReconnectPolicy(attempts=1),
+            breaker_threshold=2,
+            breaker_cooldown=0.4,
+        )
+        revived_service = revived_server = None
+        job_ms: List[float] = []
+        try:
+            for index in range(FLAP_JOBS):
+                if index == 2:  # flap down: primary dies mid-run
+                    await primary_server.close()
+                    await primary_service.close()
+                if index == FLAP_JOBS - 2:  # flap up: primary returns
+                    revived_service = QueryService(graph, threads=2, shard_id=0)
+                    revived_server = QueryServer(revived_service, port=primary_port)
+                    await revived_server.start()
+                    await asyncio.sleep(0.5)  # past the breaker cooldown
+                started = time.perf_counter()
+                job = await router.submit(list(triples), {"store_paths": True})
+                results = {}
+                async for frame in job.frames():
+                    if frame["type"] == "result":
+                        results[frame["position"]] = frame
+                    elif frame["type"] == "error":
+                        raise AssertionError(f"job {index} failed: {frame}")
+                job_ms.append((time.perf_counter() - started) * 1e3)
+                assert sorted(results) == list(range(len(triples)))
+                for position, exp in enumerate(expected):
+                    frame = results[position]
+                    assert frame["count"] == exp.count
+                    paths = None if exp.paths is None else [list(p) for p in exp.paths]
+                    assert frame.get("paths") == paths
+            counters = router.counters
+            return {
+                "jobs": FLAP_JOBS,
+                "queries_per_job": len(triples),
+                "byte_identical": True,
+                "failovers": counters.failovers,
+                "breaker_trips": counters.breaker_trips,
+                "breaker_skips": counters.breaker_skips,
+                "job_ms": [round(ms, 1) for ms in job_ms],
+                "p99_job_ms": round(
+                    latency_summary(job_ms).get("p99_ms", float("nan")), 1
+                ),
+            }
+        finally:
+            await router.close()
+            await standby_server.close()
+            await standby_service.close()
+            if revived_server is not None:
+                await revived_server.close()
+                await revived_service.close()
+
+    payload = asyncio.run(run())
+    assert payload["breaker_trips"] >= 1, "the flap never tripped the breaker"
+    print(
+        f"replica flap: {payload['jobs']} jobs all complete through the flap "
+        f"({payload['failovers']} failovers, {payload['breaker_trips']} trip, "
+        f"{payload['breaker_skips']} breaker skips, "
+        f"p99 job {payload['p99_job_ms']} ms)"
+    )
+    return payload
+
+
+def main() -> int:
+    graph = load_dataset(DATASET)
+    queries = _workload(graph)
+    expected = _inline_results(graph, queries)
+    print(
+        f"dataset {DATASET}: |V|={graph.num_vertices}, |E|={graph.num_edges}, "
+        f"{len(queries)} queries, quick={QUICK}"
+    )
+
+    results = {
+        "worker_kill": scenario_worker_kill(graph, queries, expected),
+        "overload": scenario_overload(graph, queries, expected),
+        "replica_flap": scenario_replica_flap(graph, queries, expected),
+    }
+
+    payload = {
+        "benchmark": "chaos_fault_injection",
+        "dataset": DATASET,
+        "quick": QUICK,
+        "workload": {
+            "queries": len(queries),
+            "k": K,
+            "num_targets": TARGETS,
+            "seed": SEED,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scenarios": results,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_chaos.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

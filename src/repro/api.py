@@ -93,7 +93,7 @@ from repro.core.engine import (
 from repro.core.listener import ENGINE_CHOICES, RunConfig
 from repro.core.query import MIN_HOP_CONSTRAINT, Query
 from repro.core.result import EnumerationStats, Phase, QueryResult
-from repro.errors import BackendError, QuerySpecError
+from repro.errors import BackendError, QuerySpecError, ServiceOverloaded
 from repro.graph.digraph import DiGraph
 
 __all__ = [
@@ -870,6 +870,15 @@ class RemoteBackend(ExecutionBackend):
                     yield a, b  # type: ignore[misc]
                 elif kind == "error":
                     raise RuntimeError(f"remote query failed: {a}")
+                elif kind == "overloaded":
+                    frame = a if isinstance(a, dict) else {}
+                    raise ServiceOverloaded(
+                        "server shed the job: "
+                        f"retry after {frame.get('retry_after_ms', 50.0)} ms",
+                        retry_after=float(frame.get("retry_after_ms", 50.0)) / 1e3,
+                        pending=frame.get("pending"),
+                        limit=frame.get("limit"),
+                    )
                 else:  # done / cancelled
                     return
 
@@ -926,6 +935,8 @@ class RemoteBackend(ExecutionBackend):
                         events.put(("done", frame, None))
                     elif kind == "cancelled":
                         events.put(("cancelled", frame, None))
+                    elif kind == "overloaded":
+                        events.put(("overloaded", frame, None))
                     elif kind == "error":
                         events.put(("error", frame.get("error"), None))
             finally:
@@ -1027,6 +1038,15 @@ class ShardMapBackend(ExecutionBackend):
                     yield a, b  # type: ignore[misc]
                 elif kind == "error":
                     raise RuntimeError(f"routed query failed: {a}")
+                elif kind == "overloaded":
+                    frame = a if isinstance(a, dict) else {}
+                    raise ServiceOverloaded(
+                        "shard fleet shed the job: "
+                        f"retry after {frame.get('retry_after_ms', 50.0)} ms",
+                        retry_after=float(frame.get("retry_after_ms", 50.0)) / 1e3,
+                        pending=frame.get("pending"),
+                        limit=frame.get("limit"),
+                    )
                 else:  # done / cancelled
                     return
 
@@ -1063,6 +1083,8 @@ class ShardMapBackend(ExecutionBackend):
                         events.put(("done", frame, None))
                     elif kind == "cancelled":
                         events.put(("cancelled", frame, None))
+                    elif kind == "overloaded":
+                        events.put(("overloaded", frame, None))
                     elif kind == "error":
                         events.put(("error", frame.get("error"), None))
             finally:

@@ -316,6 +316,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--delay-ms", type=float, default=0.0,
         help="fixed artificial service delay per query (capacity experiments)",
     )
+    serve_parser.add_argument(
+        "--max-pending-queries", type=int, default=None,
+        help="admission budget: reject submits once this many queries are "
+             "pending (overloaded frame with a retry-after hint)",
+    )
+    serve_parser.add_argument(
+        "--max-queue-delay-ms", type=float, default=None,
+        help="shed jobs that waited longer than this in the queue instead "
+             "of running them late",
+    )
 
     route_parser = subparsers.add_parser(
         "route", help="run the distributed shard router (holds no graph)"
@@ -356,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
     route_parser.add_argument(
         "--connect-retries", type=int, default=2,
         help="redial attempts per shard connection (exponential backoff + jitter)",
+    )
+    route_parser.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures that trip a replica's circuit breaker",
+    )
+    route_parser.add_argument(
+        "--breaker-cooldown-ms", type=float, default=5000.0,
+        help="how long a tripped breaker stays open before a half-open probe",
     )
 
     client_parser = subparsers.add_parser(
@@ -707,6 +725,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         start_method=args.start_method,
         shard_id=args.shard_id,
+        max_pending_queries=args.max_pending_queries,
+        max_queue_delay=(
+            None if args.max_queue_delay_ms is None else args.max_queue_delay_ms / 1e3
+        ),
     )
     port = SERVE_DEFAULT_PORT if args.port is None else args.port
     try:
@@ -733,6 +755,8 @@ def _command_route(args: argparse.Namespace) -> int:
         hedge_max_delay=args.hedge_max_delay_ms / 1e3,
         max_attempts=args.max_attempts,
         policy=ReconnectPolicy(attempts=1 + max(0, args.connect_retries)),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown_ms / 1e3,
     )
     port = ROUTE_DEFAULT_PORT if args.port is None else args.port
     try:
@@ -838,6 +862,12 @@ def _command_client(args: argparse.Namespace) -> int:
             f"{report.achieved_qps:.1f} q/s, {report.concurrency} connections, "
             f"{report.total_paths} paths)"
         )
+        if report.shed or report.retried or report.reassigned:
+            print(
+                f"overload: {report.shed} shed, {report.retried} retried after "
+                f"server backpressure, {report.reassigned} arrivals reassigned "
+                f"off dead connections"
+            )
         if report.latencies_ms:
             print(format_latency_summary(
                 latency_summary(report.latencies_ms), title="Completion latency (ms)"

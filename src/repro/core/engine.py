@@ -61,6 +61,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, 
 
 import multiprocessing
 import os
+import signal
 import sys
 from multiprocessing import shared_memory
 
@@ -92,6 +93,7 @@ from repro.graph.traversal import (
     bfs_distances_bounded,
     multi_source_bfs_distances_bounded,
 )
+from repro.testing.faults import maybe_fail_task
 
 __all__ = [
     "PathEnum",
@@ -655,6 +657,32 @@ def _charge_fresh_to_first_query(
 _WORKER_STATE: Dict[str, object] = {}
 
 
+def _reset_inherited_signal_state() -> None:
+    """Detach a forked worker from the parent's signal plumbing.
+
+    A fork taken while an asyncio loop is serving (``repro serve``) inherits
+    two dangerous pieces of state: the loop's *signal wakeup fd* — which is
+    the write end of a socketpair **shared with the parent** — and the
+    Python-level handlers ``loop.add_signal_handler`` installed.  Left in
+    place, any signal delivered to the worker (e.g. the SIGTERM that
+    ``concurrent.futures`` sends surviving workers while cleaning up a
+    broken pool) is echoed into the parent's self-pipe, and the parent's
+    loop misreads it as a signal *to the parent* — a crashing worker then
+    triggers a spurious clean shutdown of the whole server.  The inherited
+    no-op SIGTERM handler also makes the worker ignore pool termination.
+    Both resets are best-effort: restricted environments may refuse them.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
 def _process_worker_init(
     graph_handle: StoreHandle,
     algorithm: Algorithm,
@@ -666,6 +694,7 @@ def _process_worker_init(
     are streamed over; it rides the initializer because queue objects can
     only cross the process boundary while a child is being spawned.
     """
+    _reset_inherited_signal_state()
     _WORKER_STATE["graph"] = DiGraph.from_handle(graph_handle)
     _WORKER_STATE["algorithm"] = algorithm
     _WORKER_STATE["queue"] = result_queue
@@ -739,6 +768,31 @@ def _attach_distance_cache(cache_handle: Optional[StoreHandle]) -> Mapping:
 
 
 def _iter_shard_results(
+    graph: DiGraph,
+    algorithm: Algorithm,
+    config: RunConfig,
+    shard: Sequence[Tuple[int, Tuple[int, int, int]]],
+    distances: Mapping[Tuple[int, int], np.ndarray],
+) -> Iterator[Tuple[int, QueryResult]]:
+    """:func:`_iter_shard_results_raw` behind the ``worker.task`` fault site.
+
+    Every backend (process workers, the thread pool, the inline path) runs
+    shards through this wrapper, so an installed
+    :mod:`repro.testing.faults` plan can kill/crash/delay the task at a
+    chosen workload position on any of them.  The fault fires *before* the
+    position's result is delivered — a killed worker leaves that position
+    (and the rest of its shard) undelivered, which is exactly what the
+    pool-recovery bookkeeping has to replay.  Without a plan the overhead
+    is one environment lookup per result.
+    """
+    for position, result in _iter_shard_results_raw(
+        graph, algorithm, config, shard, distances
+    ):
+        maybe_fail_task(position)
+        yield position, result
+
+
+def _iter_shard_results_raw(
     graph: DiGraph,
     algorithm: Algorithm,
     config: RunConfig,
@@ -917,6 +971,10 @@ class StreamRun:
     #: Seconds between worker-failure polls while waiting for chunks.
     _POLL_SECONDS = 0.05
 
+    #: Consecutive empty polls with no shard in flight before the stream
+    #: declares itself stalled (a backstop, not a timeout on real work).
+    _STALL_POLLS = 100
+
     def __init__(
         self,
         core: "ExecutorCore",
@@ -941,6 +999,18 @@ class StreamRun:
         #: ``(shared_memory_segment, slot)`` of this run's cancellation
         #: byte, set by the core on process-backend dispatch.
         self._cancel_cell: Optional[Tuple[object, int]] = None
+        #: Workload positions whose results reached the consumer.  Doubles
+        #: as the completion criterion (generation-agnostic, so it survives
+        #: pool regeneration) and as the dedup filter against late chunks.
+        self._delivered: set = set()
+        #: Redispatch inputs (process backend only): the original plain
+        #: shards plus the run's config/cache handle, kept so a broken pool
+        #: can resubmit exactly the undelivered positions.
+        self._recovery: Optional[Dict[str, object]] = None
+        self._retries_left = 0
+        #: Pool regenerations this run survived / positions re-executed.
+        self.recoveries = 0
+        self.recovered_queries = 0
 
     def cancel(self) -> None:
         """Stop the run as soon as possible.
@@ -977,27 +1047,60 @@ class StreamRun:
             if self._inline is not None:
                 yield from self._inline_chunks()
                 return
-            remaining = self.num_shards
+            # Completion is counted by *delivered position*, not by shard
+            # done markers: after a pool regeneration, markers from the dead
+            # generation are indistinguishable from live ones (the router
+            # strips the run id), whereas the delivered set is correct
+            # across any number of regenerations and deduplicates chunks a
+            # dying worker raced onto the queue.
             pending = set(self._futures)
-            while remaining > 0 and not self.cancelled.is_set():
+            delivered = self._delivered
+            idle_polls = 0
+            while len(delivered) < self.num_queries and not self.cancelled.is_set():
                 try:
                     kind, payload = self._queue.get(timeout=self._POLL_SECONDS)
                 except queue_module.Empty:
                     # No chunk in flight: surface a shard that died without
                     # ever sending its done marker (worker exception, broken
                     # pool) instead of waiting forever.
+                    broken = None
                     for future in [f for f in pending if f.done()]:
                         pending.discard(future)
                         error = None if future.cancelled() else future.exception()
-                        if error is not None:
-                            if isinstance(error, BrokenProcessPool):
-                                self._core._discard_broken_pool()
-                            raise error
+                        if error is None:
+                            continue
+                        if isinstance(error, BrokenProcessPool):
+                            # Every future of the dead pool breaks at once;
+                            # collect them all, then recover in one shot.
+                            broken = error
+                            continue
+                        raise error
+                    if broken is not None:
+                        self._core._discard_broken_pool()
+                        replacement = self._try_recover()
+                        if replacement is None:
+                            raise broken
+                        pending = set(replacement)
+                        idle_polls = 0
+                        continue
+                    if not pending and self._queue.empty():
+                        idle_polls += 1
+                        if idle_polls >= self._STALL_POLLS:
+                            missing = self.num_queries - len(delivered)
+                            raise RuntimeError(
+                                f"stream stalled with {missing} of "
+                                f"{self.num_queries} results missing and no "
+                                "shard in flight"
+                            )
                     continue
+                idle_polls = 0
                 if kind == "done":
-                    remaining -= 1
-                elif payload:
-                    yield payload
+                    # Advisory only (see above) — completion is positional.
+                    continue
+                fresh = [(p, r) for p, r in payload if p not in delivered]
+                if fresh:
+                    delivered.update(p for p, _ in fresh)
+                    yield fresh
         finally:
             self.cancelled.set()
             for future in self._futures:
@@ -1017,6 +1120,38 @@ class StreamRun:
                 "missing (run cancelled?)"
             )
         return out  # type: ignore[return-value]
+
+    def _try_recover(self) -> Optional[List]:
+        """Respawn the pool and resubmit undelivered work after a break.
+
+        Returns the replacement futures, or ``None`` when the run cannot
+        (thread backend, retries exhausted, redispatch failed) — the caller
+        then surfaces the original :class:`BrokenProcessPool`.  Only shards
+        filtered down to positions the consumer never received are
+        redispatched, so work a healthy worker already finished is not
+        re-executed; duplicates a dying worker still raced onto the queue
+        are dropped by the delivered-set filter in :meth:`chunks`.
+        """
+        if self._recovery is None or self._retries_left <= 0 or self.cancelled.is_set():
+            return None
+        self._retries_left -= 1
+        shards = []
+        for shard in self._recovery["shards"]:
+            rest = [entry for entry in shard if entry[0] not in self._delivered]
+            if rest:
+                shards.append(rest)
+        if not shards:
+            return []
+        try:
+            futures = self._core._resubmit(
+                self, shards, self._recovery["config"], self._recovery["cache_handle"]
+            )
+        except Exception:  # noqa: BLE001 - recovery is best-effort
+            return None
+        self.recoveries += 1
+        self.recovered_queries += sum(len(shard) for shard in shards)
+        self._futures = list(futures)
+        return futures
 
     def _inline_chunks(self) -> Iterator[List[Tuple[int, QueryResult]]]:
         buffer: List[Tuple[int, QueryResult]] = []
@@ -1081,6 +1216,7 @@ class ExecutorCore:
         shards: Optional[int] = None,
         start_method: Optional[str] = None,
         max_cached: int = 1024,
+        pool_retries: object = "auto",
     ) -> None:
         if backend not in ("process", "thread"):
             raise ValueError(f"unknown backend {backend!r}: use 'process' or 'thread'")
@@ -1088,6 +1224,17 @@ class ExecutorCore:
             raise ValueError("workers must be at least 1")
         if shards is not None and shards < 1:
             raise ValueError("shards must be at least 1")
+        if pool_retries == "auto":
+            resolved_retries = 2
+        else:
+            resolved_retries = int(pool_retries)  # type: ignore[arg-type]
+            if resolved_retries < 0:
+                raise ValueError("pool_retries must be 'auto' or a non-negative int")
+        #: Pool regenerations one run may attempt after ``BrokenProcessPool``
+        #: before the break is surfaced (``"auto"`` resolves to 2: a
+        #: deterministically-crashing query fails on its second replay, one
+        #: spare regeneration absorbs an unrelated coincident death).
+        self.pool_retries = resolved_retries
         self.graph = graph
         self.algorithm = algorithm if algorithm is not None else PathEnum()
         self.backend = backend
@@ -1265,6 +1412,14 @@ class ExecutorCore:
                         )
                         for shard in plain
                     ]
+                    # Everything a broken-pool recovery needs to redispatch
+                    # just the undelivered positions.
+                    run._recovery = {
+                        "shards": plain,
+                        "config": config,
+                        "cache_handle": cache_handle,
+                    }
+                    run._retries_left = self.pool_retries
                 else:
                     distances = self.session.export_distances()
                     run._inline = itertools.chain.from_iterable(
@@ -1397,6 +1552,46 @@ class ExecutorCore:
             if self._pool is not None:
                 self._pool.shutdown(wait=False, cancel_futures=True)
                 self._pool = None
+
+    def _resubmit(
+        self,
+        run: StreamRun,
+        shards: List,
+        config: RunConfig,
+        cache_handle: Optional[StoreHandle],
+    ) -> List:
+        """Redispatch ``shards`` of ``run`` on a freshly built process pool.
+
+        The recovery half of broken-pool handling: the mp queue and its
+        router thread survived the old pool (they are created once per
+        core), so the fresh workers stream into the same per-run queue.  A
+        stale ``cache_handle`` (a concurrent run repacked the distance
+        segment meanwhile) is survivable — workers degrade to per-group
+        reverse BFS.
+        """
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("ExecutorCore is closed")
+            pool = self._ensure_process_pool()
+            segment = self._ensure_cancel_segment()
+            slot = run.run_id % _CANCEL_SLOTS
+            segment.buf[slot] = 1 if run.cancelled.is_set() else 0
+            run._cancel_cell = (segment, slot)
+            cancel_ref = (segment.name, slot)
+            return [
+                pool.submit(
+                    _process_worker_stream_shard,
+                    (
+                        run.run_id,
+                        shard,
+                        config,
+                        cache_handle,
+                        run._chunk_queries,
+                        cancel_ref,
+                    ),
+                )
+                for shard in shards
+            ]
 
     def _thread_stream_shard(
         self,

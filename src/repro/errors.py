@@ -7,6 +7,8 @@ can reasonably recover or report a precise message.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "ReproError",
     "GraphError",
@@ -17,6 +19,7 @@ __all__ = [
     "QuerySpecError",
     "BackendError",
     "ConnectionLost",
+    "ServiceOverloaded",
     "EnumerationTimeout",
     "ResultLimitReached",
     "DatasetError",
@@ -95,6 +98,35 @@ class ConnectionLost(ReproError, ConnectionError):
         self.host = host
         self.port = port
         self.attempts = attempts
+
+
+class ServiceOverloaded(ReproError, RuntimeError):
+    """A query service shed work because its pending budget is exhausted.
+
+    Raised by :meth:`repro.server.service.QueryService.submit` when
+    admitting a job would push the in-flight query count past
+    ``max_pending_queries``, and by the remote backends when the server
+    answered with an ``overloaded`` frame.  Carries ``retry_after`` — the
+    server's own estimate, in seconds, of when capacity should free up —
+    so callers can back off intelligently instead of hammering a saturated
+    host.
+    """
+
+    def __init__(
+        self,
+        message: str = "query service overloaded",
+        *,
+        retry_after: float = 0.1,
+        pending: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        detail = message
+        if pending is not None and limit is not None:
+            detail = f"{message} ({pending} queries pending, budget {limit})"
+        super().__init__(detail)
+        self.retry_after = float(retry_after)
+        self.pending = pending
+        self.limit = limit
 
 
 class EnumerationTimeout(ReproError):

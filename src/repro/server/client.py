@@ -123,14 +123,18 @@ class JobOutcome:
     job_id: str
     #: Results in workload order (sorted by ``position``).
     results: List[RemoteResult]
-    #: ``"done"``, ``"cancelled"`` or ``"error"``.
+    #: ``"done"``, ``"cancelled"``, ``"overloaded"`` or ``"error"``.
     status: str
-    #: The terminal frame (carries ``total_paths`` / ``wall_ms`` on done).
+    #: The terminal frame (carries ``total_paths`` / ``wall_ms`` on done,
+    #: ``retry_after_ms`` on overloaded).
     info: Dict[str, object]
     #: Client-side seconds from submit to the first streamed frame / the
     #: terminal frame — the serving latency split the benchmark reports.
     first_frame_seconds: Optional[float] = None
     wall_seconds: float = 0.0
+    #: Overload retries :meth:`QueryClient.run_with_retries` spent before
+    #: this outcome (0 for a first-attempt answer).
+    retries: int = 0
 
     @property
     def total_paths(self) -> int:
@@ -329,7 +333,7 @@ class QueryClient:
             while True:
                 frame = await queue.get()
                 yield frame
-                if frame["type"] in ("done", "cancelled", "error"):
+                if frame["type"] in ("done", "cancelled", "error", "overloaded"):
                     return
         finally:
             self._jobs.pop(job_id, None)
@@ -373,6 +377,35 @@ class QueryClient:
         """Submit one workload and collect its outcome."""
         job_id = await self.submit(queries, **opts)
         return await self.collect(job_id)
+
+    async def run_with_retries(
+        self,
+        queries: Sequence[Sequence[object]],
+        *,
+        overload_retries: int = 4,
+        rng: Optional[random.Random] = None,
+        **opts,
+    ) -> JobOutcome:
+        """:meth:`run`, honouring ``overloaded`` rejects with backoff.
+
+        The sleep before retry ``n`` is the larger of the server's
+        ``retry_after_ms`` hint and ``0.05 * 2**(n-1)`` seconds, capped at
+        2 s and stretched by up to 50 % jitter (so a rejected fleet does not
+        retry in lockstep).  After ``overload_retries`` rejected attempts
+        the final ``overloaded`` outcome is returned — never raised — with
+        :attr:`JobOutcome.retries` recording the attempts spent.
+        """
+        attempt = 0
+        while True:
+            outcome = await self.run(queries, **opts)
+            outcome.retries = attempt
+            if outcome.status != "overloaded" or attempt >= overload_retries:
+                return outcome
+            attempt += 1
+            hint = float(outcome.info.get("retry_after_ms", 50.0)) / 1e3
+            backoff = min(2.0, max(hint, 0.05 * (2.0 ** (attempt - 1))))
+            spread = (rng.random() if rng is not None else random.random()) * 0.5
+            await asyncio.sleep(backoff * (1.0 + spread))
 
     async def cancel(self, job_id: str) -> None:
         await write_frame(
@@ -466,6 +499,17 @@ class LoadReport:
     #: Per-query completion latency in milliseconds, measured from each
     #: query's *scheduled* arrival time (queueing delay included).
     latencies_ms: List[float] = field(default_factory=list)
+    #: Queries the server refused with ``overloaded`` beyond the retry
+    #: budget — shed load, counted separately from errors.
+    shed: int = 0
+    #: Overload-rejected submissions that were retried (attempts, not
+    #: distinct queries).
+    retried: int = 0
+    #: Arrivals moved off a dead connection onto a surviving one.
+    reassigned: int = 0
+    #: ``(index, JobOutcome)`` of completed queries, kept only when
+    #: ``keep_outcomes`` was requested (equivalence checks).
+    outcomes: List[Tuple[int, "JobOutcome"]] = field(default_factory=list)
 
     @property
     def achieved_qps(self) -> float:
@@ -486,6 +530,9 @@ async def open_loop_load(
     time_limit_seconds: Optional[float] = None,
     external: bool = False,
     engine: Optional[str] = None,
+    overload_retries: int = 3,
+    rng: Optional[random.Random] = None,
+    keep_outcomes: bool = False,
 ) -> LoadReport:
     """Drive open-loop traffic: query ``i`` is submitted at its arrival time.
 
@@ -495,6 +542,15 @@ async def open_loop_load(
     for completions — when the service falls behind, latency grows instead
     of the arrival process stalling, which is what makes the measured
     percentiles honest.
+
+    The driver degrades instead of aborting: an ``overloaded`` reject is
+    retried with backoff + jitter up to ``overload_retries`` times (the
+    final reject counts as *shed*, not an error), and an arrival whose
+    preferred connection died is handed to a surviving connection (counted
+    in :attr:`LoadReport.reassigned`) rather than silently lost — a query
+    that was mid-flight when its connection died may be re-executed
+    server-side, which an open-loop measurement tolerates.  ``rng`` seeds
+    the backoff jitter for reproducible runs.
     """
     if len(queries) != len(arrivals_seconds):
         raise ValueError("queries and arrivals_seconds must have equal length")
@@ -503,24 +559,61 @@ async def open_loop_load(
     loop = asyncio.get_running_loop()
     clients: List[QueryClient] = []
     started = loop.time()
+    counters = {"shed": 0, "retried": 0, "reassigned": 0}
 
     async def one(index: int, query: Sequence[object], offset: float):
         scheduled = started + offset
         delay = scheduled - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        client = clients[index % len(clients)]
-        job_id = await client.submit(
-            [query],
-            store_paths=store_paths,
-            result_limit=result_limit,
-            time_limit_seconds=time_limit_seconds,
-            external=external,
-            engine=engine,
-        )
-        outcome = await client.collect(job_id)
-        latency_ms = (loop.time() - scheduled) * 1e3
-        return outcome, latency_ms
+        preferred = index % len(clients)
+        overloads = 0
+        hops = 0
+        max_hops = 2 * len(clients)
+        while True:
+            client = clients[preferred]
+            if not client.connected:
+                live = [i for i, c in enumerate(clients) if c.connected]
+                if not live or hops >= max_hops:
+                    return "lost", None, None
+                preferred = live[index % len(live)]
+                client = clients[preferred]
+                counters["reassigned"] += 1
+                hops += 1
+            try:
+                job_id = await client.submit(
+                    [query],
+                    store_paths=store_paths,
+                    result_limit=result_limit,
+                    time_limit_seconds=time_limit_seconds,
+                    external=external,
+                    engine=engine,
+                )
+                outcome = await client.collect(job_id)
+            except (ConnectionError, OSError):
+                hops += 1
+                if hops > max_hops:
+                    return "lost", None, None
+                continue
+            if outcome.status == "error" and outcome.info.get("_closed"):
+                # The connection died mid-flight (poison frame): loop back —
+                # the dead-client branch above reassigns to a survivor.
+                hops += 1
+                if hops > max_hops:
+                    return "lost", None, None
+                continue
+            if outcome.status == "overloaded":
+                overloads += 1
+                if overloads > overload_retries:
+                    return "shed", outcome, None
+                counters["retried"] += 1
+                hint = float(outcome.info.get("retry_after_ms", 50.0)) / 1e3
+                backoff = min(2.0, max(hint, 0.05 * (2.0 ** (overloads - 1))))
+                spread = (rng.random() if rng is not None else random.random()) * 0.5
+                await asyncio.sleep(backoff * (1.0 + spread))
+                continue
+            latency_ms = (loop.time() - scheduled) * 1e3
+            return outcome.status, outcome, latency_ms
 
     try:
         # Connections open inside the try so a mid-list refusal (fd limit,
@@ -538,18 +631,24 @@ async def open_loop_load(
             await client.close()
 
     latencies: List[float] = []
+    outcomes: List[Tuple[int, JobOutcome]] = []
     completed = errors = total_paths = 0
-    for entry in settled:
+    for index, entry in enumerate(settled):
         if isinstance(entry, BaseException):
             errors += 1
             continue
-        outcome, latency_ms = entry
-        if outcome.status != "done":
+        status, outcome, latency_ms = entry
+        if status == "shed":
+            counters["shed"] += 1
+            continue
+        if status != "done":
             errors += 1
             continue
         completed += 1
         total_paths += outcome.total_paths
         latencies.append(latency_ms)
+        if keep_outcomes:
+            outcomes.append((index, outcome))
     return LoadReport(
         concurrency=len(clients),
         offered_rate=(len(queries) / arrivals_seconds[-1]) if len(queries) and arrivals_seconds[-1] > 0 else 0.0,
@@ -558,4 +657,8 @@ async def open_loop_load(
         errors=errors,
         total_paths=total_paths,
         latencies_ms=latencies,
+        shed=counters["shed"],
+        retried=counters["retried"],
+        reassigned=counters["reassigned"],
+        outcomes=outcomes,
     )

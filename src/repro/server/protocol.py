@@ -47,6 +47,13 @@ Server → client messages:
 ``cancelled``
     ``{"type": "cancelled", "id", "delivered"}`` — terminal frame of a
     cancelled job.
+``overloaded``
+    ``{"type": "overloaded", "id", "retry_after_ms", "pending"?,
+    "limit"?}`` — the server shed the job instead of admitting it
+    (pending-work budget exhausted, or the queue delay budget elapsed
+    before a drive slot came up).  Terminal for the job; ``retry_after_ms``
+    is the server's own estimate of when capacity frees up, so a client
+    backs off by at least that long before retrying.
 ``error``
     ``{"type": "error", "error": <message>, "id"?}`` — malformed input or a
     failed job; terminal when ``id`` is present.
@@ -72,9 +79,12 @@ negotiation is pull-based: a client pings, reads the server's ``protocol``
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import struct
 from typing import Dict, List, Optional
+
+from repro.testing import faults
 
 __all__ = [
     "DEFAULT_PORT",
@@ -219,14 +229,36 @@ async def write_frame(
     message: Dict[str, object],
     *,
     lock: Optional[asyncio.Lock] = None,
+    site: Optional[str] = None,
 ) -> None:
     """Write one frame and drain.
 
     ``lock`` serialises concurrent writers on one connection (a server
     streams several jobs to the same client); frames must never interleave
     on the wire.
+
+    ``site`` names a :mod:`repro.testing.faults` injection site (servers
+    pass ``"server.frame.out"``); when a fault plan is installed the frame
+    may be dropped, delayed or truncated before hitting the wire.  The
+    no-plan cost is one environment lookup.
     """
     data = encode_frame(message)
+    if site is not None:
+        fault = faults.hit(site, frame_type=str(message.get("type")))
+        if fault is not None:
+            if fault.op == "drop":
+                return
+            if fault.op == "delay":
+                await asyncio.sleep(fault.delay_ms / 1e3)
+            elif fault.op == "truncate":
+                # Write a partial frame, then sever the connection: the peer
+                # sees bytes on the wire followed by EOF mid-frame.
+                async with (lock or asyncio.Lock()):
+                    writer.write(data[: max(0, fault.keep_bytes)])
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await writer.drain()
+                    writer.close()
+                raise ConnectionResetError("injected truncated frame")
     if lock is None:
         writer.write(data)
         await writer.drain()

@@ -180,6 +180,14 @@ class ShardChannel:
     demultiplexes jobs by id on one socket).  A dead client is replaced on
     the next acquisition, dialling under the router's backoff policy; the
     per-address lock stops two concurrent jobs from racing one redial.
+
+    The channel also keeps the per-replica **circuit breaker**:
+    ``breaker_threshold`` consecutive failed attempts open a replica's
+    breaker, and :meth:`pick_replica` then routes around it so a flapping
+    host stops absorbing attempts (and hedges).  After
+    ``breaker_cooldown`` seconds one half-open probe attempt is let
+    through — success closes the breaker, failure re-opens it for another
+    cooldown.
     """
 
     def __init__(
@@ -187,17 +195,92 @@ class ShardChannel:
         shard_id: int,
         replicas: Sequence[Tuple[str, int]],
         policy: ReconnectPolicy,
+        *,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         self.shard_id = shard_id
         self.replicas = tuple(replicas)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
         self._policy = policy
         self._probe_policy = ReconnectPolicy(attempts=1)
         self._clients: Dict[Tuple[str, int], QueryClient] = {}
         self._locks: Dict[Tuple[str, int], asyncio.Lock] = {}
+        #: Consecutive failures per replica index (reset on any success).
+        self._failures: Dict[int, int] = {}
+        #: Loop time each open breaker last tripped/re-tripped.
+        self._opened_at: Dict[int, float] = {}
+        #: Replicas whose half-open probe is currently in flight.
+        self._half_open: set = set()
 
     def replica_index(self, attempt: int) -> int:
         """Replica for attempt number ``attempt`` (0-based): primary first."""
         return attempt % len(self.replicas)
+
+    # -- circuit breaker ------------------------------------------------ #
+    def record_success(self, replica: int) -> None:
+        """A replica answered: reset its failure streak, close its breaker."""
+        replica %= len(self.replicas)
+        self._failures.pop(replica, None)
+        self._opened_at.pop(replica, None)
+        self._half_open.discard(replica)
+
+    def record_failure(self, replica: int) -> bool:
+        """Count one failed attempt; ``True`` when this trip *opened* the breaker."""
+        replica %= len(self.replicas)
+        self._half_open.discard(replica)
+        count = self._failures.get(replica, 0) + 1
+        self._failures[replica] = count
+        if count >= self.breaker_threshold:
+            self._opened_at[replica] = asyncio.get_event_loop().time()
+        return count == self.breaker_threshold
+
+    def breaker_state(self, replica: int) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (for stats)."""
+        replica %= len(self.replicas)
+        if self._failures.get(replica, 0) < self.breaker_threshold:
+            return "closed"
+        if replica in self._half_open:
+            return "half-open"
+        elapsed = asyncio.get_event_loop().time() - self._opened_at.get(replica, 0.0)
+        return "half-open" if elapsed >= self.breaker_cooldown else "open"
+
+    def _breaker_blocks(self, replica: int) -> bool:
+        """Whether the breaker currently refuses attempts at ``replica``.
+
+        A breaker past its cooldown admits exactly one half-open probe:
+        the first caller through marks the replica half-open (and attempts
+        it); further callers keep being refused until the probe settles via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self._failures.get(replica, 0) < self.breaker_threshold:
+            return False
+        if replica in self._half_open:
+            return True
+        elapsed = asyncio.get_event_loop().time() - self._opened_at.get(replica, 0.0)
+        if elapsed >= self.breaker_cooldown:
+            self._half_open.add(replica)
+            return False
+        return True
+
+    def pick_replica(self, attempt: int) -> Tuple[int, int]:
+        """Replica for this attempt, skipping open breakers.
+
+        Returns ``(replica, skipped)`` — ``skipped`` counts replicas
+        routed around.  With every breaker open, the plain round-robin
+        choice is returned (refusing all replicas would turn a flap into a
+        full outage).
+        """
+        count = len(self.replicas)
+        base = attempt % count
+        skipped = 0
+        for step in range(count):
+            candidate = (base + step) % count
+            if not self._breaker_blocks(candidate):
+                return candidate, skipped
+            skipped += 1
+        return base, skipped
 
     async def client(self, replica: int, *, probe: bool = False) -> QueryClient:
         """A live client for replica ``replica``; dials when needed.
@@ -246,6 +329,9 @@ class RouterStatsCounters:
     hedge_wins: int = 0
     loser_cancels: int = 0
     cancels_forwarded: int = 0
+    breaker_trips: int = 0
+    breaker_skips: int = 0
+    shard_overloads: int = 0
 
 
 class RouterJob:
@@ -267,6 +353,8 @@ class RouterJob:
         self.tasks: List[asyncio.Task] = []
         self.error: Optional[str] = None
         self.started = asyncio.get_event_loop().time()
+        #: Latest retry-after hint (seconds) from an ``overloaded`` shard.
+        self.retry_after_seconds = 0.05
 
     @property
     def cancelled(self) -> bool:
@@ -325,11 +413,17 @@ class ShardRouter:
         max_attempts: int = 4,
         policy: Optional[ReconnectPolicy] = None,
         latency_window: int = 256,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ) -> None:
         if not 0.0 < hedge_percentile <= 100.0:
             raise ReproError("hedge_percentile must lie in (0, 100]")
         if max_attempts < 1:
             raise ReproError("max_attempts must be positive")
+        if breaker_threshold < 1:
+            raise ReproError("breaker_threshold must be positive")
+        if breaker_cooldown <= 0.0:
+            raise ReproError("breaker_cooldown must be positive")
         self.shard_map = shard_map
         self.hedge = hedge
         self.hedge_percentile = hedge_percentile
@@ -340,7 +434,13 @@ class ShardRouter:
         self.max_attempts = max_attempts
         self.policy = policy if policy is not None else ReconnectPolicy(attempts=3)
         self.channels = [
-            ShardChannel(index, replicas, self.policy)
+            ShardChannel(
+                index,
+                replicas,
+                self.policy,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown,
+            )
             for index, replicas in enumerate(shard_map.shards)
         ]
         self.counters = RouterStatsCounters()
@@ -439,7 +539,8 @@ class ShardRouter:
         for attempt in range(self.max_attempts):
             if not outstanding or job.cancelled:
                 return
-            replica = channel.replica_index(attempt)
+            replica, skipped = channel.pick_replica(attempt)
+            self.counters.breaker_skips += skipped
             primary = asyncio.ensure_future(
                 self._attempt(job, channel, replica, outstanding, triples, opts)
             )
@@ -449,6 +550,13 @@ class ShardRouter:
                     self._hedge(job, channel, replica, outstanding, triples, opts, primary)
                 )
             status = await primary
+            # Primary attempts feed the breaker (hedges race on a different
+            # replica and report their own status out of band).
+            if status in ("done", "cancelled", "overloaded"):
+                channel.record_success(replica)
+            elif status in ("lost", "unreachable"):
+                if channel.record_failure(replica):
+                    self.counters.breaker_trips += 1
             if hedge_task is not None:
                 if status == "done" and not outstanding:
                     hedge_task.cancel()
@@ -465,6 +573,16 @@ class ShardRouter:
                 # is permanent: retrying elsewhere would fail identically.
                 await self.cancel(job)
                 return
+            if status == "overloaded":
+                # The shard shed the sub-batch: wait out its retry-after
+                # hint, then re-attempt — a reject is live capacity
+                # signalling, not a replica failure, so the breaker stays
+                # untouched.
+                self.counters.shard_overloads += 1
+                await asyncio.sleep(
+                    min(2.0, max(0.05, job.retry_after_seconds))
+                )
+                continue
             if status in ("lost", "unreachable"):
                 self.counters.failovers += 1
                 continue
@@ -498,10 +616,12 @@ class ShardRouter:
         if primary.done() or not outstanding or job.cancelled:
             return "idle"
         self.counters.hedges_fired += 1
+        replica, skipped = channel.pick_replica(primary_replica + 1)
+        self.counters.breaker_skips += skipped
         status = await self._attempt(
             job,
             channel,
-            channel.replica_index(primary_replica + 1),
+            replica,
             outstanding,
             triples,
             opts,
@@ -524,7 +644,9 @@ class ShardRouter:
 
         Returns ``"done"`` (terminal done frame seen), ``"cancelled"``,
         ``"lost"`` (connection died mid-stream), ``"unreachable"`` (dial
-        failed) or ``"error"`` (the shard rejected the sub-batch).  Result
+        failed), ``"overloaded"`` (the shard shed the sub-batch; the
+        retry-after hint lands in ``job.retry_after_seconds``) or
+        ``"error"`` (the shard rejected the sub-batch).  Result
         frames are merged into ``job`` with positions remapped from the
         sub-batch's local space to the workload's global space; ``path``
         frames buffer per local position and flush only when that
@@ -593,6 +715,11 @@ class ShardRouter:
                     return "done"
                 elif kind == "cancelled":
                     return "cancelled"
+                elif kind == "overloaded":
+                    job.retry_after_seconds = (
+                        float(frame.get("retry_after_ms", 50.0)) / 1e3
+                    )
+                    return "overloaded"
                 else:  # error — local poison or a shard-side rejection
                     if frame.get("_closed"):
                         return "lost"
@@ -650,6 +777,7 @@ class ShardRouter:
                 info: Dict[str, object] = {
                     "address": f"{host}:{port}",
                     "connected": False,
+                    "breaker": channel.breaker_state(index),
                 }
                 try:
                     client = await channel.client(index, probe=True)
@@ -691,6 +819,9 @@ class ShardRouter:
             "hedge_wins": counters.hedge_wins,
             "loser_cancels": counters.loser_cancels,
             "cancels_forwarded": counters.cancels_forwarded,
+            "breaker_trips": counters.breaker_trips,
+            "breaker_skips": counters.breaker_skips,
+            "shard_overloads": counters.shard_overloads,
             "shards": shards,
         }
 

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.listener import ENGINE_CHOICES, RunConfig
 from repro.core.query import Query
-from repro.errors import ReproError, VertexNotFoundError
+from repro.errors import ReproError, ServiceOverloaded, VertexNotFoundError
 from repro.server.protocol import (
     DEFAULT_PORT,
     FrameError,
@@ -32,6 +32,10 @@ from repro.server.protocol import (
 from repro.server.service import QueryService, ServiceJob
 
 __all__ = ["QueryServer", "serve_forever"]
+
+#: Fault-injection site of every frame this server writes
+#: (see :mod:`repro.testing.faults`).
+_FRAME_SITE = "server.frame.out"
 
 
 def _config_from_opts(opts: Dict[str, object]) -> RunConfig:
@@ -111,7 +115,7 @@ class QueryServer:
                 except FrameError as error:
                     with contextlib.suppress(ConnectionError):
                         await write_frame(
-                            writer, {"type": "error", "error": str(error)}, lock=lock
+                            writer, {"type": "error", "error": str(error)}, lock=lock, site=_FRAME_SITE
                         )
                     break
                 if message is None:
@@ -157,7 +161,7 @@ class QueryServer:
                 job.cancel()
         elif kind == "stats":
             await write_frame(
-                writer, {"type": "stats", "stats": self.service.stats()}, lock=lock
+                writer, {"type": "stats", "stats": self.service.stats()}, lock=lock, site=_FRAME_SITE
             )
         elif kind == "ping":
             from repro._version import __version__
@@ -174,12 +178,12 @@ class QueryServer:
             # clock agreement needed.
             if "t" in message:
                 pong["t"] = message["t"]
-            await write_frame(writer, pong, lock=lock)
+            await write_frame(writer, pong, lock=lock, site=_FRAME_SITE)
         else:
             await write_frame(
                 writer,
                 {"type": "error", "error": f"unknown message type {kind!r}"},
-                lock=lock,
+                lock=lock, site=_FRAME_SITE,
             )
 
     def _resolve_external(self, value: object) -> int:
@@ -264,7 +268,7 @@ class QueryServer:
                     "id": client_id,
                     "error": f"job id {client_id!r} is already in flight",
                 },
-                lock=lock,
+                lock=lock, site=_FRAME_SITE,
             )
             return
         try:
@@ -272,16 +276,28 @@ class QueryServer:
             config = _config_from_opts(opts)
         except (ValueError, TypeError, ReproError) as error:
             await write_frame(
-                writer, {"type": "error", "id": client_id, "error": str(error)}, lock=lock
+                writer, {"type": "error", "id": client_id, "error": str(error)}, lock=lock, site=_FRAME_SITE
             )
             return
         try:
             job = await self.service.submit(queries, config)
+        except ServiceOverloaded as error:
+            frame: Dict[str, object] = {
+                "type": "overloaded",
+                "id": client_id,
+                "retry_after_ms": round(error.retry_after * 1e3, 3),
+            }
+            if error.pending is not None:
+                frame["pending"] = error.pending
+            if error.limit is not None:
+                frame["limit"] = error.limit
+            await write_frame(writer, frame, lock=lock, site=_FRAME_SITE)
+            return
         except Exception as error:  # noqa: BLE001 - e.g. service shutting down
             await write_frame(
                 writer,
                 {"type": "error", "id": client_id, "error": f"submit failed: {error}"},
-                lock=lock,
+                lock=lock, site=_FRAME_SITE,
             )
             return
         jobs[client_id] = job
@@ -339,26 +355,35 @@ class QueryServer:
                                         "position": position,
                                         "path": path,
                                     },
-                                    lock=lock,
+                                    lock=lock, site=_FRAME_SITE,
                                 )
                         else:
                             frame["paths"] = rendered
-                    await write_frame(writer, frame, lock=lock)
+                    await write_frame(writer, frame, lock=lock, site=_FRAME_SITE)
                 elif kind == "done":
                     await write_frame(
-                        writer, {"type": "done", "id": client_id, **event[1]}, lock=lock
+                        writer, {"type": "done", "id": client_id, **event[1]}, lock=lock, site=_FRAME_SITE
                     )
                 elif kind == "cancelled":
                     await write_frame(
                         writer,
                         {"type": "cancelled", "id": client_id, "delivered": event[1]},
-                        lock=lock,
+                        lock=lock, site=_FRAME_SITE,
+                    )
+                elif kind == "overloaded":
+                    # Admitted but shed before execution (queue delay past
+                    # the budget): the job's terminal frame is the same
+                    # typed reject a budget-exhausted submit gets.
+                    await write_frame(
+                        writer,
+                        {"type": "overloaded", "id": client_id, **event[1]},
+                        lock=lock, site=_FRAME_SITE,
                     )
                 elif kind == "error":
                     await write_frame(
                         writer,
                         {"type": "error", "id": client_id, "error": event[1]},
-                        lock=lock,
+                        lock=lock, site=_FRAME_SITE,
                     )
         except (ConnectionError, asyncio.CancelledError):
             # The client went away (or the connection handler is tearing
@@ -378,7 +403,7 @@ class QueryServer:
                         "id": client_id,
                         "error": f"stream failed: {type(error).__name__}: {error}",
                     },
-                    lock=lock,
+                    lock=lock, site=_FRAME_SITE,
                 )
 
 

@@ -32,7 +32,8 @@ from repro.core.engine import ExecutorCore, StreamRun
 from repro.core.native import warmup as native_warmup
 from repro.core.listener import RunConfig
 from repro.core.query import Query
-from repro.core.result import QueryResult
+from repro.core.result import EnumerationStats, QueryResult
+from repro.errors import ServiceOverloaded
 from repro.graph.digraph import DiGraph
 
 __all__ = ["JobState", "ServiceJob", "QueryService"]
@@ -46,12 +47,14 @@ class JobState(enum.Enum):
     DONE = "done"
     CANCELLED = "cancelled"
     FAILED = "failed"
+    #: Admitted but shed before execution (queue delay past the budget).
+    SHED = "shed"
 
 
 #: Events delivered on a job's queue:
 #: ``("result", position, QueryResult)`` — one completed query;
 #: ``("done", info)`` / ``("cancelled", delivered)`` / ``("error", message)``
-#: — exactly one terminal event per job.
+#: / ``("overloaded", info)`` — exactly one terminal event per job.
 JobEvent = Tuple
 
 
@@ -69,6 +72,9 @@ class ServiceJob:
         self._cancel = threading.Event()
         self._run: Optional[StreamRun] = None
         self._drive_future = None
+        #: Stamped by ``QueryService.submit`` on admission; queue delay is
+        #: measured against it when the drive slot finally comes up.
+        self._enqueued_monotonic = time.monotonic()
 
     def cancel(self) -> None:
         """Request cancellation; safe from any thread, idempotent.
@@ -90,7 +96,7 @@ class ServiceJob:
         while True:
             event = await self._queue.get()
             yield event
-            if event[0] in ("done", "cancelled", "error"):
+            if event[0] in ("done", "cancelled", "error", "overloaded"):
                 return
 
     # -- drive-thread side --------------------------------------------- #
@@ -109,8 +115,13 @@ class ServiceStats:
     jobs_completed: int = 0
     jobs_cancelled: int = 0
     jobs_failed: int = 0
+    jobs_shed: int = 0
     queries_submitted: int = 0
     queries_completed: int = 0
+    queries_admitted: int = 0
+    queries_shed: int = 0
+    queries_expired: int = 0
+    queue_depth_high_water: int = 0
     paths_streamed: int = 0
     active_jobs: Dict[str, "ServiceJob"] = field(default_factory=dict)
 
@@ -128,7 +139,23 @@ class QueryService:
     One service hosts many concurrent jobs: they share the worker pool, the
     distance cache (a query whose ``(target, k)`` any earlier job warmed
     skips its reverse BFS) and the ``max_concurrent_jobs``-wide drive pool.
+
+    Admission control: ``max_pending_queries`` bounds the number of
+    admitted-but-unfinished queries — a submit that would exceed it raises
+    :class:`~repro.errors.ServiceOverloaded` with a retry-after estimate
+    derived from recent service times.  ``max_queue_delay`` (seconds) sheds
+    a job whose drive slot came up too late (terminal ``overloaded`` event
+    instead of execution), and — only while either knob is set — a job whose
+    per-query ``time_limit_seconds`` fully elapsed *while queued* is
+    answered with deadline results without ever reaching a worker.  Both
+    knobs default to off, and off means *exactly* the unhardened semantics:
+    an unconfigured server still runs already-expired queries, because the
+    engine's own deadline handling (a few paths may be emitted before the
+    first poll) is part of the byte-identical-to-inline contract.
     """
+
+    #: Clamp window of the retry-after hint (seconds).
+    _RETRY_AFTER_BOUNDS = (0.05, 5.0)
 
     def __init__(
         self,
@@ -142,11 +169,17 @@ class QueryService:
         max_cached: int = 1024,
         max_concurrent_jobs: int = 32,
         shard_id: Optional[int] = None,
+        max_pending_queries: Optional[int] = None,
+        max_queue_delay: Optional[float] = None,
     ) -> None:
         if processes < 1:
             raise ValueError("processes must be at least 1")
         if threads < 1:
             raise ValueError("threads must be at least 1")
+        if max_pending_queries is not None and max_pending_queries < 1:
+            raise ValueError("max_pending_queries must be at least 1")
+        if max_queue_delay is not None and max_queue_delay <= 0.0:
+            raise ValueError("max_queue_delay must be positive")
         self.graph = graph
         #: Identity of this host in a routed deployment (``repro serve
         #: --shard-id N``); ``None`` for a standalone server.  Reported in
@@ -171,6 +204,17 @@ class QueryService:
         # load it instead of compiling on a live query (p99 protection).
         # A no-op without the Numba toolchain.
         native_warmup()
+        self.max_pending_queries = max_pending_queries
+        self.max_queue_delay = max_queue_delay
+        #: Hardening configured at all?  Gates the expired-in-queue fast
+        #: path: an unconfigured server must stay byte-identical to inline.
+        self._admission_active = (
+            max_pending_queries is not None or max_queue_delay is not None
+        )
+        #: Admitted-but-unfinished queries (the pending-work gauge).
+        self._pending_queries = 0
+        #: EWMA of per-query service seconds, feeding the retry-after hint.
+        self._ewma_query_seconds: Optional[float] = None
         self._stats = ServiceStats()
         self._lock = threading.Lock()
         self._job_ids = itertools.count(1)
@@ -199,9 +243,17 @@ class QueryService:
                 "jobs_completed": self._stats.jobs_completed,
                 "jobs_cancelled": self._stats.jobs_cancelled,
                 "jobs_failed": self._stats.jobs_failed,
+                "jobs_shed": self._stats.jobs_shed,
                 "jobs_active": len(self._stats.active_jobs),
                 "queries_submitted": self._stats.queries_submitted,
                 "queries_completed": self._stats.queries_completed,
+                "queries_admitted": self._stats.queries_admitted,
+                "queries_shed": self._stats.queries_shed,
+                "queries_expired": self._stats.queries_expired,
+                "queries_inflight": self._pending_queries,
+                "queue_depth_high_water": self._stats.queue_depth_high_water,
+                "max_pending_queries": self.max_pending_queries,
+                "max_queue_delay": self.max_queue_delay,
                 "paths_streamed": self._stats.paths_streamed,
             }
         from repro._version import __version__
@@ -236,6 +288,10 @@ class QueryService:
         event per query as workers complete them, then a terminal event.
         ``config.on_result`` must be unset (results stream as events
         instead); constraints are rejected by the core.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` (with a
+        ``retry_after`` hint) when admitting the job would exceed
+        ``max_pending_queries``.
         """
         if self._closed:
             raise RuntimeError("QueryService is closed")
@@ -246,9 +302,40 @@ class QueryService:
         with self._lock:
             self._stats.jobs_submitted += 1
             self._stats.queries_submitted += len(queries)
+            limit = self.max_pending_queries
+            if (
+                limit is not None
+                and queries
+                and self._pending_queries + len(queries) > limit
+            ):
+                self._stats.jobs_shed += 1
+                self._stats.queries_shed += len(queries)
+                raise ServiceOverloaded(
+                    "pending-work budget exhausted",
+                    retry_after=self._retry_after_locked(),
+                    pending=self._pending_queries,
+                    limit=limit,
+                )
+            self._stats.queries_admitted += len(queries)
+            self._pending_queries += len(queries)
+            if self._pending_queries > self._stats.queue_depth_high_water:
+                self._stats.queue_depth_high_water = self._pending_queries
             self._stats.active_jobs[job.id] = job
+        job._enqueued_monotonic = time.monotonic()
         job._drive_future = self._drive_pool.submit(self._drive, job, queries, config)
         return job
+
+    def _retry_after_locked(self) -> float:
+        """Estimate seconds until capacity frees up (caller holds the lock).
+
+        Pending work divided by worker parallelism, priced at the EWMA of
+        recent per-query service times, clamped so a cold service still
+        answers something sane.
+        """
+        lo, hi = self._RETRY_AFTER_BOUNDS
+        per_query = self._ewma_query_seconds if self._ewma_query_seconds else lo
+        estimate = per_query * max(1, self._pending_queries) / max(1, self.workers)
+        return min(hi, max(lo, estimate))
 
     async def run(
         self,
@@ -277,6 +364,66 @@ class QueryService:
                 self._finish(job, JobState.CANCELLED)
                 job._deliver(("cancelled", 0))
                 return
+            queue_delay = time.monotonic() - job._enqueued_monotonic
+            if self.max_queue_delay is not None and queue_delay > self.max_queue_delay:
+                with self._lock:
+                    self._stats.jobs_shed += 1
+                    self._stats.queries_shed += job.num_queries
+                    retry_after = self._retry_after_locked()
+                self._finish(job, JobState.SHED)
+                job._deliver(
+                    (
+                        "overloaded",
+                        {
+                            "retry_after_ms": round(retry_after * 1e3, 3),
+                            "queue_delay_ms": round(queue_delay * 1e3, 3),
+                        },
+                    )
+                )
+                return
+            if (
+                self._admission_active
+                and config.time_limit_seconds is not None
+                and queue_delay >= config.time_limit_seconds
+            ):
+                # The per-query deadline fully elapsed while the job waited
+                # for a drive slot: answer every position with a deadline
+                # result instead of burning workers on queries whose callers
+                # have already timed out.
+                with self._lock:
+                    self._stats.queries_expired += job.num_queries
+                algorithm_name = self._core.algorithm.name
+                for position, query in enumerate(queries):
+                    job.delivered += 1
+                    job._deliver(
+                        (
+                            "result",
+                            position,
+                            QueryResult(
+                                query.source,
+                                query.target,
+                                query.k,
+                                algorithm_name,
+                                0,
+                                [] if config.store_paths else None,
+                                EnumerationStats(timed_out=True),
+                                response_k=config.response_k,
+                            ),
+                        )
+                    )
+                self._finish(job, JobState.DONE, queries=job.delivered, paths=0)
+                job._deliver(
+                    (
+                        "done",
+                        {
+                            "queries": job.delivered,
+                            "total_paths": 0,
+                            "expired_in_queue": True,
+                            "wall_ms": round((time.perf_counter() - started) * 1e3, 3),
+                        },
+                    )
+                )
+                return
             job.state = JobState.RUNNING
             run = self._core.start(queries, config, chunk_queries=1)
             job._run = run
@@ -302,7 +449,13 @@ class QueryService:
                     total_paths += result.count
                     job._deliver(("result", position, result))
             if job.delivered == job.num_queries:
-                self._finish(job, JobState.DONE, queries=job.delivered, paths=total_paths)
+                self._finish(
+                    job,
+                    JobState.DONE,
+                    queries=job.delivered,
+                    paths=total_paths,
+                    wall_seconds=time.perf_counter() - started,
+                )
                 job._deliver(
                     (
                         "done",
@@ -324,14 +477,31 @@ class QueryService:
             self._finish(job, JobState.FAILED, queries=job.delivered, paths=total_paths)
             job._deliver(("error", f"{type(error).__name__}: {error}"))
 
-    def _finish(self, job: ServiceJob, state: JobState, *, queries: int = 0, paths: int = 0) -> None:
+    def _finish(
+        self,
+        job: ServiceJob,
+        state: JobState,
+        *,
+        queries: int = 0,
+        paths: int = 0,
+        wall_seconds: Optional[float] = None,
+    ) -> None:
         job.state = state
         with self._lock:
-            self._stats.active_jobs.pop(job.id, None)
+            if self._stats.active_jobs.pop(job.id, None) is not None:
+                # Release the job's pending-work budget exactly once (both
+                # _drive and _shutdown_blocking may try to finish a job).
+                self._pending_queries = max(0, self._pending_queries - job.num_queries)
             self._stats.queries_completed += queries
             self._stats.paths_streamed += paths
             if state is JobState.DONE:
                 self._stats.jobs_completed += 1
+                if wall_seconds is not None and job.num_queries > 0:
+                    per_query = wall_seconds / job.num_queries
+                    if self._ewma_query_seconds is None:
+                        self._ewma_query_seconds = per_query
+                    else:
+                        self._ewma_query_seconds += 0.2 * (per_query - self._ewma_query_seconds)
             elif state is JobState.CANCELLED:
                 self._stats.jobs_cancelled += 1
             elif state is JobState.FAILED:

@@ -1,0 +1,19 @@
+"""Shared fixtures of the chaos suite: graph, workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.workloads.queries import generate_target_centric_set
+
+
+@pytest.fixture(scope="session")
+def graph():
+    return erdos_renyi(150, 4.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def workload(graph):
+    queries = generate_target_centric_set(graph, count=10, k=4, num_targets=3, seed=5)
+    return [[q.source, q.target, q.k] for q in queries]

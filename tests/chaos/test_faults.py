@@ -1,0 +1,164 @@
+"""Unit tests of the fault-injection harness itself.
+
+Determinism is the whole point: a plan must fire on exactly the events it
+names, the same way in every run, in every process that shares it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestPlanParsing:
+    def test_round_trips_through_env_encoding(self, tmp_path):
+        plan = faults.FaultPlan.from_dict(
+            {
+                "seed": 7,
+                "faults": [
+                    {"site": "worker.task", "op": "kill", "position": 3},
+                    {"site": "server.frame.out", "op": "truncate", "at": 2,
+                     "keep_bytes": 5, "once": False},
+                ],
+            }
+        )
+        rebuilt = faults.FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.seed == 7
+        assert [f.op for f in rebuilt.faults] == ["kill", "truncate"]
+        assert rebuilt.faults[1].keep_bytes == 5
+        assert rebuilt.faults[1].once is False
+
+    def test_env_value_accepts_a_file_path(self, tmp_path):
+        payload = {"faults": [{"site": "worker.task", "op": "error"}]}
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        plan = faults.FaultPlan.from_env_value(str(path))
+        assert plan.faults[0].op == "error"
+
+    def test_unknown_site_op_and_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.Fault(site="worker.gpu", op="kill")
+        with pytest.raises(ValueError, match="unknown fault op"):
+            faults.Fault(site="worker.task", op="explode")
+        with pytest.raises(ValueError, match="unknown fault fields"):
+            faults.Fault.from_dict({"site": "worker.task", "op": "kill", "sev": 1})
+        with pytest.raises(ValueError, match="'at' is 1-based"):
+            faults.Fault(site="worker.task", op="kill", at=0)
+
+    def test_install_and_clear_manage_the_environment(self, tmp_path):
+        with faults.installed(
+            {"faults": [{"site": "worker.task", "op": "error"}]},
+            state_dir=str(tmp_path / "state"),
+        ) as plan:
+            assert os.environ.get(faults.ENV_VAR)
+            assert faults.active_plan() is plan
+            assert os.path.isdir(plan.state_dir)
+        assert faults.ENV_VAR not in os.environ
+        assert faults.active_plan() is None
+
+    def test_no_plan_fast_path_returns_none(self):
+        assert faults.hit("worker.task", position=0) is None
+
+
+class TestFiringWindow:
+    def test_fires_on_the_at_th_match_for_count_events(self):
+        plan = faults.FaultPlan.from_dict(
+            {"faults": [{"site": "worker.task", "op": "error",
+                         "at": 3, "count": 2, "once": False}]}
+        )
+        fired = [
+            plan.check("worker.task", position=0) is not None for _ in range(6)
+        ]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_position_and_frame_type_filters(self):
+        plan = faults.FaultPlan.from_dict(
+            {"faults": [
+                {"site": "worker.task", "op": "error", "position": 4},
+                {"site": "server.frame.out", "op": "drop", "frame_type": "result"},
+            ]}
+        )
+        assert plan.check("worker.task", position=3) is None
+        assert plan.check("worker.task", position=4) is not None
+        assert plan.check("server.frame.out", frame_type="done") is None
+        assert plan.check("server.frame.out", frame_type="result") is not None
+
+    def test_once_with_state_dir_is_globally_at_most_once(self, tmp_path):
+        payload = {
+            "state_dir": str(tmp_path),
+            "faults": [{"site": "worker.task", "op": "error"}],
+        }
+        first = faults.FaultPlan.from_dict(payload)
+        second = faults.FaultPlan.from_dict(payload)  # a "different process"
+        assert first.check("worker.task", position=0) is not None
+        # The marker file gates every other plan instance sharing state_dir.
+        assert second.check("worker.task", position=0) is None
+        assert os.path.exists(tmp_path / "fault-0.fired")
+
+    def test_once_false_keeps_firing_across_instances(self, tmp_path):
+        payload = {
+            "state_dir": str(tmp_path),
+            "faults": [{"site": "worker.task", "op": "error", "once": False}],
+        }
+        first = faults.FaultPlan.from_dict(payload)
+        second = faults.FaultPlan.from_dict(payload)
+        assert first.check("worker.task", position=0) is not None
+        assert second.check("worker.task", position=0) is not None
+
+
+class TestTaskSite:
+    def test_error_and_memory_error_ops_raise(self):
+        with faults.installed(
+            {"faults": [
+                {"site": "worker.task", "op": "error", "position": 1},
+                {"site": "worker.task", "op": "memory_error", "position": 2},
+            ]}
+        ):
+            faults.maybe_fail_task(0)  # no match, no effect
+            with pytest.raises(RuntimeError, match="injected task error"):
+                faults.maybe_fail_task(1)
+            with pytest.raises(MemoryError, match="injected memory error"):
+                faults.maybe_fail_task(2)
+
+    def test_kill_in_main_process_degrades_to_an_exception(self):
+        assert multiprocessing.current_process().name == "MainProcess"
+        with faults.installed(
+            {"faults": [{"site": "worker.task", "op": "kill"}]}
+        ):
+            with pytest.raises(RuntimeError, match="injected worker crash"):
+                faults.maybe_fail_task(0)
+
+    def test_forked_child_counts_its_own_events(self, tmp_path):
+        # A child re-parses the plan (pid-keyed cache) and starts its hit
+        # counters from zero — determinism must not depend on fork timing.
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork unavailable")
+
+        def child(conn):
+            fault = faults.hit("worker.task", position=0)
+            conn.send(fault is not None)
+            conn.close()
+
+        with faults.installed(
+            {"faults": [{"site": "worker.task", "op": "error", "once": False}]}
+        ):
+            assert faults.hit("worker.task", position=0) is not None  # parent: hit 1
+            ctx = multiprocessing.get_context("fork")
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=child, args=(child_conn,))
+            proc.start()
+            fired_in_child = parent_conn.recv()
+            proc.join(10)
+        assert fired_in_child  # child's own first event is its 'at: 1'

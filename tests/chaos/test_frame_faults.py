@@ -1,0 +1,201 @@
+"""Wire-level fault tolerance: mangled frames in either direction.
+
+Server → client: injected drop/delay/truncate on outgoing frames (the
+``server.frame.out`` site).  Client → server: hand-rolled truncated and
+garbage submits — the server must answer a protocol error or close the
+connection cleanly, reap any half-created job, and keep serving everyone
+else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server.client import QueryClient
+from repro.server.protocol import MAX_FRAME_BYTES, encode_frame
+from repro.testing import faults
+
+from tests.chaos._support import SlowAlgorithm, serve_scenario
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestInjectedServerFaults:
+    def test_dropped_result_frame_loses_one_result_not_the_job(self, graph, workload):
+        plan = {"faults": [{"site": "server.frame.out", "op": "drop",
+                            "frame_type": "result", "at": 2}]}
+
+        async def scenario(client, server, service):
+            with faults.installed(plan):
+                return await client.run(workload)
+
+        outcome = serve_scenario(graph, scenario, threads=1)
+        assert outcome.status == "done"
+        assert len(outcome.results) == len(workload) - 1
+
+    def test_delayed_done_frame_stalls_completion_only(self, graph, workload):
+        plan = {"faults": [{"site": "server.frame.out", "op": "delay",
+                            "frame_type": "done", "delay_ms": 300}]}
+
+        async def scenario(client, server, service):
+            loop = asyncio.get_running_loop()
+            with faults.installed(plan):
+                started = loop.time()
+                outcome = await client.run(workload)
+                return outcome, loop.time() - started
+
+        outcome, elapsed = serve_scenario(graph, scenario, threads=2)
+        assert outcome.status == "done"
+        assert len(outcome.results) == len(workload)
+        assert elapsed >= 0.3
+
+    def test_truncated_frame_severs_the_connection_loudly(self, graph, workload):
+        plan = {"faults": [{"site": "server.frame.out", "op": "truncate",
+                            "frame_type": "result", "at": 3}]}
+
+        async def scenario(client, server, service):
+            with faults.installed(plan):
+                outcome = await client.run(workload)
+            # The job dies loudly — a terminal error marking the severed
+            # connection, never a silent hang on missing frames.
+            assert outcome.status == "error"
+            assert outcome.info.get("_closed")
+            # The server reaps the orphaned job once the connection is gone.
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while service.stats()["jobs_active"]:
+                if asyncio.get_running_loop().time() > deadline:
+                    raise AssertionError("job survived its severed connection")
+                await asyncio.sleep(0.05)
+            # A fresh connection gets clean service.
+            fresh = await QueryClient.connect(port=server.port)
+            async with fresh:
+                return await fresh.run(workload)
+
+        outcome = serve_scenario(graph, scenario, threads=1)
+        assert outcome.status == "done"
+        assert len(outcome.results) == len(workload)
+
+    def test_connection_death_mid_open_loop_reassigns_arrivals(self, graph):
+        # Satellite: open_loop_load must not silently lose arrivals whose
+        # connection died mid-run — survivors absorb them.
+        from repro.server.client import open_loop_load
+
+        queries = [[i % 50, 100 + (i % 40), 2] for i in range(12)]
+        arrivals = [0.05 * i for i in range(len(queries))]
+        plan = {"faults": [{"site": "server.frame.out", "op": "truncate",
+                            "frame_type": "result", "at": 2}]}
+
+        async def scenario(client, server, service):
+            with faults.installed(plan):
+                return await asyncio.wait_for(
+                    open_loop_load(
+                        queries, arrivals, port=server.port, connections=2
+                    ),
+                    timeout=60,
+                )
+
+        report = serve_scenario(
+            graph, scenario, algorithm=SlowAlgorithm(0.01), threads=2
+        )
+        assert report.reassigned >= 1
+        # Every arrival is accounted for; at most the one in flight on the
+        # severed connection is re-run, none are lost or hung.
+        assert report.completed + report.errors == len(queries)
+        assert report.completed >= len(queries) - 1
+
+
+async def _raw_connection(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+class TestClientSentGarbage:
+    def test_truncated_submit_reaps_the_half_created_job(self, graph, workload):
+        async def scenario(client, server, service):
+            reader, writer = await _raw_connection(server.port)
+            frame = encode_frame(
+                {"type": "submit", "id": "j1", "queries": workload, "opts": {}}
+            )
+            writer.write(frame[: len(frame) // 2])  # promise more than we send
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.2)
+            # No half-created job lingers, and existing clients still work.
+            assert service.stats()["jobs_active"] == 0
+            return await client.run(workload)
+
+        outcome = serve_scenario(graph, scenario, threads=1)
+        assert outcome.status == "done"
+
+    def test_undecodable_body_answered_with_protocol_error(self, graph, workload):
+        async def scenario(client, server, service):
+            reader, writer = await _raw_connection(server.port)
+            body = b"\xff\xfe not json at all"
+            writer.write(struct.pack(">I", len(body)) + body)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(1 << 16), timeout=10)
+            writer.close()
+            await writer.wait_closed()
+            # The server answered an error frame, then closed its side.
+            assert b"error" in raw
+            return await client.run(workload)
+
+        outcome = serve_scenario(graph, scenario, threads=1)
+        assert outcome.status == "done"
+
+    def test_oversized_length_prefix_rejected_not_allocated(self, graph, workload):
+        async def scenario(client, server, service):
+            reader, writer = await _raw_connection(server.port)
+            writer.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(1 << 16), timeout=10)
+            at_eof = await asyncio.wait_for(reader.read(1 << 16), timeout=10)
+            writer.close()
+            await writer.wait_closed()
+            assert b"exceeds" in raw
+            assert at_eof == b""  # server closed the connection after
+            return await client.run(workload)
+
+        outcome = serve_scenario(graph, scenario, threads=1)
+        assert outcome.status == "done"
+
+    def test_garbage_after_a_live_submit_keeps_the_job_result_clean(
+        self, graph, workload
+    ):
+        # A client that goes insane mid-stream loses its connection (and
+        # with it the in-flight job), but the service itself stays healthy.
+        async def scenario(client, server, service):
+            reader, writer = await _raw_connection(server.port)
+            writer.write(
+                encode_frame(
+                    {"type": "submit", "id": "mad", "queries": workload, "opts": {}}
+                )
+            )
+            body = b"{broken"
+            writer.write(struct.pack(">I", len(body)) + body)
+            await writer.drain()
+            async with asyncio.timeout(10):
+                while await reader.read(1 << 16):
+                    pass
+            writer.close()
+            await writer.wait_closed()
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while service.stats()["jobs_active"]:
+                if asyncio.get_running_loop().time() > deadline:
+                    raise AssertionError("job outlived its garbage-spewing client")
+                await asyncio.sleep(0.05)
+            return await client.run(workload)
+
+        outcome = serve_scenario(
+            graph, scenario, algorithm=SlowAlgorithm(0.02), threads=1
+        )
+        assert outcome.status == "done"
+        assert len(outcome.results) == len(workload)

@@ -1,0 +1,147 @@
+"""Clean-shutdown contract: SIGTERM with work in flight exits 0, leaks nothing.
+
+``repro serve`` and ``repro route`` both install SIGTERM handlers that wind
+the stack down in order (listener, jobs, worker pool, shared memory).  A
+supervisor keying restarts off exit codes must see 0 — and the host must
+not accumulate ``/dev/shm`` segments or file descriptors across server
+lifecycles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.server.client import QueryClient
+
+
+def _shm_segments():
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _spawn(args, banner_pattern):
+    """Start a CLI subprocess; return (process, banner match) once it's up."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + 60
+    line = ""
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise AssertionError(f"process died before banner: rc={process.returncode}")
+        match = re.search(banner_pattern, line)
+        if match:
+            return process, match
+    process.kill()
+    raise AssertionError(f"no banner within 60s (last line: {line!r})")
+
+
+def _finish(process, timeout=60):
+    """Drain stdout and wait; returns (returncode, output)."""
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise AssertionError("process ignored SIGTERM")
+    return process.returncode, output
+
+
+@pytest.mark.parametrize("backend_args", [
+    ["--processes", "1", "--threads", "2"],
+    ["--processes", "2"],
+], ids=["thread", "process"])
+def test_sigterm_with_job_in_flight_exits_zero(backend_args):
+    before = _shm_segments()
+    process, match = _spawn(
+        ["serve", "--dataset", "up", "--port", "0", "--delay-ms", "30",
+         *backend_args],
+        r"serving on [\d.]+:(\d+)",
+    )
+    port = int(match.group(1))
+
+    async def submit_and_terminate():
+        client = await QueryClient.connect(port=port)
+        try:
+            await client.submit([[i, 100 + i, 3] for i in range(40)])
+            await asyncio.sleep(0.3)  # queries are mid-service now
+            process.send_signal(signal.SIGTERM)
+            await asyncio.sleep(0.1)
+        finally:
+            await client.close()
+
+    asyncio.run(submit_and_terminate())
+    returncode, output = _finish(process)
+    assert returncode == 0, output
+    assert "shutdown complete" in output
+    # Worker-pool shared memory is gone with the process.
+    deadline = time.time() + 10
+    while _shm_segments() - before and time.time() < deadline:
+        time.sleep(0.1)
+    assert _shm_segments() - before == set()
+
+
+def test_router_sigterm_exits_zero():
+    serve_proc, match = _spawn(
+        ["serve", "--dataset", "up", "--port", "0", "--threads", "2"],
+        r"serving on [\d.]+:(\d+)",
+    )
+    serve_port = int(match.group(1))
+    try:
+        route_proc, route_match = _spawn(
+            ["route", "--shard", f"127.0.0.1:{serve_port}", "--port", "0"],
+            r"routing on [\d.]+:(\d+)",
+        )
+        route_port = int(route_match.group(1))
+
+        async def query_then_terminate():
+            client = await QueryClient.connect(port=route_port)
+            try:
+                outcome = await client.run([[0, 100, 3]])
+                assert outcome.status == "done"
+                route_proc.send_signal(signal.SIGTERM)
+            finally:
+                await client.close()
+
+        asyncio.run(query_then_terminate())
+        returncode, output = _finish(route_proc)
+        assert returncode == 0, output
+        assert "router shutdown complete" in output
+    finally:
+        serve_proc.send_signal(signal.SIGTERM)
+        returncode, output = _finish(serve_proc)
+    assert returncode == 0, output
+
+
+def test_server_lifecycles_do_not_leak_fds(graph, workload):
+    # Three full boot/serve/close cycles in-process: the fd table ends
+    # where it started (sockets, pipes, shm handles all released).
+    from tests.chaos._support import serve_scenario
+
+    async def scenario(client, server, service):
+        return await client.run(workload)
+
+    serve_scenario(graph, scenario, threads=1)  # warm import-time fds
+    before = len(os.listdir("/proc/self/fd"))
+    for _ in range(3):
+        outcome = serve_scenario(graph, scenario, threads=1)
+        assert outcome.status == "done"
+    after = len(os.listdir("/proc/self/fd"))
+    assert after <= before + 1  # +1 tolerates a lazily created logging fd
