@@ -2,9 +2,12 @@
 
 10% of each representative graph's edges are replayed as insertions; every
 insertion triggers a cycle query and the tail latency of the response time
-is reported.  Expected shape (paper): IDX-DFS keeps the tail latency one to
-two orders of magnitude below BC-DFS because the per-query index needs no
-maintenance under updates.
+is reported.  The replay runs through the ``repro.api`` façade: updates are
+published as live epochs via ``Database.insert_edges`` and each cycle query
+is a ``QuerySpec`` submitted to a ``Database`` (see ``repro.bench.dynamic``).
+Expected shape (paper): IDX-DFS keeps the tail latency one to two orders of
+magnitude below BC-DFS because the per-query index needs no maintenance
+under updates.
 """
 
 from __future__ import annotations

@@ -1,0 +1,364 @@
+"""Live-update benchmark: read latency under writes, repair vs. recompute.
+
+Three measurements against the live-update subsystem:
+
+* **mixed open-loop traffic** — the same open-loop read workload is driven
+  twice against a real server: once read-only, once with a concurrent
+  writer replaying ``update`` frames (remove + re-insert of sampled edges)
+  at ~10 % of the read rate.  Every read must settle (zero stalled reads,
+  zero transport errors) and the mixed p99 must stay within 2x the
+  read-only p99 — updates never stall the worker pool.
+* **repair vs. recompute** — incremental reverse-BFS distance repair after
+  a small edge batch, timed against the full bounded BFS it replaces, on
+  the same targets the read workload tracks.  The ratio must come in
+  below 1.
+* **payload equivalence** — enumeration payloads on the overlay-merged,
+  compacted and epoch-republished graphs must be byte-identical to a
+  from-scratch rebuild of the post-update graph.
+
+Run directly:  ``PYTHONPATH=src python benchmarks/bench_live.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import random
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import Database, Q
+from repro.bench.metrics import latency_summary
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import bfs_distances_bounded
+from repro.live import DeltaOverlay, LiveGraph, repair_reverse_distances
+from repro.server.client import QueryClient, open_loop_load
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_target_centric_set, poisson_arrival_times
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DATASET = "ye"
+K = 3
+TARGETS = 6
+SEED = 2021
+QUICK = "--quick" in sys.argv
+
+READ_ARRIVALS = 24 if QUICK else 80
+READ_RATE_QPS = 25.0 if QUICK else 40.0
+WRITE_FRACTION = 0.10
+REPAIR_BATCH = 8
+REPAIR_REPS = 3 if QUICK else 5
+
+
+def _workload(graph):
+    return list(
+        generate_target_centric_set(
+            graph, count=READ_ARRIVALS, k=K, num_targets=TARGETS,
+            seed=SEED, graph_name=DATASET,
+        )
+    )
+
+
+def _sample_edges(graph, count, seed) -> List[List[int]]:
+    rng = random.Random(seed)
+    sources = graph.edge_sources()
+    targets = graph.out_csr()[1]
+    picks = rng.sample(range(graph.num_edges), min(count, graph.num_edges))
+    return [[int(sources[i]), int(targets[i])] for i in picks]
+
+
+def boot_server(*extra_args, env_extra=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    if env_extra:
+        env.update(env_extra)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", DATASET, "--port", "0", *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"serving on [\d.]+:(\d+)", banner)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"server failed to boot: {banner!r}")
+    process.bench_port = int(match.group(1))  # type: ignore[attr-defined]
+    return process
+
+
+def shutdown(process) -> bool:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise
+    return process.returncode == 0
+
+
+# --------------------------------------------------------------------- #
+# scenario 1: open-loop reads, with and without a 10%-write mix
+# --------------------------------------------------------------------- #
+async def _update_writer(port, edges, interval) -> Dict[str, object]:
+    """Replay remove + re-insert frames for each edge, evenly spaced."""
+    client = await QueryClient.connect(port=port)
+    applied = 0
+    last: Dict[str, object] = {}
+    try:
+        async with client:
+            for edge in edges:
+                last = await client.update(remove=[edge])
+                await asyncio.sleep(interval)
+                last = await client.update(add=[edge])
+                applied += 2
+                await asyncio.sleep(interval)
+    finally:
+        pass
+    return {"frames": applied, "final": last}
+
+
+def scenario_mixed_traffic(graph, queries) -> Dict[str, object]:
+    triples = [[q.source, q.target, q.k] for q in queries]
+    arrivals = poisson_arrival_times(len(triples), READ_RATE_QPS, seed=SEED)
+    window = max(arrivals)
+    num_updates = max(1, round(WRITE_FRACTION * len(triples) / 2))
+    edges = _sample_edges(graph, num_updates, SEED)
+    interval = window / (2 * len(edges) + 1)
+
+    def drive(with_writes: bool):
+        async def run():
+            load = open_loop_load(
+                triples, arrivals, port=server.bench_port, connections=4,
+                store_paths=True, rng=random.Random(SEED), keep_outcomes=True,
+            )
+            if not with_writes:
+                return await load, None
+            report, writer = await asyncio.gather(
+                load, _update_writer(server.bench_port, edges, interval)
+            )
+            return report, writer
+
+        server = boot_server("--threads", "2")
+        try:
+            return asyncio.run(run())
+        finally:
+            assert shutdown(server), "server exited non-zero"
+
+    read_report, _ = drive(with_writes=False)
+    mixed_report, writer = drive(with_writes=True)
+
+    for label, report in (("read-only", read_report), ("mixed", mixed_report)):
+        assert report.errors == 0, f"{label}: transport errors"
+        assert report.shed == 0, f"{label}: reads shed"
+        assert report.completed == len(triples), f"{label}: stalled reads"
+
+    # Reads against the mutating server stay correct: the writer ends every
+    # edge where it started, and reads pin the epoch they started on, so
+    # every outcome matches one of the (finitely many) published graphs.
+    read_p99 = latency_summary(read_report.latencies_ms)["p99_ms"]
+    mixed_p99 = latency_summary(mixed_report.latencies_ms)["p99_ms"]
+    ratio = mixed_p99 / read_p99
+    assert ratio <= 2.0, (
+        f"p99 under 10%-write mix {mixed_p99:.1f} ms exceeds 2x the "
+        f"read-only p99 {read_p99:.1f} ms"
+    )
+    print(
+        f"mixed traffic: {len(triples)} reads + {writer['frames']} update "
+        f"frames, zero stalled reads; p99 read-only {read_p99:.1f} ms, "
+        f"mixed {mixed_p99:.1f} ms (ratio {ratio:.2f} <= 2.0), final epoch "
+        f"{writer['final'].get('epoch')}"
+    )
+    return {
+        "reads": len(triples),
+        "read_rate_qps": READ_RATE_QPS,
+        "update_frames": writer["frames"],
+        "write_fraction": WRITE_FRACTION,
+        "stalled_reads": 0,
+        "errors": 0,
+        "final_epoch": writer["final"].get("epoch"),
+        "read_only_latency_ms": {
+            key: round(value, 3)
+            for key, value in latency_summary(read_report.latencies_ms).items()
+        },
+        "mixed_latency_ms": {
+            key: round(value, 3)
+            for key, value in latency_summary(mixed_report.latencies_ms).items()
+        },
+        "p99_ratio": round(ratio, 3),
+    }
+
+
+# --------------------------------------------------------------------- #
+# scenario 2: incremental repair vs. full recompute
+# --------------------------------------------------------------------- #
+def _rebuild(graph, add, remove):
+    edges = (set(graph.edges()) - set(remove)) | set(add)
+    builder = GraphBuilder()
+    for v in graph.vertices():
+        builder.add_vertex(v)
+    for u, v in sorted(edges):
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def scenario_repair_vs_recompute(graph, queries) -> Dict[str, object]:
+    rng = random.Random(SEED)
+    remove = [tuple(e) for e in _sample_edges(graph, REPAIR_BATCH, SEED)]
+    add = []
+    while len(add) < REPAIR_BATCH:
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u != v and not graph.has_edge(u, v) and (u, v) not in add:
+            add.append((u, v))
+    new_graph = _rebuild(graph, add, remove)
+    targets = sorted({q.target for q in queries})
+
+    def best_of(fn):
+        times = []
+        for _ in range(REPAIR_REPS):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    repair_s = recompute_s = 0.0
+    for target in targets:
+        old_dist = bfs_distances_bounded(graph, target, cutoff=K, reverse=True)
+        repair_s += best_of(
+            lambda: repair_reverse_distances(
+                new_graph, old_dist, target, cutoff=K, added=add, removed=remove
+            )
+        )
+        recompute_s += best_of(
+            lambda: bfs_distances_bounded(new_graph, target, cutoff=K, reverse=True)
+        )
+        dist, _ = repair_reverse_distances(
+            new_graph, old_dist, target, cutoff=K, added=add, removed=remove
+        )
+        expected = bfs_distances_bounded(new_graph, target, cutoff=K, reverse=True)
+        assert (dist == expected).all(), f"repair diverged for target {target}"
+
+    ratio = repair_s / recompute_s
+    assert ratio < 1.0, (
+        f"incremental repair ({repair_s * 1e3:.2f} ms) did not beat full "
+        f"recompute ({recompute_s * 1e3:.2f} ms)"
+    )
+    print(
+        f"repair vs recompute: batch of {len(add)}+{len(remove)} edges over "
+        f"{len(targets)} targets — repair {repair_s * 1e3:.2f} ms, recompute "
+        f"{recompute_s * 1e3:.2f} ms (ratio {ratio:.3f} < 1)"
+    )
+    return {
+        "targets": len(targets),
+        "batch_added": len(add),
+        "batch_removed": len(remove),
+        "cutoff": K,
+        "repair_ms": round(repair_s * 1e3, 3),
+        "recompute_ms": round(recompute_s * 1e3, 3),
+        "repair_over_recompute": round(ratio, 4),
+        "exact": True,
+    }
+
+
+# --------------------------------------------------------------------- #
+# scenario 3: payload equivalence across every live path
+# --------------------------------------------------------------------- #
+def scenario_payload_equivalence(graph, queries) -> Dict[str, object]:
+    rng = random.Random(SEED + 1)
+    remove = [tuple(e) for e in _sample_edges(graph, 6, SEED + 1)]
+    add = []
+    while len(add) < 6:
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u != v and not graph.has_edge(u, v) and (u, v) not in add:
+            add.append((u, v))
+    specs = [Q(q.source, q.target, q.k) for q in queries[: min(12, len(queries))]]
+
+    overlay = DeltaOverlay(graph)
+    overlay.add_edges(add)
+    overlay.remove_edges(remove)
+    candidates = {"overlay": overlay.materialize()}
+    with LiveGraph(graph, compact_threshold=1) as live:
+        live.apply(add=add, remove=remove)
+        candidates["compacted"] = live.graph
+        compactions = live.stats()["compactions"]
+    with LiveGraph(graph, compact_threshold=10**9) as live:
+        live.apply(add=add[:3], remove=remove[:3])
+        live.apply(add=add[3:], remove=remove[3:])
+        candidates["epoch_republished"] = live.graph
+
+    with Database(_rebuild(graph, add, remove)) as reference:
+        expected = reference.batch(specs, store_paths=True).payload_bytes()
+    for label, candidate in candidates.items():
+        with Database(candidate) as database:
+            payload = database.batch(specs, store_paths=True).payload_bytes()
+        assert payload == expected, f"{label} payload diverged from rebuild"
+
+    print(
+        f"payload equivalence: {len(specs)} queries byte-identical across "
+        f"overlay, compacted ({compactions} compactions) and epoch-republished "
+        f"graphs vs from-scratch rebuild"
+    )
+    return {
+        "queries": len(specs),
+        "batch_added": len(add),
+        "batch_removed": len(remove),
+        "byte_identical": True,
+        "paths": sorted(candidates),
+    }
+
+
+def main() -> int:
+    graph = load_dataset(DATASET)
+    queries = _workload(graph)
+    print(
+        f"dataset {DATASET}: |V|={graph.num_vertices}, |E|={graph.num_edges}, "
+        f"{len(queries)} reads, quick={QUICK}"
+    )
+
+    results = {
+        "mixed_traffic": scenario_mixed_traffic(graph, queries),
+        "repair_vs_recompute": scenario_repair_vs_recompute(graph, queries),
+        "payload_equivalence": scenario_payload_equivalence(graph, queries),
+    }
+
+    payload = {
+        "benchmark": "live_updates",
+        "dataset": DATASET,
+        "quick": QUICK,
+        "workload": {
+            "reads": len(queries),
+            "k": K,
+            "num_targets": TARGETS,
+            "seed": SEED,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scenarios": results,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_live.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

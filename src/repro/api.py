@@ -604,6 +604,27 @@ class ExecutionBackend:
     def close(self) -> None:
         """Release pools / connections / shared segments; idempotent."""
 
+    def mutate(
+        self,
+        add: Sequence[Tuple[object, object]] = (),
+        remove: Sequence[Tuple[object, object]] = (),
+        *,
+        external: bool = False,
+    ) -> Dict[str, object]:
+        """Apply an edge batch; publishes the next graph epoch.
+
+        Local backends fold the batch into a fresh snapshot through
+        :class:`repro.live.LiveGraph` and repair their cached distance
+        arrays incrementally; the remote backend sends an ``update`` frame.
+        Backends without a mutation path (the routed ones — a write would
+        have to fan out to every replica of the owning shard) raise
+        :class:`BackendError`.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not support live updates; open the "
+            "graph through an inline / threads / processes / remote Database"
+        )
+
     @property
     def distance_aware(self) -> bool:
         """Whether results carry meaningful distance-cache flags."""
@@ -630,6 +651,27 @@ def _resolve_queries(
     return queries
 
 
+def _resolve_edges(
+    graph: DiGraph, edges: Iterable[Tuple[object, object]], external: bool
+) -> List[Tuple[int, int]]:
+    """Translate ``(u, v)`` pairs into internal-id pairs against ``graph``."""
+    pairs: List[Tuple[int, int]] = []
+    for edge in edges:
+        u, v = edge
+        if external:
+            pairs.append((graph.to_internal(u), graph.to_internal(v)))
+            continue
+        iu, iv = _as_int(u), _as_int(v)
+        if iu is None or iv is None:
+            raise QuerySpecError(
+                f"edge ({u!r}, {v!r}) has non-integer endpoints but "
+                "external=False; pass external=True to resolve external "
+                "vertex ids"
+            )
+        pairs.append((iu, iv))
+    return pairs
+
+
 class InlineBackend(ExecutionBackend):
     """Sequential evaluation through one :class:`QuerySession`.
 
@@ -653,10 +695,45 @@ class InlineBackend(ExecutionBackend):
     ) -> None:
         self.graph = graph
         self.session = QuerySession(graph, algorithm=algorithm, max_cached=max_cached)
+        self._live = None  # lazy LiveGraph, created on the first mutation
 
     @property
     def distance_aware(self) -> bool:
         return is_distance_aware(self.session.algorithm)
+
+    def mutate(
+        self,
+        add: Sequence[Tuple[object, object]] = (),
+        remove: Sequence[Tuple[object, object]] = (),
+        *,
+        external: bool = False,
+    ) -> Dict[str, object]:
+        from repro.live.epochs import LiveGraph
+
+        if self._live is None:
+            self._live = LiveGraph(self.graph)
+        info = self._live.apply(
+            add=_resolve_edges(self.graph, add, external),
+            remove=_resolve_edges(self.graph, remove, external),
+        )
+        repair = {"repaired": 0, "recomputed": 0, "invalidated": 0}
+        if info["published"]:
+            self.graph = self._live.graph
+            repair = self.session.refresh_graph(
+                self.graph, added=info["added"], removed=info["removed"]
+            )
+        return {
+            "epoch": info["epoch"],
+            "added": len(info["added"]),
+            "removed": len(info["removed"]),
+            "repair": repair,
+            "stats": self._live.stats(),
+        }
+
+    def close(self) -> None:
+        if self._live is not None:
+            self._live.close()
+            self._live = None
 
     def submit(
         self,
@@ -725,6 +802,23 @@ class _CoreBackend(ExecutionBackend):
     @property
     def distance_aware(self) -> bool:
         return self.core.distance_aware
+
+    def mutate(
+        self,
+        add: Sequence[Tuple[object, object]] = (),
+        remove: Sequence[Tuple[object, object]] = (),
+        *,
+        external: bool = False,
+    ) -> Dict[str, object]:
+        # The external-id mapping is epoch-invariant (the vertex set is
+        # fixed at build time), so resolving against the possibly previous
+        # snapshot is safe.
+        info = self.core.mutate(
+            add=_resolve_edges(self.graph, add, external),
+            remove=_resolve_edges(self.graph, remove, external),
+        )
+        self.graph = self.core.graph
+        return info
 
     def close(self) -> None:
         self.core.close()
@@ -835,6 +929,36 @@ class RemoteBackend(ExecutionBackend):
     def __init__(self, host: str, port: int, **_ignored) -> None:
         self.host = host
         self.port = int(port)
+
+    def mutate(
+        self,
+        add: Sequence[Tuple[object, object]] = (),
+        remove: Sequence[Tuple[object, object]] = (),
+        *,
+        external: bool = False,
+    ) -> Dict[str, object]:
+        import asyncio
+
+        add = [list(edge) for edge in add]
+        remove = [list(edge) for edge in remove]
+
+        async def drive() -> Dict[str, object]:
+            from repro.server.client import QueryClient
+
+            client = await QueryClient.connect(self.host, self.port)
+            try:
+                return await client.update(
+                    add=add, remove=remove, external=external
+                )
+            finally:
+                await client.close()
+
+        frame = asyncio.run(drive())
+        return {
+            key: frame[key]
+            for key in ("epoch", "added", "removed", "repair", "stats")
+            if key in frame
+        }
 
     def submit(
         self,
@@ -959,6 +1083,19 @@ class RouterBackend(RemoteBackend):
     """
 
     name = "router"
+
+    def mutate(
+        self,
+        add: Sequence[Tuple[object, object]] = (),
+        remove: Sequence[Tuple[object, object]] = (),
+        *,
+        external: bool = False,
+    ) -> Dict[str, object]:
+        # A routed write would have to reach every replica of the owning
+        # shard atomically; the router has no such path. Fall back to the
+        # base class's clear refusal instead of inheriting the remote
+        # single-host update.
+        return ExecutionBackend.mutate(self, add, remove, external=external)
 
 
 class ShardMapBackend(ExecutionBackend):
@@ -1248,7 +1385,10 @@ class Database:
         self.graph = graph
         # A graph loaded from a path is this Database's to clean up —
         # mmap'd snapshot mappings and compressed block buffers included.
-        # A caller-provided DiGraph keeps its own store lifecycle.
+        # A caller-provided DiGraph keeps its own store lifecycle.  Live
+        # updates rebind ``self.graph`` to newer epochs, so cleanup tracks
+        # the graph that was actually opened.
+        self._opened_graph = graph
         self._owns_graph_store = graph is not None and not isinstance(target, DiGraph)
         self._closed = False
 
@@ -1331,8 +1471,8 @@ class Database:
         if not self._closed:
             self._closed = True
             self._backend.close()
-            if self._owns_graph_store and self.graph is not None:
-                self.graph.close_store()
+            if self._owns_graph_store and self._opened_graph is not None:
+                self._opened_graph.close_store()
 
     def __enter__(self) -> "Database":
         return self
@@ -1414,3 +1554,46 @@ class Database:
         return self._submit(
             specs, options, external=external, ordered=False, chunk_queries=1
         )
+
+    # -- mutation ------------------------------------------------------- #
+    def _mutate(
+        self,
+        add: Sequence[Tuple[object, object]],
+        remove: Sequence[Tuple[object, object]],
+        external: bool,
+    ) -> Dict[str, object]:
+        if self._closed:
+            raise RuntimeError("Database is closed")
+        result = self._backend.mutate(add=add, remove=remove, external=external)
+        # Local backends rebind their graph to the newly published epoch;
+        # mirror it here so db.graph always describes what queries see.
+        refreshed = getattr(self._backend, "graph", None)
+        if refreshed is not None:
+            self.graph = refreshed
+        return result
+
+    def insert_edges(
+        self, edges: Iterable[Tuple[object, object]], *, external: bool = False
+    ) -> Dict[str, object]:
+        """Insert an edge batch; returns the published epoch and counters.
+
+        The batch is applied atomically: queries in flight keep reading the
+        epoch they started on, queries submitted after the call returns see
+        every inserted edge.  Self-loops, duplicates and edges already
+        present are skipped (mirroring the graph builder); both endpoints
+        must already exist — the vertex set is fixed at build time.  The
+        returned dict carries ``epoch``, the applied ``added`` / ``removed``
+        counts, the distance-cache ``repair`` breakdown and the live
+        ``stats`` counters.
+        """
+        return self._mutate(list(edges), (), external)
+
+    def remove_edges(
+        self, edges: Iterable[Tuple[object, object]], *, external: bool = False
+    ) -> Dict[str, object]:
+        """Remove an edge batch; semantics mirror :meth:`insert_edges`.
+
+        Removing an edge that is not present is a no-op; a batch that
+        changes nothing publishes no new epoch.
+        """
+        return self._mutate((), list(edges), external)

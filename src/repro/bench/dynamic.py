@@ -6,12 +6,19 @@ of the per-query response time is reported per hop constraint, exactly the
 series of Figure 8.  Because PathEnum builds its index per query, no
 persistent structure needs maintenance between updates — which is the point
 the experiment makes.
+
+The replay runs through the :mod:`repro.api` façade end to end: the workload
+publishes each update as a live epoch (see
+:meth:`~repro.workloads.dynamic.DynamicWorkload.replay`) and every cycle
+query is submitted to a :class:`~repro.api.Database` opened on the epoch's
+snapshot.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.api import Database
 from repro.bench.metrics import latency_percentile
 from repro.bench.runner import BenchmarkSettings, DEFAULT_SETTINGS
 from repro.baselines.registry import get_algorithm
@@ -31,7 +38,13 @@ def dynamic_latency(
 ) -> Dict[int, Dict[str, float]]:
     """Tail response-time latency (ms) per algorithm and hop constraint."""
     latencies: Dict[int, Dict[str, float]] = {}
-    config = settings.to_run_config()
+    overrides = {
+        "limit": settings.result_limit,
+        "deadline": settings.time_limit_seconds,
+        "store_paths": settings.store_paths,
+        "response_k": settings.response_k,
+        "engine": settings.engine,
+    }
     for k in ks:
         per_algorithm: Dict[str, float] = {}
         for name in algorithms:
@@ -45,7 +58,8 @@ def dynamic_latency(
             for snapshot, _edge, query in rescoped.replay():
                 if query is None:
                     continue
-                results.append(algorithm.run(snapshot, query, config))
+                with Database(snapshot, algorithm=algorithm) as database:
+                    results.append(database.query(query, **overrides).result())
             if results:
                 per_algorithm[name] = latency_percentile(results, percentile)
         latencies[k] = per_algorithm

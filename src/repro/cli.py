@@ -419,6 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINE_CHOICES, default="auto",
         help="enumeration engine applied server-side, exactly like a local run",
     )
+    client_parser.add_argument(
+        "--updates", type=int, default=None,
+        help="live-update replay mode: remove and re-insert N edges sampled "
+             "from --dataset through `update` frames (the server's graph "
+             "ends unchanged) and report per-mutation latency",
+    )
+    client_parser.add_argument(
+        "--update-seed", type=int, default=0,
+        help="seed of the sampled update edges (default 0)",
+    )
     return parser
 
 
@@ -794,6 +804,77 @@ def _client_queries(args: argparse.Namespace):
     return [[q.source, q.target, q.k] for q in workload], False
 
 
+def _client_update_replay(args: argparse.Namespace) -> int:
+    """Replay a remove / re-insert cycle over sampled edges (``--updates``).
+
+    Each sampled edge is removed and immediately re-inserted through
+    ``update`` frames, so the run is idempotent — the served graph ends
+    exactly where it started — while every cycle still publishes two real
+    epochs (CSR rebuild, distance repair, segment republish) whose
+    round-trip latency is what gets reported.
+    """
+    import asyncio
+    import random as random_module
+
+    from repro.bench.metrics import latency_summary
+    from repro.bench.reporting import format_latency_summary
+    from repro.server.client import QueryClient
+
+    if args.updates < 1:
+        print("--updates must be at least 1", file=sys.stderr)
+        return 2
+    if not args.dataset:
+        print(
+            "--updates needs --dataset (the edge population to sample; must "
+            "match the server's graph)",
+            file=sys.stderr,
+        )
+        return 2
+    graph = load_dataset(args.dataset)
+    rng = random_module.Random(args.update_seed)
+    sources = graph.edge_sources()
+    targets = graph.out_csr()[1]
+    picks = rng.sample(range(graph.num_edges), min(args.updates, graph.num_edges))
+    edges = [[int(sources[i]), int(targets[i])] for i in picks]
+
+    async def _replay():
+        client = await QueryClient.connect(args.host, args.port)
+        async with client:
+            loop = asyncio.get_running_loop()
+            latencies = []
+            last = {}
+            for edge in edges:
+                for batch in ({"remove": [edge]}, {"add": [edge]}):
+                    started = loop.time()
+                    last = await client.update(**batch)
+                    latencies.append((loop.time() - started) * 1e3)
+            return latencies, last
+
+    try:
+        latencies, last = asyncio.run(_replay())
+    except (RuntimeError, ConnectionError, OSError) as error:
+        print(f"update replay failed: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"replayed {len(edges)} edges (remove + re-insert) against "
+        f"{args.host}:{args.port}: {len(latencies)} mutations, final epoch "
+        f"{last.get('epoch')}"
+    )
+    stats = last.get("stats") or {}
+    if stats:
+        print(
+            f"live counters: {stats.get('epochs_published')} epochs published, "
+            f"{stats.get('compactions')} compactions, "
+            f"{stats.get('distance_repairs_incremental')} incremental repairs, "
+            f"{stats.get('distance_repairs_full')} full recomputes"
+        )
+    if latencies:
+        print(format_latency_summary(
+            latency_summary(latencies), title="Update latency (ms)"
+        ))
+    return 0
+
+
 def _command_client(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -836,6 +917,9 @@ def _command_client(args: argparse.Namespace) -> int:
                     )
             print(format_table(shard_rows, title="Shard health", scientific=False))
         return 0
+
+    if args.updates is not None:
+        return _client_update_replay(args)
 
     queries, external = _client_queries(args)
     if args.rate is not None:

@@ -488,6 +488,48 @@ class QuerySession:
                 if key[2] is None
             }
 
+    def refresh_graph(
+        self,
+        graph: DiGraph,
+        *,
+        added: Sequence[Tuple[int, int]] = (),
+        removed: Sequence[Tuple[int, int]] = (),
+        repair_budget: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Swap the session onto a new graph epoch, repairing the cache.
+
+        Unconstrained distance arrays are repaired incrementally from the
+        update batch (:func:`repro.live.repair.repair_reverse_distances`)
+        instead of being dropped; entries whose affected region exceeds
+        ``repair_budget`` fall back to a full bounded BFS, and constrained
+        entries (whose edge filters may consult mutated attributes) are
+        invalidated outright.  Returns the per-entry counts.
+        """
+        from repro.live.repair import repair_reverse_distances
+
+        counts = {"repaired": 0, "recomputed": 0, "invalidated": 0}
+        with self._lock:
+            self.graph = graph
+            entries = list(self._distances.items())
+            self._distances = {}
+            for key, (constraint, array) in entries:
+                if key[2] is not None:
+                    counts["invalidated"] += 1
+                    continue
+                target, k = key[0], key[1]
+                repaired_array, incremental = repair_reverse_distances(
+                    graph,
+                    array,
+                    target,
+                    cutoff=k,
+                    added=added,
+                    removed=removed,
+                    budget=repair_budget,
+                )
+                counts["repaired" if incremental else "recomputed"] += 1
+                self._distances[key] = (constraint, repaired_array)
+        return counts
+
     # -- evaluation ---------------------------------------------------- #
     def run(self, query: Query, config: Optional[RunConfig] = None) -> QueryResult:
         """Evaluate one query through the session cache."""
@@ -702,6 +744,12 @@ def _process_worker_init(
     _WORKER_STATE["cache_name"] = None
     _WORKER_STATE["distances"] = {}
     _WORKER_STATE["cancel_segments"] = {}
+    # Epoch bookkeeping: the segment the worker's graph currently maps,
+    # the init-time handle (epoch-less dispatches mean "the init graph"),
+    # and the store of a re-attached epoch (closed on the next switch).
+    _WORKER_STATE["graph_name"] = graph_handle.segment_name
+    _WORKER_STATE["init_handle"] = graph_handle
+    _WORKER_STATE["epoch_store"] = None
 
 
 #: One-byte cancellation slots per :class:`ExecutorCore` segment; a run's
@@ -765,6 +813,42 @@ def _attach_distance_cache(cache_handle: Optional[StoreHandle]) -> Mapping:
             for row, (target, k) in enumerate(store.meta["keys"])
         }
     return _WORKER_STATE["distances"]
+
+
+def _attach_graph_epoch(epoch_ref) -> DiGraph:
+    """Map the graph epoch a shard was dispatched against, switching lazily.
+
+    ``epoch_ref`` is an :class:`repro.live.epochs.EpochHandle` (or ``None``
+    for dispatches predating any mutation, which mean *the init graph*).
+    The worker re-attaches only when the requested segment differs from the
+    one currently mapped — an epoch change costs one page-table mapping,
+    never a pool restart — and closes the previous epoch's mapping so a
+    long-lived worker holds at most one historic segment.
+
+    Unlike the distance cache, a failed attach here is **not** survivable:
+    serving a query from the wrong epoch would silently return stale
+    results, so the :class:`~repro.errors.GraphError` (segment already
+    unlinked — the epoch was retired and drained) propagates and fails the
+    shard.  The core only dispatches pinned (undrained) epochs, so this
+    fires only on genuine lifecycle bugs.
+    """
+    wanted = (
+        _WORKER_STATE["init_handle"]
+        if epoch_ref is None
+        else epoch_ref.store
+    )
+    if wanted.segment_name == _WORKER_STATE["graph_name"]:
+        return _WORKER_STATE["graph"]
+    graph = DiGraph.from_handle(wanted)
+    previous = _WORKER_STATE["epoch_store"]
+    if previous is not None:
+        previous.close()
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["graph_name"] = wanted.segment_name
+    _WORKER_STATE["epoch_store"] = (
+        None if epoch_ref is None else graph.store
+    )
+    return graph
 
 
 def _iter_shard_results(
@@ -924,10 +1008,10 @@ def _process_worker_stream_shard(payload) -> int:
     stopped shard sends no marker either — the cancelling parent is no
     longer counting.
     """
-    run_id, shard, config, cache_handle, chunk_queries, cancel_ref = payload
+    run_id, shard, config, cache_handle, chunk_queries, cancel_ref, epoch_ref = payload
     out_queue = _WORKER_STATE["queue"]
     results = _iter_shard_results(
-        _WORKER_STATE["graph"],
+        _attach_graph_epoch(epoch_ref),
         _WORKER_STATE["algorithm"],
         config,
         shard,
@@ -1007,6 +1091,14 @@ class StreamRun:
         #: shards plus the run's config/cache handle, kept so a broken pool
         #: can resubmit exactly the undelivered positions.
         self._recovery: Optional[Dict[str, object]] = None
+        #: The :class:`repro.live.epochs.Epoch` this run pinned at dispatch
+        #: (``None`` before any mutation).  Released exactly once when the
+        #: stream drains, keeping the epoch's segment attachable for
+        #: broken-pool recovery until the last reader is gone.
+        self._epoch = None
+        #: Picklable handle of the pinned epoch, riding every shard payload
+        #: (and any recovery redispatch) so workers map the right snapshot.
+        self._epoch_ref = None
         self._retries_left = 0
         #: Pool regenerations this run survived / positions re-executed.
         self.recoveries = 0
@@ -1106,6 +1198,14 @@ class StreamRun:
             for future in self._futures:
                 future.cancel()
             self._core._unregister_run(self.run_id)
+            self._release_epoch()
+
+    def _release_epoch(self) -> None:
+        """Drop the run's epoch pin (idempotent)."""
+        epoch = self._epoch
+        self._epoch = None
+        if epoch is not None:
+            epoch.release()
 
     def results(self) -> List[QueryResult]:
         """Drain the stream and return results in workload order."""
@@ -1259,6 +1359,30 @@ class ExecutorCore:
         self._submit_lock = threading.Lock()
         self._run_ids = itertools.count()
         self._graph_published_here = False
+        #: The exact graph whose segment this core published at pool
+        #: creation; after mutations ``self.graph`` moves on to newer
+        #: epochs, but close() must unlink the segment it published.
+        self._published_graph: Optional[DiGraph] = None
+        #: Live-update state, created lazily on the first :meth:`mutate`.
+        self._live = None
+        #: Handle of the current epoch's shared segment (``None`` before
+        #: the first mutation — shards then run on the init graph).
+        self._epoch_ref = None
+        #: Serialises mutations; the expensive rebuild runs under this lock
+        #: alone, so concurrent reads keep dispatching old-epoch runs.
+        self._mutate_lock = threading.Lock()
+        #: Live counters, updated under ``_submit_lock`` at publish time.
+        self.live_stats: Dict[str, int] = {
+            "epochs_published": 0,
+            "compactions": 0,
+            "updates_applied": 0,
+            "distance_repairs_incremental": 0,
+            "distance_repairs_full": 0,
+            "distance_entries_invalidated": 0,
+        }
+        #: Affected-region bound for incremental distance repair before the
+        #: session falls back to a full recompute for that entry.
+        self.repair_budget: Optional[int] = None
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------- #
@@ -1319,7 +1443,13 @@ class ExecutorCore:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
-        store = self.graph.store
+        if self._live is not None:
+            # Retires the current epoch; epoch-owned segments unlink as
+            # their last pinned readers drain (cancelled above).
+            self._live.close()
+            self._live = None
+        published = self._published_graph if self._published_graph is not None else self.graph
+        store = published.store
         if self._graph_published_here and store is not None and store.shareable:
             if store.is_owner:
                 store.unlink()
@@ -1366,6 +1496,14 @@ class ExecutorCore:
                 fresh = self._warm_distances(queries)
             run = StreamRun(self, next(self._run_ids), len(queries), len(plain), fresh)
             run._chunk_queries = max(1, int(chunk_queries))
+            # MVCC read side: capture the graph *now* and pin its epoch.
+            # A mutation published while this run is in flight swaps
+            # ``self.graph`` for new submissions, but this run keeps
+            # reading the snapshot it started on until it drains.
+            graph = self.graph
+            if self._live is not None:
+                run._epoch = self._live.pin()
+                run._epoch_ref = self._epoch_ref
             # Every run registers (not just process-backend ones): close()
             # walks the registry to cancel whatever is in flight, whichever
             # backend carries it.  chunks() unregisters on exhaustion.
@@ -1378,7 +1516,7 @@ class ExecutorCore:
                     distances = self.session.export_distances()
                     run._futures = [
                         pool.submit(
-                            self._thread_stream_shard, run, shard, config, distances
+                            self._thread_stream_shard, run, graph, shard, config, distances
                         )
                         for shard in plain
                     ]
@@ -1408,6 +1546,7 @@ class ExecutorCore:
                                 cache_handle,
                                 run._chunk_queries,
                                 cancel_ref,
+                                run._epoch_ref,
                             ),
                         )
                         for shard in plain
@@ -1423,14 +1562,106 @@ class ExecutorCore:
                 else:
                     distances = self.session.export_distances()
                     run._inline = itertools.chain.from_iterable(
-                        _iter_shard_results(self.graph, self.algorithm, config, shard, distances)
+                        _iter_shard_results(graph, self.algorithm, config, shard, distances)
                         for shard in plain
                     )
             except BaseException:
                 run.cancel()
                 self._unregister_run(run.run_id)
+                run._release_epoch()
                 raise
             return run
+
+    # -- mutation ------------------------------------------------------ #
+    def mutate(
+        self,
+        add: Sequence[Tuple[int, int]] = (),
+        remove: Sequence[Tuple[int, int]] = (),
+    ) -> Dict[str, object]:
+        """Apply an edge batch and publish the next graph epoch.
+
+        The expensive part — folding the delta overlay into a fresh CSR
+        (and, on the process backend, packing it into a new shared-memory
+        segment) — runs under the mutation lock only, so concurrent
+        :meth:`start` calls keep dispatching against the current epoch
+        without stalling.  Only the final pointer swap (graph, epoch
+        handle, repaired distance cache, packed-cache invalidation) takes
+        the submit lock.
+
+        In-flight runs pinned to older epochs are untouched: their workers
+        keep the retired segment mapped until the run drains, and the
+        distance arrays they were handed describe their own epoch.  New
+        runs see the new epoch and a cache repaired incrementally by
+        :func:`repro.live.repair.repair_reverse_distances` (full recompute
+        per entry when the affected region exceeds :attr:`repair_budget`).
+        """
+        from repro.live.epochs import LiveGraph
+
+        with self._mutate_lock:
+            with self._submit_lock:
+                if self._closed:
+                    raise RuntimeError("ExecutorCore is closed")
+                if self._live is None:
+                    live_store = (
+                        "shared_memory"
+                        if self.backend == "process" and self.workers > 1
+                        else "heap"
+                    )
+                    self._live = LiveGraph(
+                        self.graph,
+                        store=live_store,
+                        repair_budget=self.repair_budget,
+                    )
+            info = self._live.apply(add=add, remove=remove)
+            if not info["published"]:
+                with self._submit_lock:
+                    stats = dict(self.live_stats)
+                return {
+                    "epoch": info["epoch"],
+                    "added": 0,
+                    "removed": 0,
+                    "repair": {"repaired": 0, "recomputed": 0, "invalidated": 0},
+                    "stats": stats,
+                }
+            new_graph = self._live.graph
+            epoch_ref = self._live.epoch.handle()
+            with self._submit_lock:
+                self.graph = new_graph
+                self._epoch_ref = epoch_ref
+                repair = self.session.refresh_graph(
+                    new_graph,
+                    added=info["added"],
+                    removed=info["removed"],
+                    repair_budget=self.repair_budget,
+                )
+                # The packed distance segment describes the previous epoch;
+                # retire it.  In-flight runs that already attached keep
+                # their mapping, late attaches degrade to per-group BFS.
+                if self._cache_store is not None:
+                    self._cache_store.close(unlink=True)
+                    self._cache_store = None
+                self._packed_keys = ()
+                live = self._live.stats()
+                self.live_stats["epochs_published"] = live["epochs_published"]
+                self.live_stats["compactions"] = live["compactions"]
+                self.live_stats["updates_applied"] = live["updates_applied"]
+                self.live_stats["distance_repairs_incremental"] += repair["repaired"]
+                self.live_stats["distance_repairs_full"] += repair["recomputed"]
+                self.live_stats["distance_entries_invalidated"] += repair["invalidated"]
+                stats = dict(self.live_stats)
+        return {
+            "epoch": info["epoch"],
+            "added": len(info["added"]),
+            "removed": len(info["removed"]),
+            "repair": repair,
+            "stats": stats,
+        }
+
+    @property
+    def current_epoch(self) -> int:
+        """Id of the epoch new runs dispatch against (0 before any mutation)."""
+        live = self._live
+        return 0 if live is None else live.epoch_id
 
     # -- internals ----------------------------------------------------- #
     def _check_config(self, config: RunConfig) -> None:
@@ -1504,6 +1735,7 @@ class ExecutorCore:
         if not already_shared:
             # Only unlink at close() what this core itself published.
             self._graph_published_here = True
+            self._published_graph = self.graph
         context = multiprocessing.get_context(self.start_method)
         if self._mp_queue is None:
             # One queue and one router thread outlive pool regenerations;
@@ -1588,6 +1820,10 @@ class ExecutorCore:
                         cache_handle,
                         run._chunk_queries,
                         cancel_ref,
+                        # The run's epoch pin is still held (chunks() has
+                        # not drained), so the segment is attachable even
+                        # if newer epochs have since retired it.
+                        run._epoch_ref,
                     ),
                 )
                 for shard in shards
@@ -1596,13 +1832,19 @@ class ExecutorCore:
     def _thread_stream_shard(
         self,
         run: StreamRun,
+        graph: DiGraph,
         shard: Sequence[Tuple[int, Tuple[int, int, int]]],
         config: RunConfig,
         distances: Mapping[Tuple[int, int], np.ndarray],
     ) -> int:
-        """Thread-backend worker: same streaming contract, direct queue."""
+        """Thread-backend worker: same streaming contract, direct queue.
+
+        ``graph`` is the epoch snapshot captured at dispatch — reading it
+        through ``self.graph`` here would tear a run across epochs when a
+        mutation publishes mid-flight.
+        """
         results = _iter_shard_results(
-            self.graph, self.algorithm, config, shard, distances
+            graph, self.algorithm, config, shard, distances
         )
         emitted, stopped = _pump_chunks(
             results,

@@ -124,14 +124,16 @@ class IdxDfsReverse(Algorithm):
         *,
         dist_to_t: Optional[np.ndarray] = None,
         dist_from_s: Optional[np.ndarray] = None,
+        index: Optional[LightWeightIndex] = None,
     ) -> QueryResult:
         """Evaluate ``query`` backwards.
 
         ``dist_to_t`` / ``dist_from_s`` optionally inject precomputed
-        distance arrays, mirroring the forward algorithms — this is what
-        lets a :class:`~repro.core.engine.QuerySession` (and therefore the
-        batch executors) drive the reverse plan through the same shared
-        distance cache.
+        distance arrays, and ``index`` a fully prebuilt light-weight index,
+        mirroring the forward algorithms — this is what lets a
+        :class:`~repro.core.engine.QuerySession` (and therefore the batch
+        executors, including the sharded group-fused build path) drive the
+        reverse plan through the same shared distance cache.
         """
         config = config if config is not None else RunConfig()
         if config.constraint is not None:
@@ -139,16 +141,21 @@ class IdxDfsReverse(Algorithm):
                 "IDX-DFS-REV does not support path constraints; use IDX-DFS or PathEnum"
             )
         query.validate(graph)
+        prebuilt = index
 
         def body(collector, deadline, stats) -> None:
-            index = LightWeightIndex.build(
-                graph,
-                query,
-                deadline=deadline,
-                stats=stats,
-                dist_to_t=dist_to_t,
-                dist_from_s=dist_from_s,
-            )
+            if prebuilt is not None:
+                index = prebuilt
+                index.record_stats(stats)
+            else:
+                index = LightWeightIndex.build(
+                    graph,
+                    query,
+                    deadline=deadline,
+                    stats=stats,
+                    dist_to_t=dist_to_t,
+                    dist_from_s=dist_from_s,
+                )
             enumeration_started = time.perf_counter()
             try:
                 run_idx_dfs_reverse(index, collector, deadline=deadline, stats=stats)

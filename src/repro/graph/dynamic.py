@@ -11,10 +11,13 @@ that the enumeration algorithms consume.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
-from repro.graph.builder import GraphBuilder
+from repro.graph.builder import GraphBuilder, _csr_from_pairs
 from repro.graph.digraph import DiGraph
 
 __all__ = ["DynamicGraph"]
@@ -29,26 +32,91 @@ class DynamicGraph:
         self._num_edges = 0
         self._weights: Dict[Tuple[Hashable, Hashable], float] = {}
         self._labels: Dict[Tuple[Hashable, Hashable], str] = {}
+        # Copy-on-write seed: ``from_graph`` parks the source graph here and
+        # defers building the adjacency dicts until something actually needs
+        # them (first mutation or per-vertex read).  ``snapshot`` of an
+        # untouched graph then reuses the seed's CSR arrays outright.
+        self._pending_base: Optional[DiGraph] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
     def from_graph(cls, graph: DiGraph) -> "DynamicGraph":
-        """Copy an immutable graph into a mutable one (external ids preserved)."""
+        """Copy an immutable graph into a mutable one (external ids preserved).
+
+        Copy-on-write: the source graph is kept as a frozen seed and the
+        per-vertex adjacency sets are only materialised (in one bulk pass
+        over the CSR arrays, see :meth:`_thaw`) when the graph is first
+        mutated or inspected per-vertex.  Snapshotting an untouched copy
+        reuses the seed's CSR arrays directly, so a ``from_graph`` →
+        ``snapshot`` round trip costs far less than a per-edge rebuild.
+        Edge weights/labels are not copied (matching the per-edge path,
+        which never passed them through).
+        """
         dynamic = cls()
-        for v in graph.vertices():
-            dynamic.add_vertex(graph.to_external(v))
-        for u, v in graph.edges():
-            dynamic.add_edge(graph.to_external(u), graph.to_external(v))
+        # CSR graphs built by GraphBuilder carry no self-loops, but a
+        # hand-constructed DiGraph may; a DynamicGraph never holds them.
+        loops = graph.edge_sources() == graph.out_csr()[1]
+        if bool(loops.any()):
+            graph = graph._from_edge_mask(~loops)
+        dynamic._pending_base = graph
+        dynamic._num_edges = graph.num_edges
         return dynamic
+
+    def _thaw(self) -> None:
+        """Materialise the adjacency dicts from a pending ``from_graph`` seed."""
+        if self._pending_base is None:
+            return
+        graph, self._pending_base = self._pending_base, None
+        n = graph.num_vertices
+        dense = graph._vertex_ids is None
+        external = range(n) if dense else list(graph._vertex_ids)
+        out_map, in_map = self._out, self._in
+        for indptr_arr, indices_arr, adjacency in (
+            (*graph.out_csr(), out_map),
+            (*graph.in_csr(), in_map),
+        ):
+            # One .tolist() per array, then C-speed list slicing per row —
+            # far cheaper than a numpy sub-array + per-element conversion
+            # for each of the n rows.
+            indptr = indptr_arr.tolist()
+            indices = indices_arr.tolist()
+            if dense:
+                for v in range(n):
+                    adjacency[v] = set(indices[indptr[v]:indptr[v + 1]])
+            else:
+                for v in range(n):
+                    adjacency[external[v]] = {
+                        external[w] for w in indices[indptr[v]:indptr[v + 1]]
+                    }
+        self._num_edges = sum(len(targets) for targets in out_map.values())
 
     @classmethod
     def from_edges(cls, edges: Iterable[Tuple[Hashable, Hashable]]) -> "DynamicGraph":
-        """Build a dynamic graph directly from an edge iterable."""
+        """Build a dynamic graph directly from an edge iterable.
+
+        Inlines the vertex/edge bookkeeping of :meth:`add_edge` (no weight
+        or label plumbing, no per-call method dispatch) — the bulk path for
+        replaying recorded update streams.
+        """
         dynamic = cls()
+        out_map, in_map = dynamic._out, dynamic._in
+        count = 0
         for u, v in edges:
-            dynamic.add_edge(u, v)
+            if u not in out_map:
+                out_map[u] = set()
+                in_map[u] = set()
+            if v not in out_map:
+                out_map[v] = set()
+                in_map[v] = set()
+            targets = out_map[u]
+            if u == v or v in targets:
+                continue
+            targets.add(v)
+            in_map[v].add(u)
+            count += 1
+        dynamic._num_edges = count
         return dynamic
 
     # ------------------------------------------------------------------ #
@@ -56,6 +124,7 @@ class DynamicGraph:
     # ------------------------------------------------------------------ #
     def add_vertex(self, vertex: Hashable) -> bool:
         """Register ``vertex``; return ``False`` when it already existed."""
+        self._thaw()
         if vertex in self._out:
             return False
         self._out[vertex] = set()
@@ -75,6 +144,7 @@ class DynamicGraph:
         The endpoints are registered as vertices even when the edge itself is
         rejected, mirroring :class:`~repro.graph.builder.GraphBuilder`.
         """
+        self._thaw()
         self.add_vertex(source)
         self.add_vertex(target)
         if source == target:
@@ -92,6 +162,7 @@ class DynamicGraph:
 
     def remove_edge(self, source: Hashable, target: Hashable) -> None:
         """Delete a directed edge; raise :class:`EdgeNotFoundError` if absent."""
+        self._thaw()
         if source not in self._out or target not in self._out[source]:
             raise EdgeNotFoundError(source, target)
         self._out[source].discard(target)
@@ -102,6 +173,7 @@ class DynamicGraph:
 
     def remove_vertex(self, vertex: Hashable) -> None:
         """Delete a vertex together with all incident edges."""
+        self._thaw()
         if vertex not in self._out:
             raise VertexNotFoundError(vertex)
         for target in list(self._out[vertex]):
@@ -117,6 +189,8 @@ class DynamicGraph:
     @property
     def num_vertices(self) -> int:
         """Current number of vertices."""
+        if self._pending_base is not None:
+            return self._pending_base.num_vertices
         return len(self._out)
 
     @property
@@ -126,30 +200,36 @@ class DynamicGraph:
 
     def has_vertex(self, vertex: Hashable) -> bool:
         """Return ``True`` when the vertex is present."""
+        self._thaw()
         return vertex in self._out
 
     def has_edge(self, source: Hashable, target: Hashable) -> bool:
         """Return ``True`` when the directed edge is present."""
+        self._thaw()
         return source in self._out and target in self._out[source]
 
     def neighbors(self, vertex: Hashable) -> Set[Hashable]:
         """Out-neighbour set of ``vertex``."""
+        self._thaw()
         if vertex not in self._out:
             raise VertexNotFoundError(vertex)
         return set(self._out[vertex])
 
     def in_neighbors(self, vertex: Hashable) -> Set[Hashable]:
         """In-neighbour set of ``vertex``."""
+        self._thaw()
         if vertex not in self._in:
             raise VertexNotFoundError(vertex)
         return set(self._in[vertex])
 
     def vertices(self) -> Iterator[Hashable]:
         """Iterate over vertex ids (insertion order)."""
+        self._thaw()
         return iter(self._out)
 
     def edges(self) -> Iterator[Tuple[Hashable, Hashable]]:
         """Iterate over all edges as ``(source, target)`` pairs."""
+        self._thaw()
         for source, targets in self._out.items():
             for target in targets:
                 yield source, target
@@ -166,17 +246,69 @@ class DynamicGraph:
         """
         if self.num_vertices == 0:
             raise GraphError("cannot snapshot an empty dynamic graph")
-        builder = GraphBuilder()
-        for vertex in self._out:
-            builder.add_vertex(vertex)
-        for source, target in self.edges():
-            builder.add_edge(
-                source,
-                target,
-                weight=self._weights.get((source, target)),
-                label=self._labels.get((source, target)),
+        if self._pending_base is not None:
+            # Untouched copy-on-write seed: internal ids would come out in
+            # base order anyway, so reuse its (immutable) CSR arrays rather
+            # than rebuilding them.  Weights/labels are deliberately not
+            # carried over, matching the per-edge rebuild.
+            base = self._pending_base
+            out_indptr, out_indices = base.out_csr()
+            in_indptr, in_indices = base.in_csr()
+            return DiGraph(
+                base.num_vertices,
+                out_indptr,
+                out_indices,
+                in_indptr,
+                in_indices,
+                vertex_ids=base._vertex_ids,
             )
-        return builder.build()
+        if self._weights or self._labels:
+            # Attribute-carrying graphs keep the classic builder path so
+            # weights/labels stay aligned with the CSR edge order.
+            builder = GraphBuilder()
+            for vertex in self._out:
+                builder.add_vertex(vertex)
+            for source, target in self.edges():
+                builder.add_edge(
+                    source,
+                    target,
+                    weight=self._weights.get((source, target)),
+                    label=self._labels.get((source, target)),
+                )
+            return builder.build()
+        # Bulk path: flatten the adjacency sets into parallel source/target
+        # arrays and reuse the builder's vectorised CSR kernel directly —
+        # the adjacency sets already guarantee uniqueness and no self-loops,
+        # so the per-edge dedup bookkeeping of GraphBuilder is pure
+        # overhead here.
+        external = list(self._out)
+        n = len(external)
+        m = self._num_edges
+        trivially_dense = all(
+            isinstance(vid, (int, np.integer)) and int(vid) == i
+            for i, vid in enumerate(external)
+        )
+        degrees = [len(targets) for targets in self._out.values()]
+        sources = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        flat = chain.from_iterable(self._out.values())
+        if trivially_dense:
+            # Adjacency members are already the internal ids.
+            targets = np.fromiter(flat, dtype=np.int64, count=m)
+        else:
+            index = {vertex: i for i, vertex in enumerate(external)}
+            targets = np.fromiter(
+                map(index.__getitem__, flat), dtype=np.int64, count=m
+            )
+        out_indptr, out_indices, _ = _csr_from_pairs(n, sources, targets)
+        in_indptr, in_indices, _ = _csr_from_pairs(n, targets, sources)
+        return DiGraph(
+            n,
+            out_indptr,
+            out_indices,
+            in_indptr,
+            in_indices,
+            vertex_ids=None if trivially_dense else external,
+        )
 
     def apply_updates(
         self, updates: Iterable[Tuple[str, Hashable, Hashable]]

@@ -1,0 +1,30 @@
+"""Live-update subsystem: delta overlays, MVCC epochs, distance repair.
+
+The serving stack treats the CSR :class:`~repro.graph.digraph.DiGraph` as
+immutable — which is what makes lock-free reads, shared-memory publication
+and deterministic results possible.  This package adds mutation *on top of*
+that invariant instead of weakening it:
+
+* :class:`DeltaOverlay` — added/removed edge sets batched on top of a base
+  CSR graph, consulted through a merged-adjacency seam and compacted into a
+  fresh CSR once the delta crosses a threshold;
+* :class:`LiveGraph` / :class:`Epoch` — epoch-versioned MVCC publication.
+  Every applied batch produces a new immutable snapshot; readers pin the
+  epoch they started on and the segment of a retired epoch is released only
+  when its last reader drains;
+* :func:`repair_reverse_distances` — bounded incremental repair of cached
+  reverse-BFS distance arrays, with a full-recompute fallback when the
+  affected region exceeds the repair budget.
+"""
+
+from repro.live.epochs import Epoch, EpochHandle, LiveGraph
+from repro.live.overlay import DeltaOverlay
+from repro.live.repair import repair_reverse_distances
+
+__all__ = [
+    "DeltaOverlay",
+    "Epoch",
+    "EpochHandle",
+    "LiveGraph",
+    "repair_reverse_distances",
+]

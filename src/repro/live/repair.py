@@ -1,0 +1,153 @@
+"""Bounded incremental repair of cached reverse-BFS distance arrays.
+
+The engine caches, per ``(target, k)`` key, the array of hop distances *to*
+the target (``bfs_distances_bounded(graph, target, cutoff=k, reverse=True)``).
+After an edge batch, most of that array is still correct: only vertices
+whose shortest path crossed a removed edge can move further away, and only
+vertices upstream of an added edge can move closer.  This module repairs
+the array in place of a full |V|+|E| recompute:
+
+1. **Removal phase** — seed the affected set with the sources of removed
+   edges that lost shortest-path support, grow it through the old
+   dependency structure (an over-approximation: a vertex with alternate
+   equal-length support is re-derived, never corrupted), reset the region
+   and re-relax it against the stable frontier for at most ``cutoff``
+   rounds.
+2. **Addition phase** — decrease-only relaxation seeded from added edges,
+   propagated upstream through in-neighbours.
+
+Both phases honour a ``budget`` on the number of touched vertices; when the
+affected region outgrows it, the repair falls back to a full recompute —
+the returned array is *always* exactly what a from-scratch bounded BFS on
+the new graph would produce.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances_bounded
+
+__all__ = ["repair_reverse_distances"]
+
+
+def repair_reverse_distances(
+    graph: DiGraph,
+    old_dist: np.ndarray,
+    target: int,
+    *,
+    cutoff: int,
+    added: Iterable[Tuple[int, int]] = (),
+    removed: Iterable[Tuple[int, int]] = (),
+    budget: Optional[int] = None,
+) -> Tuple[np.ndarray, bool]:
+    """Repair a reverse-BFS distance array after an edge batch.
+
+    ``graph`` is the *post-update* graph; ``old_dist`` the array that was
+    valid before ``added`` / ``removed`` were applied.  Returns
+    ``(dist, repaired)`` where ``repaired`` is ``False`` when the affected
+    region exceeded ``budget`` and a full bounded BFS ran instead.  The
+    input array is never mutated.
+    """
+    target = int(target)
+    limit = graph.num_vertices if budget is None else int(budget)
+
+    def full_recompute() -> Tuple[np.ndarray, bool]:
+        return (
+            bfs_distances_bounded(graph, target, cutoff=cutoff, reverse=True),
+            False,
+        )
+
+    dist = np.array(old_dist, copy=True)
+
+    # ---- phase 1: removals may push vertices further from the target ---- #
+    seeds = [
+        u
+        for u, v in removed
+        if u != target
+        and dist[v] != UNREACHABLE
+        and dist[u] == dist[v] + 1
+    ]
+    affected: set = set()
+    work = list(seeds)
+    while work:
+        x = work.pop()
+        if x in affected:
+            continue
+        affected.add(x)
+        if len(affected) > limit:
+            return full_recompute()
+        dx = int(old_dist[x])
+        for w in graph.in_neighbors(x):
+            w = int(w)
+            if w == target or w in affected:
+                continue
+            if old_dist[w] == dx + 1:
+                work.append(w)
+    if affected:
+        region = np.fromiter(affected, dtype=np.int64, count=len(affected))
+        dist[region] = UNREACHABLE
+        # Bellman-Ford over the affected region against the stable
+        # frontier: every assigned value is the length of a genuine path in
+        # the new graph, so at most ``cutoff`` rounds reach the fixpoint.
+        for _ in range(cutoff):
+            changed = False
+            for v in affected:
+                row = graph.neighbors(v)
+                if len(row) == 0:
+                    continue
+                neighbour_dist = dist[row]
+                reachable = neighbour_dist[neighbour_dist != UNREACHABLE]
+                if len(reachable) == 0:
+                    continue
+                candidate = int(reachable.min()) + 1
+                if candidate > cutoff:
+                    continue
+                if dist[v] == UNREACHABLE or candidate < dist[v]:
+                    dist[v] = candidate
+                    changed = True
+            if not changed:
+                break
+
+    # ---- phase 2: additions may pull vertices closer to the target ----- #
+    frontier: deque = deque()
+    # The relaxation above already sees the added edges (``graph`` is the
+    # post-update graph), so an affected vertex can come back *closer* than
+    # it was before the batch.  Such improvements must propagate to
+    # in-neighbours outside the region — hand them to the phase-2 frontier.
+    for v in affected:
+        if dist[v] != UNREACHABLE and (
+            old_dist[v] == UNREACHABLE or dist[v] < old_dist[v]
+        ):
+            frontier.append(v)
+    for u, v in added:
+        u, v = int(u), int(v)
+        if u == target:
+            continue
+        dv = dist[v]
+        if dv == UNREACHABLE or dv + 1 > cutoff:
+            continue
+        if dist[u] == UNREACHABLE or dv + 1 < dist[u]:
+            dist[u] = dv + 1
+            frontier.append(u)
+    touched = 0
+    while frontier:
+        x = frontier.popleft()
+        touched += 1
+        if touched > limit:
+            return full_recompute()
+        dx = int(dist[x])
+        if dx + 1 > cutoff:
+            continue
+        for w in graph.in_neighbors(x):
+            w = int(w)
+            if w == target:
+                continue
+            if dist[w] == UNREACHABLE or dx + 1 < dist[w]:
+                dist[w] = dx + 1
+                frontier.append(w)
+    return dist, True

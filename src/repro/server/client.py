@@ -416,6 +416,42 @@ class QueryClient:
         """Request one service statistics snapshot."""
         return (await self._control_request({"type": "stats"}, "stats")).get("stats")
 
+    async def update(
+        self,
+        add: Sequence[Sequence[object]] = (),
+        remove: Sequence[Sequence[object]] = (),
+        *,
+        external: bool = False,
+    ) -> Dict[str, object]:
+        """Apply one edge batch server-side; returns the ``updated`` frame.
+
+        The reply carries the new ``epoch`` id, the ``added`` / ``removed``
+        counts that actually took effect, the distance-cache ``repair``
+        breakdown and the live-graph ``stats`` counters (protocol version
+        3).  A server-side validation failure raises ``RuntimeError`` with
+        the server's message.
+        """
+        request: Dict[str, object] = {
+            "type": "update",
+            "add": [list(edge) for edge in add],
+            "remove": [list(edge) for edge in remove],
+        }
+        if external:
+            request["external"] = True
+        async with self._control_lock:
+            await write_frame(self._writer, request, lock=self._write_lock)
+            while True:
+                frame = await self._control.get()
+                if frame["type"] == "updated":
+                    return frame
+                if frame.get("_closed"):
+                    host, port = self._endpoint if self._endpoint else ("?", 0)
+                    raise ConnectionLost(
+                        host, port, 1, str(frame.get("error", "connection closed"))
+                    )
+                if frame["type"] == "error":
+                    raise RuntimeError(f"update failed: {frame.get('error')}")
+
     async def ping(self) -> Pong:
         """Round-trip a liveness probe; returns the (truthy) :class:`Pong`.
 

@@ -20,6 +20,14 @@ Client → server messages (``type`` field):
     :attr:`repro.core.listener.RunConfig.engine`).
 ``cancel``
     ``{"type": "cancel", "id": <job id>}``.
+``update``
+    ``{"type": "update", "id"?: <client request id>, "add": [[u, v], ...],
+    "remove": [[u, v], ...], "external"?: bool}`` — apply one edge batch to
+    the served graph (protocol version 3).  The batch publishes a new graph
+    epoch atomically: jobs already streaming keep reading the epoch they
+    started on, jobs submitted after the ``updated`` reply see every
+    change.  ``external`` says the endpoint pairs are external vertex ids,
+    translated server-side.
 ``stats``
     ``{"type": "stats"}`` — service statistics snapshot.
 ``ping``
@@ -47,6 +55,13 @@ Server → client messages:
 ``cancelled``
     ``{"type": "cancelled", "id", "delivered"}`` — terminal frame of a
     cancelled job.
+``updated``
+    Reply to ``update``: ``{"type": "updated", "id"?, "epoch", "added",
+    "removed", "repair", "stats"}``.  ``epoch`` is the id of the snapshot
+    new jobs run against; ``added`` / ``removed`` count the pairs that
+    actually took effect; ``repair`` breaks down how the warm distance
+    cache was fixed up (``repaired`` incrementally, ``recomputed`` from
+    scratch, ``invalidated``); ``stats`` carries the live-graph counters.
 ``overloaded``
     ``{"type": "overloaded", "id", "retry_after_ms", "pending"?,
     "limit"?}`` — the server shed the job instead of admitting it
@@ -69,7 +84,8 @@ Protocol versioning
 -------------------
 
 :data:`PROTOCOL_VERSION` is bumped whenever the frame vocabulary changes;
-version 2 added the ``pong`` / ``stats`` identity fields above.  Servers
+version 2 added the ``pong`` / ``stats`` identity fields above, version 3
+the ``update`` / ``updated`` live-mutation pair.  Servers
 stay backward compatible down to :data:`MIN_SUPPORTED_PROTOCOL`, and
 negotiation is pull-based: a client pings, reads the server's ``protocol``
 (a missing field means a version-1 server) and decides with
@@ -111,8 +127,9 @@ DEFAULT_ROUTER_PORT = 7285
 
 #: Version of the frame vocabulary this build speaks.  2 added ``protocol``
 #: / ``server_version`` / ``shard_id`` to ``pong`` and ``stats`` replies and
-#: the ``t`` echo on ``ping``.
-PROTOCOL_VERSION = 2
+#: the ``t`` echo on ``ping``; 3 added the ``update`` / ``updated`` pair
+#: for live edge-batch mutation.
+PROTOCOL_VERSION = 3
 
 #: Oldest peer protocol version this build can still talk to.  Version-1
 #: peers simply lack the identity fields — every frame they do send is

@@ -159,6 +159,8 @@ class QueryServer:
             job = jobs.get(str(message.get("id")))
             if job is not None:
                 job.cancel()
+        elif kind == "update":
+            await self._handle_update(message, writer, lock)
         elif kind == "stats":
             await write_frame(
                 writer, {"type": "stats", "stats": self.service.stats()}, lock=lock, site=_FRAME_SITE
@@ -185,6 +187,63 @@ class QueryServer:
                 {"type": "error", "error": f"unknown message type {kind!r}"},
                 lock=lock, site=_FRAME_SITE,
             )
+
+    def _parse_edges(self, raw: object, external: bool, field: str) -> List[Tuple[int, int]]:
+        """Parse one ``update`` frame's edge list into internal-id pairs."""
+        if raw is None:
+            return []
+        if not isinstance(raw, list):
+            raise ValueError(f"{field!r} must be a list of [u, v] pairs")
+        graph = self.service.graph
+        pairs: List[Tuple[int, int]] = []
+        for entry in raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ValueError(f"malformed edge {entry!r}: expected [u, v]")
+            u, v = entry
+            if external:
+                pairs.append((self._resolve_external(u), self._resolve_external(v)))
+                continue
+            u, v = int(u), int(v)
+            for vertex in (u, v):
+                if not 0 <= vertex < graph.num_vertices:
+                    raise ValueError(
+                        f"vertex {vertex} out of range (graph has "
+                        f"{graph.num_vertices} vertices)"
+                    )
+            pairs.append((u, v))
+        return pairs
+
+    async def _handle_update(
+        self,
+        message: Dict[str, object],
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Apply one edge batch and answer with an ``updated`` frame.
+
+        The mutation itself is blocking (CSR rebuild, distance repair), so
+        it runs on the default executor; the event loop keeps streaming
+        in-flight jobs — which read their own pinned epoch — meanwhile.
+        """
+        client_id = message.get("id")
+        external = bool(message.get("external", False))
+        try:
+            add = self._parse_edges(message.get("add"), external, "add")
+            remove = self._parse_edges(message.get("remove"), external, "remove")
+            loop = asyncio.get_running_loop()
+            info = await loop.run_in_executor(
+                None, lambda: self.service.mutate(add=add, remove=remove)
+            )
+        except (ValueError, TypeError, ReproError) as error:
+            frame: Dict[str, object] = {"type": "error", "error": str(error)}
+            if client_id is not None:
+                frame["id"] = client_id
+            await write_frame(writer, frame, lock=lock, site=_FRAME_SITE)
+            return
+        reply: Dict[str, object] = {"type": "updated", **info}
+        if client_id is not None:
+            reply["id"] = client_id
+        await write_frame(writer, reply, lock=lock, site=_FRAME_SITE)
 
     def _resolve_external(self, value: object) -> int:
         """Map one external vertex id to its internal id.

@@ -267,6 +267,8 @@ class QueryService:
             "shard_id": self.shard_id,
             "server_version": __version__,
             "protocol": PROTOCOL_VERSION,
+            "current_epoch": self._core.current_epoch,
+            **self._core.live_stats,
             "reverse_bfs_runs": session_stats.reverse_bfs_runs,
             "distance_cache_entries": len(self._core.session.export_distances()),
             "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
@@ -354,6 +356,25 @@ class QueryService:
             elif event[0] == "cancelled":
                 raise asyncio.CancelledError(f"job {job.id} cancelled")
         return results  # type: ignore[return-value]
+
+    # -- mutation ------------------------------------------------------- #
+    def mutate(
+        self,
+        add: Sequence[Tuple[int, int]] = (),
+        remove: Sequence[Tuple[int, int]] = (),
+    ) -> Dict[str, object]:
+        """Apply one edge batch; blocking (call via an executor from asyncio).
+
+        Delegates to :meth:`~repro.core.engine.ExecutorCore.mutate`: the new
+        epoch publishes atomically, jobs already streaming keep their pinned
+        snapshot, and the service's own graph reference moves forward so the
+        ``stats`` frame describes what new jobs run against.
+        """
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        info = self._core.mutate(add=add, remove=remove)
+        self.graph = self._core.graph
+        return info
 
     def _drive(self, job: ServiceJob, queries: List[Query], config: RunConfig) -> None:
         """Drive one job to completion (runs on a drive-pool thread)."""

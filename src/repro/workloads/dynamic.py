@@ -11,14 +11,15 @@ pattern of the paper's second motivating application.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.core.query import Query
 from repro.graph.digraph import DiGraph
-from repro.graph.dynamic import DynamicGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api import QuerySpec
 
 __all__ = ["DynamicWorkload", "build_dynamic_workload"]
 
@@ -37,22 +38,34 @@ class DynamicWorkload:
     def __len__(self) -> int:
         return len(self.updates)
 
-    def replay(self) -> Iterator[Tuple[DiGraph, Tuple[int, int], Optional[Query]]]:
+    def replay(self) -> Iterator[Tuple[DiGraph, Tuple[int, int], Optional["QuerySpec"]]]:
         """Yield ``(graph_after_update, inserted_edge, cycle_query)`` triples.
 
-        The query enumerates paths from the head of the new edge back to its
-        tail with ``k - 1`` hops, i.e. the cycles of length at most ``k``
-        through the new edge.  ``None`` is yielded when the query would be
-        degenerate (``k - 1 < 2``).
+        The stream is replayed through the :mod:`repro.api` façade: a
+        :class:`~repro.api.Database` is opened on the initial graph and each
+        update is applied with :meth:`~repro.api.Database.insert_edges`, so
+        every yielded graph is a published live epoch rather than an ad-hoc
+        rebuild.  The query is a façade :class:`~repro.api.QuerySpec`
+        enumerating paths from the head of the new edge back to its tail
+        with ``k - 1`` hops, i.e. the cycles of length at most ``k`` through
+        the new edge — pass it straight to ``Database.query``.  ``None`` is
+        yielded when the query would be degenerate (``k - 1 < 2``).
         """
-        dynamic = DynamicGraph.from_graph(self.initial_graph)
-        for u, v in self.updates:
-            dynamic.add_edge(u, v)
-            snapshot = dynamic.snapshot()
-            query: Optional[Query] = None
-            if self.k - 1 >= 2:
-                query = Query(snapshot.to_internal(v), snapshot.to_internal(u), self.k - 1)
-            yield snapshot, (u, v), query
+        from repro.api import Database, QuerySpec
+
+        database = Database(self.initial_graph)
+        try:
+            for u, v in self.updates:
+                database.insert_edges([(u, v)])
+                snapshot = database.graph
+                query: Optional[QuerySpec] = None
+                if self.k - 1 >= 2:
+                    query = QuerySpec(
+                        snapshot.to_internal(v), snapshot.to_internal(u), self.k - 1
+                    )
+                yield snapshot, (u, v), query
+        finally:
+            database.close()
 
 
 def build_dynamic_workload(

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
-from repro.graph.builder import from_edges
+from repro.graph.builder import GraphBuilder, from_edges
 from repro.graph.dynamic import DynamicGraph
+from repro.graph.generators import erdos_renyi
 
 
 class TestMutation:
@@ -91,3 +95,82 @@ class TestSnapshot:
         dynamic = DynamicGraph.from_graph(original)
         snapshot = dynamic.snapshot()
         assert set(snapshot.edges()) == set(original.edges())
+
+
+def _loop_from_graph(graph):
+    """Reference per-edge copy, the pre-vectorisation ``from_graph``."""
+    dynamic = DynamicGraph()
+    for v in graph.vertices():
+        dynamic.add_vertex(graph.to_external(v))
+    for u, v in graph.edges():
+        dynamic.add_edge(graph.to_external(u), graph.to_external(v))
+    return dynamic
+
+
+def _loop_snapshot(dynamic):
+    """Reference per-edge snapshot via GraphBuilder's scalar path."""
+    builder = GraphBuilder()
+    for vertex in dynamic.vertices():
+        builder.add_vertex(vertex)
+    for source, target in dynamic.edges():
+        builder.add_edge(source, target)
+    return builder.build()
+
+
+def _csr_equal(left, right):
+    return all(
+        np.array_equal(a, b)
+        for a, b in zip(left.out_csr() + left.in_csr(), right.out_csr() + right.in_csr())
+    )
+
+
+class TestBulkFromGraph:
+    """The vectorised copy-on-write ``from_graph`` / ``snapshot`` path."""
+
+    def test_round_trip_matches_loop_version(self):
+        graph = erdos_renyi(500, 4.0, seed=7)
+        fast = DynamicGraph.from_graph(graph).snapshot()
+        loop = _loop_snapshot(_loop_from_graph(graph))
+        assert _csr_equal(fast, loop)
+
+    def test_round_trip_matches_loop_version_after_mutation(self):
+        graph = erdos_renyi(500, 4.0, seed=7)
+        fast_dyn = DynamicGraph.from_graph(graph)
+        loop_dyn = _loop_from_graph(graph)
+        for dyn in (fast_dyn, loop_dyn):
+            dyn.add_edge(3, 499)
+            edge = next(iter(sorted(dyn.neighbors(0))), None)
+            if edge is not None:
+                dyn.remove_edge(0, edge)
+        assert fast_dyn.num_edges == loop_dyn.num_edges
+        assert _csr_equal(fast_dyn.snapshot(), _loop_snapshot(loop_dyn))
+
+    def test_pending_copy_reads_match_materialised(self):
+        graph = erdos_renyi(200, 3.0, seed=11)
+        pending = DynamicGraph.from_graph(graph)
+        thawed = DynamicGraph.from_graph(graph)
+        assert pending.num_vertices == thawed.num_vertices == graph.num_vertices
+        assert pending.num_edges == graph.num_edges
+        thawed._thaw()
+        assert pending.neighbors(5) == thawed.neighbors(5)
+        assert pending.in_neighbors(5) == thawed.in_neighbors(5)
+        assert sorted(pending.edges()) == sorted(thawed.edges())
+
+    def test_50k_edge_round_trip_is_10x_faster_than_loop(self):
+        graph = erdos_renyi(12_500, 4.0, seed=1)
+        assert graph.num_edges >= 50_000 * 0.95
+
+        def best_of(fn, reps=3):
+            times = []
+            for _ in range(reps):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        loop_s = best_of(lambda: _loop_snapshot(_loop_from_graph(graph)))
+        fast_s = best_of(lambda: DynamicGraph.from_graph(graph).snapshot())
+        assert loop_s > 10 * fast_s, (
+            f"bulk round trip only {loop_s / fast_s:.1f}x faster "
+            f"(loop {loop_s * 1e3:.1f} ms, bulk {fast_s * 1e3:.1f} ms)"
+        )

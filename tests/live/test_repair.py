@@ -1,0 +1,116 @@
+"""Incremental reverse-BFS distance repair vs. a fresh bounded BFS.
+
+``repair_reverse_distances`` must agree exactly with recomputing the bounded
+reverse BFS on the post-update graph — for pure insertions, pure removals,
+mixed batches and randomized graphs — and must fall back to the full
+recompute (still exact) when the affected region exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import erdos_renyi
+from repro.graph.traversal import bfs_distances_bounded
+from repro.live import repair_reverse_distances
+
+
+def _apply(graph, add, remove):
+    edges = (set(graph.edges()) - set(remove)) | set(add)
+    builder = GraphBuilder()
+    for v in graph.vertices():
+        builder.add_vertex(v)
+    for u, v in sorted(edges):
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def _random_batch(graph, rng, *, adds, removes):
+    present = sorted(graph.edges())
+    remove = rng.sample(present, min(removes, len(present)))
+    add = []
+    while len(add) < adds:
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u != v and not graph.has_edge(u, v) and (u, v) not in add:
+            add.append((u, v))
+    return add, remove
+
+
+def _check(graph, add, remove, target, cutoff, *, budget=None):
+    old_dist = bfs_distances_bounded(graph, target, cutoff=cutoff, reverse=True)
+    new_graph = _apply(graph, add, remove)
+    dist, repaired = repair_reverse_distances(
+        new_graph,
+        old_dist,
+        target,
+        cutoff=cutoff,
+        added=add,
+        removed=remove,
+        budget=budget,
+    )
+    expected = bfs_distances_bounded(new_graph, target, cutoff=cutoff, reverse=True)
+    assert np.array_equal(dist, expected)
+    # The input array is never mutated.
+    assert np.array_equal(
+        old_dist, bfs_distances_bounded(graph, target, cutoff=cutoff, reverse=True)
+    )
+    return repaired
+
+
+class TestRepairExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_batches_match_fresh_bfs(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi(120, 4.0, seed=seed + 100)
+        add, remove = _random_batch(graph, rng, adds=6, removes=6)
+        for target in rng.sample(range(graph.num_vertices), 4):
+            _check(graph, add, remove, target, cutoff=4)
+
+    def test_pure_insertions(self):
+        rng = random.Random(1)
+        graph = erdos_renyi(100, 3.0, seed=8)
+        add, _ = _random_batch(graph, rng, adds=10, removes=0)
+        repaired = _check(graph, add, [], 5, cutoff=5)
+        assert repaired
+
+    def test_pure_removals(self):
+        rng = random.Random(2)
+        graph = erdos_renyi(100, 3.0, seed=9)
+        _, remove = _random_batch(graph, rng, adds=0, removes=10)
+        _check(graph, [], remove, 5, cutoff=5)
+
+    def test_update_touching_target_itself(self):
+        graph = erdos_renyi(60, 3.0, seed=4)
+        target = next(
+            v for v in range(graph.num_vertices) if len(graph.in_neighbors(v)) >= 2
+        )
+        incoming = [(int(u), target) for u in graph.in_neighbors(target)][:2]
+        _check(graph, [], incoming, target, cutoff=4)
+
+
+class TestBudgetFallback:
+    def test_zero_budget_forces_full_recompute(self):
+        rng = random.Random(3)
+        graph = erdos_renyi(120, 4.0, seed=12)
+        add, remove = _random_batch(graph, rng, adds=4, removes=8)
+        repaired = _check(graph, add, remove, 3, cutoff=4, budget=0)
+        assert not repaired
+
+    def test_generous_budget_repairs_incrementally(self):
+        rng = random.Random(4)
+        graph = erdos_renyi(120, 4.0, seed=13)
+        add, remove = _random_batch(graph, rng, adds=4, removes=4)
+        repaired = _check(graph, add, remove, 3, cutoff=4, budget=10_000)
+        assert repaired
+
+    def test_fallback_is_still_exact_at_every_budget(self):
+        rng = random.Random(5)
+        graph = erdos_renyi(80, 4.0, seed=14)
+        add, remove = _random_batch(graph, rng, adds=5, removes=10)
+        for budget in (0, 1, 2, 5, 20, None):
+            _check(graph, add, remove, 9, cutoff=4, budget=budget)

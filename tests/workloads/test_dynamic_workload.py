@@ -71,19 +71,24 @@ class TestReplay:
 
     def test_replay_finds_cycles_closed_by_updates(self, base_graph):
         """End to end: the per-update query enumerates the cycles the edge closes."""
-        from repro.core.engine import IdxDfs
-        from repro.core.listener import RunConfig
+        from repro.api import Database
 
         workload = build_dynamic_workload(base_graph, seed=7, max_updates=10, k=4)
-        config = RunConfig(store_paths=True)
-        algorithm = IdxDfs()
         for snapshot, (u, v), query in workload.replay():
             if query is None:
                 continue
-            result = algorithm.run(snapshot, query, config)
-            for path in result.paths or []:
+            with Database(snapshot) as database:
+                paths = database.query(query, store_paths=True).paths()[0]
+            for path in paths or []:
                 # Closing the path with the inserted edge forms a cycle of
                 # length <= k through (u, v).
                 assert path[0] == snapshot.to_internal(v)
                 assert path[-1] == snapshot.to_internal(u)
                 assert len(path) <= workload.k
+
+    def test_replay_queries_are_facade_specs(self, base_graph):
+        from repro.api import QuerySpec
+
+        workload = build_dynamic_workload(base_graph, seed=8, max_updates=3, k=5)
+        for _snapshot, _edge, query in workload.replay():
+            assert query is None or isinstance(query, QuerySpec)
